@@ -1,0 +1,247 @@
+//! The computation tape: nodes, values, and the backward pass driver.
+
+use nb_tensor::{ConvGeometry, Shape, Tensor};
+
+/// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
+/// that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Value(pub(crate) usize);
+
+/// The recorded operation that produced a node, together with whatever
+/// context its backward pass needs.
+#[derive(Debug)]
+pub(crate) enum Op {
+    /// Input or parameter; no parents.
+    Leaf,
+    /// Elementwise `a + b`.
+    Add(Value, Value),
+    /// Elementwise `a - b`.
+    Sub(Value, Value),
+    /// Elementwise `a * b`.
+    Mul(Value, Value),
+    /// `a * scalar`.
+    Scale(Value, f32),
+    /// `x + bias` with `bias` broadcast over `[n, c, h, w]` channels.
+    AddBias4(Value, Value),
+    /// `x + bias` with `bias` broadcast over `[n, f]` rows.
+    AddBias2(Value, Value),
+    /// `x [n,in] * w[out,in]^T` (the Linear layer product).
+    MatMulNT(Value, Value),
+    /// Dense convolution.
+    Conv2d {
+        x: Value,
+        w: Value,
+        b: Option<Value>,
+        geom: ConvGeometry,
+    },
+    /// Depthwise convolution.
+    DepthwiseConv2d {
+        x: Value,
+        w: Value,
+        b: Option<Value>,
+        geom: ConvGeometry,
+    },
+    /// Batch normalization over `[n, c, h, w]`; `mean`/`invstd` are the
+    /// statistics actually used in the forward pass (batch stats when
+    /// training, running stats when not).
+    BatchNorm {
+        x: Value,
+        gamma: Value,
+        beta: Value,
+        mean: Tensor,
+        invstd: Tensor,
+        training: bool,
+    },
+    /// Decayable ReLU `y = max(alpha * x, x)` (paper Eq. 2).
+    ReluDecay { x: Value, alpha: f32 },
+    /// Decayable ReLU6 `y = max(alpha*x, x) - (1-alpha)*max(0, x-6)`.
+    Relu6Decay { x: Value, alpha: f32 },
+    /// Max pooling (saved argmax routing).
+    MaxPool { x: Value, idx: Vec<u32> },
+    /// Average pooling.
+    AvgPool { x: Value, geom: ConvGeometry },
+    /// Global average pooling `[n,c,h,w] -> [n,c]`.
+    GlobalAvgPool { x: Value, x_shape: Shape },
+    /// Shape change with identical data.
+    Reshape { x: Value, x_shape: Shape },
+    /// Sub-tensor along dim 0 (rows of a matrix / out-channels of a weight).
+    Narrow0 { x: Value, start: usize },
+    /// Sub-tensor along dims 0 and 1 of a rank-4 conv weight.
+    NarrowOutIn {
+        w: Value,
+        out: (usize, usize),
+        inn: (usize, usize),
+    },
+    /// Softmax cross-entropy (mean over batch) against integer labels, with
+    /// optional label smoothing; `probs` are the saved softmax outputs.
+    SoftmaxCrossEntropy {
+        logits: Value,
+        labels: Vec<usize>,
+        smoothing: f32,
+        probs: Tensor,
+    },
+    /// Temperature-scaled KL distillation loss against constant teacher
+    /// probabilities; `student_probs` are the saved `softmax(z/T)`.
+    KdKlLoss {
+        logits: Value,
+        teacher_probs: Tensor,
+        temperature: f32,
+        student_probs: Tensor,
+    },
+    /// Mean-squared error between two graph values (both receive gradient).
+    MseBetween { a: Value, b: Value },
+    /// Mean-squared error against a constant target.
+    MseToConst { a: Value, target: Tensor },
+    /// Masked binary cross-entropy with logits against constant targets;
+    /// `probs` are the saved sigmoid outputs. Mean over mask support.
+    BceWithLogits {
+        logits: Value,
+        targets: Tensor,
+        mask: Tensor,
+        probs: Tensor,
+    },
+    /// Masked smooth-L1 (Huber, delta=1) against constant targets. Mean over
+    /// mask support.
+    SmoothL1 {
+        pred: Value,
+        targets: Tensor,
+        mask: Tensor,
+    },
+    /// Mean of all elements (scalar output).
+    MeanAll { x: Value, n: usize },
+}
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub grad: Option<Tensor>,
+    pub op: Op,
+    pub requires_grad: bool,
+}
+
+/// A single-use computation tape.
+///
+/// Build one per training step: insert leaves for inputs and parameters,
+/// call op methods to record the forward pass, then [`Graph::backward`] to
+/// populate gradients.
+///
+/// # Examples
+///
+/// ```
+/// use nb_autograd::Graph;
+/// use nb_tensor::Tensor;
+///
+/// let mut g = Graph::new();
+/// let x = g.leaf(Tensor::from_vec(vec![1.0, -2.0], [2])?, true);
+/// let y = g.relu_decay(x, 0.0);        // plain ReLU
+/// let loss = g.mean_all(y);
+/// g.backward(loss);
+/// assert_eq!(g.grad(x).unwrap().as_slice(), &[0.5, 0.0]);
+/// # Ok::<(), nb_tensor::TensorError>(())
+/// ```
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Inserts an input or parameter tensor.
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> Value {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// Inserts a constant (no gradient).
+    pub fn constant(&mut self, value: Tensor) -> Value {
+        self.leaf(value, false)
+    }
+
+    pub(crate) fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Value {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
+        Value(self.nodes.len() - 1)
+    }
+
+    pub(crate) fn wants_grad(&self, v: Value) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Value) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node, if any was produced by
+    /// [`backward`](Self::backward).
+    pub fn grad(&self, v: Value) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Takes the gradient out of the node, leaving `None`.
+    pub fn take_grad(&mut self, v: Value) -> Option<Tensor> {
+        self.nodes[v.0].grad.take()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn accumulate(&mut self, v: Value, g: Tensor) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut g = Graph::new();
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let v = g.leaf(t.clone(), true);
+        assert_eq!(g.value(v), &t);
+        assert!(g.grad(v).is_none());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let mut g = Graph::new();
+        let c = g.constant(Tensor::ones([2]));
+        g.accumulate(c, Tensor::ones([2]));
+        assert!(g.grad(c).is_none());
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::zeros([2]), true);
+        g.accumulate(v, Tensor::ones([2]));
+        g.accumulate(v, Tensor::ones([2]));
+        assert_eq!(g.grad(v).unwrap().as_slice(), &[2.0, 2.0]);
+        let taken = g.take_grad(v).unwrap();
+        assert_eq!(taken.as_slice(), &[2.0, 2.0]);
+        assert!(g.grad(v).is_none());
+    }
+}

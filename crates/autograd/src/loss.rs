@@ -1,0 +1,335 @@
+//! Loss ops: classification cross-entropy (with label smoothing),
+//! temperature-scaled distillation KL, MSE, and the masked detection losses.
+
+use crate::graph::{Graph, Op, Value};
+use nb_tensor::Tensor;
+
+/// Row-wise softmax of a `[n, k]` matrix with the max-subtraction trick.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let (n, k) = logits.shape().rc();
+    let ls = logits.as_slice();
+    let mut out = Tensor::zeros([n, k]);
+    let os = out.as_mut_slice();
+    for i in 0..n {
+        let row = &ls[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - m).exp();
+            os[i * k + j] = e;
+            z += e;
+        }
+        for j in 0..k {
+            os[i * k + j] /= z;
+        }
+    }
+    out
+}
+
+impl Graph {
+    /// Mean softmax cross-entropy of `[n, k]` logits against integer labels,
+    /// with optional label smoothing `s` (target mass `1-s` on the label and
+    /// `s/k` spread uniformly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank 2, `labels.len() != n`, a label is out
+    /// of range, or `smoothing` is outside `[0, 1)`.
+    pub fn softmax_cross_entropy(
+        &mut self,
+        logits: Value,
+        labels: &[usize],
+        smoothing: f32,
+    ) -> Value {
+        let (n, k) = self.value(logits).shape().rc();
+        assert_eq!(labels.len(), n, "label count vs batch");
+        assert!((0.0..1.0).contains(&smoothing), "smoothing in [0,1)");
+        assert!(
+            labels.iter().all(|&l| l < k),
+            "label out of range for {k} classes"
+        );
+        let probs = softmax_rows(self.value(logits));
+        let ps = probs.as_slice();
+        let mut loss = 0.0f64;
+        let off = smoothing / k as f32;
+        let on = 1.0 - smoothing + off;
+        for (i, &label) in labels.iter().enumerate() {
+            for j in 0..k {
+                let t = if j == label { on } else { off };
+                if t > 0.0 {
+                    loss -= (t as f64) * (ps[i * k + j].max(1e-12) as f64).ln();
+                }
+            }
+        }
+        let out = Tensor::scalar((loss / n as f64) as f32);
+        let rg = self.wants_grad(logits);
+        self.push(
+            out,
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels: labels.to_vec(),
+                smoothing,
+                probs,
+            },
+            rg,
+        )
+    }
+
+    /// Temperature-scaled KL distillation loss (Hinton et al.):
+    /// `T^2 * KL(teacher || softmax(logits / T))`, mean over the batch.
+    ///
+    /// `teacher_probs` must already be a probability distribution per row
+    /// (typically `softmax(teacher_logits / T)`); it is treated as constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or `temperature <= 0`.
+    pub fn kd_kl_loss(&mut self, logits: Value, teacher_probs: &Tensor, temperature: f32) -> Value {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let (n, k) = self.value(logits).shape().rc();
+        assert_eq!(
+            teacher_probs.dims(),
+            &[n, k],
+            "teacher probs shape vs logits"
+        );
+        let scaled = self.value(logits).scale(1.0 / temperature);
+        let student_probs = softmax_rows(&scaled);
+        let ss = student_probs.as_slice();
+        let ts = teacher_probs.as_slice();
+        let mut loss = 0.0f64;
+        for i in 0..n * k {
+            if ts[i] > 0.0 {
+                loss += (ts[i] as f64)
+                    * ((ts[i].max(1e-12) as f64).ln() - (ss[i].max(1e-12) as f64).ln());
+            }
+        }
+        let t2 = (temperature * temperature) as f64;
+        let out = Tensor::scalar((t2 * loss / n as f64) as f32);
+        let rg = self.wants_grad(logits);
+        self.push(
+            out,
+            Op::KdKlLoss {
+                logits,
+                teacher_probs: teacher_probs.clone(),
+                temperature,
+                student_probs,
+            },
+            rg,
+        )
+    }
+
+    /// Mean-squared error between two graph values; both sides receive
+    /// gradient (used by RocketLaunching's hint loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mse_between(&mut self, a: Value, b: Value) -> Value {
+        let d = self.value(a).sub(self.value(b));
+        let out = Tensor::scalar(d.map(|x| x * x).mean());
+        let rg = self.wants_grad(a) || self.wants_grad(b);
+        self.push(out, Op::MseBetween { a, b }, rg)
+    }
+
+    /// Mean-squared error against a constant target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mse_to_const(&mut self, a: Value, target: &Tensor) -> Value {
+        let d = self.value(a).sub(target);
+        let out = Tensor::scalar(d.map(|x| x * x).mean());
+        let rg = self.wants_grad(a);
+        self.push(
+            out,
+            Op::MseToConst {
+                a,
+                target: target.clone(),
+            },
+        rg)
+    }
+
+    /// Masked binary cross-entropy with logits, averaged over the mask
+    /// support (positions where `mask > 0`). Targets and mask are constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the mask support is empty.
+    pub fn bce_with_logits(&mut self, logits: Value, targets: &Tensor, mask: &Tensor) -> Value {
+        let shape = self.value(logits).shape().clone();
+        assert_eq!(targets.shape(), &shape, "bce target shape");
+        assert_eq!(mask.shape(), &shape, "bce mask shape");
+        let support: f32 = mask.as_slice().iter().filter(|&&m| m > 0.0).count() as f32;
+        assert!(support > 0.0, "bce mask has empty support");
+        let zs = self.value(logits).as_slice();
+        let ts = targets.as_slice();
+        let ms = mask.as_slice();
+        let mut probs = Tensor::zeros(shape);
+        let ps = probs.as_mut_slice();
+        let mut loss = 0.0f64;
+        for i in 0..zs.len() {
+            let p = 1.0 / (1.0 + (-zs[i]).exp());
+            ps[i] = p;
+            if ms[i] > 0.0 {
+                // numerically-stable BCE-with-logits
+                let z = zs[i] as f64;
+                let t = ts[i] as f64;
+                loss += (z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln()) * ms[i] as f64;
+            }
+        }
+        let out = Tensor::scalar((loss / support as f64) as f32);
+        let rg = self.wants_grad(logits);
+        self.push(
+            out,
+            Op::BceWithLogits {
+                logits,
+                targets: targets.clone(),
+                mask: mask.clone(),
+                probs,
+            },
+            rg,
+        )
+    }
+
+    /// Masked smooth-L1 (Huber, delta = 1) loss against constant targets,
+    /// averaged over the mask support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the mask support is empty.
+    pub fn smooth_l1(&mut self, pred: Value, targets: &Tensor, mask: &Tensor) -> Value {
+        let shape = self.value(pred).shape().clone();
+        assert_eq!(targets.shape(), &shape, "smooth_l1 target shape");
+        assert_eq!(mask.shape(), &shape, "smooth_l1 mask shape");
+        let support: f32 = mask.as_slice().iter().filter(|&&m| m > 0.0).count() as f32;
+        assert!(support > 0.0, "smooth_l1 mask has empty support");
+        let ps = self.value(pred).as_slice();
+        let ts = targets.as_slice();
+        let ms = mask.as_slice();
+        let mut loss = 0.0f64;
+        for i in 0..ps.len() {
+            if ms[i] > 0.0 {
+                let d = (ps[i] - ts[i]).abs() as f64;
+                loss += if d < 1.0 { 0.5 * d * d } else { d - 0.5 } * ms[i] as f64;
+            }
+        }
+        let out = Tensor::scalar((loss / support as f64) as f32);
+        let rg = self.wants_grad(pred);
+        self.push(
+            out,
+            Op::SmoothL1 {
+                pred,
+                targets: targets.clone(),
+                mask: mask.clone(),
+            },
+            rg,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]).unwrap();
+        let p = softmax_rows(&t);
+        for i in 0..2 {
+            let s: f32 = (0..3).map(|j| p.at2(i, j)).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // invariance under shift
+        let p2 = softmax_rows(&t.add_scalar(100.0));
+        assert!(p.allclose(&p2, 1e-5));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let mut g = Graph::new();
+        let logits = g.leaf(
+            Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], [2, 3]).unwrap(),
+            false,
+        );
+        let l = g.softmax_cross_entropy(logits, &[0, 1], 0.0);
+        assert!(g.value(l).item() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let mut g = Graph::new();
+        let logits = g.leaf(Tensor::zeros([4, 8]), false);
+        let l = g.softmax_cross_entropy(logits, &[0, 1, 2, 3], 0.0);
+        assert!((g.value(l).item() - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn label_smoothing_raises_perfect_loss() {
+        let mut g = Graph::new();
+        let t = Tensor::from_vec(vec![20.0, 0.0, 0.0], [1, 3]).unwrap();
+        let logits = g.leaf(t, false);
+        let plain = g.softmax_cross_entropy(logits, &[0], 0.0);
+        let smooth = g.softmax_cross_entropy(logits, &[0], 0.1);
+        assert!(g.value(smooth).item() > g.value(plain).item());
+    }
+
+    #[test]
+    fn kd_loss_zero_when_student_matches_teacher() {
+        let mut g = Graph::new();
+        let logits_t = Tensor::from_vec(vec![1.0, 2.0, 0.5], [1, 3]).unwrap();
+        let logits = g.leaf(logits_t.clone(), false);
+        let teacher = softmax_rows(&logits_t.scale(1.0 / 4.0));
+        let l = g.kd_kl_loss(logits, &teacher, 4.0);
+        assert!(g.value(l).item().abs() < 1e-5);
+    }
+
+    #[test]
+    fn kd_loss_positive_on_mismatch() {
+        let mut g = Graph::new();
+        let logits = g.leaf(Tensor::from_vec(vec![5.0, 0.0], [1, 2]).unwrap(), false);
+        let teacher = Tensor::from_vec(vec![0.1, 0.9], [1, 2]).unwrap();
+        let l = g.kd_kl_loss(logits, &teacher, 1.0);
+        assert!(g.value(l).item() > 0.5);
+    }
+
+    #[test]
+    fn mse_between_values() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap(), false);
+        let b = g.leaf(Tensor::from_vec(vec![3.0, 2.0], [2]).unwrap(), false);
+        let l = g.mse_between(a, b);
+        assert_eq!(g.value(l).item(), 2.0);
+    }
+
+    #[test]
+    fn bce_perfect_prediction_small() {
+        let mut g = Graph::new();
+        let logits = g.leaf(Tensor::from_vec(vec![15.0, -15.0], [2]).unwrap(), false);
+        let targets = Tensor::from_vec(vec![1.0, 0.0], [2]).unwrap();
+        let mask = Tensor::ones([2]);
+        let l = g.bce_with_logits(logits, &targets, &mask);
+        assert!(g.value(l).item() < 1e-5);
+    }
+
+    #[test]
+    fn bce_respects_mask() {
+        let mut g = Graph::new();
+        // second position is wildly wrong but masked out
+        let logits = g.leaf(Tensor::from_vec(vec![15.0, -100.0], [2]).unwrap(), false);
+        let targets = Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap();
+        let mask = Tensor::from_vec(vec![1.0, 0.0], [2]).unwrap();
+        let l = g.bce_with_logits(logits, &targets, &mask);
+        assert!(g.value(l).item() < 1e-5);
+    }
+
+    #[test]
+    fn smooth_l1_quadratic_then_linear() {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_vec(vec![0.5, 3.0], [2]).unwrap(), false);
+        let t = Tensor::zeros([2]);
+        let m = Tensor::ones([2]);
+        let l = g.smooth_l1(p, &t, &m);
+        // (0.5*0.25 + (3-0.5)) / 2
+        assert!((g.value(l).item() - (0.125 + 2.5) / 2.0).abs() < 1e-6);
+    }
+}

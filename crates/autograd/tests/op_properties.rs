@@ -1,0 +1,191 @@
+//! Property-based tests of the autograd tape: gradient linearity, the
+//! chain rule across random op pairs, and loss-specific identities.
+
+use nb_autograd::{grad_check, softmax_rows, Graph};
+use nb_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tensor(shape: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(shape.to_vec(), &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// d(mean(a * b))/da == b / n for independent leaves.
+    #[test]
+    fn mul_gradient_is_other_factor(n in 1usize..16, s1 in 0u64..1000, s2 in 0u64..1000) {
+        let a = tensor(&[n], s1);
+        let b = tensor(&[n], s2);
+        let mut g = Graph::new();
+        let av = g.leaf(a.clone(), true);
+        let bv = g.constant(b.clone());
+        let prod = g.mul(av, bv);
+        let loss = g.mean_all(prod);
+        g.backward(loss);
+        let want = b.scale(1.0 / n as f32);
+        prop_assert!(g.grad(av).unwrap().allclose(&want, 1e-5));
+    }
+
+    /// Gradients are linear in the loss: scaling the loss scales the grads.
+    #[test]
+    fn gradient_linearity(n in 1usize..12, c in -3.0f32..3.0, seed in 0u64..1000) {
+        prop_assume!(c.abs() > 1e-3);
+        let x = tensor(&[n], seed);
+        let run = |scale: f32| -> Tensor {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone(), true);
+            let y = g.relu_decay(xv, 0.3);
+            let y2 = g.mul(y, y);
+            let m = g.mean_all(y2);
+            let loss = g.scale(m, scale);
+            g.backward(loss);
+            g.grad(xv).unwrap().clone()
+        };
+        let g1 = run(1.0);
+        let gc = run(c);
+        prop_assert!(gc.allclose(&g1.scale(c), 1e-4 * (1.0 + g1.abs_sum())));
+    }
+
+    /// Softmax cross-entropy gradient rows sum to ~0 (probability simplex
+    /// tangency) for arbitrary logits/labels.
+    #[test]
+    fn ce_grad_rows_sum_zero(n in 1usize..6, k in 2usize..8, seed in 0u64..1000) {
+        let logits = tensor(&[n, k], seed);
+        let labels: Vec<usize> = (0..n).map(|i| (i * 7 + seed as usize) % k).collect();
+        let mut g = Graph::new();
+        let lv = g.leaf(logits, true);
+        let loss = g.softmax_cross_entropy(lv, &labels, 0.0);
+        g.backward(loss);
+        let grad = g.grad(lv).unwrap();
+        for r in 0..n {
+            let s: f32 = (0..k).map(|c| grad.at2(r, c)).sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    /// KD loss is minimized when the student already matches the teacher:
+    /// its gradient there is ~0.
+    #[test]
+    fn kd_gradient_zero_at_optimum(n in 1usize..4, k in 2usize..6, t in 1.0f32..6.0, seed in 0u64..1000) {
+        let logits = tensor(&[n, k], seed);
+        let teacher = softmax_rows(&logits.scale(1.0 / t));
+        let mut g = Graph::new();
+        let lv = g.leaf(logits, true);
+        let loss = g.kd_kl_loss(lv, &teacher, t);
+        g.backward(loss);
+        prop_assert!(g.grad(lv).unwrap().abs_sum() < 1e-4 * (n * k) as f32);
+    }
+
+    /// Random two-op chains pass a finite-difference check.
+    #[test]
+    fn random_chain_gradcheck(op1 in 0usize..3, op2 in 0usize..3, seed in 0u64..300) {
+        let x = tensor(&[12], seed);
+        let w = tensor(&[12], seed ^ 21);
+        let rep = grad_check(&x, 1e-3, 12, |g, xin| {
+            let apply = |g: &mut Graph, v, which: usize| match which {
+                0 => g.relu_decay(v, 0.4),
+                1 => g.relu6_decay(v, 0.2),
+                _ => g.scale(v, 1.7),
+            };
+            let v = apply(g, xin, op1);
+            let v = apply(g, v, op2);
+            let wv = g.constant(w.clone());
+            let v = g.mul(v, wv);
+            g.mean_all(v)
+        });
+        prop_assert!(rep.passes(3e-2), "{rep:?}");
+    }
+
+    /// mse_between is symmetric in value and antisymmetric in gradient.
+    #[test]
+    fn mse_symmetry(n in 1usize..10, s1 in 0u64..500, s2 in 0u64..500) {
+        let a = tensor(&[n], s1);
+        let b = tensor(&[n], s2);
+        let run = |x: &Tensor, y: &Tensor| {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone(), true);
+            let yv = g.leaf(y.clone(), true);
+            let loss = g.mse_between(xv, yv);
+            let v = g.value(loss).item();
+            g.backward(loss);
+            (v, g.grad(xv).unwrap().clone(), g.grad(yv).unwrap().clone())
+        };
+        let (vab, ga, gb) = run(&a, &b);
+        let (vba, _, _) = run(&b, &a);
+        prop_assert!((vab - vba).abs() < 1e-5);
+        prop_assert!(ga.allclose(&gb.scale(-1.0), 1e-5));
+    }
+}
+
+// ---- targeted op tests beyond the property sweep ---------------------------
+
+#[test]
+fn reshape_gradient_flows_through() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::from_fn([2, 3], |i| i as f32), true);
+    let flat = g.reshape(x, [6]);
+    let w = g.constant(Tensor::from_fn([6], |i| (i + 1) as f32));
+    let y = g.mul(flat, w);
+    let loss = g.mean_all(y);
+    g.backward(loss);
+    let grad = g.grad(x).unwrap();
+    assert_eq!(grad.dims(), &[2, 3]);
+    for i in 0..6 {
+        assert!((grad.as_slice()[i] - (i + 1) as f32 / 6.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn mse_to_const_gradient() {
+    let target = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+    let rep = grad_check(
+        &Tensor::from_vec(vec![3.0, -1.0], [2]).unwrap(),
+        1e-3,
+        2,
+        |g, xin| g.mse_to_const(xin, &target),
+    );
+    assert!(rep.passes(1e-3), "{rep:?}");
+}
+
+#[test]
+fn mean_all_gradient_is_uniform() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::zeros([3, 4]), true);
+    let loss = g.mean_all(x);
+    g.backward(loss);
+    assert!(g
+        .grad(x)
+        .unwrap()
+        .allclose(&Tensor::full([3, 4], 1.0 / 12.0), 1e-7));
+}
+
+#[test]
+fn constant_branches_do_not_allocate_grads() {
+    let mut g = Graph::new();
+    let x = g.constant(Tensor::ones([4]));
+    let y = g.relu_decay(x, 0.0);
+    let z = g.scale(y, 2.0);
+    let loss = g.mean_all(z);
+    g.backward(loss);
+    assert!(g.grad(x).is_none());
+    assert!(g.grad(y).is_none());
+    assert!(g.grad(z).is_none(), "no grad tracked anywhere on a constant chain");
+}
+
+#[test]
+fn backward_twice_accumulates_on_leaves() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::full([1], 3.0), true);
+    let y = g.mul(x, x);
+    let loss = g.mean_all(y);
+    g.backward(loss);
+    let first = g.grad(x).unwrap().item();
+    g.backward(loss);
+    let second = g.grad(x).unwrap().item();
+    // intermediate grads persist, so a second backward re-walks the tape;
+    // leaf accumulation is monotone (documented: tapes are single-use)
+    assert!(second > first);
+}

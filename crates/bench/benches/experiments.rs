@@ -1,0 +1,90 @@
+//! Criterion wrappers around miniature versions of each paper experiment:
+//! one benchmark per table/figure, each running a smoke-scale slice of the
+//! corresponding pipeline so regressions in end-to-end cost show up in CI.
+//!
+//! The full experiment binaries (`table1`..`table6`, `fig1a`, `fig1b`)
+//! regenerate the actual numbers; these benches track their *cost*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nb_data::{synthetic_imagenet, Scale, SyntheticVoc};
+use nb_models::{mobilenet_v2_tiny, DetectorNet, TinyNet};
+use netbooster_core::{
+    netbooster_train, train_detector, train_netaug, train_vanilla, NetAugConfig,
+    NetBoosterConfig, TrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn smoke_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        lr: 0.05,
+        augment: nb_data::Augment::none(),
+        ..TrainConfig::default()
+    }
+}
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("experiments_smoke");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(3));
+    g
+}
+
+fn bench_table1_slice(c: &mut Criterion) {
+    let mut g = quick(c);
+    let data = synthetic_imagenet(Scale::Smoke);
+    let cfg_model = mobilenet_v2_tiny(nb_data::Dataset::num_classes(&data.train));
+    g.bench_function("table1_vanilla_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let m = TinyNet::new(cfg_model.clone(), &mut rng);
+            black_box(train_vanilla(&m, &data.train, &data.val, &smoke_cfg()))
+        })
+    });
+    g.bench_function("table1_netbooster_pipeline", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let nb = NetBoosterConfig::with_epochs(1, 1, 1, smoke_cfg());
+            black_box(netbooster_train(&cfg_model, &data.train, &data.val, &nb, &mut rng))
+        })
+    });
+    g.bench_function("table1_netaug_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(train_netaug(
+                &cfg_model,
+                &data.train,
+                &data.val,
+                &smoke_cfg(),
+                &NetAugConfig::default(),
+                &mut rng,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table3_slice(c: &mut Criterion) {
+    let mut g = quick(c);
+    let train = SyntheticVoc::new(3, 24, 16, 1);
+    let val = SyntheticVoc::new(3, 24, 8, 2);
+    g.bench_function("table3_detection_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut cfg_model = mobilenet_v2_tiny(3);
+            cfg_model.blocks.truncate(3);
+            let backbone = TinyNet::new(cfg_model, &mut rng);
+            let mut det = DetectorNet::new(backbone, 3, &mut rng);
+            black_box(train_detector(&mut det, &train, &val, &smoke_cfg(), None))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1_slice, bench_table3_slice);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks for the numeric kernels that dominate training
+//! time: matmul, im2col, dense/depthwise convolution (forward and
+//! backward), and pooling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nb_tensor::{
+    conv2d, conv2d_backward, depthwise_conv2d, global_avg_pool, im2col, ConvGeometry, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    g
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = quick(c);
+    let mut rng = StdRng::seed_from_u64(0);
+    for n in [32usize, 64, 128] {
+        let a = Tensor::randn([n, n], &mut rng);
+        let b = Tensor::randn([n, n], &mut rng);
+        g.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = quick(c);
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn([4, 16, 16, 16], &mut rng);
+    for k in [1usize, 3, 5] {
+        let w = Tensor::randn([16, 16, k, k], &mut rng);
+        let geom = ConvGeometry::same(k, 1);
+        g.bench_with_input(BenchmarkId::new("conv2d_fwd", k), &k, |bench, _| {
+            bench.iter(|| black_box(conv2d(&x, &w, None, geom)))
+        });
+        let y = conv2d(&x, &w, None, geom);
+        let dy = Tensor::randn(y.shape().clone(), &mut rng);
+        g.bench_with_input(BenchmarkId::new("conv2d_bwd", k), &k, |bench, _| {
+            bench.iter(|| black_box(conv2d_backward(&x, &w, &dy, geom, false)))
+        });
+    }
+    let wd = Tensor::randn([16, 3, 3], &mut rng);
+    g.bench_function("depthwise_fwd_3x3", |bench| {
+        bench.iter(|| black_box(depthwise_conv2d(&x, &wd, None, ConvGeometry::same(3, 1))))
+    });
+    g.finish();
+}
+
+fn bench_im2col_and_pool(c: &mut Criterion) {
+    let mut g = quick(c);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::randn([16 * 24 * 24], &mut rng);
+    let geom = ConvGeometry::same(3, 1);
+    let mut cols = vec![0.0f32; 16 * 9 * 24 * 24];
+    g.bench_function("im2col_16x24x24_k3", |bench| {
+        bench.iter(|| {
+            im2col(x.as_slice(), 16, 24, 24, geom, &mut cols);
+            black_box(&cols);
+        })
+    });
+    let fm = Tensor::randn([8, 32, 8, 8], &mut rng);
+    g.bench_function("global_avg_pool", |bench| {
+        bench.iter(|| black_box(global_avg_pool(&fm)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_im2col_and_pool);
+criterion_main!(benches);

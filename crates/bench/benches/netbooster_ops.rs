@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the NetBooster-specific operations: expansion,
+//! PLT stepping, contraction (Eq. 3–4 kernel composition and BN folding),
+//! and per-step training cost of the original TNN vs its deep giant —
+//! quantifying the paper's claim that the extra cost is training-time only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nb_models::{mobilenet_v2_tiny, TinyNet};
+use nb_nn::{Module, Session};
+use nb_tensor::Tensor;
+use netbooster_core::{
+    build_inserted_block, compose_convs, contract_inserted_block, expand, BlockKind,
+    ExpansionPlan, PltDriver,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("netbooster");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g
+}
+
+fn bench_expand_contract(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("expand_mobilenetv2_tiny", |bench| {
+        bench.iter_with_setup(
+            || {
+                let mut rng = StdRng::seed_from_u64(0);
+                (TinyNet::new(mobilenet_v2_tiny(16), &mut rng), rng)
+            },
+            |(mut net, mut rng)| {
+                expand(&mut net, &ExpansionPlan::paper_default(), &mut rng);
+                black_box(net)
+            },
+        )
+    });
+    g.bench_function("contract_inserted_block_ir6", |bench| {
+        bench.iter_with_setup(
+            || {
+                let mut rng = StdRng::seed_from_u64(1);
+                let b = build_inserted_block(BlockKind::InvertedResidual, 16, 32, 6, &mut rng);
+                for s in b.slopes() {
+                    s.set(1.0);
+                }
+                b
+            },
+            |b| black_box(contract_inserted_block(&b)),
+        )
+    });
+    g.bench_function("compose_convs_3x3_3x3", |bench| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let k1 = Tensor::randn([16, 16, 3, 3], &mut rng);
+        let b1 = Tensor::randn([16], &mut rng);
+        let k2 = Tensor::randn([16, 16, 3, 3], &mut rng);
+        let b2 = Tensor::randn([16], &mut rng);
+        bench.iter(|| black_box(compose_convs(&k1, &b1, &k2, &b2)))
+    });
+    g.finish();
+}
+
+fn bench_plt_step(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("plt_driver_1000_slopes_step", |bench| {
+        bench.iter_with_setup(
+            || {
+                let slopes = (0..1000).map(|_| nb_nn::layers::Slope::new()).collect();
+                PltDriver::new(slopes, 10_000)
+            },
+            |mut d| {
+                d.step();
+                black_box(d.alpha())
+            },
+        )
+    });
+    g.finish();
+}
+
+fn train_step(net: &TinyNet, images: &Tensor, labels: &[usize]) -> f32 {
+    let mut s = Session::new(true);
+    let x = s.input(images.clone());
+    let logits = net.forward(&mut s, x);
+    let loss = s.graph.softmax_cross_entropy(logits, labels, 0.0);
+    let v = s.value(loss).item();
+    s.backward(loss);
+    v
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut g = quick(c);
+    let mut rng = StdRng::seed_from_u64(3);
+    let images = Tensor::randn([8, 3, 24, 24], &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 16).collect();
+    let tnn = TinyNet::new(mobilenet_v2_tiny(16), &mut rng);
+    g.bench_function("train_step_original_tnn", |bench| {
+        bench.iter(|| black_box(train_step(&tnn, &images, &labels)))
+    });
+    let mut giant = TinyNet::new(mobilenet_v2_tiny(16), &mut rng);
+    expand(&mut giant, &ExpansionPlan::paper_default(), &mut rng);
+    g.bench_function("train_step_deep_giant", |bench| {
+        bench.iter(|| black_box(train_step(&giant, &images, &labels)))
+    });
+    // inference of contracted vs giant (the paper's efficiency claim)
+    g.bench_function("eval_step_original_tnn", |bench| {
+        bench.iter(|| black_box(tnn.logits_eval(&images)))
+    });
+    g.bench_function("eval_step_deep_giant", |bench| {
+        bench.iter(|| black_box(giant.logits_eval(&images)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_expand_contract,
+    bench_plt_step,
+    bench_training_step
+);
+criterion_main!(benches);

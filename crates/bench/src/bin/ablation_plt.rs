@@ -1,0 +1,53 @@
+//! **Reproduction extension** (not a paper table): ablates the PLT decay
+//! trajectory. The paper increases `alpha` uniformly per iteration; this
+//! binary compares that linear ramp against cosine, quadratic, and
+//! staircase trajectories, plus an immediate-linearization control
+//! (`E_d = 0`, i.e. contract without progressive decay — the "unrecoverable
+//! information loss" scenario the paper warns about).
+//!
+//! Run: `cargo run --release -p nb-bench --bin ablation_plt`
+
+use nb_bench::{announce, epochs, nb_config, rng, scale_from_env};
+use nb_data::{synthetic_imagenet, Dataset};
+use nb_metrics::{pct, TextTable};
+use nb_models::mobilenet_v2_tiny;
+use netbooster_core::{netbooster_train, DecayCurve};
+
+fn main() {
+    let scale = scale_from_env();
+    announce("Extension — ablation: PLT decay trajectory", scale);
+    let data = synthetic_imagenet(scale);
+    let model_cfg = mobilenet_v2_tiny(data.train.num_classes());
+    let e = epochs(scale);
+
+    let mut table = TextTable::new(vec!["Decay trajectory", "E_d", "Final Acc."]);
+
+    for (label, curve) in [
+        ("Linear (paper)", DecayCurve::Linear),
+        ("Cosine", DecayCurve::Cosine),
+        ("Quadratic", DecayCurve::Quadratic),
+        ("Staircase", DecayCurve::Staircase),
+    ] {
+        eprintln!("[ablation_plt] {label}");
+        let mut nb = nb_config(scale, 90);
+        nb.plt_curve = curve;
+        let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(900));
+        table.row(vec![label.into(), e.plt.to_string(), pct(out.final_acc)]);
+        println!("{}", table.render());
+    }
+
+    // control: no progressive decay at all — snap to identity and contract
+    eprintln!("[ablation_plt] immediate linearization (E_d = 0)");
+    let mut nb = nb_config(scale, 91);
+    nb.plt_epochs = 0;
+    nb.finetune_epochs += e.plt; // keep the total epoch budget equal
+    let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(900));
+    table.row(vec!["None (snap to identity)".into(), "0".into(), pct(out.final_acc)]);
+
+    println!("\nFinal extension-ablation table:\n{}", table.render());
+    println!(
+        "Expected shape: progressive trajectories beat the E_d = 0 snap (the\n\
+         paper's motivation for *progressive* linearization); differences\n\
+         among the progressive trajectories are second-order."
+    );
+}

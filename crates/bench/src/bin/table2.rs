@@ -1,0 +1,180 @@
+//! Regenerates paper **Table II**: downstream classification transfer on
+//! the five synthetic downstream datasets — MobileNetV2-Tiny with
+//! {Vanilla, NetBooster} and MobileNetV2-35 with {Vanilla, Vanilla+KD,
+//! NetBooster, NetBooster+KD}.
+//!
+//! Run: `cargo run --release -p nb-bench --bin table2`
+
+use nb_bench::{announce, epochs, pretrain_cfg, rng, scale_from_env, tuning_cfg};
+use nb_data::{downstream_suite, synthetic_imagenet, Dataset};
+use nb_metrics::{pct, TextTable};
+use nb_models::{mobilenet_v2_35, mobilenet_v2_tiny, TinyNet, TnnConfig};
+use netbooster_core::{
+    netbooster_transfer, netbooster_transfer_kd, train_giant, train_teacher, train_vanilla,
+    vanilla_transfer, vanilla_transfer_kd, ExpansionPlan, KdConfig, TrainConfig,
+};
+
+fn main() {
+    let scale = scale_from_env();
+    announce("Table II — downstream image-classification transfer", scale);
+    let pre = synthetic_imagenet(scale);
+    let pre_classes = pre.train.num_classes();
+    let e = epochs(scale);
+    let cfg = pretrain_cfg(scale, 21);
+
+    let nets: Vec<(&str, TnnConfig, bool)> = vec![
+        ("MobileNetV2-Tiny (r=144)", mobilenet_v2_tiny(pre_classes), false),
+        ("MobileNetV2-35 (r=160)", mobilenet_v2_35(pre_classes), true),
+    ];
+    let suite = downstream_suite(scale);
+    let headers: Vec<&str> = ["Network", "Training Method"]
+        .into_iter()
+        .chain(suite.iter().map(|p| p.train.name()))
+        .collect();
+    let mut table = TextTable::new(headers);
+
+    for (ni, (name, model_cfg, with_kd)) in nets.into_iter().enumerate() {
+        let seed = 200 + 10 * ni as u64;
+        // --- pretrain once per network: vanilla weights and the deep giant
+        eprintln!("[table2] {name}: pretraining vanilla backbone");
+        let vanilla_pre = TinyNet::new(model_cfg.clone(), &mut rng(seed));
+        train_vanilla(&vanilla_pre, &pre.train, &pre.val, &cfg);
+        let vanilla_state = nb_nn::StateDict::from_module(&vanilla_pre);
+
+        eprintln!("[table2] {name}: pretraining deep giant");
+        let giant_cfg = TrainConfig {
+            epochs: e.giant + e.plt + e.finetune, // giant gets the full budget
+            ..cfg
+        };
+        let (giant0, handle, _) = train_giant(
+            &model_cfg,
+            &ExpansionPlan::paper_default(),
+            &pre.train,
+            &pre.val,
+            &giant_cfg,
+            giant_cfg.epochs,
+            &mut rng(seed + 1),
+        );
+        let giant_state = nb_nn::StateDict::from_module(&giant0);
+
+        let mut rows: Vec<(String, Vec<f32>)> = vec![
+            ("Vanilla".into(), Vec::new()),
+            ("NetBooster".into(), Vec::new()),
+        ];
+        if with_kd {
+            rows.insert(1, ("Vanilla + KD".into(), Vec::new()));
+            rows.push(("NetBooster + KD".into(), Vec::new()));
+        }
+
+        for (di, pair) in suite.iter().enumerate() {
+            let dseed = seed + 100 + di as u64;
+            let tcfg = tuning_cfg(scale, dseed);
+            let ds_name = pair.train.name().to_string();
+            // per-dataset KD teacher (downstream-trained)
+            let teacher = with_kd.then(|| {
+                eprintln!("[table2] {name} / {ds_name}: training downstream KD teacher");
+                let teacher_cfg = TrainConfig {
+                    epochs: e.tuning,
+                    ..tcfg
+                };
+                train_teacher(
+                    pair.train.num_classes(),
+                    &pair.train,
+                    &pair.val,
+                    &teacher_cfg,
+                    &mut rng(dseed + 7),
+                )
+                .0
+            });
+
+            for (label, accs) in rows.iter_mut() {
+                eprintln!("[table2] {name} / {ds_name}: {label}");
+                let acc = match label.as_str() {
+                    "Vanilla" => {
+                        let mut m = TinyNet::new(model_cfg.clone(), &mut rng(dseed));
+                        vanilla_state.load_into(&m).expect("same architecture");
+                        vanilla_transfer(&mut m, &pair.train, &pair.val, &tcfg, &mut rng(dseed))
+                            .final_val_acc()
+                    }
+                    "Vanilla + KD" => {
+                        let mut m = TinyNet::new(model_cfg.clone(), &mut rng(dseed + 1));
+                        vanilla_state.load_into(&m).expect("same architecture");
+                        vanilla_transfer_kd(
+                            &mut m,
+                            teacher.as_ref().expect("teacher trained"),
+                            &pair.train,
+                            &pair.val,
+                            &tcfg,
+                            &KdConfig::default(),
+                            &mut rng(dseed + 1),
+                        )
+                        .final_val_acc()
+                    }
+                    "NetBooster" => {
+                        let mut giant = rebuild_giant(&model_cfg, &giant_state, dseed + 2);
+                        let handle = crate_handle(&giant);
+                        netbooster_transfer(
+                            &mut giant,
+                            &handle,
+                            &pair.train,
+                            &pair.val,
+                            &tcfg,
+                            e.tuning,
+                            &mut rng(dseed + 2),
+                        )
+                        .final_val_acc()
+                    }
+                    _ => {
+                        let mut giant = rebuild_giant(&model_cfg, &giant_state, dseed + 3);
+                        let handle = crate_handle(&giant);
+                        netbooster_transfer_kd(
+                            &mut giant,
+                            &handle,
+                            teacher.as_ref().expect("teacher trained"),
+                            &pair.train,
+                            &pair.val,
+                            &tcfg,
+                            &KdConfig::default(),
+                            e.tuning,
+                            &mut rng(dseed + 3),
+                        )
+                        .final_val_acc()
+                    }
+                };
+                accs.push(acc);
+            }
+        }
+        for (label, accs) in rows {
+            let mut cells = vec![name.to_string(), label];
+            cells.extend(accs.into_iter().map(pct));
+            table.row(cells);
+        }
+        println!("{}", table.render());
+        let _ = handle;
+    }
+    println!("\nFinal Table II:\n{}", table.render());
+}
+
+/// Rebuilds a fresh expanded giant and loads the pretrained giant weights.
+fn rebuild_giant(
+    model_cfg: &TnnConfig,
+    state: &nb_nn::StateDict,
+    seed: u64,
+) -> TinyNet {
+    let mut giant = TinyNet::new(model_cfg.clone(), &mut rng(seed));
+    netbooster_core::expand(&mut giant, &ExpansionPlan::paper_default(), &mut rng(seed));
+    state.load_into(&giant).expect("giant architecture matches");
+    giant
+}
+
+/// Collects the decay slopes of an expanded model into a fresh handle.
+fn crate_handle(giant: &TinyNet) -> netbooster_core::ExpansionHandle {
+    let mut handle = netbooster_core::ExpansionHandle::default();
+    for (i, b) in giant.blocks.iter().enumerate() {
+        if let Some(nb_models::PwSlot::Expanded(ib)) = &b.expand {
+            handle.expanded_blocks.push(i);
+            handle.slopes.extend(ib.slopes());
+        }
+    }
+    handle
+}

@@ -1,0 +1,96 @@
+//! Regenerates paper **Table III**: object detection on the Pascal VOC
+//! stand-in with a MobileNetV2-35 backbone — AP50 for Vanilla, NetAug, and
+//! NetBooster.
+//!
+//! Run: `cargo run --release -p nb-bench --bin table3`
+
+use nb_bench::{announce, epochs, pretrain_cfg, rng, scale_from_env, tuning_cfg};
+use nb_data::{synthetic_imagenet, Dataset, Scale, SyntheticVoc};
+use nb_metrics::{pct, TextTable};
+use nb_models::{mobilenet_v2_35, DetectorNet, TinyNet};
+use netbooster_core::{
+    train_detector, train_giant, train_netaug, train_vanilla, ExpansionPlan, NetAugConfig,
+    TrainConfig,
+};
+
+fn voc(scale: Scale) -> (SyntheticVoc, SyntheticVoc) {
+    let (classes, size, train_n, val_n) = match scale {
+        Scale::Smoke => (3, 24, 24, 12),
+        Scale::Bench => (6, 32, 320, 96),
+        Scale::Full => (10, 48, 1600, 320),
+    };
+    (
+        SyntheticVoc::new(classes, size, train_n, 31),
+        SyntheticVoc::new(classes, size, val_n, 32),
+    )
+}
+
+fn main() {
+    let scale = scale_from_env();
+    announce("Table III — object detection (Pascal VOC stand-in)", scale);
+    let pre = synthetic_imagenet(scale);
+    let pre_classes = pre.train.num_classes();
+    let e = epochs(scale);
+    let cfg = pretrain_cfg(scale, 31);
+    let (train, val) = voc(scale);
+    let det_cfg = TrainConfig {
+        epochs: e.tuning,
+        batch_size: 16,
+        lr: 0.02,
+        ..tuning_cfg(scale, 33)
+    };
+    let model_cfg = mobilenet_v2_35(pre_classes);
+
+    let mut table = TextTable::new(vec!["Method", "AP50"]);
+
+    // --- Vanilla: classification pretrain, then detection finetune
+    eprintln!("[table3] vanilla pretrain");
+    let backbone = TinyNet::new(model_cfg.clone(), &mut rng(300));
+    train_vanilla(&backbone, &pre.train, &pre.val, &cfg);
+    let mut det = DetectorNet::new(backbone, train.num_classes(), &mut rng(300));
+    eprintln!("[table3] vanilla detection finetune");
+    let h = train_detector(&mut det, &train, &val, &det_cfg, None);
+    table.row(vec!["Vanilla".into(), pct(h.final_ap50())]);
+    println!("{}", table.render());
+
+    // --- NetAug: width-augmented pretrain, extract base, detection finetune
+    eprintln!("[table3] netaug pretrain");
+    let (backbone, _) = train_netaug(
+        &model_cfg,
+        &pre.train,
+        &pre.val,
+        &cfg,
+        &NetAugConfig::default(),
+        &mut rng(301),
+    );
+    let mut det = DetectorNet::new(backbone, train.num_classes(), &mut rng(301));
+    eprintln!("[table3] netaug detection finetune");
+    let h = train_detector(&mut det, &train, &val, &det_cfg, None);
+    table.row(vec!["NetAug".into(), pct(h.final_ap50())]);
+    println!("{}", table.render());
+
+    // --- NetBooster: deep-giant pretrain, PLT + contraction during the
+    //     detection finetune
+    eprintln!("[table3] netbooster giant pretrain");
+    let giant_cfg = TrainConfig {
+        epochs: e.giant + e.plt + e.finetune,
+        ..cfg
+    };
+    let (giant, handle, _) = train_giant(
+        &model_cfg,
+        &ExpansionPlan::paper_default(),
+        &pre.train,
+        &pre.val,
+        &giant_cfg,
+        giant_cfg.epochs,
+        &mut rng(302),
+    );
+    let mut det = DetectorNet::new(giant, train.num_classes(), &mut rng(302));
+    eprintln!("[table3] netbooster detection finetune (PLT + contraction)");
+    let plt_epochs = netbooster_core::split_tuning_epochs(det_cfg.epochs).0;
+    let h = train_detector(&mut det, &train, &val, &det_cfg, Some((&handle, plt_epochs)));
+    assert_eq!(det.backbone.expanded_count(), 0, "backbone contracted");
+    table.row(vec!["NetBooster".into(), pct(h.final_ap50())]);
+
+    println!("\nFinal Table III:\n{}", table.render());
+}

@@ -1,0 +1,44 @@
+//! Regenerates paper **Table IV** (ablation Q1): which kind of block to
+//! insert — inverted residual vs basic vs bottleneck — reporting both the
+//! deep giant's ("Expanded") accuracy and the final contracted accuracy on
+//! MobileNetV2-Tiny.
+//!
+//! Run: `cargo run --release -p nb-bench --bin table4`
+
+use nb_bench::{announce, nb_config, pretrain_cfg, rng, scale_from_env};
+use nb_data::{synthetic_imagenet, Dataset};
+use nb_metrics::{pct, TextTable};
+use nb_models::{mobilenet_v2_tiny, TinyNet};
+use netbooster_core::{netbooster_train, train_vanilla, BlockKind, ExpansionPlan};
+
+fn main() {
+    let scale = scale_from_env();
+    announce("Table IV — ablation: inserted block kind (Q1)", scale);
+    let data = synthetic_imagenet(scale);
+    let model_cfg = mobilenet_v2_tiny(data.train.num_classes());
+
+    let mut table = TextTable::new(vec!["Inserted Block Type", "Expanded Acc.", "Final Acc."]);
+
+    eprintln!("[table4] vanilla reference");
+    let vanilla_model = TinyNet::new(model_cfg.clone(), &mut rng(400));
+    let vanilla = train_vanilla(&vanilla_model, &data.train, &data.val, &pretrain_cfg(scale, 41))
+        .final_val_acc();
+    table.row(vec!["Vanilla".into(), "-".into(), pct(vanilla)]);
+
+    for (label, kind) in [
+        ("Inverted Residual", BlockKind::InvertedResidual),
+        ("Basic Block", BlockKind::Basic),
+        ("Bottleneck Block", BlockKind::Bottleneck),
+    ] {
+        eprintln!("[table4] NetBooster with {label}");
+        let mut nb = nb_config(scale, 42);
+        nb.plan = ExpansionPlan {
+            kind,
+            ..ExpansionPlan::paper_default()
+        };
+        let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(401));
+        table.row(vec![label.into(), pct(out.expanded_acc), pct(out.final_acc)]);
+        println!("{}", table.render());
+    }
+    println!("\nFinal Table IV:\n{}", table.render());
+}

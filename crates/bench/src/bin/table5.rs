@@ -1,0 +1,74 @@
+//! Regenerates paper **Table V** (ablation Q2): where to expand — first /
+//! middle / last / uniform — reporting the expanded giant's FLOPs and
+//! parameters plus expanded and final accuracy on MobileNetV2-Tiny.
+//!
+//! Run: `cargo run --release -p nb-bench --bin table5`
+
+use nb_bench::{announce, nb_config, pretrain_cfg, rng, scale_from_env};
+use nb_data::{synthetic_imagenet, Dataset};
+use nb_metrics::{mflops, mparams, pct, TextTable};
+use nb_models::{mobilenet_v2_tiny, TinyNet};
+use netbooster_core::{expand, netbooster_train, train_vanilla, ExpansionPlan, Placement};
+
+fn main() {
+    let scale = scale_from_env();
+    announce("Table V — ablation: where to expand (Q2)", scale);
+    let data = synthetic_imagenet(scale);
+    let res = data.train.image_size();
+    let model_cfg = mobilenet_v2_tiny(data.train.num_classes());
+
+    let mut table = TextTable::new(vec![
+        "Expansion",
+        "Expanded FLOPs",
+        "Expanded Params",
+        "Expanded Acc.",
+        "Final Acc.",
+    ]);
+
+    // vanilla reference row with the *original* cost
+    let reference = TinyNet::new(model_cfg.clone(), &mut rng(500));
+    let p = reference.profile(res);
+    eprintln!("[table5] vanilla reference");
+    let vanilla = train_vanilla(&reference, &data.train, &data.val, &pretrain_cfg(scale, 51))
+        .final_val_acc();
+    table.row(vec![
+        "Vanilla".into(),
+        mflops(p.flops),
+        mparams(p.params),
+        "-".into(),
+        pct(vanilla),
+    ]);
+
+    // half of the expandable blocks, placed four different ways
+    let n_expandable = reference.expandable_block_indices().len();
+    let k = (n_expandable / 2).max(1);
+    let placements = [
+        (format!("Expand First {k}"), Placement::First { n: k }),
+        (format!("Expand Middle {k}"), Placement::Middle { n: k }),
+        (format!("Expand Last {k}"), Placement::Last { n: k }),
+        ("Uniform Expand".to_string(), Placement::Uniform { fraction: 0.5 }),
+    ];
+    for (label, placement) in placements {
+        eprintln!("[table5] {label}");
+        let plan = ExpansionPlan {
+            placement,
+            ..ExpansionPlan::paper_default()
+        };
+        // profile the giant this plan produces
+        let mut probe = TinyNet::new(model_cfg.clone(), &mut rng(501));
+        expand(&mut probe, &plan, &mut rng(501));
+        let gp = probe.profile(res);
+        let mut nb = nb_config(scale, 52);
+        nb.plan = plan;
+        let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(502));
+        table.row(vec![
+            label,
+            mflops(gp.flops),
+            mparams(gp.params),
+            pct(out.expanded_acc),
+            pct(out.final_acc),
+        ]);
+        println!("{}", table.render());
+    }
+    println!("\nFinal Table V:\n{}", table.render());
+}

@@ -1,0 +1,31 @@
+//! Regenerates paper **Table VI** (ablation Q3): the expansion ratio of the
+//! inserted inverted residual blocks (2 / 4 / 6 / 8) on MobileNetV2-Tiny.
+//!
+//! Run: `cargo run --release -p nb-bench --bin table6`
+
+use nb_bench::{announce, nb_config, rng, scale_from_env};
+use nb_data::{synthetic_imagenet, Dataset};
+use nb_metrics::{pct, TextTable};
+use nb_models::mobilenet_v2_tiny;
+use netbooster_core::{netbooster_train, ExpansionPlan};
+
+fn main() {
+    let scale = scale_from_env();
+    announce("Table VI — ablation: expansion ratio (Q3)", scale);
+    let data = synthetic_imagenet(scale);
+    let model_cfg = mobilenet_v2_tiny(data.train.num_classes());
+
+    let mut table = TextTable::new(vec!["Expansion ratio", "Final Acc."]);
+    for ratio in [2usize, 4, 6, 8] {
+        eprintln!("[table6] ratio {ratio}");
+        let mut nb = nb_config(scale, 60 + ratio as u64);
+        nb.plan = ExpansionPlan {
+            ratio,
+            ..ExpansionPlan::paper_default()
+        };
+        let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(600 + ratio as u64));
+        table.row(vec![ratio.to_string(), pct(out.final_acc)]);
+        println!("{}", table.render());
+    }
+    println!("\nFinal Table VI:\n{}", table.render());
+}

@@ -1,0 +1,140 @@
+//! Activation-linearity analysis.
+//!
+//! The paper's Step 2 rests on the observation (Jha et al., DeepReduce)
+//! that much of a trained network's non-linearity is redundant. This module
+//! quantifies that directly: for each decayable activation inside the
+//! inserted blocks, it measures how often inputs fall in the region where
+//! the activation actually bends (negative, or above 6 for ReLU6) on real
+//! data. Low bend rates mean linearization will lose little — the
+//! quantitative backbone of PLT.
+
+use nb_data::Batch;
+use nb_models::{InsertedConv, PwSlot, TinyNet};
+use nb_nn::{Module, Session};
+
+/// Non-linearity usage statistics for one inserted-block activation site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationStats {
+    /// Which model block the site lives in.
+    pub block: usize,
+    /// Unit index inside the inserted block.
+    pub unit: usize,
+    /// Fraction of inputs in the bent region (`x < 0` or `x > 6`).
+    pub bend_fraction: f32,
+    /// Mean pre-activation value.
+    pub mean: f32,
+    /// Current decay slope `alpha` of the site.
+    pub alpha: f32,
+}
+
+/// Measures, for every decayable activation inside the model's expanded
+/// blocks, how much of the batch actually exercises the non-linearity.
+///
+/// Runs one eval-mode forward per expanded block unit; the pre-activation
+/// is reconstructed by re-running the block's prefix, so the cost is a few
+/// forwards of the (small) blocks, not of the whole network.
+pub fn activation_stats(model: &TinyNet, batch: &Batch) -> Vec<ActivationStats> {
+    let mut out = Vec::new();
+    // run the network up to each block, caching the block inputs
+    let mut s = Session::new(false);
+    let mut cur = s.input(batch.images.clone());
+    cur = model.stem.forward(&mut s, cur);
+    for (bi, block) in model.blocks.iter().enumerate() {
+        let block_input = cur;
+        if let Some(PwSlot::Expanded(ib)) = &block.expand {
+            // walk the inserted block unit by unit, sampling pre-activations
+            let mut inner = block_input;
+            for (ui, unit) in ib.units.iter().enumerate() {
+                inner = match &unit.conv {
+                    InsertedConv::Dense(c) => c.forward(&mut s, inner),
+                    InsertedConv::Depthwise(c) => c.forward(&mut s, inner),
+                };
+                inner = unit.bn.forward(&mut s, inner);
+                if let Some(act) = &unit.act {
+                    let pre = s.value(inner);
+                    let n = pre.numel() as f32;
+                    let bent = pre
+                        .as_slice()
+                        .iter()
+                        .filter(|&&v| v < 0.0 || v > 6.0)
+                        .count() as f32;
+                    out.push(ActivationStats {
+                        block: bi,
+                        unit: ui,
+                        bend_fraction: bent / n,
+                        mean: pre.mean(),
+                        alpha: act.slope().get(),
+                    });
+                    inner = act.forward(&mut s, inner);
+                }
+            }
+        }
+        cur = block.forward(&mut s, block_input);
+    }
+    out
+}
+
+/// Summary of [`activation_stats`]: the mean and max bend fraction over all
+/// decayable sites (empty models report zeros).
+pub fn linearizability_summary(stats: &[ActivationStats]) -> (f32, f32) {
+    if stats.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = stats.iter().map(|s| s.bend_fraction).sum::<f32>() / stats.len() as f32;
+    let max = stats.iter().map(|s| s.bend_fraction).fold(0.0, f32::max);
+    (mean, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::{expand, ExpansionPlan};
+    use nb_models::mobilenet_v2_tiny;
+    use nb_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batch(rng: &mut StdRng) -> Batch {
+        Batch {
+            images: Tensor::rand_uniform([4, 3, 16, 16], 0.0, 1.0, rng),
+            labels: vec![0; 4],
+        }
+    }
+
+    #[test]
+    fn unexpanded_model_has_no_sites() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = TinyNet::new(mobilenet_v2_tiny(4), &mut rng);
+        let stats = activation_stats(&net, &batch(&mut rng));
+        assert!(stats.is_empty());
+        assert_eq!(linearizability_summary(&stats), (0.0, 0.0));
+    }
+
+    #[test]
+    fn expanded_model_reports_every_decayable_site() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = TinyNet::new(mobilenet_v2_tiny(4), &mut rng);
+        let handle = expand(&mut net, &ExpansionPlan::paper_default(), &mut rng);
+        let stats = activation_stats(&net, &batch(&mut rng));
+        assert_eq!(stats.len(), handle.slopes.len());
+        for s in &stats {
+            assert!((0.0..=1.0).contains(&s.bend_fraction), "{s:?}");
+            assert_eq!(s.alpha, 0.0);
+            assert!(s.mean.is_finite());
+        }
+        let (mean, max) = linearizability_summary(&stats);
+        assert!(mean <= max && max <= 1.0);
+    }
+
+    #[test]
+    fn alpha_is_reported_after_decay() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = TinyNet::new(mobilenet_v2_tiny(4), &mut rng);
+        let handle = expand(&mut net, &ExpansionPlan::paper_default(), &mut rng);
+        for s in &handle.slopes {
+            s.set(0.7);
+        }
+        let stats = activation_stats(&net, &batch(&mut rng));
+        assert!(stats.iter().all(|s| (s.alpha - 0.7).abs() < 1e-6));
+    }
+}

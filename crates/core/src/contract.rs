@@ -1,0 +1,514 @@
+//! Expanded-block contraction (paper Sec. III-D, Eq. 3–4).
+//!
+//! Once PLT has decayed every activation inside an inserted block to the
+//! identity, the block is an affine map and collapses back into a single
+//! convolution:
+//!
+//! 1. each unit's batch norm (in eval form) folds into its convolution;
+//! 2. a depthwise 1x1 middle layer becomes a diagonal dense 1x1;
+//! 3. consecutive convolutions merge by kernel composition (Eq. 3–4):
+//!    kernel sizes add as `k = k1 + k2 - 1`, biases propagate through the
+//!    second kernel's mass;
+//! 4. a skip connection adds a Dirac (identity) kernel.
+//!
+//! For the paper's inverted-residual inserted blocks every kernel is 1x1,
+//! so contraction is *exact everywhere*. For the basic/bottleneck ablation
+//! blocks (3x3 kernels), bias propagation through zero padding makes the
+//! merged layer exact in the interior and approximate within `k-1` pixels
+//! of the border — one of the reasons the paper rejects those blocks.
+
+use nb_models::{InsertedBlock, InsertedConv, PwSlot, TinyNet};
+use nb_nn::layers::{BatchNorm2d, Conv2d};
+use nb_tensor::{ConvGeometry, Tensor};
+
+/// Folds an eval-mode batch norm into a dense conv weight/bias.
+///
+/// Returns `(w', b')` with `w'[o] = scale[o] * w[o]` and
+/// `b'[o] = scale[o] * b[o] + shift[o]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn fold_bn(weight: &Tensor, bias: Option<&Tensor>, bn: &BatchNorm2d) -> (Tensor, Tensor) {
+    let d = weight.dims().to_vec();
+    assert_eq!(d.len(), 4, "fold_bn expects dense [o,i,kh,kw] weight");
+    let o = d[0];
+    assert_eq!(bn.channels(), o, "bn channels vs conv out");
+    let (scale, shift) = bn.eval_affine();
+    let per_out = d[1] * d[2] * d[3];
+    let ws = weight.as_slice();
+    let w = Tensor::from_fn(weight.shape().clone(), |i| ws[i] * scale.as_slice()[i / per_out]);
+    let b = Tensor::from_fn([o], |i| {
+        shift.as_slice()[i] + scale.as_slice()[i] * bias.map(|b| b.as_slice()[i]).unwrap_or(0.0)
+    });
+    (w, b)
+}
+
+/// Converts a depthwise `[c, kh, kw]` weight into the equivalent dense
+/// block-diagonal `[c, c, kh, kw]` weight.
+pub fn depthwise_to_dense(weight: &Tensor) -> Tensor {
+    let d = weight.dims().to_vec();
+    assert_eq!(d.len(), 3, "depthwise weight is [c,kh,kw]");
+    let (c, kh, kw) = (d[0], d[1], d[2]);
+    let ws = weight.as_slice();
+    let mut out = Tensor::zeros([c, c, kh, kw]);
+    {
+        let os = out.as_mut_slice();
+        for ci in 0..c {
+            let src = &ws[ci * kh * kw..(ci + 1) * kh * kw];
+            let dst = ((ci * c) + ci) * kh * kw;
+            os[dst..dst + kh * kw].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// Composes two stride-1 convolutions into one (paper Eq. 3–4).
+///
+/// `k1` is `[c2, c1, kh1, kw1]` (applied first), `k2` is
+/// `[c3, c2, kh2, kw2]`. The result is `[c3, c1, kh1+kh2-1, kw1+kw2-1]`
+/// with bias `b[o] = b2[o] + sum_c2 b1[c2] * sum_{s,t} k2[o,c2,s,t]`.
+///
+/// # Panics
+///
+/// Panics on channel mismatches.
+pub fn compose_convs(
+    k1: &Tensor,
+    b1: &Tensor,
+    k2: &Tensor,
+    b2: &Tensor,
+) -> (Tensor, Tensor) {
+    let d1 = k1.dims().to_vec();
+    let d2 = k2.dims().to_vec();
+    assert_eq!(d1.len(), 4, "k1 rank");
+    assert_eq!(d2.len(), 4, "k2 rank");
+    let (c2, c1, kh1, kw1) = (d1[0], d1[1], d1[2], d1[3]);
+    let (c3, c2b, kh2, kw2) = (d2[0], d2[1], d2[2], d2[3]);
+    assert_eq!(c2, c2b, "intermediate channels");
+    assert_eq!(b1.dims(), &[c2], "b1 length");
+    assert_eq!(b2.dims(), &[c3], "b2 length");
+    let (kh, kw) = (kh1 + kh2 - 1, kw1 + kw2 - 1);
+    let k1s = k1.as_slice();
+    let k2s = k2.as_slice();
+    let mut out = Tensor::zeros([c3, c1, kh, kw]);
+    {
+        let os = out.as_mut_slice();
+        for o in 0..c3 {
+            for m in 0..c1 {
+                for i in 0..kh {
+                    for j in 0..kw {
+                        let mut acc = 0.0f32;
+                        let s_lo = i.saturating_sub(kh1 - 1);
+                        let s_hi = (kh2 - 1).min(i);
+                        let t_lo = j.saturating_sub(kw1 - 1);
+                        let t_hi = (kw2 - 1).min(j);
+                        for s in s_lo..=s_hi {
+                            for t in t_lo..=t_hi {
+                                for n in 0..c2 {
+                                    acc += k1s[((n * c1 + m) * kh1 + (i - s)) * kw1 + (j - t)]
+                                        * k2s[((o * c2 + n) * kh2 + s) * kw2 + t];
+                                }
+                            }
+                        }
+                        os[((o * c1 + m) * kh + i) * kw + j] = acc;
+                    }
+                }
+            }
+        }
+    }
+    let bias = Tensor::from_fn([c3], |o| {
+        let mut acc = b2.as_slice()[o];
+        for n in 0..c2 {
+            let mut mass = 0.0;
+            for s in 0..kh2 {
+                for t in 0..kw2 {
+                    mass += k2s[((o * c2 + n) * kh2 + s) * kw2 + t];
+                }
+            }
+            acc += b1.as_slice()[n] * mass;
+        }
+        acc
+    });
+    (out, bias)
+}
+
+/// Adds the identity (Dirac) kernel to a merged weight — the residual merge.
+///
+/// # Panics
+///
+/// Panics unless the weight is square-channel (`out == in`) with odd kernel.
+pub fn add_identity(weight: &mut Tensor) {
+    let d = weight.dims().to_vec();
+    assert_eq!(d.len(), 4, "identity merge expects dense weight");
+    assert_eq!(d[0], d[1], "residual requires matching channels");
+    assert!(d[2] % 2 == 1 && d[3] % 2 == 1, "odd kernel for centered Dirac");
+    let (c, kh, kw) = (d[0], d[2], d[3]);
+    let (ch, cw) = (kh / 2, kw / 2);
+    for o in 0..c {
+        weight.as_mut_slice()[((o * c + o) * kh + ch) * kw + cw] += 1.0;
+    }
+}
+
+/// The affine form `(weight, bias)` of one inserted unit: conv with its BN
+/// folded in, dense-ified if depthwise.
+fn unit_affine(unit: &nb_models::InsertedUnit) -> (Tensor, Tensor, usize) {
+    match &unit.conv {
+        InsertedConv::Dense(c) => {
+            let bias = c.bias().map(|b| b.value());
+            let (w, b) = fold_bn(&c.weight().value(), bias.as_ref(), &unit.bn);
+            (w, b, c.geom().kh)
+        }
+        InsertedConv::Depthwise(c) => {
+            let dense = depthwise_to_dense(&c.weight().value());
+            let bias = c.bias().map(|b| b.value());
+            let (w, b) = fold_bn(&dense, bias.as_ref(), &unit.bn);
+            (w, b, c.geom().kh)
+        }
+    }
+}
+
+/// Contracts a linearized inserted block into a single convolution (with
+/// bias, absorbing the folded batch norms).
+///
+/// # Panics
+///
+/// Panics if the block still has non-linear activations.
+pub fn contract_inserted_block(block: &InsertedBlock) -> Conv2d {
+    assert!(
+        block.is_linearized(),
+        "contract requires fully decayed activations (run PLT to completion)"
+    );
+    let mut units = block.units.iter();
+    let first = units.next().expect("inserted block has units");
+    let (mut w, mut b, _) = unit_affine(first);
+    for unit in units {
+        let (w2, b2, _) = unit_affine(unit);
+        let (wn, bn) = compose_convs(&w, &b, &w2, &b2);
+        w = wn;
+        b = bn;
+    }
+    if block.residual {
+        add_identity(&mut w);
+    }
+    let k = w.dims()[2];
+    let geom = ConvGeometry::square(k, 1, (k - 1) / 2);
+    Conv2d::from_weights(w, Some(b), geom)
+}
+
+/// Contracts every linearized expanded slot in the model back to a single
+/// convolution (the final step of NetBooster). Returns how many blocks were
+/// contracted.
+///
+/// # Panics
+///
+/// Panics if an expanded block has not been fully linearized.
+pub fn contract_model(model: &mut TinyNet) -> usize {
+    let mut contracted = 0;
+    for block in &mut model.blocks {
+        if let Some(slot) = &mut block.expand {
+            if let PwSlot::Expanded(ib) = slot {
+                let conv = contract_inserted_block(ib);
+                *slot = PwSlot::Plain(conv);
+                contracted += 1;
+            }
+        }
+    }
+    contracted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::{build_inserted_block, BlockKind};
+    use nb_models::InsertedUnit;
+    use nb_nn::layers::DepthwiseConv2d;
+    use nb_nn::{Module, Session};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn randomize_bn(bn: &BatchNorm2d, rng: &mut StdRng) {
+        let c = bn.channels();
+        bn.gamma()
+            .set_value(Tensor::rand_uniform([c], 0.5, 1.5, rng));
+        bn.beta().set_value(Tensor::randn([c], rng).scale(0.3));
+        bn.set_running_stats(
+            Tensor::randn([c], rng).scale(0.2),
+            Tensor::rand_uniform([c], 0.5, 2.0, rng),
+        );
+    }
+
+    fn eval_forward(m: &impl Module, x: &Tensor) -> Tensor {
+        let mut s = Session::new(false);
+        let xin = s.input(x.clone());
+        let y = m.forward(&mut s, xin);
+        s.value(y).clone()
+    }
+
+    #[test]
+    fn fold_bn_matches_conv_then_bn() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(3, 5, ConvGeometry::same(3, 1), false, &mut rng);
+        let bn = BatchNorm2d::new(5);
+        randomize_bn(&bn, &mut rng);
+        let x = Tensor::randn([2, 3, 6, 6], &mut rng);
+        // reference: conv -> bn (eval)
+        let mut s = Session::new(false);
+        let xin = s.input(x.clone());
+        let y = conv.forward(&mut s, xin);
+        let y = bn.forward(&mut s, y);
+        let want = s.value(y).clone();
+        // folded single conv
+        let (w, b) = fold_bn(&conv.weight().value(), None, &bn);
+        let folded = Conv2d::from_weights(w, Some(b), conv.geom());
+        let got = eval_forward(&folded, &x);
+        assert!(got.allclose(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn depthwise_to_dense_equivalent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dw = DepthwiseConv2d::new(4, ConvGeometry::pointwise(), false, &mut rng);
+        let dense = depthwise_to_dense(&dw.weight().value());
+        let x = Tensor::randn([1, 4, 5, 5], &mut rng);
+        let a = nb_tensor::depthwise_conv2d(&x, &dw.weight().value(), None, dw.geom());
+        let b = nb_tensor::conv2d(&x, &dense, None, dw.geom());
+        assert!(a.allclose(&b, 1e-5));
+    }
+
+    #[test]
+    fn compose_1x1_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let k1 = Tensor::randn([6, 3, 1, 1], &mut rng);
+        let b1 = Tensor::randn([6], &mut rng);
+        let k2 = Tensor::randn([4, 6, 1, 1], &mut rng);
+        let b2 = Tensor::randn([4], &mut rng);
+        let (k, b) = compose_convs(&k1, &b1, &k2, &b2);
+        assert_eq!(k.dims(), &[4, 3, 1, 1]);
+        let x = Tensor::randn([2, 3, 5, 5], &mut rng);
+        let geom = ConvGeometry::pointwise();
+        let want = nb_tensor::conv2d(
+            &nb_tensor::conv2d(&x, &k1, Some(&b1), geom),
+            &k2,
+            Some(&b2),
+            geom,
+        );
+        let got = nb_tensor::conv2d(&x, &k, Some(&b), geom);
+        assert!(got.allclose(&want, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn compose_3x3_exact_in_interior() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let k1 = Tensor::randn([4, 2, 3, 3], &mut rng).scale(0.5);
+        let b1 = Tensor::randn([4], &mut rng);
+        let k2 = Tensor::randn([3, 4, 3, 3], &mut rng).scale(0.5);
+        let b2 = Tensor::randn([3], &mut rng);
+        let (k, b) = compose_convs(&k1, &b1, &k2, &b2);
+        assert_eq!(k.dims(), &[3, 2, 5, 5]);
+        let x = Tensor::randn([1, 2, 12, 12], &mut rng);
+        let want = nb_tensor::conv2d(
+            &nb_tensor::conv2d(&x, &k1, Some(&b1), ConvGeometry::same(3, 1)),
+            &k2,
+            Some(&b2),
+            ConvGeometry::same(3, 1),
+        );
+        let got = nb_tensor::conv2d(&x, &k, Some(&b), ConvGeometry::square(5, 1, 2));
+        // compare interior (2 pixels in from each border)
+        let mut max_diff = 0.0f32;
+        for c in 0..3 {
+            for y in 2..10 {
+                for xx in 2..10 {
+                    max_diff = max_diff.max((got.at4(0, c, y, xx) - want.at4(0, c, y, xx)).abs());
+                }
+            }
+        }
+        assert!(max_diff < 1e-3, "interior diff {max_diff}");
+    }
+
+    #[test]
+    fn compose_no_bias_3x3_exact_unpadded() {
+        // with *valid* (unpadded) convolutions the composition is exact
+        // everywhere: no zero-padding semantics to disagree about
+        let mut rng = StdRng::seed_from_u64(4);
+        let k1 = Tensor::randn([4, 2, 3, 3], &mut rng).scale(0.5);
+        let k2 = Tensor::randn([3, 4, 3, 3], &mut rng).scale(0.5);
+        let z1 = Tensor::zeros([4]);
+        let z2 = Tensor::zeros([3]);
+        let (k, b) = compose_convs(&k1, &z1, &k2, &z2);
+        assert!(b.abs_sum() < 1e-6);
+        let x = Tensor::randn([1, 2, 10, 10], &mut rng);
+        let want = nb_tensor::conv2d(
+            &nb_tensor::conv2d(&x, &k1, None, ConvGeometry::square(3, 1, 0)),
+            &k2,
+            None,
+            ConvGeometry::square(3, 1, 0),
+        );
+        let got = nb_tensor::conv2d(&x, &k, None, ConvGeometry::square(5, 1, 0));
+        assert!(got.allclose(&want, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn add_identity_is_residual() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut k = Tensor::randn([3, 3, 1, 1], &mut rng);
+        let orig = k.clone();
+        add_identity(&mut k);
+        let x = Tensor::randn([1, 3, 4, 4], &mut rng);
+        let geom = ConvGeometry::pointwise();
+        let want = nb_tensor::conv2d(&x, &orig, None, geom).add(&x);
+        let got = nb_tensor::conv2d(&x, &k, None, geom);
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn contract_inverted_residual_block_exact() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let block = build_inserted_block(BlockKind::InvertedResidual, 6, 10, 4, &mut rng);
+        for u in &block.units {
+            randomize_bn(&u.bn, &mut rng);
+        }
+        for s in block.slopes() {
+            s.set(1.0);
+        }
+        let x = Tensor::randn([2, 6, 5, 5], &mut rng);
+        let want = eval_forward(&block, &x);
+        let conv = contract_inserted_block(&block);
+        assert_eq!(conv.geom(), ConvGeometry::pointwise());
+        let got = eval_forward(&conv, &x);
+        assert!(
+            got.allclose(&want, 1e-3),
+            "contracted vs linearized giant: {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn contract_residual_inverted_block_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let block = build_inserted_block(BlockKind::InvertedResidual, 8, 8, 6, &mut rng);
+        assert!(block.residual);
+        for u in &block.units {
+            randomize_bn(&u.bn, &mut rng);
+        }
+        for s in block.slopes() {
+            s.set(1.0);
+        }
+        let x = Tensor::randn([1, 8, 4, 4], &mut rng);
+        let want = eval_forward(&block, &x);
+        let conv = contract_inserted_block(&block);
+        let got = eval_forward(&conv, &x);
+        assert!(got.allclose(&want, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    #[should_panic(expected = "fully decayed")]
+    fn contract_refuses_nonlinear_block() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let block = build_inserted_block(BlockKind::InvertedResidual, 4, 8, 6, &mut rng);
+        // slopes left at 0
+        let _ = contract_inserted_block(&block);
+    }
+
+    #[test]
+    fn contract_bottleneck_produces_3x3() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let block = build_inserted_block(BlockKind::Bottleneck, 6, 8, 6, &mut rng);
+        for s in block.slopes() {
+            s.set(1.0);
+        }
+        let conv = contract_inserted_block(&block);
+        assert_eq!(conv.geom(), ConvGeometry::square(3, 1, 1));
+    }
+
+    #[test]
+    fn contract_basic_produces_5x5() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let block = build_inserted_block(BlockKind::Basic, 6, 8, 6, &mut rng);
+        for s in block.slopes() {
+            s.set(1.0);
+        }
+        let conv = contract_inserted_block(&block);
+        assert_eq!(conv.geom(), ConvGeometry::square(5, 1, 2));
+    }
+
+    #[test]
+    fn contract_model_end_to_end_preserves_eval_logits() {
+        use crate::expansion::{expand, ExpansionPlan};
+        use nb_models::{mobilenet_v2_tiny, TinyNet};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = TinyNet::new(mobilenet_v2_tiny(6), &mut rng);
+        let handle = expand(&mut net, &ExpansionPlan::paper_default(), &mut rng);
+        // give the BNs non-trivial running stats by running a train step
+        let mut s = Session::new(true);
+        let xb = Tensor::randn([4, 3, 16, 16], &mut rng);
+        let xv = s.input(xb.clone());
+        let y = net.forward(&mut s, xv);
+        let loss = s.graph.softmax_cross_entropy(y, &[0, 1, 2, 3], 0.0);
+        s.backward(loss);
+        // linearize and contract
+        for sl in &handle.slopes {
+            sl.set(1.0);
+        }
+        let probe = Tensor::randn([2, 3, 16, 16], &mut rng);
+        let before = net.logits_eval(&probe);
+        let n = contract_model(&mut net);
+        assert_eq!(n, handle.expanded_blocks.len());
+        assert_eq!(net.expanded_count(), 0);
+        let after = net.logits_eval(&probe);
+        assert!(
+            after.allclose(&before, 1e-2),
+            "logits drift {}",
+            after.max_abs_diff(&before)
+        );
+        // FLOPs returned to the (near-)original budget: pointwise slots are
+        // 1x1 convs again
+        for block in &net.blocks {
+            if let Some(PwSlot::Plain(c)) = &block.expand {
+                assert_eq!(c.geom().kh, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_cost_independent_of_ratio() {
+        // paper remark: expansion ratio does not change post-contraction cost
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut convs = Vec::new();
+        for ratio in [2usize, 8] {
+            let block = build_inserted_block(BlockKind::InvertedResidual, 6, 10, ratio, &mut rng);
+            for s in block.slopes() {
+                s.set(1.0);
+            }
+            convs.push(contract_inserted_block(&block));
+        }
+        assert_eq!(convs[0].flops(8, 8), convs[1].flops(8, 8));
+        assert_eq!(
+            convs[0].weight().value().shape(),
+            convs[1].weight().value().shape()
+        );
+    }
+
+    #[test]
+    fn unit_affine_respects_existing_bias() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let conv = Conv2d::new(3, 4, ConvGeometry::pointwise(), true, &mut rng);
+        conv.bias()
+            .unwrap()
+            .set_value(Tensor::randn([4], &mut rng));
+        let bn = BatchNorm2d::new(4);
+        randomize_bn(&bn, &mut rng);
+        let unit = InsertedUnit {
+            conv: InsertedConv::Dense(conv),
+            bn,
+            act: None,
+        };
+        let block = InsertedBlock {
+            units: vec![unit],
+            residual: false,
+        };
+        let x = Tensor::randn([1, 3, 4, 4], &mut rng);
+        let want = eval_forward(&block, &x);
+        let got = eval_forward(&contract_inserted_block(&block), &x);
+        assert!(got.allclose(&want, 1e-3));
+    }
+}

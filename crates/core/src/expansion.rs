@@ -1,0 +1,373 @@
+//! Step 1 — Network Expansion (paper Sec. III-C).
+//!
+//! Answers the paper's three questions as configuration:
+//!
+//! - **Q1 (what block?)** — [`BlockKind`]: inverted residual (default),
+//!   basic, or bottleneck, for the Table IV ablation;
+//! - **Q2 (where?)** — [`Placement`]: uniform over the network (default),
+//!   or first/middle/last for the Table V ablation;
+//! - **Q3 (what ratio?)** — `ratio` (default 6), for Table VI.
+//!
+//! Expansion replaces the *first pointwise convolution* of each selected
+//! inverted-residual block with a multi-layer [`InsertedBlock`] whose
+//! receptive field matches the original 1x1 conv when the inserted block is
+//! an inverted residual (depthwise kernel = 1). Basic/bottleneck blocks use
+//! 3x3 convolutions and therefore violate structural consistency — the
+//! paper's stated reason for rejecting them; they remain implemented so the
+//! ablation runs.
+
+use nb_models::{InsertedBlock, InsertedConv, InsertedUnit, PwSlot, TinyNet};
+use nb_nn::layers::{ActKind, Activation, BatchNorm2d, Conv2d, DepthwiseConv2d, Slope};
+use nb_tensor::ConvGeometry;
+use rand::Rng;
+
+/// Q1: the kind of block substituted for the pointwise conv.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockKind {
+    /// MobileNetV2 inverted residual with a 1x1 depthwise middle layer
+    /// (receptive-field preserving; the paper's choice).
+    #[default]
+    InvertedResidual,
+    /// Two 3x3 convolutions (ResNet basic block shape).
+    Basic,
+    /// 1x1 reduce, 3x3, 1x1 expand (ResNet bottleneck shape).
+    Bottleneck,
+}
+
+/// Q2: which expandable blocks to expand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// Uniformly spread `fraction` of the expandable blocks over the
+    /// network (the paper's choice; `fraction = 0.5` by default).
+    Uniform {
+        /// Fraction of expandable blocks to expand, in `(0, 1]`.
+        fraction: f32,
+    },
+    /// The first `n` expandable blocks.
+    First {
+        /// Number of blocks.
+        n: usize,
+    },
+    /// `n` consecutive expandable blocks centered in the network.
+    Middle {
+        /// Number of blocks.
+        n: usize,
+    },
+    /// The last `n` expandable blocks.
+    Last {
+        /// Number of blocks.
+        n: usize,
+    },
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::Uniform { fraction: 0.5 }
+    }
+}
+
+/// The full expansion configuration (Q1 + Q2 + Q3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExpansionPlan {
+    /// Q1: block kind.
+    pub kind: BlockKind,
+    /// Q2: placement.
+    pub placement: Placement,
+    /// Q3: expansion ratio of the inserted block (paper default 6; ignored
+    /// by `Basic`, which has no hidden widening).
+    pub ratio: usize,
+}
+
+impl ExpansionPlan {
+    /// The paper's default: inverted residual blocks, uniform 50%, ratio 6.
+    pub fn paper_default() -> Self {
+        ExpansionPlan {
+            kind: BlockKind::InvertedResidual,
+            placement: Placement::default(),
+            ratio: 6,
+        }
+    }
+
+    /// Selects the block indices to expand from the model's expandable set.
+    pub fn select_indices(&self, expandable: &[usize]) -> Vec<usize> {
+        let n = expandable.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        match self.placement {
+            Placement::Uniform { fraction } => {
+                let count = ((n as f32 * fraction).round() as usize).clamp(1, n);
+                // evenly spaced positions over the expandable list
+                (0..count)
+                    .map(|i| expandable[i * n / count + (n / count) / 2 % n.max(1)])
+                    .map(|v| v.min(*expandable.last().expect("non-empty")))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            }
+            Placement::First { n: k } => expandable.iter().copied().take(k).collect(),
+            Placement::Middle { n: k } => {
+                let k = k.min(n);
+                let start = (n - k) / 2;
+                expandable[start..start + k].to_vec()
+            }
+            Placement::Last { n: k } => {
+                let k = k.min(n);
+                expandable[n - k..].to_vec()
+            }
+        }
+    }
+}
+
+/// Handle returned by [`expand`]: which blocks were expanded and the decay
+/// slopes PLT must drive.
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionHandle {
+    /// Indices (into `model.blocks`) of expanded blocks.
+    pub expanded_blocks: Vec<usize>,
+    /// Every decayable slope inside the inserted blocks.
+    pub slopes: Vec<Slope>,
+}
+
+fn unit(
+    conv: InsertedConv,
+    channels: usize,
+    act: Option<Slope>,
+) -> InsertedUnit {
+    InsertedUnit {
+        conv,
+        bn: BatchNorm2d::new(channels),
+        act: act.map(|s| Activation::with_slope(ActKind::Relu6, s)),
+    }
+}
+
+/// Builds the inserted block replacing a `in_c -> out_c` pointwise conv.
+pub fn build_inserted_block(
+    kind: BlockKind,
+    in_c: usize,
+    out_c: usize,
+    ratio: usize,
+    rng: &mut impl Rng,
+) -> InsertedBlock {
+    let pw = ConvGeometry::pointwise();
+    let k3 = ConvGeometry::same(3, 1);
+    let mut slopes = Vec::new();
+    let mut slope = || {
+        let s = Slope::new();
+        slopes.push(s.clone());
+        s
+    };
+    let units = match kind {
+        BlockKind::InvertedResidual => {
+            let hidden = in_c * ratio.max(1);
+            vec![
+                unit(
+                    InsertedConv::Dense(Conv2d::new(in_c, hidden, pw, false, rng)),
+                    hidden,
+                    Some(slope()),
+                ),
+                unit(
+                    InsertedConv::Depthwise(DepthwiseConv2d::new(hidden, pw, false, rng)),
+                    hidden,
+                    Some(slope()),
+                ),
+                unit(
+                    InsertedConv::Dense(Conv2d::new(hidden, out_c, pw, false, rng)),
+                    out_c,
+                    None,
+                ),
+            ]
+        }
+        BlockKind::Basic => vec![
+            unit(
+                InsertedConv::Dense(Conv2d::new(in_c, out_c, k3, false, rng)),
+                out_c,
+                Some(slope()),
+            ),
+            unit(
+                InsertedConv::Dense(Conv2d::new(out_c, out_c, k3, false, rng)),
+                out_c,
+                None,
+            ),
+        ],
+        BlockKind::Bottleneck => {
+            let mid = (out_c / 4).max(4);
+            vec![
+                unit(
+                    InsertedConv::Dense(Conv2d::new(in_c, mid, pw, false, rng)),
+                    mid,
+                    Some(slope()),
+                ),
+                unit(
+                    InsertedConv::Dense(Conv2d::new(mid, mid, k3, false, rng)),
+                    mid,
+                    Some(slope()),
+                ),
+                unit(
+                    InsertedConv::Dense(Conv2d::new(mid, out_c, pw, false, rng)),
+                    out_c,
+                    None,
+                ),
+            ]
+        }
+    };
+    InsertedBlock {
+        units,
+        residual: in_c == out_c,
+    }
+}
+
+/// Applies the expansion plan to a model in place (paper Step 1), turning
+/// it into the "deep giant". Returns the handle PLT needs.
+///
+/// # Panics
+///
+/// Panics if a selected block is already expanded.
+pub fn expand(model: &mut TinyNet, plan: &ExpansionPlan, rng: &mut impl Rng) -> ExpansionHandle {
+    let expandable = model.expandable_block_indices();
+    let selected = plan.select_indices(&expandable);
+    let mut handle = ExpansionHandle::default();
+    for &bi in &selected {
+        let block = &mut model.blocks[bi];
+        let slot = block.expand.as_mut().expect("selected block has a slot");
+        let (in_c, out_c) = (slot.in_channels(), slot.out_channels());
+        assert!(!slot.is_expanded(), "block {bi} already expanded");
+        let inserted = build_inserted_block(plan.kind, in_c, out_c, plan.ratio, rng);
+        handle.slopes.extend(inserted.slopes());
+        *slot = PwSlot::Expanded(inserted);
+        handle.expanded_blocks.push(bi);
+    }
+    handle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_models::mobilenet_v2_tiny;
+    use nb_nn::{Module, Session};
+    use nb_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_selects_half_spread_out() {
+        let plan = ExpansionPlan::paper_default();
+        let expandable: Vec<usize> = (1..=8).collect();
+        let sel = plan.select_indices(&expandable);
+        assert_eq!(sel.len(), 4);
+        // spread: not all in the first half
+        assert!(sel.iter().any(|&i| i > 4));
+        assert!(sel.iter().any(|&i| i <= 4));
+    }
+
+    #[test]
+    fn placement_variants() {
+        let expandable: Vec<usize> = (1..=8).collect();
+        let mk = |placement| ExpansionPlan {
+            placement,
+            ..ExpansionPlan::paper_default()
+        };
+        assert_eq!(
+            mk(Placement::First { n: 3 }).select_indices(&expandable),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            mk(Placement::Last { n: 3 }).select_indices(&expandable),
+            vec![6, 7, 8]
+        );
+        let mid = mk(Placement::Middle { n: 4 }).select_indices(&expandable);
+        assert_eq!(mid, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_expandable_set() {
+        let plan = ExpansionPlan::paper_default();
+        assert!(plan.select_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn expand_replaces_slots_and_collects_slopes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+        let handle = expand(&mut net, &ExpansionPlan::paper_default(), &mut rng);
+        assert!(!handle.expanded_blocks.is_empty());
+        assert_eq!(net.expanded_count(), handle.expanded_blocks.len());
+        // inverted residual inserts 2 decayable activations per block
+        assert_eq!(handle.slopes.len(), 2 * handle.expanded_blocks.len());
+        assert!(handle.slopes.iter().all(|s| s.get() == 0.0));
+    }
+
+    #[test]
+    fn expanded_model_forward_works_and_profile_grows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = TinyNet::new(mobilenet_v2_tiny(6), &mut rng);
+        let before = net.profile(32);
+        expand(&mut net, &ExpansionPlan::paper_default(), &mut rng);
+        let after = net.profile(32);
+        assert!(after.flops > before.flops, "giant costs more");
+        assert!(after.params > before.params);
+        let mut s = Session::new(false);
+        let x = s.input(Tensor::randn([1, 3, 32, 32], &mut rng));
+        let y = net.forward(&mut s, x);
+        assert_eq!(s.value(y).dims(), &[1, 6]);
+    }
+
+    #[test]
+    fn inserted_block_kinds_have_expected_structure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ir = build_inserted_block(BlockKind::InvertedResidual, 8, 16, 6, &mut rng);
+        assert_eq!(ir.units.len(), 3);
+        assert_eq!(ir.in_channels(), 8);
+        assert_eq!(ir.out_channels(), 16);
+        assert!(!ir.residual);
+        let basic = build_inserted_block(BlockKind::Basic, 8, 16, 6, &mut rng);
+        assert_eq!(basic.units.len(), 2);
+        let bott = build_inserted_block(BlockKind::Bottleneck, 8, 16, 6, &mut rng);
+        assert_eq!(bott.units.len(), 3);
+        // residual only when channels match
+        let res = build_inserted_block(BlockKind::InvertedResidual, 8, 8, 6, &mut rng);
+        assert!(res.residual);
+    }
+
+    #[test]
+    fn ratio_scales_hidden_width() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for ratio in [2usize, 4, 6, 8] {
+            let b = build_inserted_block(BlockKind::InvertedResidual, 8, 16, ratio, &mut rng);
+            match &b.units[0].conv {
+                InsertedConv::Dense(c) => assert_eq!(c.out_channels(), 8 * ratio),
+                _ => panic!("first unit dense"),
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_params_trainable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = TinyNet::new(mobilenet_v2_tiny(4), &mut rng);
+        let base_params = net.param_count();
+        expand(&mut net, &ExpansionPlan::paper_default(), &mut rng);
+        assert!(net.param_count() > base_params);
+        let mut s = Session::new(true);
+        let x = s.input(Tensor::randn([2, 3, 16, 16], &mut rng));
+        let y = net.forward(&mut s, x);
+        let loss = s.graph.softmax_cross_entropy(y, &[0, 1], 0.0);
+        s.backward(loss);
+        // every inserted unit's conv received gradient
+        for bi in net
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.expand, Some(PwSlot::Expanded(_))))
+        {
+            if let Some(PwSlot::Expanded(ib)) = &bi.expand {
+                for u in &ib.units {
+                    let g = match &u.conv {
+                        InsertedConv::Dense(c) => c.weight().grad().abs_sum(),
+                        InsertedConv::Depthwise(c) => c.weight().grad().abs_sum(),
+                    };
+                    assert!(g > 0.0, "inserted conv got gradient");
+                }
+            }
+        }
+    }
+}

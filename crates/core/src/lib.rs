@@ -1,0 +1,72 @@
+//! # netbooster-core
+//!
+//! The NetBooster training framework (DAC 2023) and its baselines:
+//!
+//! - **Expansion** ([`expansion`]): replace selected pointwise convolutions
+//!   with multi-layer inserted blocks, building the "deep giant";
+//! - **PLT** ([`plt`]): progressively decay the inserted non-linearities to
+//!   the identity while tuning;
+//! - **Contraction** ([`contract`]): merge each linearized block back into
+//!   a single convolution (paper Eq. 3–4), preserving the learned features
+//!   and the original inference cost;
+//! - **Pipelines** ([`methods::netbooster`], [`transfer`], [`detection`]):
+//!   large-scale pretraining, downstream classification transfer, and
+//!   detection finetuning;
+//! - **Baselines** ([`methods`]): vanilla, DropBlock-style regularization,
+//!   NetAug, classic KD, tf-KD, RCO-KD, and Rocket Launching.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use netbooster_core::{netbooster_train, NetBoosterConfig, TrainConfig};
+//! use nb_data::{synthetic_imagenet, Scale};
+//! use nb_models::mobilenet_v2_tiny;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let data = synthetic_imagenet(Scale::Smoke);
+//! let cfg = NetBoosterConfig::with_epochs(2, 1, 1, TrainConfig::default());
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let out = netbooster_train(
+//!     &mobilenet_v2_tiny(nb_data::Dataset::num_classes(&data.train)),
+//!     &data.train, &data.val, &cfg, &mut rng,
+//! );
+//! println!("expanded {:.1}% -> final {:.1}%", out.expanded_acc, out.final_acc);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod contract;
+pub mod detection;
+pub mod expansion;
+pub mod methods;
+pub mod plt;
+pub mod trainer;
+pub mod transfer;
+
+pub use analysis::{activation_stats, linearizability_summary, ActivationStats};
+pub use contract::{
+    add_identity, compose_convs, contract_inserted_block, contract_model, depthwise_to_dense,
+    fold_bn,
+};
+pub use detection::{eval_detector, train_detector, DetHistory};
+pub use expansion::{build_inserted_block, expand, BlockKind, ExpansionHandle, ExpansionPlan, Placement};
+pub use methods::kd::{
+    train_kd, train_rco_kd, train_rocket_launch, train_teacher, train_teacher_with_route,
+    train_tf_kd, KdConfig,
+};
+pub use methods::netaug::{train_netaug, NetAugConfig};
+pub use methods::netbooster::{
+    netbooster_train, plt_and_contract, plt_and_contract_with, train_giant, NetBoosterConfig,
+    NetBoosterOutcome,
+};
+pub use methods::regularize::{train_with_feature_drop, FeatureDropConfig};
+pub use methods::vanilla::train_vanilla;
+pub use plt::{DecayCurve, PltDriver};
+pub use trainer::{
+    ce_loss_fn, evaluate, evaluate_confusion, fit, History, NoHooks, TrainConfig, TrainHooks,
+};
+pub use transfer::{
+    linear_probe_transfer, netbooster_transfer, netbooster_transfer_kd, split_tuning_epochs,
+    vanilla_transfer, vanilla_transfer_kd, PLT_EPOCH_FRACTION,
+};

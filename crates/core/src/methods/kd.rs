@@ -1,0 +1,336 @@
+//! Knowledge-distillation baselines: classic Hinton KD, teacher-free KD
+//! (tf-KD), route-constrained optimization (RCO-KD), and Rocket Launching.
+//!
+//! These are the comparison rows of paper Table I. All four share the
+//! engine in [`crate::trainer`]; they differ only in how the per-batch loss
+//! is assembled.
+
+use crate::trainer::{fit, History, NoHooks, TrainConfig};
+use nb_autograd::softmax_rows;
+use nb_data::SyntheticVision;
+use nb_models::{teacher, TinyNet};
+use nb_nn::{Module, StateDict};
+use nb_tensor::Tensor;
+use rand::Rng;
+
+/// Hyperparameters shared by the distillation methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KdConfig {
+    /// Softmax temperature.
+    pub temperature: f32,
+    /// Weight of the distillation term (the CE term gets `1 - alpha`).
+    pub alpha: f32,
+}
+
+impl Default for KdConfig {
+    fn default() -> Self {
+        KdConfig {
+            temperature: 4.0,
+            alpha: 0.5,
+        }
+    }
+}
+
+/// Trains the stand-in teacher network (see DESIGN.md: replaces
+/// Assemble-ResNet50).
+pub fn train_teacher(
+    classes: usize,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    rng: &mut impl Rng,
+) -> (TinyNet, History) {
+    let model = TinyNet::new(teacher(classes), rng);
+    let history = super::vanilla::train_vanilla(&model, train, val, cfg);
+    (model, history)
+}
+
+fn teacher_probs(teacher: &TinyNet, images: &Tensor, temperature: f32) -> Tensor {
+    softmax_rows(&teacher.logits_eval(images).scale(1.0 / temperature))
+}
+
+/// Classic KD (Hinton et al.): `(1-a) * CE + a * T^2 KL(teacher || student)`.
+pub fn train_kd(
+    student: &TinyNet,
+    teacher: &TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    kd: &KdConfig,
+) -> History {
+    let mut loss_fn = |s: &mut nb_nn::Session, batch: &nb_data::Batch| {
+        let probs = teacher_probs(teacher, &batch.images, kd.temperature);
+        let x = s.input(batch.images.clone());
+        let logits = student.forward(s, x);
+        let ce = s.graph.softmax_cross_entropy(logits, &batch.labels, cfg.label_smoothing);
+        let kl = s.graph.kd_kl_loss(logits, &probs, kd.temperature);
+        let ce_w = s.graph.scale(ce, 1.0 - kd.alpha);
+        let kl_w = s.graph.scale(kl, kd.alpha);
+        s.graph.add(ce_w, kl_w)
+    };
+    fit(
+        student.parameters(),
+        train,
+        val,
+        cfg,
+        &mut loss_fn,
+        &|imgs| student.logits_eval(imgs),
+        &mut NoHooks,
+    )
+}
+
+/// Teacher-free KD (tf-KD, Yuan et al.): distills from a *virtual* teacher
+/// that puts `correct_prob` mass on the true label and spreads the rest
+/// uniformly — no teacher network needed.
+pub fn train_tf_kd(
+    student: &TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    kd: &KdConfig,
+    correct_prob: f32,
+) -> History {
+    let classes = student.config.classes;
+    let mut loss_fn = |s: &mut nb_nn::Session, batch: &nb_data::Batch| {
+        let n = batch.labels.len();
+        let off = (1.0 - correct_prob) / (classes.saturating_sub(1)).max(1) as f32;
+        let probs = Tensor::from_fn([n, classes], |i| {
+            if i % classes == batch.labels[i / classes] {
+                correct_prob
+            } else {
+                off
+            }
+        });
+        let x = s.input(batch.images.clone());
+        let logits = student.forward(s, x);
+        let ce = s.graph.softmax_cross_entropy(logits, &batch.labels, cfg.label_smoothing);
+        let kl = s.graph.kd_kl_loss(logits, &probs, kd.temperature);
+        let ce_w = s.graph.scale(ce, 1.0 - kd.alpha);
+        let kl_w = s.graph.scale(kl, kd.alpha);
+        s.graph.add(ce_w, kl_w)
+    };
+    fit(
+        student.parameters(),
+        train,
+        val,
+        cfg,
+        &mut loss_fn,
+        &|imgs| student.logits_eval(imgs),
+        &mut NoHooks,
+    )
+}
+
+/// Route-constrained optimization (RCO-KD, Jin et al.): the student distills
+/// from a *sequence* of teacher checkpoints taken along the teacher's own
+/// training route, easing the capacity gap early in training.
+///
+/// `checkpoints` must be snapshots of `teacher_model`'s parameters ordered
+/// from early to late training; student epochs are split evenly across
+/// them. The teacher model is mutated (each checkpoint is loaded in turn).
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is empty or a checkpoint fails to load.
+pub fn train_rco_kd(
+    student: &TinyNet,
+    teacher_model: &TinyNet,
+    checkpoints: &[StateDict],
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    kd: &KdConfig,
+) -> History {
+    assert!(!checkpoints.is_empty(), "RCO needs at least one checkpoint");
+    let mut history = History::default();
+    let phases = checkpoints.len();
+    let per_phase = (cfg.epochs / phases).max(1);
+    for (pi, ckpt) in checkpoints.iter().enumerate() {
+        ckpt.load_into(teacher_model)
+            .expect("checkpoint matches teacher architecture");
+        let remaining = if pi == phases - 1 {
+            cfg.epochs.saturating_sub(per_phase * (phases - 1)).max(1)
+        } else {
+            per_phase
+        };
+        let phase_cfg = TrainConfig {
+            epochs: remaining,
+            // continue the schedule: scale the lr down through phases
+            lr: cfg.lr * (1.0 - pi as f32 / phases as f32),
+            seed: cfg.seed.wrapping_add(pi as u64),
+            ..*cfg
+        };
+        let h = train_kd(student, teacher_model, train, val, &phase_cfg, kd);
+        history.extend(h);
+    }
+    history
+}
+
+/// Trains a teacher while snapshotting evenly spaced checkpoints for
+/// RCO-KD. Returns the trained teacher and `k` checkpoints (the last one is
+/// the final teacher).
+pub fn train_teacher_with_route(
+    classes: usize,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    k: usize,
+    rng: &mut impl Rng,
+) -> (TinyNet, Vec<StateDict>) {
+    assert!(k >= 1, "need at least one checkpoint");
+    let model = TinyNet::new(teacher(classes), rng);
+    let mut checkpoints = Vec::new();
+    let per = (cfg.epochs / k).max(1);
+    let mut done = 0;
+    for i in 0..k {
+        let epochs = if i == k - 1 {
+            cfg.epochs.saturating_sub(done).max(1)
+        } else {
+            per
+        };
+        let phase_cfg = TrainConfig {
+            epochs,
+            lr: cfg.lr * (1.0 - done as f32 / cfg.epochs.max(1) as f32),
+            seed: cfg.seed.wrapping_add(i as u64 * 131),
+            ..*cfg
+        };
+        super::vanilla::train_vanilla(&model, train, val, &phase_cfg);
+        checkpoints.push(StateDict::from_module(&model));
+        done += epochs;
+    }
+    (model, checkpoints)
+}
+
+/// Rocket Launching (Zhou et al.): the light net and a wider booster net
+/// train *jointly*; a hint loss pulls the light net's logits toward the
+/// booster's throughout training. Returns the light net's history (the
+/// booster is discarded, as in the paper).
+pub fn train_rocket_launch(
+    light: &TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    hint_weight: f32,
+    rng: &mut impl Rng,
+) -> History {
+    let booster_cfg = light.config.width_scaled(2.0).with_classes(light.config.classes);
+    let booster = TinyNet::new(booster_cfg, rng);
+    let mut params = light.parameters();
+    params.extend(booster.parameters());
+    let mut loss_fn = |s: &mut nb_nn::Session, batch: &nb_data::Batch| {
+        let x = s.input(batch.images.clone());
+        let logits_l = light.forward(s, x);
+        let logits_b = booster.forward(s, x);
+        let ce_l = s.graph.softmax_cross_entropy(logits_l, &batch.labels, 0.0);
+        let ce_b = s.graph.softmax_cross_entropy(logits_b, &batch.labels, 0.0);
+        let hint = s.graph.mse_between(logits_l, logits_b);
+        let hint_w = s.graph.scale(hint, hint_weight);
+        let sum = s.graph.add(ce_l, ce_b);
+        s.graph.add(sum, hint_w)
+    };
+    fit(
+        params,
+        train,
+        val,
+        cfg,
+        &mut loss_fn,
+        &|imgs| light.logits_eval(imgs),
+        &mut NoHooks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_data::recipe::{Family, Nuisance};
+    use nb_data::{Augment, Split};
+    use nb_models::mobilenet_v2_tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> (SyntheticVision, SyntheticVision) {
+        let mk = |split| {
+            SyntheticVision::new("k", Family::Objects, 2, 12, 16, Nuisance::easy(), 4, split)
+        };
+        (mk(Split::Train), mk(Split::Val))
+    }
+
+    fn small_model(rng: &mut StdRng) -> TinyNet {
+        let mut cfg = mobilenet_v2_tiny(2);
+        cfg.blocks.truncate(2);
+        cfg.head_c = 12;
+        TinyNet::new(cfg, rng)
+    }
+
+    fn quick_cfg(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 8,
+            lr: 0.05,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn kd_runs_and_reports() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (train, val) = data();
+        let student = small_model(&mut rng);
+        let teacher = small_model(&mut rng);
+        let h = train_kd(&student, &teacher, &train, &val, &quick_cfg(2), &KdConfig::default());
+        assert_eq!(h.val_acc.len(), 2);
+        assert!(h.epoch_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn tf_kd_runs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, val) = data();
+        let student = small_model(&mut rng);
+        let h = train_tf_kd(&student, &train, &val, &quick_cfg(2), &KdConfig::default(), 0.9);
+        assert_eq!(h.val_acc.len(), 2);
+    }
+
+    #[test]
+    fn rco_kd_walks_checkpoints() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, val) = data();
+        let student = small_model(&mut rng);
+        let teacher = small_model(&mut rng);
+        let c1 = StateDict::from_module(&teacher);
+        // perturb to create a distinct second checkpoint
+        teacher.classifier.weight().set_value(
+            teacher.classifier.weight().value().scale(0.5),
+        );
+        let c2 = StateDict::from_module(&teacher);
+        let h = train_rco_kd(
+            &student,
+            &teacher,
+            &[c1, c2],
+            &train,
+            &val,
+            &quick_cfg(2),
+            &KdConfig::default(),
+        );
+        assert_eq!(h.val_acc.len(), 2);
+    }
+
+    #[test]
+    fn rocket_launch_trains_both_nets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, val) = data();
+        let light = small_model(&mut rng);
+        let h = train_rocket_launch(&light, &train, &val, &quick_cfg(2), 0.5, &mut rng);
+        assert_eq!(h.val_acc.len(), 2);
+        assert!(h.epoch_loss[1] <= h.epoch_loss[0] * 1.5, "joint loss sane");
+    }
+
+    #[test]
+    fn teacher_route_produces_k_checkpoints() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (train, val) = data();
+        let (_, ckpts) = train_teacher_with_route(2, &train, &val, &quick_cfg(2), 2, &mut rng);
+        assert_eq!(ckpts.len(), 2);
+        assert!(ckpts[0] != ckpts[1], "checkpoints differ");
+    }
+}

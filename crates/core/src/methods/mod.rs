@@ -1,0 +1,8 @@
+//! Training methods: the NetBooster pipeline and every baseline the paper
+//! compares against.
+
+pub mod kd;
+pub mod netaug;
+pub mod netbooster;
+pub mod regularize;
+pub mod vanilla;

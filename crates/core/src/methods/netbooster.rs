@@ -1,0 +1,329 @@
+//! The NetBooster training pipeline (the paper's contribution): expand,
+//! train the deep giant, progressively linearize, contract, finetune.
+
+use crate::contract::contract_model;
+use crate::expansion::{expand, ExpansionHandle, ExpansionPlan};
+use crate::plt::{DecayCurve, PltDriver};
+use crate::trainer::{ce_loss_fn, evaluate, fit, History, NoHooks, TrainConfig, TrainHooks};
+use nb_data::{DataLoader, SyntheticVision};
+use nb_models::{TinyNet, TnnConfig};
+use nb_nn::Module;
+use rand::Rng;
+
+/// Hyperparameters of the full NetBooster pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetBoosterConfig {
+    /// The expansion plan (Q1/Q2/Q3).
+    pub plan: ExpansionPlan,
+    /// Epochs of deep-giant training before PLT (paper: 160 on ImageNet).
+    pub giant_epochs: usize,
+    /// PLT decay epochs `E_d` (paper: 40 on ImageNet, 20% of tuning epochs
+    /// downstream).
+    pub plt_epochs: usize,
+    /// Finetuning epochs after contraction (paper: 110 on ImageNet).
+    pub finetune_epochs: usize,
+    /// Decay trajectory for PLT (linear in the paper; the alternatives are
+    /// reproduction extensions ablated by `ablation_plt`).
+    pub plt_curve: DecayCurve,
+    /// Shared optimizer/data hyperparameters.
+    pub train: TrainConfig,
+}
+
+impl NetBoosterConfig {
+    /// A scaled-down analogue of the paper's ImageNet recipe with the given
+    /// per-phase epoch counts.
+    pub fn with_epochs(giant: usize, plt: usize, finetune: usize, train: TrainConfig) -> Self {
+        NetBoosterConfig {
+            plan: ExpansionPlan::paper_default(),
+            giant_epochs: giant,
+            plt_epochs: plt,
+            finetune_epochs: finetune,
+            plt_curve: DecayCurve::Linear,
+            train,
+        }
+    }
+}
+
+/// Everything the pipeline produces.
+#[derive(Debug)]
+pub struct NetBoosterOutcome {
+    /// The contracted model (original TNN structure, boosted weights).
+    pub model: TinyNet,
+    /// Concatenated training history over all three phases.
+    pub history: History,
+    /// Validation accuracy of the expanded deep giant (for Tables IV/V:
+    /// "Expanded Acc.").
+    pub expanded_acc: f32,
+    /// Final validation accuracy after contraction and finetuning.
+    pub final_acc: f32,
+}
+
+struct PltHook {
+    driver: PltDriver,
+}
+
+impl TrainHooks for PltHook {
+    fn on_step(&mut self, _step: usize) {
+        self.driver.step();
+    }
+}
+
+/// Phase 1: expands a fresh model into its deep giant and trains it.
+pub fn train_giant(
+    cfg_model: &TnnConfig,
+    plan: &ExpansionPlan,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    epochs: usize,
+    rng: &mut impl Rng,
+) -> (TinyNet, ExpansionHandle, History) {
+    let mut model = TinyNet::new(cfg_model.clone(), rng);
+    let handle = expand(&mut model, plan, rng);
+    let phase_cfg = TrainConfig { epochs, ..*cfg };
+    let history = {
+        let mut loss_fn = ce_loss_fn(&model, cfg.label_smoothing);
+        fit(
+            model.parameters(),
+            train,
+            val,
+            &phase_cfg,
+            &mut loss_fn,
+            &|imgs| model.logits_eval(imgs),
+            &mut NoHooks,
+        )
+    };
+    (model, handle, history)
+}
+
+/// Phase 2+3 with a custom per-batch loss: runs PLT on a (pre-trained)
+/// deep giant — decaying the inserted non-linearities over `plt_epochs`
+/// while tuning — then contracts the model and finetunes for
+/// `finetune_epochs`. The model is transformed in place. `loss_for` builds
+/// the scalar loss for one batch given the *current* model (which changes
+/// structure at contraction). Returns the combined history.
+#[allow(clippy::too_many_arguments)]
+pub fn plt_and_contract_with<F>(
+    model: &mut TinyNet,
+    handle: &ExpansionHandle,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    plt_epochs: usize,
+    finetune_epochs: usize,
+    curve: DecayCurve,
+    mut loss_for: F,
+) -> History
+where
+    F: FnMut(&TinyNet, &mut nb_nn::Session, &nb_data::Batch) -> nb_autograd::Value,
+{
+    let mut history = History::default();
+    if plt_epochs > 0 && !handle.slopes.is_empty() {
+        let steps_per_epoch = DataLoader::new(train, cfg.batch_size).batches_per_epoch();
+        let mut hook = PltHook {
+            driver: PltDriver::over_epochs(handle.slopes.clone(), plt_epochs, steps_per_epoch)
+                .with_curve(curve),
+        };
+        let phase_cfg = TrainConfig {
+            epochs: plt_epochs,
+            // gentle rate while the non-linearities decay: restarting the
+            // cosine schedule at the full peak rate wipes out the giant's
+            // learned features
+            lr: cfg.lr * 0.3,
+            seed: cfg.seed.wrapping_add(7),
+            ..*cfg
+        };
+        let model_ref = &*model;
+        let mut loss_fn =
+            |s: &mut nb_nn::Session, batch: &nb_data::Batch| loss_for(model_ref, s, batch);
+        let h = fit(
+            model_ref.parameters(),
+            train,
+            val,
+            &phase_cfg,
+            &mut loss_fn,
+            &|imgs| model_ref.logits_eval(imgs),
+            &mut hook,
+        );
+        history.extend(h);
+        hook.driver.finish();
+    } else {
+        for s in &handle.slopes {
+            s.set(1.0);
+        }
+    }
+    contract_model(model);
+    if finetune_epochs > 0 {
+        let phase_cfg = TrainConfig {
+            epochs: finetune_epochs,
+            lr: cfg.lr * 0.5, // finetune at a reduced peak rate
+            seed: cfg.seed.wrapping_add(13),
+            ..*cfg
+        };
+        let model_ref = &*model;
+        let mut loss_fn =
+            |s: &mut nb_nn::Session, batch: &nb_data::Batch| loss_for(model_ref, s, batch);
+        let h = fit(
+            model_ref.parameters(),
+            train,
+            val,
+            &phase_cfg,
+            &mut loss_fn,
+            &|imgs| model_ref.logits_eval(imgs),
+            &mut NoHooks,
+        );
+        history.extend(h);
+    }
+    history
+}
+
+/// Phase 2+3 with the standard cross-entropy loss. See
+/// [`plt_and_contract_with`].
+pub fn plt_and_contract(
+    model: &mut TinyNet,
+    handle: &ExpansionHandle,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    plt_epochs: usize,
+    finetune_epochs: usize,
+) -> History {
+    let smoothing = cfg.label_smoothing;
+    plt_and_contract_with(
+        model,
+        handle,
+        train,
+        val,
+        cfg,
+        plt_epochs,
+        finetune_epochs,
+        DecayCurve::Linear,
+        move |m, s, batch| {
+            let x = s.input(batch.images.clone());
+            let logits = m.forward(s, x);
+            s.graph.softmax_cross_entropy(logits, &batch.labels, smoothing)
+        },
+    )
+}
+
+/// The full NetBooster pipeline on one dataset (the paper's ImageNet
+/// setting): expand → train giant → PLT → contract → finetune.
+pub fn netbooster_train(
+    cfg_model: &TnnConfig,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    nb: &NetBoosterConfig,
+    rng: &mut impl Rng,
+) -> NetBoosterOutcome {
+    let (mut model, handle, mut history) = train_giant(
+        cfg_model,
+        &nb.plan,
+        train,
+        val,
+        &nb.train,
+        nb.giant_epochs,
+        rng,
+    );
+    let expanded_acc = evaluate(&|imgs| model.logits_eval(imgs), val, nb.train.eval_batch);
+    let smoothing = nb.train.label_smoothing;
+    let h = plt_and_contract_with(
+        &mut model,
+        &handle,
+        train,
+        val,
+        &nb.train,
+        nb.plt_epochs,
+        nb.finetune_epochs,
+        nb.plt_curve,
+        move |m, s, batch| {
+            let x = s.input(batch.images.clone());
+            let logits = m.forward(s, x);
+            s.graph.softmax_cross_entropy(logits, &batch.labels, smoothing)
+        },
+    );
+    history.extend(h);
+    let final_acc = evaluate(&|imgs| model.logits_eval(imgs), val, nb.train.eval_batch);
+    NetBoosterOutcome {
+        model,
+        history,
+        expanded_acc,
+        final_acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_data::recipe::{Family, Nuisance};
+    use nb_data::{Augment, Split};
+    use nb_models::mobilenet_v2_tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> (SyntheticVision, SyntheticVision) {
+        let mk = |split| {
+            SyntheticVision::new("nb", Family::Objects, 2, 12, 24, Nuisance::easy(), 8, split)
+        };
+        (mk(Split::Train), mk(Split::Val))
+    }
+
+    #[test]
+    fn full_pipeline_contracts_back_to_original_structure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (train, val) = data();
+        let mut cfg_model = mobilenet_v2_tiny(2);
+        cfg_model.blocks.truncate(3);
+        cfg_model.head_c = 12;
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.05,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        };
+        let nb = NetBoosterConfig::with_epochs(1, 1, 1, cfg);
+        let reference = TinyNet::new(cfg_model.clone(), &mut rng);
+        let ref_profile = reference.profile(12);
+        let out = netbooster_train(&cfg_model, &train, &val, &nb, &mut rng);
+        assert_eq!(out.model.expanded_count(), 0, "all blocks contracted");
+        let got = out.model.profile(12);
+        assert_eq!(got.flops, ref_profile.flops, "inference cost preserved");
+        assert!(out.final_acc > 0.0);
+        assert!(out.expanded_acc > 0.0);
+        assert!(out.history.epoch_loss.len() == 3);
+        assert!(out.history.epoch_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn contraction_at_plt_end_is_lossless_on_eval() {
+        // after the PLT phase the slopes are 1; contraction must not change
+        // eval logits. plt_and_contract internally contracts; verify via
+        // the accuracy right before finetune == accuracy of contracted net
+        // by running plt with finetune_epochs = 0.
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, val) = data();
+        let mut cfg_model = mobilenet_v2_tiny(2);
+        cfg_model.blocks.truncate(2);
+        cfg_model.head_c = 12;
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.05,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        };
+        let (mut model, handle, _) =
+            train_giant(&cfg_model, &ExpansionPlan::paper_default(), &train, &val, &cfg, 1, &mut rng);
+        // drive slopes to 1 manually (PLT with 1 epoch)
+        let h = plt_and_contract(&mut model, &handle, &train, &val, &cfg, 1, 0);
+        // the last recorded accuracy was measured on the *linearized giant*
+        // (end of PLT epoch); the contracted model must reproduce it
+        let after = evaluate(&|imgs| model.logits_eval(imgs), &val, 16);
+        assert!(
+            (after - h.final_val_acc()).abs() < 1e-3,
+            "contraction preserved accuracy: {} vs {}",
+            after,
+            h.final_val_acc()
+        );
+    }
+}

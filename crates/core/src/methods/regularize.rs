@@ -1,0 +1,150 @@
+//! DropBlock-style feature regularization — the technique Fig. 1(a) shows
+//! *hurting* tiny networks (Constraint 1: TNNs under-fit, so regularizing
+//! them further lowers accuracy).
+
+use crate::trainer::{fit, History, NoHooks, TrainConfig};
+use nb_data::SyntheticVision;
+use nb_models::TinyNet;
+use nb_nn::{Module, Session};
+use nb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DropBlock-like configuration: with probability `drop_prob` per sample, a
+/// `block_size x block_size` spatial region of the final feature map is
+/// zeroed across all channels (with the usual `1/keep` rescale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureDropConfig {
+    /// Per-sample probability that a block is dropped.
+    pub drop_prob: f32,
+    /// Side length of the dropped square (in feature-map cells).
+    pub block_size: usize,
+}
+
+impl Default for FeatureDropConfig {
+    fn default() -> Self {
+        FeatureDropConfig {
+            drop_prob: 0.5,
+            block_size: 2,
+        }
+    }
+}
+
+/// Builds the `[n, c, h, w]` multiplicative mask for one batch.
+fn drop_mask(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    cfg: &FeatureDropConfig,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let mut mask = Tensor::ones([n, c, h, w]);
+    let b = cfg.block_size.min(h).min(w);
+    for ni in 0..n {
+        if rng.gen::<f32>() >= cfg.drop_prob {
+            continue;
+        }
+        let y0 = rng.gen_range(0..=h - b);
+        let x0 = rng.gen_range(0..=w - b);
+        let kept = (h * w - b * b) as f32;
+        let scale = if kept > 0.0 { (h * w) as f32 / kept } else { 1.0 };
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let inside = y >= y0 && y < y0 + b && x >= x0 && x < x0 + b;
+                    *mask.at4_mut(ni, ci, y, x) = if inside { 0.0 } else { scale };
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Vanilla training plus DropBlock-style regularization on the final
+/// feature map.
+pub fn train_with_feature_drop(
+    model: &TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    drop: &FeatureDropConfig,
+) -> History {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xd20b));
+    let mut loss_fn = |s: &mut Session, batch: &nb_data::Batch| {
+        let x = s.input(batch.images.clone());
+        let fm = model.forward_conv_features(s, x);
+        let dims = s.value(fm).dims().to_vec();
+        let mask = drop_mask(dims[0], dims[1], dims[2], dims[3], drop, &mut rng);
+        let mask = s.input(mask);
+        let fm = s.graph.mul(fm, mask);
+        let pooled = s.graph.global_avg_pool(fm);
+        let logits = model.classifier.forward(s, pooled);
+        s.graph
+            .softmax_cross_entropy(logits, &batch.labels, cfg.label_smoothing)
+    };
+    fit(
+        model.parameters(),
+        train,
+        val,
+        cfg,
+        &mut loss_fn,
+        &|imgs| model.logits_eval(imgs),
+        &mut NoHooks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_data::recipe::{Family, Nuisance};
+    use nb_data::{Augment, Split, SyntheticVision};
+    use nb_models::mobilenet_v2_tiny;
+
+    #[test]
+    fn mask_zeroes_one_block_and_rescales() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = FeatureDropConfig {
+            drop_prob: 1.0,
+            block_size: 2,
+        };
+        let m = drop_mask(1, 3, 4, 4, &cfg, &mut rng);
+        let zeros = m.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 3 * 4, "2x2 block zeroed in all 3 channels");
+        let kept: f32 = m.as_slice().iter().sum();
+        // total mass preserved: (h*w - b*b) * scale = h*w per channel
+        assert!((kept - 3.0 * 16.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn no_drop_leaves_ones() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FeatureDropConfig {
+            drop_prob: 0.0,
+            block_size: 2,
+        };
+        let m = drop_mask(2, 2, 3, 3, &cfg, &mut rng);
+        assert!(m.allclose(&Tensor::ones([2, 2, 3, 3]), 1e-7));
+    }
+
+    #[test]
+    fn regularized_training_runs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mk = |split| {
+            SyntheticVision::new("r", Family::Objects, 2, 12, 16, Nuisance::easy(), 2, split)
+        };
+        let (train, val) = (mk(Split::Train), mk(Split::Val));
+        let mut cfg_model = mobilenet_v2_tiny(2);
+        cfg_model.blocks.truncate(2);
+        let model = TinyNet::new(cfg_model, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        };
+        let h = train_with_feature_drop(&model, &train, &val, &cfg, &FeatureDropConfig::default());
+        assert_eq!(h.val_acc.len(), 2);
+        assert!(h.epoch_loss.iter().all(|l| l.is_finite()));
+    }
+}

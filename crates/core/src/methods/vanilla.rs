@@ -1,0 +1,61 @@
+//! The vanilla-training baseline: plain cross-entropy SGD.
+
+use crate::trainer::{ce_loss_fn, fit, History, NoHooks, TrainConfig};
+use nb_data::SyntheticVision;
+use nb_models::TinyNet;
+use nb_nn::Module;
+
+/// Trains a model with plain cross-entropy (the paper's "Vanilla" rows).
+pub fn train_vanilla(
+    model: &TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+) -> History {
+    let mut loss_fn = ce_loss_fn(model, cfg.label_smoothing);
+    fit(
+        model.parameters(),
+        train,
+        val,
+        cfg,
+        &mut loss_fn,
+        &|imgs| model.logits_eval(imgs),
+        &mut NoHooks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_data::recipe::{Family, Nuisance};
+    use nb_data::Split;
+    use nb_models::mobilenet_v2_tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vanilla_learns_an_easy_task() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mk = |split| {
+            SyntheticVision::new("e", Family::Objects, 2, 12, 32, Nuisance::easy(), 9, split)
+        };
+        let (train, val) = (mk(Split::Train), mk(Split::Val));
+        let mut cfg_model = mobilenet_v2_tiny(2);
+        cfg_model.blocks.truncate(3);
+        cfg_model.head_c = 16;
+        let model = TinyNet::new(cfg_model, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 0.08,
+            augment: nb_data::Augment::none(),
+            ..TrainConfig::default()
+        };
+        let h = train_vanilla(&model, &train, &val, &cfg);
+        assert!(
+            h.best_val_acc() >= 75.0,
+            "2-class easy task should be learnable: {:?}",
+            h.val_acc
+        );
+    }
+}

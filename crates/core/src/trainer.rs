@@ -1,0 +1,352 @@
+//! The shared training engine: epoch/step loop, cosine learning-rate
+//! schedule, evaluation, and the hook points that NetBooster's PLT and the
+//! baselines plug into.
+
+use nb_autograd::Value;
+use nb_data::{Augment, Batch, DataLoader, SyntheticVision};
+use nb_metrics::Accuracy;
+use nb_nn::{Module, Parameter, Session};
+use nb_optim::{CosineAnneal, LrSchedule, Sgd, SgdConfig};
+use nb_tensor::Tensor;
+
+/// Hyperparameters of one training phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Peak learning rate (cosine-annealed to zero over the phase).
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Label smoothing for the cross-entropy loss.
+    pub label_smoothing: f32,
+    /// Shuffling/augmentation seed.
+    pub seed: u64,
+    /// Augmentation policy for training batches.
+    pub augment: Augment,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Evaluate on the validation set every `eval_every` epochs (the final
+    /// epoch is always evaluated). 1 = every epoch.
+    pub eval_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 4e-5,
+            label_smoothing: 0.0,
+            seed: 0,
+            augment: Augment::standard(),
+            eval_batch: 64,
+            eval_every: 1,
+        }
+    }
+}
+
+/// Per-phase training record.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Mean training loss per epoch.
+    pub epoch_loss: Vec<f32>,
+    /// Validation top-1 after each epoch.
+    pub val_acc: Vec<f32>,
+}
+
+impl History {
+    /// The last recorded validation accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no evaluation was recorded.
+    pub fn final_val_acc(&self) -> f32 {
+        *self.val_acc.last().expect("no evaluations recorded")
+    }
+
+    /// The best recorded validation accuracy.
+    pub fn best_val_acc(&self) -> f32 {
+        self.val_acc.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Appends another phase's history.
+    pub fn extend(&mut self, other: History) {
+        self.epoch_loss.extend(other.epoch_loss);
+        self.val_acc.extend(other.val_acc);
+    }
+}
+
+/// Hook points inside the training loop.
+pub trait TrainHooks {
+    /// Called before each epoch.
+    fn on_epoch_start(&mut self, _epoch: usize) {}
+    /// Called after each optimizer step.
+    fn on_step(&mut self, _step: usize) {}
+}
+
+/// The no-op hook set.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHooks;
+
+impl TrainHooks for NoHooks {}
+
+/// Runs a training phase.
+///
+/// `loss_fn` records the forward pass and returns the scalar loss for one
+/// batch; `eval_logits` produces eval-mode logits for a `[n,3,s,s]` image
+/// tensor. The learning rate follows a cosine schedule over the whole
+/// phase. Returns per-epoch loss and validation accuracy.
+pub fn fit(
+    params: Vec<Parameter>,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    loss_fn: &mut dyn FnMut(&mut Session, &Batch) -> Value,
+    eval_logits: &dyn Fn(&Tensor) -> Tensor,
+    hooks: &mut dyn TrainHooks,
+) -> History {
+    let loader = DataLoader::new(train, cfg.batch_size)
+        .shuffled(cfg.seed)
+        .with_augment(cfg.augment);
+    let steps_per_epoch = loader.batches_per_epoch();
+    let total_steps = (cfg.epochs * steps_per_epoch).max(1);
+    // short linear warmup stabilizes deep fresh giants at the full peak rate
+    let sched = CosineAnneal {
+        base_lr: cfg.lr,
+        min_lr: 0.0,
+        total_steps,
+        warmup_steps: (total_steps / 20).min(steps_per_epoch),
+    };
+    let mut opt = Sgd::new(
+        params,
+        SgdConfig {
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            nesterov: false,
+        },
+    );
+    let mut history = History::default();
+    let mut step = 0usize;
+    for epoch in 0..cfg.epochs {
+        hooks.on_epoch_start(epoch);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for batch in loader.epoch(epoch) {
+            let mut s = Session::new(true);
+            let loss = loss_fn(&mut s, &batch);
+            loss_sum += s.value(loss).item() as f64;
+            batches += 1;
+            s.backward(loss);
+            opt.clip_grad_norm(10.0);
+            opt.step(sched.lr(step));
+            step += 1;
+            hooks.on_step(step);
+        }
+        history
+            .epoch_loss
+            .push((loss_sum / batches.max(1) as f64) as f32);
+        let last = epoch + 1 == cfg.epochs;
+        if last || (epoch + 1) % cfg.eval_every.max(1) == 0 {
+            history.val_acc.push(evaluate(eval_logits, val, cfg.eval_batch));
+        }
+    }
+    history
+}
+
+/// Top-1 accuracy of `eval_logits` over a dataset.
+pub fn evaluate(
+    eval_logits: &dyn Fn(&Tensor) -> Tensor,
+    data: &SyntheticVision,
+    batch: usize,
+) -> f32 {
+    let loader = DataLoader::new(data, batch);
+    let mut acc = Accuracy::new();
+    for b in loader.epoch(0) {
+        acc.update(&eval_logits(&b.images), &b.labels);
+    }
+    acc.top1()
+}
+
+/// Per-class evaluation: returns top-1 accuracy and the full confusion
+/// matrix over a dataset.
+pub fn evaluate_confusion(
+    eval_logits: &dyn Fn(&Tensor) -> Tensor,
+    data: &SyntheticVision,
+    batch: usize,
+) -> (f32, nb_metrics::Confusion) {
+    use nb_data::Dataset;
+    let loader = DataLoader::new(data, batch);
+    let mut acc = Accuracy::new();
+    let mut confusion = nb_metrics::Confusion::new(data.num_classes());
+    for b in loader.epoch(0) {
+        let logits = eval_logits(&b.images);
+        acc.update(&logits, &b.labels);
+        for (pred, &truth) in logits.argmax_last().into_iter().zip(&b.labels) {
+            confusion.record(truth, pred);
+        }
+    }
+    (acc.top1(), confusion)
+}
+
+/// The standard cross-entropy step for a classifier module: forward +
+/// (optionally smoothed) CE.
+pub fn ce_loss_fn<'m, M: Module>(
+    model: &'m M,
+    smoothing: f32,
+) -> impl FnMut(&mut Session, &Batch) -> Value + 'm {
+    move |s, batch| {
+        let x = s.input(batch.images.clone());
+        let logits = model.forward(s, x);
+        s.graph.softmax_cross_entropy(logits, &batch.labels, smoothing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_data::{Dataset, Scale, Split};
+    use nb_models::{mobilenet_v2_tiny, TinyNet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_pair() -> (SyntheticVision, SyntheticVision) {
+        use nb_data::recipe::{Family, Nuisance};
+        let mk = |split| {
+            SyntheticVision::new("t", Family::Objects, 3, 12, 24, Nuisance::easy(), 3, split)
+        };
+        (mk(Split::Train), mk(Split::Val))
+    }
+
+    #[test]
+    fn fit_reduces_loss_and_reports_history() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cfg_model = mobilenet_v2_tiny(3);
+        cfg_model.blocks.truncate(3); // keep the test fast
+        cfg_model.head_c = 16;
+        let model = TinyNet::new(cfg_model, &mut rng);
+        let (train, val) = tiny_pair();
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr: 0.05,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        };
+        let mut loss_fn = ce_loss_fn(&model, cfg.label_smoothing);
+        let history = fit(
+            model.parameters(),
+            &train,
+            &val,
+            &cfg,
+            &mut loss_fn,
+            &|imgs| model.logits_eval(imgs),
+            &mut NoHooks,
+        );
+        assert_eq!(history.epoch_loss.len(), 3);
+        assert_eq!(history.val_acc.len(), 3);
+        assert!(
+            history.epoch_loss[2] < history.epoch_loss[0],
+            "loss fell: {:?}",
+            history.epoch_loss
+        );
+        let _ = history.final_val_acc();
+    }
+
+    #[test]
+    fn hooks_called() {
+        struct Counter {
+            epochs: usize,
+            steps: usize,
+        }
+        impl TrainHooks for Counter {
+            fn on_epoch_start(&mut self, _e: usize) {
+                self.epochs += 1;
+            }
+            fn on_step(&mut self, _s: usize) {
+                self.steps += 1;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg_model = mobilenet_v2_tiny(3);
+        cfg_model.blocks.truncate(2);
+        let model = TinyNet::new(cfg_model, &mut rng);
+        let (train, val) = tiny_pair();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 12,
+            ..TrainConfig::default()
+        };
+        let mut hooks = Counter { epochs: 0, steps: 0 };
+        let mut loss_fn = ce_loss_fn(&model, 0.0);
+        fit(
+            model.parameters(),
+            &train,
+            &val,
+            &cfg,
+            &mut loss_fn,
+            &|imgs| model.logits_eval(imgs),
+            &mut hooks,
+        );
+        assert_eq!(hooks.epochs, 2);
+        assert_eq!(hooks.steps, 2 * 2); // 24 samples / 12 per batch * 2 epochs
+    }
+
+    #[test]
+    fn evaluate_on_untrained_model_is_near_chance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = nb_data::synthetic_imagenet(Scale::Smoke);
+        let model = TinyNet::new(mobilenet_v2_tiny(data.train.num_classes()), &mut rng);
+        let acc = evaluate(&|imgs| model.logits_eval(imgs), &data.val, 16);
+        assert!(acc <= 60.0, "untrained accuracy {acc}");
+    }
+}
+
+#[cfg(test)]
+mod confusion_tests {
+    use super::*;
+    use nb_data::recipe::{Family, Nuisance};
+    use nb_data::{Dataset, Split};
+
+    #[test]
+    fn confusion_totals_match_dataset() {
+        let val = SyntheticVision::new(
+            "c",
+            Family::Objects,
+            3,
+            10,
+            12,
+            Nuisance::easy(),
+            5,
+            Split::Val,
+        );
+        // a fixed "classifier" that always predicts class 1
+        let eval = |imgs: &Tensor| {
+            let n = imgs.dims()[0];
+            Tensor::from_fn([n, 3], |i| if i % 3 == 1 { 1.0 } else { 0.0 })
+        };
+        let (acc, confusion) = evaluate_confusion(&eval, &val, 4);
+        // class 1 appears in 4 of 12 samples
+        assert!((acc - 100.0 * 4.0 / 12.0).abs() < 1e-4);
+        let mut total = 0;
+        for truth in 0..3 {
+            for pred in 0..3 {
+                let c = confusion.get(truth, pred);
+                if pred != 1 {
+                    assert_eq!(c, 0, "everything predicted as 1");
+                }
+                total += c;
+            }
+        }
+        assert_eq!(total, 12);
+        assert_eq!(confusion.recall(1), Some(100.0));
+        assert_eq!(confusion.recall(0), Some(0.0));
+    }
+}

@@ -1,0 +1,306 @@
+//! Downstream-transfer pipelines (paper Constraint 2 / Table II): finetune
+//! an ImageNet-pretrained model — vanilla or NetBooster deep giant — on a
+//! target dataset, optionally with knowledge distillation on top.
+
+use crate::expansion::ExpansionHandle;
+use crate::methods::kd::KdConfig;
+use crate::methods::netbooster::plt_and_contract_with;
+use crate::plt::DecayCurve;
+use crate::trainer::{ce_loss_fn, fit, History, NoHooks, TrainConfig};
+use nb_autograd::softmax_rows;
+use nb_data::SyntheticVision;
+use nb_models::TinyNet;
+use nb_nn::Module;
+use rand::Rng;
+
+/// Fraction of the tuning epochs spent decaying (`E_d`); the paper uses 20%
+/// for every downstream task.
+pub const PLT_EPOCH_FRACTION: f32 = 0.2;
+
+/// Splits a downstream tuning budget into `(plt, finetune)` epochs with the
+/// paper's 20% rule (at least one epoch each when the budget allows).
+pub fn split_tuning_epochs(total: usize) -> (usize, usize) {
+    if total <= 1 {
+        return (total, 0);
+    }
+    let plt = ((total as f32 * PLT_EPOCH_FRACTION).round() as usize).clamp(1, total - 1);
+    (plt, total - plt)
+}
+
+/// Vanilla transfer: swap the classifier head and finetune everything.
+pub fn vanilla_transfer(
+    pretrained: &mut TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    rng: &mut impl Rng,
+) -> History {
+    pretrained.reset_classifier(train_classes(train), rng);
+    let model = &*pretrained;
+    let mut loss_fn = ce_loss_fn(model, cfg.label_smoothing);
+    fit(
+        model.parameters(),
+        train,
+        val,
+        cfg,
+        &mut loss_fn,
+        &|imgs| model.logits_eval(imgs),
+        &mut NoHooks,
+    )
+}
+
+/// Vanilla transfer with classic KD from a (downstream-trained) teacher.
+pub fn vanilla_transfer_kd(
+    pretrained: &mut TinyNet,
+    teacher: &TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    kd: &KdConfig,
+    rng: &mut impl Rng,
+) -> History {
+    pretrained.reset_classifier(train_classes(train), rng);
+    let model = &*pretrained;
+    let (temperature, alpha) = (kd.temperature, kd.alpha);
+    let mut loss_fn = |s: &mut nb_nn::Session, batch: &nb_data::Batch| {
+        let probs = softmax_rows(&teacher.logits_eval(&batch.images).scale(1.0 / temperature));
+        let x = s.input(batch.images.clone());
+        let logits = model.forward(s, x);
+        let ce = s
+            .graph
+            .softmax_cross_entropy(logits, &batch.labels, cfg.label_smoothing);
+        let kl = s.graph.kd_kl_loss(logits, &probs, temperature);
+        let ce_w = s.graph.scale(ce, 1.0 - alpha);
+        let kl_w = s.graph.scale(kl, alpha);
+        s.graph.add(ce_w, kl_w)
+    };
+    fit(
+        model.parameters(),
+        train,
+        val,
+        cfg,
+        &mut loss_fn,
+        &|imgs| model.logits_eval(imgs),
+        &mut NoHooks,
+    )
+}
+
+/// NetBooster transfer: start from the ImageNet-pretrained *deep giant*,
+/// swap the head, run PLT over the first 20% of tuning epochs, contract,
+/// and finetune for the rest.
+pub fn netbooster_transfer(
+    giant: &mut TinyNet,
+    handle: &ExpansionHandle,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    total_epochs: usize,
+    rng: &mut impl Rng,
+) -> History {
+    giant.reset_classifier(train_classes(train), rng);
+    let (plt, finetune) = split_tuning_epochs(total_epochs);
+    let smoothing = cfg.label_smoothing;
+    plt_and_contract_with(
+        giant,
+        handle,
+        train,
+        val,
+        cfg,
+        plt,
+        finetune,
+        DecayCurve::Linear,
+        move |m, s, batch| {
+            let x = s.input(batch.images.clone());
+            let logits = m.forward(s, x);
+            s.graph.softmax_cross_entropy(logits, &batch.labels, smoothing)
+        },
+    )
+}
+
+/// NetBooster transfer with KD stacked on top (the "NetBooster + KD" rows
+/// of Table II): the PLT/finetune loss gains a distillation term.
+#[allow(clippy::too_many_arguments)]
+pub fn netbooster_transfer_kd(
+    giant: &mut TinyNet,
+    handle: &ExpansionHandle,
+    teacher: &TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    kd: &KdConfig,
+    total_epochs: usize,
+    rng: &mut impl Rng,
+) -> History {
+    giant.reset_classifier(train_classes(train), rng);
+    let (plt, finetune) = split_tuning_epochs(total_epochs);
+    let (temperature, alpha) = (kd.temperature, kd.alpha);
+    let smoothing = cfg.label_smoothing;
+    plt_and_contract_with(
+        giant,
+        handle,
+        train,
+        val,
+        cfg,
+        plt,
+        finetune,
+        DecayCurve::Linear,
+        move |m, s, batch| {
+            let probs =
+                softmax_rows(&teacher.logits_eval(&batch.images).scale(1.0 / temperature));
+            let x = s.input(batch.images.clone());
+            let logits = m.forward(s, x);
+            let ce = s
+                .graph
+                .softmax_cross_entropy(logits, &batch.labels, smoothing);
+            let kl = s.graph.kd_kl_loss(logits, &probs, temperature);
+            let ce_w = s.graph.scale(ce, 1.0 - alpha);
+            let kl_w = s.graph.scale(kl, alpha);
+            s.graph.add(ce_w, kl_w)
+        },
+    )
+}
+
+/// Linear-probe transfer: freeze the backbone, train only the fresh
+/// classifier head. A cheap transfer baseline that isolates the quality of
+/// the pretrained features (nothing else can adapt).
+pub fn linear_probe_transfer(
+    pretrained: &mut TinyNet,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    rng: &mut impl Rng,
+) -> History {
+    pretrained.reset_classifier(train_classes(train), rng);
+    // freeze everything except the classifier
+    let head_keys: std::collections::HashSet<usize> = pretrained
+        .classifier
+        .parameters()
+        .iter()
+        .map(|p| p.key())
+        .collect();
+    let frozen: Vec<_> = pretrained
+        .parameters()
+        .into_iter()
+        .filter(|p| !head_keys.contains(&p.key()))
+        .collect();
+    for p in &frozen {
+        p.set_trainable(false);
+    }
+    let model = &*pretrained;
+    let mut loss_fn = ce_loss_fn(model, cfg.label_smoothing);
+    let history = fit(
+        model.classifier.parameters(),
+        train,
+        val,
+        cfg,
+        &mut loss_fn,
+        &|imgs| model.logits_eval(imgs),
+        &mut NoHooks,
+    );
+    for p in &frozen {
+        p.set_trainable(true);
+    }
+    history
+}
+
+fn train_classes(data: &SyntheticVision) -> usize {
+    use nb_data::Dataset;
+    data.num_classes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::ExpansionPlan;
+    use crate::methods::netbooster::train_giant;
+    use nb_data::recipe::{Family, Nuisance};
+    use nb_data::{Augment, Split};
+    use nb_models::mobilenet_v2_tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data(classes: usize, seed: u64) -> (SyntheticVision, SyntheticVision) {
+        let mk = |split| {
+            SyntheticVision::new("d", Family::Radial, classes, 12, 16, Nuisance::easy(), seed, split)
+        };
+        (mk(Split::Train), mk(Split::Val))
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            lr: 0.05,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn epoch_split_follows_20_percent_rule() {
+        assert_eq!(split_tuning_epochs(10), (2, 8));
+        assert_eq!(split_tuning_epochs(5), (1, 4));
+        assert_eq!(split_tuning_epochs(2), (1, 1));
+        assert_eq!(split_tuning_epochs(1), (1, 0));
+        assert_eq!(split_tuning_epochs(0), (0, 0));
+    }
+
+    #[test]
+    fn vanilla_transfer_swaps_head_and_trains() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (pre_train, pre_val) = data(2, 1);
+        let mut cfg_model = mobilenet_v2_tiny(2);
+        cfg_model.blocks.truncate(2);
+        let mut model = nb_models::TinyNet::new(cfg_model, &mut rng);
+        crate::methods::vanilla::train_vanilla(&model, &pre_train, &pre_val, &quick_cfg());
+        // transfer to a 3-class downstream dataset
+        let (dtrain, dval) = data(3, 2);
+        let h = vanilla_transfer(&mut model, &dtrain, &dval, &quick_cfg(), &mut rng);
+        assert_eq!(model.config.classes, 3);
+        assert_eq!(h.val_acc.len(), 2);
+    }
+
+    #[test]
+    fn linear_probe_freezes_backbone() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, val) = data(3, 6);
+        let mut cfg_model = mobilenet_v2_tiny(3);
+        cfg_model.blocks.truncate(2);
+        let mut model = nb_models::TinyNet::new(cfg_model, &mut rng);
+        let stem_before = model.stem.conv.weight().value();
+        let head_before = model.classifier.weight().value();
+        let h = linear_probe_transfer(&mut model, &train, &val, &quick_cfg(), &mut rng);
+        assert_eq!(h.val_acc.len(), 2);
+        // backbone untouched, head moved
+        assert_eq!(model.stem.conv.weight().value(), stem_before);
+        assert!(model.classifier.weight().value().max_abs_diff(&head_before) >= 0.0);
+        assert!(model.classifier.weight().grad().abs_sum() == 0.0, "grads cleared");
+        // everything unfrozen again afterwards
+        let mut all_trainable = true;
+        model.visit_params("", &mut |_, p| all_trainable &= p.trainable());
+        assert!(all_trainable);
+    }
+
+    #[test]
+    fn netbooster_transfer_contracts_on_downstream() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pre_train, pre_val) = data(2, 3);
+        let mut cfg_model = mobilenet_v2_tiny(2);
+        cfg_model.blocks.truncate(3);
+        let (mut giant, handle, _) = train_giant(
+            &cfg_model,
+            &ExpansionPlan::paper_default(),
+            &pre_train,
+            &pre_val,
+            &quick_cfg(),
+            1,
+            &mut rng,
+        );
+        assert!(giant.expanded_count() > 0);
+        let (dtrain, dval) = data(4, 4);
+        let h = netbooster_transfer(&mut giant, &handle, &dtrain, &dval, &quick_cfg(), 2, &mut rng);
+        assert_eq!(giant.expanded_count(), 0, "contracted downstream");
+        assert_eq!(giant.config.classes, 4);
+        assert_eq!(h.val_acc.len(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the expansion planner (paper Q1/Q2/Q3) over
+//! arbitrary network depths and plan settings.
+
+use nb_models::{mobilenet_v2_tiny, PwSlot, TinyNet};
+use nb_nn::Module;
+use netbooster_core::{expand, BlockKind, ExpansionPlan, Placement};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniform selection picks ~fraction of the expandable blocks, covers
+    /// both halves of the network, and never duplicates.
+    #[test]
+    fn uniform_selection_properties(n in 2usize..40, fraction in 0.1f32..1.0) {
+        let expandable: Vec<usize> = (0..n).collect();
+        let plan = ExpansionPlan {
+            placement: Placement::Uniform { fraction },
+            ..ExpansionPlan::paper_default()
+        };
+        let sel = plan.select_indices(&expandable);
+        prop_assert!(!sel.is_empty());
+        prop_assert!(sel.len() <= n);
+        // no duplicates, all in range
+        let mut dedup = sel.clone();
+        dedup.dedup();
+        prop_assert_eq!(&dedup, &sel);
+        prop_assert!(sel.iter().all(|i| *i < n));
+        // roughly the requested fraction (within rounding slack)
+        let want = (n as f32 * fraction).round() as usize;
+        prop_assert!(sel.len() as isize - want as isize <= 1);
+        // spread: when selecting at least 2 from >= 4 blocks, touch both halves
+        if sel.len() >= 2 && n >= 4 {
+            prop_assert!(sel.iter().any(|&i| i < n / 2));
+            prop_assert!(sel.iter().any(|&i| i >= n / 2));
+        }
+    }
+
+    /// First/Middle/Last placements return contiguous runs of the right
+    /// length from the right region.
+    #[test]
+    fn contiguous_placements(n in 1usize..30, k in 1usize..30) {
+        let expandable: Vec<usize> = (10..10 + n).collect();
+        let k_eff = k.min(n);
+        for placement in [Placement::First { n: k }, Placement::Middle { n: k }, Placement::Last { n: k }] {
+            let plan = ExpansionPlan { placement, ..ExpansionPlan::paper_default() };
+            let sel = plan.select_indices(&expandable);
+            prop_assert_eq!(sel.len(), k_eff, "placement {:?}", placement);
+            for w in sel.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1, "contiguous {:?}", placement);
+            }
+        }
+        let first = ExpansionPlan { placement: Placement::First { n: k }, ..ExpansionPlan::paper_default() }
+            .select_indices(&expandable);
+        prop_assert_eq!(first[0], 10);
+        let last = ExpansionPlan { placement: Placement::Last { n: k }, ..ExpansionPlan::paper_default() }
+            .select_indices(&expandable);
+        prop_assert_eq!(*last.last().unwrap(), 10 + n - 1);
+    }
+
+    /// Expansion then structural inspection: exactly the selected blocks are
+    /// expanded, channel interfaces are preserved, and the giant is strictly
+    /// bigger.
+    #[test]
+    fn expansion_structural_invariants(
+        kind_idx in 0usize..3,
+        ratio in 1usize..7,
+        fraction in 0.2f32..1.0,
+        seed in 0u64..500,
+    ) {
+        let kind = [BlockKind::InvertedResidual, BlockKind::Basic, BlockKind::Bottleneck][kind_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = TinyNet::new(mobilenet_v2_tiny(6), &mut rng);
+        let before: Vec<(usize, usize)> = net
+            .blocks
+            .iter()
+            .filter_map(|b| b.expand.as_ref().map(|s| (s.in_channels(), s.out_channels())))
+            .collect();
+        let base_params = net.param_count();
+        let plan = ExpansionPlan { kind, ratio, placement: Placement::Uniform { fraction } };
+        let handle = expand(&mut net, &plan, &mut rng);
+        prop_assert_eq!(net.expanded_count(), handle.expanded_blocks.len());
+        // channel interfaces unchanged
+        let after: Vec<(usize, usize)> = net
+            .blocks
+            .iter()
+            .filter_map(|b| b.expand.as_ref().map(|s| (s.in_channels(), s.out_channels())))
+            .collect();
+        prop_assert_eq!(before, after);
+        prop_assert!(net.param_count() > base_params);
+        // every expanded block is linearizable: slopes exist for every
+        // decayable activation and start at zero
+        prop_assert!(handle.slopes.iter().all(|s| s.get() == 0.0));
+        for &bi in &handle.expanded_blocks {
+            if let Some(PwSlot::Expanded(ib)) = &net.blocks[bi].expand {
+                prop_assert!(!ib.is_linearized());
+            } else {
+                prop_assert!(false, "block {bi} not expanded");
+            }
+        }
+        // driving the slopes linearizes everything
+        for s in &handle.slopes {
+            s.set(1.0);
+        }
+        for &bi in &handle.expanded_blocks {
+            if let Some(PwSlot::Expanded(ib)) = &net.blocks[bi].expand {
+                prop_assert!(ib.is_linearized());
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Training-time data augmentation on `[3, h, w]` image tensors.
+
+use nb_tensor::Tensor;
+use rand::Rng;
+
+/// Augmentation policy applied per training sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Augment {
+    /// Probability of a horizontal flip.
+    pub flip_p: f32,
+    /// Zero-padding used for random crops (0 disables cropping).
+    pub crop_pad: usize,
+    /// Per-channel multiplicative color-jitter amplitude (0 disables).
+    pub color_jitter: f32,
+}
+
+impl Augment {
+    /// The standard training policy: flip, pad-4 crop, mild jitter.
+    pub fn standard() -> Self {
+        Augment {
+            flip_p: 0.5,
+            crop_pad: 2,
+            color_jitter: 0.1,
+        }
+    }
+
+    /// No augmentation (evaluation).
+    pub fn none() -> Self {
+        Augment {
+            flip_p: 0.0,
+            crop_pad: 0,
+            color_jitter: 0.0,
+        }
+    }
+
+    /// Applies the policy to one `[3, h, w]` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `img` is not rank 3.
+    pub fn apply(&self, img: &Tensor, rng: &mut impl Rng) -> Tensor {
+        let dims = img.dims();
+        assert_eq!(dims.len(), 3, "augment expects [c,h,w]");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let mut out = img.clone();
+        if self.flip_p > 0.0 && rng.gen::<f32>() < self.flip_p {
+            out = hflip(&out);
+        }
+        if self.crop_pad > 0 {
+            let p = self.crop_pad;
+            let dx = rng.gen_range(0..=2 * p) as isize - p as isize;
+            let dy = rng.gen_range(0..=2 * p) as isize - p as isize;
+            out = shift(&out, dx, dy);
+        }
+        if self.color_jitter > 0.0 {
+            let mut o = out.into_vec();
+            for ch in 0..c {
+                let s = 1.0 + rng.gen_range(-self.color_jitter..=self.color_jitter);
+                for v in &mut o[ch * h * w..(ch + 1) * h * w] {
+                    *v = (*v * s).clamp(0.0, 1.0);
+                }
+            }
+            out = Tensor::from_vec(o, [c, h, w]).expect("buffer preserved");
+        }
+        out
+    }
+}
+
+/// Horizontal flip of a `[c, h, w]` image.
+///
+/// # Panics
+///
+/// Panics if `img` is not rank 3.
+pub fn hflip(img: &Tensor) -> Tensor {
+    let dims = img.dims();
+    assert_eq!(dims.len(), 3, "hflip expects [c,h,w]");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let src = img.as_slice();
+    Tensor::from_fn([c, h, w], |i| {
+        let (ch, rest) = (i / (h * w), i % (h * w));
+        let (y, x) = (rest / w, rest % w);
+        src[ch * h * w + y * w + (w - 1 - x)]
+    })
+}
+
+/// Integer translation with zero fill (the random-crop primitive).
+///
+/// # Panics
+///
+/// Panics if `img` is not rank 3.
+pub fn shift(img: &Tensor, dx: isize, dy: isize) -> Tensor {
+    let dims = img.dims();
+    assert_eq!(dims.len(), 3, "shift expects [c,h,w]");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let src = img.as_slice();
+    Tensor::from_fn([c, h, w], |i| {
+        let (ch, rest) = (i / (h * w), i % (h * w));
+        let (y, x) = (rest / w, rest % w);
+        let sy = y as isize - dy;
+        let sx = x as isize - dx;
+        if sy < 0 || sx < 0 || sy >= h as isize || sx >= w as isize {
+            0.0
+        } else {
+            src[ch * h * w + sy as usize * w + sx as usize]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn img() -> Tensor {
+        Tensor::from_fn([1, 2, 3], |i| i as f32)
+    }
+
+    #[test]
+    fn hflip_reverses_rows() {
+        let f = hflip(&img());
+        assert_eq!(f.as_slice(), &[2.0, 1.0, 0.0, 5.0, 4.0, 3.0]);
+        assert_eq!(hflip(&f), img());
+    }
+
+    #[test]
+    fn shift_fills_zero() {
+        let s = shift(&img(), 1, 0);
+        assert_eq!(s.as_slice(), &[0.0, 0.0, 1.0, 0.0, 3.0, 4.0]);
+        let s = shift(&img(), 0, -1);
+        assert_eq!(s.as_slice(), &[3.0, 4.0, 5.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn none_policy_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = img();
+        assert_eq!(Augment::none().apply(&x, &mut rng), x);
+    }
+
+    #[test]
+    fn standard_policy_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform([3, 8, 8], 0.0, 1.0, &mut rng);
+        for _ in 0..10 {
+            let y = Augment::standard().apply(&x, &mut rng);
+            assert_eq!(y.dims(), x.dims());
+            assert!(y.min_value() >= 0.0 && y.max_value() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The dataset catalog: one constructor per dataset the paper evaluates on,
+//! each mapping to a synthetic family with its own class count and
+//! difficulty (see DESIGN.md for the substitution rationale).
+
+use crate::dataset::{Split, SyntheticVision};
+use crate::recipe::{Family, Nuisance};
+
+/// Size preset for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-epoch sizes for tests and smoke runs.
+    Smoke,
+    /// The default benchmark scale used by the experiment binaries.
+    Bench,
+    /// Larger runs for when more CPU time is available.
+    Full,
+}
+
+impl Scale {
+    fn scaled(self, smoke: usize, bench: usize, full: usize) -> usize {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Bench => bench,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Configuration produced by the catalog: a train/val dataset pair.
+#[derive(Debug, Clone)]
+pub struct DatasetPair {
+    /// Training split.
+    pub train: SyntheticVision,
+    /// Validation split.
+    pub val: SyntheticVision,
+}
+
+fn pair(
+    name: &str,
+    family: Family,
+    classes: usize,
+    image: usize,
+    train_len: usize,
+    val_len: usize,
+    nuisance: Nuisance,
+    seed: u64,
+) -> DatasetPair {
+    DatasetPair {
+        train: SyntheticVision::new(
+            name, family, classes, image, train_len, nuisance, seed, Split::Train,
+        ),
+        val: SyntheticVision::new(
+            name, family, classes, image, val_len, nuisance, seed, Split::Val,
+        ),
+    }
+}
+
+/// ImageNet stand-in: the "large-scale" pretraining dataset. Many classes
+/// and strong nuisance so tiny networks underfit (paper Constraint 1).
+pub fn synthetic_imagenet(scale: Scale) -> DatasetPair {
+    pair(
+        "synth-imagenet",
+        Family::Objects,
+        scale.scaled(8, 24, 64),
+        scale.scaled(16, 24, 32),
+        scale.scaled(64, 1024, 12800),
+        scale.scaled(32, 256, 2560),
+        Nuisance::standard(),
+        101,
+    )
+}
+
+/// CIFAR-100 stand-in: general object classes at low resolution.
+pub fn cifar100_like(scale: Scale) -> DatasetPair {
+    pair(
+        "synth-cifar100",
+        Family::General,
+        scale.scaled(6, 10, 100),
+        scale.scaled(16, 24, 32),
+        scale.scaled(48, 800, 10000),
+        scale.scaled(24, 200, 2000),
+        Nuisance::standard(),
+        202,
+    )
+}
+
+/// Stanford Cars stand-in: fine-grained — classes differ in small geometric
+/// parameters of a shared object template.
+pub fn cars_like(scale: Scale) -> DatasetPair {
+    let mut n = Nuisance::standard();
+    n.rot_jitter = 0.25; // cars are roughly upright
+    n.distractors = 1;
+    pair(
+        "synth-cars",
+        Family::FineGrained,
+        scale.scaled(6, 8, 48),
+        scale.scaled(16, 24, 32),
+        scale.scaled(48, 640, 6400),
+        scale.scaled(24, 160, 1280),
+        n,
+        303,
+    )
+}
+
+/// Flowers102 stand-in: radial rosette patterns.
+pub fn flowers_like(scale: Scale) -> DatasetPair {
+    pair(
+        "synth-flowers",
+        Family::Radial,
+        scale.scaled(6, 8, 102),
+        scale.scaled(16, 24, 32),
+        scale.scaled(48, 640, 6400),
+        scale.scaled(24, 160, 1280),
+        Nuisance::standard(),
+        404,
+    )
+}
+
+/// Food101 stand-in: texture mixtures without a dominant contour.
+pub fn food_like(scale: Scale) -> DatasetPair {
+    pair(
+        "synth-food",
+        Family::TextureMix,
+        scale.scaled(6, 8, 64),
+        scale.scaled(16, 24, 32),
+        scale.scaled(48, 640, 6400),
+        scale.scaled(24, 160, 1280),
+        Nuisance::standard(),
+        505,
+    )
+}
+
+/// Oxford-IIIT Pets stand-in: two super-categories with per-class detail.
+pub fn pets_like(scale: Scale) -> DatasetPair {
+    pair(
+        "synth-pets",
+        Family::TwoLevel,
+        scale.scaled(6, 8, 37),
+        scale.scaled(16, 24, 32),
+        scale.scaled(48, 480, 4800),
+        scale.scaled(24, 120, 960),
+        Nuisance::standard(),
+        606,
+    )
+}
+
+/// All five downstream classification datasets in paper Table II order.
+pub fn downstream_suite(scale: Scale) -> Vec<DatasetPair> {
+    vec![
+        cifar100_like(scale),
+        cars_like(scale),
+        flowers_like(scale),
+        food_like(scale),
+        pets_like(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    #[test]
+    fn catalog_constructs_all() {
+        for p in downstream_suite(Scale::Smoke) {
+            assert!(p.train.len() > 0);
+            assert!(p.val.len() > 0);
+            assert_eq!(p.train.num_classes(), p.val.num_classes());
+            let (img, label) = p.train.get(0);
+            assert_eq!(img.dims()[0], 3);
+            assert!(label < p.train.num_classes());
+        }
+    }
+
+    #[test]
+    fn imagenet_largest_class_count() {
+        let im = synthetic_imagenet(Scale::Bench);
+        for p in downstream_suite(Scale::Bench) {
+            assert!(im.train.num_classes() >= p.train.num_classes());
+        }
+    }
+
+    #[test]
+    fn scales_ordered() {
+        let s = synthetic_imagenet(Scale::Smoke);
+        let b = synthetic_imagenet(Scale::Bench);
+        let f = synthetic_imagenet(Scale::Full);
+        assert!(s.train.len() < b.train.len());
+        assert!(b.train.len() < f.train.len());
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names: Vec<String> = downstream_suite(Scale::Smoke)
+            .iter()
+            .map(|p| p.train.name().to_string())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

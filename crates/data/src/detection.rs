@@ -1,0 +1,233 @@
+//! Synthetic object-detection dataset (the Pascal VOC stand-in).
+//!
+//! Each image contains 1–3 class-coded objects; annotations are normalized
+//! center-format boxes. The detection head in `nb-models` trains against a
+//! single-scale grid encoding of these boxes and is scored with VOC-style
+//! AP50 in `nb-metrics`.
+
+use crate::recipe::{render_sample, ClassRecipe, Family, Nuisance};
+use crate::render::Canvas;
+use nb_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A ground-truth object: class plus a normalized center-format box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxAnnotation {
+    /// Object class.
+    pub class: usize,
+    /// Normalized box center x in `[0, 1]`.
+    pub cx: f32,
+    /// Normalized box center y in `[0, 1]`.
+    pub cy: f32,
+    /// Normalized box width.
+    pub w: f32,
+    /// Normalized box height.
+    pub h: f32,
+}
+
+impl BoxAnnotation {
+    /// Corner coordinates `(x0, y0, x1, y1)`, clamped to the unit square.
+    pub fn corners(&self) -> (f32, f32, f32, f32) {
+        (
+            (self.cx - self.w / 2.0).max(0.0),
+            (self.cy - self.h / 2.0).max(0.0),
+            (self.cx + self.w / 2.0).min(1.0),
+            (self.cy + self.h / 2.0).min(1.0),
+        )
+    }
+
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &BoxAnnotation) -> f32 {
+        let (ax0, ay0, ax1, ay1) = self.corners();
+        let (bx0, by0, bx1, by1) = other.corners();
+        let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+        let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+        let inter = ix * iy;
+        let union = (ax1 - ax0) * (ay1 - ay0) + (bx1 - bx0) * (by1 - by0) - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// A synthetic detection dataset: `len` images of `classes` object types.
+#[derive(Debug, Clone)]
+pub struct SyntheticVoc {
+    classes: usize,
+    recipes: Vec<ClassRecipe>,
+    image_size: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl SyntheticVoc {
+    /// Builds the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `len == 0`.
+    pub fn new(classes: usize, image_size: usize, len: usize, seed: u64) -> Self {
+        assert!(classes > 0 && len > 0, "empty detection dataset");
+        let recipes = (0..classes)
+            .map(|c| ClassRecipe::derive(Family::Objects, c))
+            .collect();
+        SyntheticVoc {
+            classes,
+            recipes,
+            image_size,
+            len,
+            seed,
+        }
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the dataset is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of object classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image side length.
+    pub fn image_size(&self) -> usize {
+        self.image_size
+    }
+
+    /// The image and its ground-truth boxes at `index` (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn get(&self, index: usize) -> (Tensor, Vec<BoxAnnotation>) {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(index as u64),
+        );
+        let mut canvas = Canvas::new(self.image_size);
+        let bg = ClassRecipe::derive(Family::General, index % 11).background;
+        canvas.fill_gradient(bg.0, bg.1);
+        let mut base = canvas.into_tensor().into_vec();
+        let count = rng.gen_range(1..=3usize);
+        let mut boxes = Vec::with_capacity(count);
+        let nuisance = Nuisance {
+            pos_jitter: 0.0,
+            scale_jitter: 0.2,
+            rot_jitter: 0.8,
+            color_jitter: 0.1,
+            noise: 0.0,
+            distractors: 0,
+        };
+        for _ in 0..count {
+            let class = rng.gen_range(0..self.classes);
+            // render the object alone on a small patch and paste it
+            let patch_px = rng.gen_range(self.image_size / 4..=self.image_size / 2);
+            let obj = render_sample(&self.recipes[class], patch_px, &nuisance, &mut rng);
+            let max = self.image_size - patch_px;
+            let x0 = rng.gen_range(0..=max);
+            let y0 = rng.gen_range(0..=max);
+            let n = self.image_size;
+            let os = obj.as_slice();
+            for ch in 0..3 {
+                for y in 0..patch_px {
+                    for x in 0..patch_px {
+                        base[ch * n * n + (y0 + y) * n + (x0 + x)] =
+                            os[ch * patch_px * patch_px + y * patch_px + x];
+                    }
+                }
+            }
+            let size = patch_px as f32 / n as f32;
+            boxes.push(BoxAnnotation {
+                class,
+                cx: (x0 as f32 + patch_px as f32 / 2.0) / n as f32,
+                cy: (y0 as f32 + patch_px as f32 / 2.0) / n as f32,
+                w: size,
+                h: size,
+            });
+        }
+        let img = Tensor::from_vec(base, [3, self.image_size, self.image_size])
+            .expect("canvas buffer consistent");
+        (img, boxes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxes_inside_unit_square() {
+        let d = SyntheticVoc::new(5, 32, 20, 1);
+        for i in 0..20 {
+            let (img, boxes) = d.get(i);
+            assert_eq!(img.dims(), &[3, 32, 32]);
+            assert!(!boxes.is_empty() && boxes.len() <= 3);
+            for b in boxes {
+                let (x0, y0, x1, y1) = b.corners();
+                assert!(x0 >= 0.0 && y0 >= 0.0 && x1 <= 1.0 && y1 <= 1.0);
+                assert!(x1 > x0 && y1 > y0);
+                assert!(b.class < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = SyntheticVoc::new(3, 24, 5, 2);
+        let (a, ba) = d.get(2);
+        let (b, bb) = d.get(2);
+        assert_eq!(a, b);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn iou_identity_and_disjoint() {
+        let a = BoxAnnotation {
+            class: 0,
+            cx: 0.3,
+            cy: 0.3,
+            w: 0.2,
+            h: 0.2,
+        };
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        let b = BoxAnnotation {
+            class: 0,
+            cx: 0.8,
+            cy: 0.8,
+            w: 0.1,
+            h: 0.1,
+        };
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = BoxAnnotation {
+            class: 0,
+            cx: 0.25,
+            cy: 0.25,
+            w: 0.2,
+            h: 0.2,
+        };
+        let b = BoxAnnotation {
+            class: 0,
+            cx: 0.35,
+            cy: 0.25,
+            w: 0.2,
+            h: 0.2,
+        };
+        // intersection 0.1x0.2, union 0.04+0.04-0.02
+        assert!((a.iou(&b) - (0.02 / 0.06)).abs() < 1e-5);
+    }
+}

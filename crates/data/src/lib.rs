@@ -1,0 +1,42 @@
+//! # nb-data
+//!
+//! Synthetic datasets for the NetBooster reproduction: a procedural image
+//! renderer, deterministic per-class recipes standing in for the paper's
+//! seven datasets (ImageNet, CIFAR-100, Cars, Flowers102, Food101, Pets,
+//! Pascal VOC), augmentation, and a parallel batching loader.
+//!
+//! See DESIGN.md at the repository root for the substitution rationale:
+//! every dataset is generated on the fly, deterministically per index, with
+//! class identity carried by shape/palette/texture and heavy per-sample
+//! nuisance that tiny networks must learn to ignore.
+//!
+//! ## Example
+//!
+//! ```
+//! use nb_data::{synthetic_imagenet, DataLoader, Dataset, Scale};
+//!
+//! let data = synthetic_imagenet(Scale::Smoke);
+//! let loader = DataLoader::new(&data.train, 8).shuffled(0);
+//! let batch = &loader.epoch(0)[0];
+//! assert_eq!(batch.images.dims()[0], 8);
+//! assert!(batch.labels.iter().all(|&l| l < data.train.num_classes()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod augment;
+mod catalog;
+mod dataset;
+mod detection;
+mod loader;
+pub mod recipe;
+pub mod render;
+
+pub use augment::{hflip, shift, Augment};
+pub use catalog::{
+    cars_like, cifar100_like, downstream_suite, flowers_like, food_like, pets_like,
+    synthetic_imagenet, DatasetPair, Scale,
+};
+pub use dataset::{Dataset, Split, SyntheticVision};
+pub use detection::{BoxAnnotation, SyntheticVoc};
+pub use loader::{random_probe_batch, Batch, DataLoader};

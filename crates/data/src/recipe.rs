@@ -1,0 +1,423 @@
+//! Class recipes: deterministic per-class rendering programs.
+//!
+//! Every synthetic dataset is a [`Family`] (which stands in for a real
+//! dataset from the paper) plus a class count. A class's visual identity —
+//! shape, palette, texture — is derived deterministically from
+//! `(family, class_id)`; per-sample nuisance (position, scale, rotation,
+//! color jitter, distractors, noise) is what the network must learn to
+//! ignore.
+
+use crate::render::{Canvas, Rgb};
+use rand::Rng;
+
+/// Which real dataset a synthetic family stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// ImageNet stand-in: diverse shapes x textures x palettes.
+    Objects,
+    /// CIFAR-100 stand-in: like Objects with a different derivation salt.
+    General,
+    /// Stanford Cars stand-in: one object template, classes differ only in
+    /// fine geometry (fine-grained recognition).
+    FineGrained,
+    /// Flowers102 stand-in: radial rosettes.
+    Radial,
+    /// Food101 stand-in: texture mixtures without a dominant shape.
+    TextureMix,
+    /// Oxford-IIIT Pets stand-in: two super-categories (ears up vs floppy)
+    /// with per-class coloring, mirroring the cat/dog split.
+    TwoLevel,
+}
+
+impl Family {
+    fn salt(self) -> u64 {
+        match self {
+            Family::Objects => 0x9e37_79b9_7f4a_7c15,
+            Family::General => 0xbf58_476d_1ce4_e5b9,
+            Family::FineGrained => 0x94d0_49bb_1331_11eb,
+            Family::Radial => 0xd6e8_feb8_6659_fd93,
+            Family::TextureMix => 0xa5a5_a5a5_5a5a_5a5a,
+            Family::TwoLevel => 0x0123_4567_89ab_cdef,
+        }
+    }
+}
+
+/// The main shape a class draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShapeKind {
+    /// Filled disk.
+    Disk,
+    /// Rotated rectangle with the given aspect ratio.
+    Rect {
+        /// Height/width ratio of the rectangle.
+        aspect: f32,
+    },
+    /// Regular polygon.
+    Polygon {
+        /// Number of sides (>= 3).
+        sides: u32,
+    },
+    /// Annulus with the given inner-radius fraction.
+    Ring {
+        /// Inner radius as a fraction of the outer radius.
+        hole: f32,
+    },
+    /// Petaled rosette.
+    Rosette {
+        /// Number of petals.
+        petals: u32,
+    },
+}
+
+/// Texture overlay applied on top of the shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TextureKind {
+    /// No overlay.
+    Plain,
+    /// Oriented sinusoidal stripes.
+    Stripes {
+        /// Spatial frequency of the stripes.
+        freq: f32,
+        /// Stripe orientation in radians.
+        angle: f32,
+    },
+    /// Checkerboard cells.
+    Checker {
+        /// Cells per side.
+        cells: usize,
+    },
+}
+
+/// Deterministic per-class rendering program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRecipe {
+    /// The dataset family this class belongs to.
+    pub family: Family,
+    /// Class index within the family.
+    pub class_id: usize,
+    /// Main shape.
+    pub shape: ShapeKind,
+    /// Shape color.
+    pub primary: Rgb,
+    /// Accent color (texture / secondary marks).
+    pub secondary: Rgb,
+    /// Background gradient endpoints.
+    pub background: (Rgb, Rgb),
+    /// Texture overlay.
+    pub texture: TextureKind,
+    /// Base normalized size of the main shape.
+    pub base_size: f32,
+}
+
+/// SplitMix64: tiny deterministic hash for recipe derivation.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f32 in [0,1) from a hash state.
+fn unit(h: u64) -> f32 {
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+fn palette(h: u64) -> Rgb {
+    Rgb(
+        0.15 + 0.8 * unit(splitmix(h ^ 1)),
+        0.15 + 0.8 * unit(splitmix(h ^ 2)),
+        0.15 + 0.8 * unit(splitmix(h ^ 3)),
+    )
+}
+
+impl ClassRecipe {
+    /// Derives the deterministic recipe for `(family, class_id)`.
+    pub fn derive(family: Family, class_id: usize) -> Self {
+        let h = splitmix(family.salt() ^ (class_id as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let pick = |k: u64| splitmix(h ^ k);
+        let shape = match family {
+            Family::FineGrained => ShapeKind::Rect {
+                // fine-grained: aspect varies in small steps per class
+                aspect: 0.35 + 0.012 * (class_id % 24) as f32,
+            },
+            Family::Radial => ShapeKind::Rosette {
+                petals: 3 + (class_id % 9) as u32,
+            },
+            Family::TextureMix => ShapeKind::Disk,
+            Family::TwoLevel => {
+                if class_id % 2 == 0 {
+                    ShapeKind::Polygon { sides: 3 } // "ears up"
+                } else {
+                    ShapeKind::Rect { aspect: 0.7 } // "floppy"
+                }
+            }
+            Family::Objects | Family::General => match pick(10) % 5 {
+                0 => ShapeKind::Disk,
+                1 => ShapeKind::Rect {
+                    aspect: 0.3 + 0.6 * unit(pick(11)),
+                },
+                2 => ShapeKind::Polygon {
+                    sides: 3 + (pick(12) % 5) as u32,
+                },
+                3 => ShapeKind::Ring {
+                    hole: 0.3 + 0.4 * unit(pick(13)),
+                },
+                _ => ShapeKind::Rosette {
+                    petals: 3 + (pick(14) % 7) as u32,
+                },
+            },
+        };
+        let texture = match family {
+            Family::TextureMix => {
+                if pick(20) % 2 == 0 {
+                    TextureKind::Stripes {
+                        freq: 3.0 + (class_id % 13) as f32,
+                        angle: unit(pick(21)) * std::f32::consts::PI,
+                    }
+                } else {
+                    TextureKind::Checker {
+                        cells: 2 + class_id % 7,
+                    }
+                }
+            }
+            Family::FineGrained => TextureKind::Plain,
+            _ => match pick(22) % 3 {
+                0 => TextureKind::Plain,
+                1 => TextureKind::Stripes {
+                    freq: 2.0 + 6.0 * unit(pick(23)),
+                    angle: unit(pick(24)) * std::f32::consts::PI,
+                },
+                _ => TextureKind::Checker {
+                    cells: 2 + (pick(25) % 6) as usize,
+                },
+            },
+        };
+        ClassRecipe {
+            family,
+            class_id,
+            shape,
+            primary: palette(pick(30)),
+            secondary: palette(pick(31)),
+            background: (palette(pick(32)).scaled(0.6), palette(pick(33)).scaled(0.6)),
+            texture,
+            base_size: 0.22 + 0.12 * unit(pick(34)),
+        }
+    }
+}
+
+/// Per-sample nuisance strength: what varies *within* a class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nuisance {
+    /// Max normalized center offset from the canvas middle.
+    pub pos_jitter: f32,
+    /// Multiplicative size jitter range (e.g. 0.3 = +/-30%).
+    pub scale_jitter: f32,
+    /// Max rotation in radians.
+    pub rot_jitter: f32,
+    /// Per-channel color jitter amplitude.
+    pub color_jitter: f32,
+    /// Speckle-noise amplitude.
+    pub noise: f32,
+    /// Number of random distractor shapes behind the object.
+    pub distractors: usize,
+}
+
+impl Nuisance {
+    /// The default difficulty used by the experiment configs: enough
+    /// variation that tiny networks underfit without memorizing pixels.
+    pub fn standard() -> Self {
+        Nuisance {
+            pos_jitter: 0.22,
+            scale_jitter: 0.35,
+            rot_jitter: std::f32::consts::PI,
+            color_jitter: 0.22,
+            noise: 0.14,
+            distractors: 4,
+        }
+    }
+
+    /// A mild setting for quick tests and examples.
+    pub fn easy() -> Self {
+        Nuisance {
+            pos_jitter: 0.05,
+            scale_jitter: 0.1,
+            rot_jitter: 0.3,
+            color_jitter: 0.05,
+            noise: 0.02,
+            distractors: 0,
+        }
+    }
+}
+
+fn jitter_color(c: Rgb, amp: f32, rng: &mut impl Rng) -> Rgb {
+    let j = |v: f32, rng: &mut dyn FnMut() -> f32| (v + rng()).clamp(0.0, 1.0);
+    let mut draw = || rng.gen_range(-amp..=amp);
+    Rgb(j(c.0, &mut draw), j(c.1, &mut draw), j(c.2, &mut draw))
+}
+
+/// Renders one sample of a class at the given canvas size.
+///
+/// The same `(recipe, rng state)` always renders the same pixels, which is
+/// how datasets stay deterministic per index.
+pub fn render_sample(
+    recipe: &ClassRecipe,
+    size: usize,
+    nuisance: &Nuisance,
+    rng: &mut impl Rng,
+) -> nb_tensor::Tensor {
+    let mut canvas = Canvas::new(size);
+    let (bg_a, bg_b) = recipe.background;
+    canvas.fill_gradient(
+        jitter_color(bg_a, nuisance.color_jitter, rng),
+        jitter_color(bg_b, nuisance.color_jitter, rng),
+    );
+    // distractors: dim random shapes that do not carry class information
+    for _ in 0..nuisance.distractors {
+        let cx = rng.gen_range(0.1..0.9);
+        let cy = rng.gen_range(0.1..0.9);
+        let r = rng.gen_range(0.05..0.15);
+        let color = Rgb(
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..1.0),
+        )
+        .scaled(0.5);
+        if rng.gen_bool(0.5) {
+            canvas.disk(cx, cy, r, color);
+        } else {
+            canvas.rect(cx, cy, r, r, rng.gen_range(0.0..1.0), color);
+        }
+    }
+    let cx = 0.5 + rng.gen_range(-nuisance.pos_jitter..=nuisance.pos_jitter);
+    let cy = 0.5 + rng.gen_range(-nuisance.pos_jitter..=nuisance.pos_jitter);
+    let scale = recipe.base_size
+        * (1.0 + rng.gen_range(-nuisance.scale_jitter..=nuisance.scale_jitter));
+    let rot = rng.gen_range(-nuisance.rot_jitter..=nuisance.rot_jitter);
+    let primary = jitter_color(recipe.primary, nuisance.color_jitter, rng);
+    let secondary = jitter_color(recipe.secondary, nuisance.color_jitter, rng);
+    match recipe.shape {
+        ShapeKind::Disk => canvas.disk(cx, cy, scale, primary),
+        ShapeKind::Rect { aspect } => canvas.rect(cx, cy, scale, scale * aspect, rot, primary),
+        ShapeKind::Polygon { sides } => canvas.polygon(cx, cy, scale, sides, rot, primary),
+        ShapeKind::Ring { hole } => canvas.ring(cx, cy, scale * hole, scale, primary),
+        ShapeKind::Rosette { petals } => canvas.rosette(cx, cy, scale, petals, rot, primary),
+    }
+    // family-specific secondary marks
+    match recipe.family {
+        Family::FineGrained => {
+            // "wheels": two disks whose spacing is class-determined
+            if let ShapeKind::Rect { aspect } = recipe.shape {
+                let spread = scale * (0.5 + aspect);
+                canvas.disk(cx - spread, cy + scale * aspect, scale * 0.25, secondary);
+                canvas.disk(cx + spread, cy + scale * aspect, scale * 0.25, secondary);
+            }
+        }
+        Family::Radial => {
+            canvas.disk(cx, cy, scale * 0.25, secondary);
+        }
+        Family::TwoLevel => {
+            canvas.disk(cx, cy - scale * 0.2, scale * 0.3, secondary);
+        }
+        _ => {}
+    }
+    match recipe.texture {
+        TextureKind::Plain => {}
+        TextureKind::Stripes { freq, angle } => canvas.stripes(freq, angle + rot * 0.2, secondary, 0.35),
+        TextureKind::Checker { cells } => canvas.checker(cells, secondary, 0.3),
+    }
+    if nuisance.noise > 0.0 {
+        canvas.speckle(nuisance.noise, rng);
+    }
+    canvas.blur();
+    canvas.into_tensor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recipes_deterministic() {
+        let a = ClassRecipe::derive(Family::Objects, 7);
+        let b = ClassRecipe::derive(Family::Objects, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classes_differ() {
+        let a = ClassRecipe::derive(Family::Objects, 0);
+        let b = ClassRecipe::derive(Family::Objects, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn families_differ_for_same_class() {
+        let a = ClassRecipe::derive(Family::Objects, 5);
+        let b = ClassRecipe::derive(Family::General, 5);
+        assert_ne!(a.primary, b.primary);
+    }
+
+    #[test]
+    fn fine_grained_classes_share_shape_family() {
+        for id in 0..10 {
+            let r = ClassRecipe::derive(Family::FineGrained, id);
+            assert!(matches!(r.shape, ShapeKind::Rect { .. }));
+            assert_eq!(r.texture, TextureKind::Plain);
+        }
+        // but aspect differs between adjacent classes
+        let a = ClassRecipe::derive(Family::FineGrained, 0);
+        let b = ClassRecipe::derive(Family::FineGrained, 1);
+        let (ShapeKind::Rect { aspect: aa }, ShapeKind::Rect { aspect: ab }) = (a.shape, b.shape)
+        else {
+            panic!("expected rects")
+        };
+        assert!((aa - ab).abs() > 1e-4 && (aa - ab).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_level_alternates_supercategory() {
+        let cat = ClassRecipe::derive(Family::TwoLevel, 0);
+        let dog = ClassRecipe::derive(Family::TwoLevel, 1);
+        assert!(matches!(cat.shape, ShapeKind::Polygon { sides: 3 }));
+        assert!(matches!(dog.shape, ShapeKind::Rect { .. }));
+    }
+
+    #[test]
+    fn render_deterministic_per_seed() {
+        let r = ClassRecipe::derive(Family::Objects, 3);
+        let n = Nuisance::standard();
+        let a = render_sample(&r, 16, &n, &mut StdRng::seed_from_u64(9));
+        let b = render_sample(&r, 16, &n, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = render_sample(&r, 16, &n, &mut StdRng::seed_from_u64(10));
+        assert!(a.max_abs_diff(&c) > 1e-3, "different seeds differ");
+    }
+
+    #[test]
+    fn render_output_in_unit_range() {
+        let r = ClassRecipe::derive(Family::TextureMix, 11);
+        let t = render_sample(&r, 24, &Nuisance::standard(), &mut StdRng::seed_from_u64(1));
+        assert_eq!(t.dims(), &[3, 24, 24]);
+        assert!(t.min_value() >= 0.0 && t.max_value() <= 1.0);
+    }
+
+    #[test]
+    fn different_classes_render_differently() {
+        let n = Nuisance::easy();
+        let a = render_sample(
+            &ClassRecipe::derive(Family::Radial, 0),
+            24,
+            &n,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let b = render_sample(
+            &ClassRecipe::derive(Family::Radial, 4),
+            24,
+            &n,
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert!(a.max_abs_diff(&b) > 0.05);
+    }
+}

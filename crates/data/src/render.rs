@@ -1,0 +1,390 @@
+//! Procedural image rendering: the pixel source for every synthetic dataset.
+//!
+//! A [`Canvas`] is a small RGB float image with drawing primitives
+//! (background gradients, shapes, stripes, rings, speckle) in normalized
+//! coordinates. Class recipes in [`crate::recipe`] compose these primitives;
+//! nuisance transforms (shift/scale/rotate/jitter) come from the sampler.
+
+use nb_tensor::Tensor;
+
+/// An RGB color with components in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rgb(pub f32, pub f32, pub f32);
+
+impl Rgb {
+    /// Linear interpolation toward `other`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        Rgb(
+            self.0 + (other.0 - self.0) * t,
+            self.1 + (other.1 - self.1) * t,
+            self.2 + (other.2 - self.2) * t,
+        )
+    }
+
+    /// Per-channel scale, clamped to `[0, 1]`.
+    pub fn scaled(self, s: f32) -> Rgb {
+        Rgb(
+            (self.0 * s).clamp(0.0, 1.0),
+            (self.1 * s).clamp(0.0, 1.0),
+            (self.2 * s).clamp(0.0, 1.0),
+        )
+    }
+}
+
+/// A square RGB image under construction.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    size: usize,
+    /// Channel-major (CHW) pixel data.
+    data: Vec<f32>,
+}
+
+impl Canvas {
+    /// A black canvas of `size x size` pixels.
+    pub fn new(size: usize) -> Self {
+        Canvas {
+            size,
+            data: vec![0.0; 3 * size * size],
+        }
+    }
+
+    /// Side length in pixels.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Converts the canvas into a `[3, size, size]` tensor.
+    pub fn into_tensor(self) -> Tensor {
+        let size = self.size;
+        Tensor::from_vec(self.data, [3, size, size]).expect("canvas buffer consistent")
+    }
+
+    #[inline]
+    fn put(&mut self, x: usize, y: usize, color: Rgb, alpha: f32) {
+        let hw = self.size * self.size;
+        let i = y * self.size + x;
+        self.data[i] += alpha * (color.0 - self.data[i]);
+        self.data[hw + i] += alpha * (color.1 - self.data[hw + i]);
+        self.data[2 * hw + i] += alpha * (color.2 - self.data[2 * hw + i]);
+    }
+
+    /// Fills with a two-corner diagonal gradient.
+    pub fn fill_gradient(&mut self, a: Rgb, b: Rgb) {
+        let n = self.size as f32;
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let t = (x as f32 + y as f32) / (2.0 * n);
+                self.put(x, y, a.lerp(b, t), 1.0);
+            }
+        }
+    }
+
+    /// Fills with a solid color.
+    pub fn fill(&mut self, color: Rgb) {
+        self.fill_gradient(color, color);
+    }
+
+    /// Draws a filled disk at normalized center `(cx, cy)` with normalized
+    /// radius `r`.
+    pub fn disk(&mut self, cx: f32, cy: f32, r: f32, color: Rgb) {
+        let n = self.size as f32;
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let dx = (x as f32 + 0.5) / n - cx;
+                let dy = (y as f32 + 0.5) / n - cy;
+                if dx * dx + dy * dy <= r * r {
+                    self.put(x, y, color, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Draws a ring (annulus) with normalized radii `[r_in, r_out]`.
+    pub fn ring(&mut self, cx: f32, cy: f32, r_in: f32, r_out: f32, color: Rgb) {
+        let n = self.size as f32;
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let dx = (x as f32 + 0.5) / n - cx;
+                let dy = (y as f32 + 0.5) / n - cy;
+                let d2 = dx * dx + dy * dy;
+                if d2 >= r_in * r_in && d2 <= r_out * r_out {
+                    self.put(x, y, color, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Draws a filled rectangle of normalized half-extents `(hw, hh)`
+    /// rotated by `angle` radians around its center.
+    pub fn rect(&mut self, cx: f32, cy: f32, hw: f32, hh: f32, angle: f32, color: Rgb) {
+        let n = self.size as f32;
+        let (s, c) = angle.sin_cos();
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let dx = (x as f32 + 0.5) / n - cx;
+                let dy = (y as f32 + 0.5) / n - cy;
+                let u = c * dx + s * dy;
+                let v = -s * dx + c * dy;
+                if u.abs() <= hw && v.abs() <= hh {
+                    self.put(x, y, color, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Draws a `k`-petal rosette (as used by the flower-like classes):
+    /// radius modulated by `|cos(k * theta / 2)|`.
+    pub fn rosette(&mut self, cx: f32, cy: f32, r: f32, petals: u32, phase: f32, color: Rgb) {
+        let n = self.size as f32;
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let dx = (x as f32 + 0.5) / n - cx;
+                let dy = (y as f32 + 0.5) / n - cy;
+                let d = (dx * dx + dy * dy).sqrt();
+                let theta = dy.atan2(dx) + phase;
+                let rm = r * (petals as f32 * theta / 2.0).cos().abs();
+                if d <= rm {
+                    self.put(x, y, color, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Draws a regular `k`-gon of normalized circumradius `r` rotated by
+    /// `phase`.
+    pub fn polygon(&mut self, cx: f32, cy: f32, r: f32, sides: u32, phase: f32, color: Rgb) {
+        let n = self.size as f32;
+        let sides = sides.max(3) as f32;
+        // inside test: distance along each edge normal
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let dx = (x as f32 + 0.5) / n - cx;
+                let dy = (y as f32 + 0.5) / n - cy;
+                let theta = dy.atan2(dx) - phase;
+                let d = (dx * dx + dy * dy).sqrt();
+                // polar polygon boundary
+                let sector = std::f32::consts::PI / sides;
+                let m = ((theta / (2.0 * sector)).round()) * 2.0 * sector;
+                let boundary = r * sector.cos() / (theta - m).cos();
+                if d <= boundary {
+                    self.put(x, y, color, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Overlays oriented sinusoidal stripes with blend strength `alpha`.
+    pub fn stripes(&mut self, freq: f32, angle: f32, color: Rgb, alpha: f32) {
+        let n = self.size as f32;
+        let (s, c) = angle.sin_cos();
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let u = (c * x as f32 + s * y as f32) / n;
+                let w = 0.5 + 0.5 * (2.0 * std::f32::consts::PI * freq * u).sin();
+                self.put(x, y, color, alpha * w);
+            }
+        }
+    }
+
+    /// Overlays a checkerboard of `cells x cells` with blend strength
+    /// `alpha`.
+    pub fn checker(&mut self, cells: usize, color: Rgb, alpha: f32) {
+        let cell = (self.size / cells.max(1)).max(1);
+        for y in 0..self.size {
+            for x in 0..self.size {
+                if ((x / cell) + (y / cell)) % 2 == 0 {
+                    self.put(x, y, color, alpha);
+                }
+            }
+        }
+    }
+
+    /// Adds per-pixel uniform speckle noise in `[-amp, amp]` (clamped to
+    /// `[0, 1]` afterwards), driven by the provided RNG.
+    pub fn speckle(&mut self, amp: f32, rng: &mut impl rand::Rng) {
+        for v in &mut self.data {
+            *v = (*v + rng.gen_range(-amp..amp)).clamp(0.0, 1.0);
+        }
+    }
+
+    /// 3x3 box blur (cheap smoothing pass).
+    pub fn blur(&mut self) {
+        let n = self.size;
+        let mut out = self.data.clone();
+        for ch in 0..3 {
+            let plane = &self.data[ch * n * n..(ch + 1) * n * n];
+            let oplane = &mut out[ch * n * n..(ch + 1) * n * n];
+            for y in 0..n {
+                for x in 0..n {
+                    let mut acc = 0.0;
+                    let mut cnt = 0.0;
+                    for dy in -1i32..=1 {
+                        for dx in -1i32..=1 {
+                            let yy = y as i32 + dy;
+                            let xx = x as i32 + dx;
+                            if yy >= 0 && xx >= 0 && (yy as usize) < n && (xx as usize) < n {
+                                acc += plane[yy as usize * n + xx as usize];
+                                cnt += 1.0;
+                            }
+                        }
+                    }
+                    oplane[y * n + x] = acc / cnt;
+                }
+            }
+        }
+        self.data = out;
+    }
+}
+
+/// Writes a `[3, h, w]` image tensor as a binary PPM file (for human
+/// inspection of the synthetic data).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Panics
+///
+/// Panics if `img` is not a rank-3 three-channel tensor.
+pub fn save_ppm(img: &Tensor, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    use std::io::Write;
+    let dims = img.dims();
+    assert_eq!(dims.len(), 3, "save_ppm expects [3,h,w]");
+    assert_eq!(dims[0], 3, "save_ppm expects 3 channels");
+    let (h, w) = (dims[1], dims[2]);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P6\n{w} {h}\n255\n")?;
+    let data = img.as_slice();
+    for y in 0..h {
+        for x in 0..w {
+            for c in 0..3 {
+                let v = (data[c * h * w + y * w + x].clamp(0.0, 1.0) * 255.0) as u8;
+                f.write_all(&[v])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ppm_writes_header_and_payload() {
+        let mut c = Canvas::new(4);
+        c.fill(Rgb(1.0, 0.0, 0.5));
+        let t = c.into_tensor();
+        let dir = std::env::temp_dir().join("nb_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.ppm");
+        save_ppm(&t, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n4 4\n255\n"));
+        assert_eq!(bytes.len(), 11 + 4 * 4 * 3);
+        // first pixel: R=255, G=0, B=127
+        assert_eq!(&bytes[11..14], &[255, 0, 127]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn canvas_tensor_shape() {
+        let c = Canvas::new(8);
+        let t = c.into_tensor();
+        assert_eq!(t.dims(), &[3, 8, 8]);
+    }
+
+    #[test]
+    fn fill_sets_all_pixels() {
+        let mut c = Canvas::new(4);
+        c.fill(Rgb(0.25, 0.5, 0.75));
+        let t = c.into_tensor();
+        assert!((t.as_slice()[0] - 0.25).abs() < 1e-6);
+        assert!((t.as_slice()[16] - 0.5).abs() < 1e-6);
+        assert!((t.as_slice()[32] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disk_centered_covers_center_not_corner() {
+        let mut c = Canvas::new(16);
+        c.disk(0.5, 0.5, 0.25, Rgb(1.0, 1.0, 1.0));
+        let t = c.into_tensor();
+        let ts = t.as_slice();
+        assert!(ts[8 * 16 + 8] > 0.9, "center lit");
+        assert!(ts[0] < 0.1, "corner dark");
+    }
+
+    #[test]
+    fn ring_excludes_center() {
+        let mut c = Canvas::new(32);
+        c.ring(0.5, 0.5, 0.3, 0.45, Rgb(1.0, 0.0, 0.0));
+        let t = c.into_tensor();
+        let ts = t.as_slice();
+        assert!(ts[16 * 32 + 16] < 0.1, "hole in the middle");
+        // a pixel at distance ~0.375 from center is lit
+        let px = (0.5f32 + 0.375) * 32.0;
+        assert!(ts[16 * 32 + px as usize] > 0.9);
+    }
+
+    #[test]
+    fn rect_rotation_changes_coverage() {
+        let mut a = Canvas::new(32);
+        a.rect(0.5, 0.5, 0.4, 0.1, 0.0, Rgb(1.0, 1.0, 1.0));
+        let mut b = Canvas::new(32);
+        b.rect(0.5, 0.5, 0.4, 0.1, std::f32::consts::FRAC_PI_2, Rgb(1.0, 1.0, 1.0));
+        let ta = a.into_tensor();
+        let tb = b.into_tensor();
+        // horizontal bar lights (16, 4); vertical bar does not
+        assert!(ta.as_slice()[16 * 32 + 4] > 0.9);
+        assert!(tb.as_slice()[16 * 32 + 4] < 0.1);
+        assert!(tb.as_slice()[4 * 32 + 16] > 0.9);
+    }
+
+    #[test]
+    fn rosette_petal_count_changes_image() {
+        let mut a = Canvas::new(24);
+        a.rosette(0.5, 0.5, 0.45, 3, 0.0, Rgb(1.0, 1.0, 1.0));
+        let mut b = Canvas::new(24);
+        b.rosette(0.5, 0.5, 0.45, 8, 0.0, Rgb(1.0, 1.0, 1.0));
+        assert!(a.into_tensor().max_abs_diff(&b.into_tensor()) > 0.5);
+    }
+
+    #[test]
+    fn speckle_is_bounded_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Canvas::new(8);
+        c.fill(Rgb(0.5, 0.5, 0.5));
+        c.speckle(0.1, &mut rng);
+        let t = c.into_tensor();
+        assert!(t.max_value() <= 0.6 + 1e-6 && t.min_value() >= 0.4 - 1e-6);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let mut c2 = Canvas::new(8);
+        c2.fill(Rgb(0.5, 0.5, 0.5));
+        c2.speckle(0.1, &mut rng2);
+        assert_eq!(t, c2.into_tensor());
+    }
+
+    #[test]
+    fn blur_smooths_edges() {
+        let mut c = Canvas::new(8);
+        c.rect(0.5, 0.5, 0.2, 0.2, 0.0, Rgb(1.0, 1.0, 1.0));
+        let sharp = c.clone().into_tensor();
+        c.blur();
+        let soft = c.into_tensor();
+        // total mass roughly preserved, max reduced or equal
+        assert!((sharp.sum() - soft.sum()).abs() / sharp.sum().max(1.0) < 0.25);
+        assert!(soft.max_value() <= sharp.max_value() + 1e-6);
+    }
+
+    #[test]
+    fn polygon_triangle_vs_hexagon() {
+        let mut a = Canvas::new(24);
+        a.polygon(0.5, 0.5, 0.4, 3, 0.0, Rgb(1.0, 1.0, 1.0));
+        let mut b = Canvas::new(24);
+        b.polygon(0.5, 0.5, 0.4, 6, 0.0, Rgb(1.0, 1.0, 1.0));
+        let (sa, sb) = (a.into_tensor().sum(), b.into_tensor().sum());
+        assert!(sb > sa * 1.2, "hexagon covers more area: {sa} vs {sb}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Classification metrics.
+
+use nb_tensor::Tensor;
+
+/// Running top-1/top-k accuracy accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct Accuracy {
+    correct_top1: usize,
+    correct_top5: usize,
+    total: usize,
+}
+
+impl Accuracy {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates a `[n, k]` logits batch against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank 2 or `labels.len()` differs from the
+    /// batch size.
+    pub fn update(&mut self, logits: &Tensor, labels: &[usize]) {
+        let (n, k) = logits.shape().rc();
+        assert_eq!(labels.len(), n, "labels vs batch");
+        let top5 = 5.min(k);
+        for (i, &label) in labels.iter().enumerate() {
+            let row = &logits.as_slice()[i * k..(i + 1) * k];
+            let target = row[label];
+            let better = row.iter().filter(|&&v| v > target).count();
+            if better == 0 {
+                self.correct_top1 += 1;
+            }
+            if better < top5 {
+                self.correct_top5 += 1;
+            }
+        }
+        self.total += n;
+    }
+
+    /// Samples seen so far.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Top-1 accuracy in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were accumulated.
+    pub fn top1(&self) -> f32 {
+        assert!(self.total > 0, "no samples accumulated");
+        100.0 * self.correct_top1 as f32 / self.total as f32
+    }
+
+    /// Top-5 accuracy in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were accumulated.
+    pub fn top5(&self) -> f32 {
+        assert!(self.total > 0, "no samples accumulated");
+        100.0 * self.correct_top5 as f32 / self.total as f32
+    }
+}
+
+/// Confusion matrix over a fixed class count.
+#[derive(Debug, Clone)]
+pub struct Confusion {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl Confusion {
+    /// An empty `classes x classes` matrix.
+    pub fn new(classes: usize) -> Self {
+        Confusion {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Records one `(true, predicted)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.classes && pred < self.classes, "class range");
+        self.counts[truth * self.classes + pred] += 1;
+    }
+
+    /// Count at `(truth, pred)`.
+    pub fn get(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Per-class recall in percent (`None` for unseen classes).
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row = &self.counts[class * self.classes..(class + 1) * self.classes];
+        let total: usize = row.iter().sum();
+        (total > 0).then(|| 100.0 * row[class] as f32 / total as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top1_counts_correct_rows() {
+        let mut acc = Accuracy::new();
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 0.0], [2, 3]).unwrap();
+        acc.update(&logits, &[1, 1]);
+        assert_eq!(acc.total(), 2);
+        assert_eq!(acc.top1(), 50.0);
+    }
+
+    #[test]
+    fn top5_gte_top1() {
+        let mut acc = Accuracy::new();
+        let mut rng_state = 12345u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let logits = Tensor::from_fn([10, 8], |_| next());
+        acc.update(&logits, &[0, 1, 2, 3, 4, 5, 6, 7, 0, 1]);
+        assert!(acc.top5() >= acc.top1());
+    }
+
+    #[test]
+    fn ties_count_as_correct_when_no_strictly_better() {
+        let mut acc = Accuracy::new();
+        let logits = Tensor::from_vec(vec![1.0, 1.0], [1, 2]).unwrap();
+        acc.update(&logits, &[1]);
+        assert_eq!(acc.top1(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_accuracy_panics() {
+        Accuracy::new().top1();
+    }
+
+    #[test]
+    fn confusion_recall() {
+        let mut c = Confusion::new(3);
+        c.record(0, 0);
+        c.record(0, 1);
+        c.record(1, 1);
+        assert_eq!(c.get(0, 1), 1);
+        assert_eq!(c.recall(0), Some(50.0));
+        assert_eq!(c.recall(1), Some(100.0));
+        assert_eq!(c.recall(2), None);
+    }
+}

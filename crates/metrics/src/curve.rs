@@ -1,0 +1,76 @@
+//! Tiny terminal plots: Unicode sparklines and labeled training curves for
+//! the examples and experiment binaries.
+
+/// Renders a sequence as a one-line Unicode sparkline
+/// (`▁▂▃▄▅▆▇█`). Empty input renders as an empty string; a constant
+/// sequence renders at mid height.
+pub fn sparkline(values: &[f32]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    values
+        .iter()
+        .map(|&v| {
+            if hi - lo < 1e-12 {
+                BARS[3]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a labeled curve: name, sparkline, and first/last values.
+pub fn curve_line(name: &str, values: &[f32]) -> String {
+    if values.is_empty() {
+        return format!("{name}: (no data)");
+    }
+    format!(
+        "{name}: {} [{:.2} -> {:.2}]",
+        sparkline(values),
+        values[0],
+        values[values.len() - 1]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[3], '█');
+    }
+
+    #[test]
+    fn sparkline_monotone_input_monotone_bars() {
+        let s: Vec<char> = sparkline(&[1.0, 2.0, 4.0, 8.0, 16.0]).chars().collect();
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn constant_and_empty() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.chars().all(|c| c == '▄'));
+    }
+
+    #[test]
+    fn curve_line_format() {
+        let line = curve_line("val", &[10.0, 20.0]);
+        assert!(line.starts_with("val: "));
+        assert!(line.contains("[10.00 -> 20.00]"));
+        assert_eq!(curve_line("x", &[]), "x: (no data)");
+    }
+}

@@ -1,0 +1,210 @@
+//! VOC-style detection metrics: per-class average precision at IoU 0.5 and
+//! the mean over classes (AP50, as reported in paper Table III).
+
+use nb_data::BoxAnnotation;
+
+/// A scored predicted box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredBox {
+    /// The predicted box (class included).
+    pub bbox: BoxAnnotation,
+    /// Confidence score.
+    pub score: f32,
+}
+
+/// Computes mean AP at IoU 0.5 over `classes`, VOC-style (all-point
+/// interpolated area under the precision–recall curve, greedy matching by
+/// descending score, one match per ground-truth box).
+///
+/// `predictions[i]` and `ground_truth[i]` describe image `i`. Classes with
+/// no ground-truth boxes anywhere are excluded from the mean.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn ap50(
+    predictions: &[Vec<ScoredBox>],
+    ground_truth: &[Vec<BoxAnnotation>],
+    classes: usize,
+) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        ground_truth.len(),
+        "prediction/ground-truth image counts differ"
+    );
+    let mut per_class = Vec::new();
+    for c in 0..classes {
+        if let Some(ap) = average_precision_for_class(predictions, ground_truth, c) {
+            per_class.push(ap);
+        }
+    }
+    if per_class.is_empty() {
+        0.0
+    } else {
+        100.0 * per_class.iter().sum::<f32>() / per_class.len() as f32
+    }
+}
+
+/// AP at IoU 0.5 for one class; `None` when the class has no ground truth.
+pub fn average_precision_for_class(
+    predictions: &[Vec<ScoredBox>],
+    ground_truth: &[Vec<BoxAnnotation>],
+    class: usize,
+) -> Option<f32> {
+    let total_gt: usize = ground_truth
+        .iter()
+        .map(|g| g.iter().filter(|b| b.class == class).count())
+        .sum();
+    if total_gt == 0 {
+        return None;
+    }
+    // flatten predictions of this class with their image index
+    let mut preds: Vec<(usize, ScoredBox)> = Vec::new();
+    for (i, ps) in predictions.iter().enumerate() {
+        for p in ps.iter().filter(|p| p.bbox.class == class) {
+            preds.push((i, *p));
+        }
+    }
+    preds.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
+    let mut matched: Vec<Vec<bool>> = ground_truth
+        .iter()
+        .map(|g| vec![false; g.len()])
+        .collect();
+    let mut tp = vec![0.0f32; preds.len()];
+    let mut fp = vec![0.0f32; preds.len()];
+    for (rank, (img, p)) in preds.iter().enumerate() {
+        let gts = &ground_truth[*img];
+        let mut best_iou = 0.0;
+        let mut best_j = None;
+        for (j, g) in gts.iter().enumerate() {
+            if g.class != class || matched[*img][j] {
+                continue;
+            }
+            let iou = p.bbox.iou(g);
+            if iou > best_iou {
+                best_iou = iou;
+                best_j = Some(j);
+            }
+        }
+        match best_j {
+            Some(j) if best_iou >= 0.5 => {
+                matched[*img][j] = true;
+                tp[rank] = 1.0;
+            }
+            _ => fp[rank] = 1.0,
+        }
+    }
+    // cumulative precision/recall
+    let mut cum_tp = 0.0;
+    let mut cum_fp = 0.0;
+    let mut recall = Vec::with_capacity(preds.len());
+    let mut precision = Vec::with_capacity(preds.len());
+    for i in 0..preds.len() {
+        cum_tp += tp[i];
+        cum_fp += fp[i];
+        recall.push(cum_tp / total_gt as f32);
+        precision.push(cum_tp / (cum_tp + cum_fp));
+    }
+    // all-point interpolation: make precision monotone from the right
+    for i in (0..precision.len().saturating_sub(1)).rev() {
+        precision[i] = precision[i].max(precision[i + 1]);
+    }
+    let mut ap = 0.0;
+    let mut prev_r = 0.0;
+    for i in 0..recall.len() {
+        ap += (recall[i] - prev_r) * precision[i];
+        prev_r = recall[i];
+    }
+    Some(ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(class: usize, cx: f32, cy: f32, s: f32) -> BoxAnnotation {
+        BoxAnnotation {
+            class,
+            cx,
+            cy,
+            w: s,
+            h: s,
+        }
+    }
+
+    fn pred(class: usize, cx: f32, cy: f32, s: f32, score: f32) -> ScoredBox {
+        ScoredBox {
+            bbox: gt(class, cx, cy, s),
+            score,
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_score_100() {
+        let gts = vec![vec![gt(0, 0.3, 0.3, 0.2)], vec![gt(0, 0.7, 0.7, 0.2)]];
+        let preds = vec![
+            vec![pred(0, 0.3, 0.3, 0.2, 0.9)],
+            vec![pred(0, 0.7, 0.7, 0.2, 0.8)],
+        ];
+        assert!((ap50(&preds, &gts, 1) - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn no_predictions_score_0() {
+        let gts = vec![vec![gt(0, 0.3, 0.3, 0.2)]];
+        let preds = vec![vec![]];
+        assert_eq!(ap50(&preds, &gts, 1), 0.0);
+    }
+
+    #[test]
+    fn misplaced_prediction_is_false_positive() {
+        let gts = vec![vec![gt(0, 0.2, 0.2, 0.2)]];
+        let preds = vec![vec![pred(0, 0.8, 0.8, 0.2, 0.9)]];
+        assert_eq!(ap50(&preds, &gts, 1), 0.0);
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        let gts = vec![vec![gt(0, 0.5, 0.5, 0.3)]];
+        let preds = vec![vec![
+            pred(0, 0.5, 0.5, 0.3, 0.9),
+            pred(0, 0.5, 0.5, 0.3, 0.8), // duplicate, becomes FP
+        ]];
+        let ap = ap50(&preds, &gts, 1);
+        // PR: (r=1, p=1) then (r=1, p=0.5) -> AP = 1.0
+        assert!((ap - 100.0).abs() < 1e-4);
+        // but a duplicate ranked *above* the true match halves precision
+        let preds = vec![vec![
+            pred(0, 0.9, 0.9, 0.1, 0.95), // FP first
+            pred(0, 0.5, 0.5, 0.3, 0.9),
+        ]];
+        let ap = ap50(&preds, &gts, 1);
+        assert!((ap - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn class_confusion_scores_zero_for_wrong_class() {
+        let gts = vec![vec![gt(1, 0.5, 0.5, 0.3)]];
+        let preds = vec![vec![pred(0, 0.5, 0.5, 0.3, 0.9)]];
+        // class 0 has no GT -> excluded; class 1 has no preds -> AP 0
+        assert_eq!(ap50(&preds, &gts, 2), 0.0);
+    }
+
+    #[test]
+    fn mean_over_present_classes_only() {
+        let gts = vec![vec![gt(0, 0.3, 0.3, 0.2), gt(2, 0.7, 0.7, 0.2)]];
+        let preds = vec![vec![
+            pred(0, 0.3, 0.3, 0.2, 0.9),
+            pred(2, 0.1, 0.1, 0.1, 0.9), // miss
+        ]];
+        // class 0 AP 1.0, class 2 AP 0.0, class 1 absent
+        assert!((ap50(&preds, &gts, 3) - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn half_recall() {
+        let gts = vec![vec![gt(0, 0.25, 0.25, 0.2), gt(0, 0.75, 0.75, 0.2)]];
+        let preds = vec![vec![pred(0, 0.25, 0.25, 0.2, 0.9)]];
+        assert!((ap50(&preds, &gts, 1) - 50.0).abs() < 1e-4);
+    }
+}

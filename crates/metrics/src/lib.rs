@@ -1,0 +1,31 @@
+//! # nb-metrics
+//!
+//! Evaluation metrics and reporting for the NetBooster reproduction:
+//! top-1/top-5 accuracy, a confusion matrix, VOC-style AP50 for the
+//! detection experiments, and plain-text tables mirroring the paper's
+//! layout.
+//!
+//! ## Example
+//!
+//! ```
+//! use nb_metrics::Accuracy;
+//! use nb_tensor::Tensor;
+//!
+//! let mut acc = Accuracy::new();
+//! let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], [2, 2])?;
+//! acc.update(&logits, &[0, 1]);
+//! assert_eq!(acc.top1(), 100.0);
+//! # Ok::<(), nb_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod classification;
+mod curve;
+mod detection;
+mod table;
+
+pub use classification::{Accuracy, Confusion};
+pub use curve::{curve_line, sparkline};
+pub use detection::{ap50, average_precision_for_class, ScoredBox};
+pub use table::{mflops, mparams, pct, TextTable};

@@ -1,0 +1,127 @@
+//! Plain-text table rendering for the experiment binaries, mirroring the
+//! paper's table layout.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use nb_metrics::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Method", "Accuracy"]);
+/// t.row(vec!["Vanilla".into(), "51.2".into()]);
+/// t.row(vec!["NetBooster".into(), "53.7".into()]);
+/// let s = t.render();
+/// assert!(s.contains("NetBooster"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width vs headers");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        write_row(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{}", "-".repeat(w + 2));
+            if i == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a fractional accuracy as the paper does (one decimal).
+pub fn pct(v: f32) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a FLOPs count as `x.yM`.
+pub fn mflops(v: u64) -> String {
+    format!("{:.1}M", v as f64 / 1e6)
+}
+
+/// Formats a parameter count as `x.yyM`.
+pub fn mparams(v: usize) -> String {
+    format!("{:.2}M", v as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["A", "Longer"]);
+        t.row(vec!["xx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].starts_with("|--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = TextTable::new(vec!["A"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(53.6789), "53.7");
+        assert_eq!(mflops(23_500_000), "23.5M");
+        assert_eq!(mparams(750_000), "0.75M");
+    }
+}

@@ -1,0 +1,365 @@
+//! Single-scale grid detector ("YOLO-lite") for the Pascal VOC stand-in.
+//!
+//! The backbone's final feature map is mapped by a 1x1 conv to
+//! `5 + classes` channels per grid cell: objectness, box offsets
+//! `(tx, ty)` within the cell, box size `(tw, th)` as a fraction of the
+//! image, and per-class scores. Targets are encoded by
+//! [`encode_targets`]; predictions are decoded (with score thresholding and
+//! greedy NMS) by [`DetectorNet::detect`].
+
+use crate::mobilenet::TinyNet;
+use nb_autograd::Value;
+use nb_data::BoxAnnotation;
+use nb_nn::layers::Conv2d;
+use nb_nn::{join_name, Module, Parameter, Session};
+use nb_tensor::{ConvGeometry, Tensor};
+use rand::Rng;
+
+/// A decoded detection: a box with a confidence score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// The predicted box (class included).
+    pub bbox: BoxAnnotation,
+    /// Objectness x class confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Backbone + 1x1 prediction head.
+#[derive(Debug)]
+pub struct DetectorNet {
+    /// The classification backbone (its classifier is unused).
+    pub backbone: TinyNet,
+    /// The 1x1 prediction conv producing `5 + classes` channels.
+    pub head: Conv2d,
+    classes: usize,
+}
+
+impl DetectorNet {
+    /// Wraps a backbone with a detection head for `classes` object types.
+    pub fn new(backbone: TinyNet, classes: usize, rng: &mut impl Rng) -> Self {
+        let head = Conv2d::new(
+            backbone.config.head_c,
+            5 + classes,
+            ConvGeometry::pointwise(),
+            true,
+            rng,
+        );
+        DetectorNet {
+            backbone,
+            head,
+            classes,
+        }
+    }
+
+    /// Number of object classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Raw grid predictions `[n, 5+classes, g, g]`.
+    pub fn forward_grid(&self, s: &mut Session, x: Value) -> Value {
+        let fm = self.backbone.forward_conv_features(s, x);
+        self.head.forward(s, fm)
+    }
+
+    /// The grid side length for a given input resolution.
+    pub fn grid_size(&self, input: usize) -> usize {
+        let mut h = input;
+        let stem = ConvGeometry::same(3, self.backbone.config.stem_stride);
+        h = stem.output_hw(h, h).0;
+        for b in &self.backbone.config.blocks {
+            h = ConvGeometry::same(b.kernel, b.stride).output_hw(h, h).0;
+        }
+        h
+    }
+
+    /// Decodes eval-mode detections for a `[n,3,s,s]` batch.
+    pub fn detect(&self, images: &Tensor, score_threshold: f32) -> Vec<Vec<Detection>> {
+        let mut s = Session::new(false);
+        let x = s.input(images.clone());
+        let grid = self.forward_grid(&mut s, x);
+        decode_grid(s.value(grid), self.classes, score_threshold)
+    }
+}
+
+impl Module for DetectorNet {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        self.forward_grid(s, x)
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
+        self.backbone
+            .visit_params(&join_name(prefix, "backbone"), f);
+        self.head.visit_params(&join_name(prefix, "det_head"), f);
+    }
+}
+
+/// Grid-encoded targets and masks for the detection losses.
+#[derive(Debug, Clone)]
+pub struct GridTargets {
+    /// Objectness targets `[n, 1, g, g]` (1 where a box center falls).
+    pub obj: Tensor,
+    /// Mask for the objectness loss (all ones: every cell supervised).
+    pub obj_mask: Tensor,
+    /// Box-regression targets `[n, 4, g, g]` (tx, ty, tw, th).
+    pub boxes: Tensor,
+    /// Mask for the box loss (positive cells only, replicated over 4).
+    pub box_mask: Tensor,
+    /// One-hot class targets `[n, classes, g, g]`.
+    pub cls: Tensor,
+    /// Mask for the class loss (positive cells, replicated over classes).
+    pub cls_mask: Tensor,
+}
+
+/// Encodes ground-truth boxes onto a `g x g` grid.
+pub fn encode_targets(
+    annotations: &[Vec<BoxAnnotation>],
+    classes: usize,
+    g: usize,
+) -> GridTargets {
+    let n = annotations.len();
+    let mut obj = Tensor::zeros([n, 1, g, g]);
+    let obj_mask = Tensor::ones([n, 1, g, g]);
+    let mut boxes = Tensor::zeros([n, 4, g, g]);
+    let mut box_mask = Tensor::zeros([n, 4, g, g]);
+    let mut cls = Tensor::zeros([n, classes, g, g]);
+    let mut cls_mask = Tensor::zeros([n, classes, g, g]);
+    for (ni, anns) in annotations.iter().enumerate() {
+        for a in anns {
+            let gx = ((a.cx * g as f32) as usize).min(g - 1);
+            let gy = ((a.cy * g as f32) as usize).min(g - 1);
+            *obj.at4_mut(ni, 0, gy, gx) = 1.0;
+            let tx = a.cx * g as f32 - gx as f32;
+            let ty = a.cy * g as f32 - gy as f32;
+            for (ch, v) in [tx, ty, a.w, a.h].into_iter().enumerate() {
+                *boxes.at4_mut(ni, ch, gy, gx) = v;
+                *box_mask.at4_mut(ni, ch, gy, gx) = 1.0;
+            }
+            *cls.at4_mut(ni, a.class, gy, gx) = 1.0;
+            for c in 0..classes {
+                *cls_mask.at4_mut(ni, c, gy, gx) = 1.0;
+            }
+        }
+    }
+    GridTargets {
+        obj,
+        obj_mask,
+        boxes,
+        box_mask,
+        cls,
+        cls_mask,
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Decodes raw grid predictions into per-image detections with score
+/// thresholding and greedy IoU-0.5 NMS.
+pub fn decode_grid(grid: &Tensor, classes: usize, score_threshold: f32) -> Vec<Vec<Detection>> {
+    let (n, ch, g, _) = grid.shape().nchw();
+    assert_eq!(ch, 5 + classes, "grid channels vs classes");
+    let mut out = Vec::with_capacity(n);
+    for ni in 0..n {
+        let mut dets: Vec<Detection> = Vec::new();
+        for gy in 0..g {
+            for gx in 0..g {
+                let objectness = sigmoid(grid.at4(ni, 0, gy, gx));
+                // best class
+                let (mut best_c, mut best_s) = (0usize, f32::NEG_INFINITY);
+                for c in 0..classes {
+                    let v = grid.at4(ni, 5 + c, gy, gx);
+                    if v > best_s {
+                        best_s = v;
+                        best_c = c;
+                    }
+                }
+                let score = objectness * sigmoid(best_s);
+                if score < score_threshold {
+                    continue;
+                }
+                let tx = sigmoid(grid.at4(ni, 1, gy, gx));
+                let ty = sigmoid(grid.at4(ni, 2, gy, gx));
+                let tw = sigmoid(grid.at4(ni, 3, gy, gx));
+                let th = sigmoid(grid.at4(ni, 4, gy, gx));
+                dets.push(Detection {
+                    bbox: BoxAnnotation {
+                        class: best_c,
+                        cx: (gx as f32 + tx) / g as f32,
+                        cy: (gy as f32 + ty) / g as f32,
+                        w: tw,
+                        h: th,
+                    },
+                    score,
+                });
+            }
+        }
+        dets.sort_by(|a, b| b.score.total_cmp(&a.score));
+        // greedy NMS within class
+        let mut kept: Vec<Detection> = Vec::new();
+        for d in dets {
+            if kept
+                .iter()
+                .all(|k| k.bbox.class != d.bbox.class || k.bbox.iou(&d.bbox) < 0.5)
+            {
+                kept.push(d);
+            }
+        }
+        out.push(kept);
+    }
+    out
+}
+
+/// The combined detection loss on a recorded grid prediction: objectness BCE
+/// + box smooth-L1 + class BCE, with the paper-standard weighting.
+pub fn detection_loss(s: &mut Session, grid: Value, targets: &GridTargets) -> Value {
+    let (n, ch, g, _) = s.value(grid).shape().nchw();
+    let classes = ch - 5;
+    // split channels by slicing the prediction via narrow on a reshaped view
+    // (channel groups are contiguous per sample only if n == 1, so instead
+    // mask full-size tensors).
+    let full = |t: &Tensor, ch_lo: usize, ch_n: usize| -> Tensor {
+        // scatter the group tensor [n, ch_n, g, g] into [n, ch, g, g]
+        let mut out = Tensor::zeros([n, ch, g, g]);
+        for ni in 0..n {
+            for c in 0..ch_n {
+                for y in 0..g {
+                    for x in 0..g {
+                        *out.at4_mut(ni, ch_lo + c, y, x) = t.at4(ni, c, y, x);
+                    }
+                }
+            }
+        }
+        out
+    };
+    let obj_t = full(&targets.obj, 0, 1);
+    let obj_m = full(&targets.obj_mask, 0, 1);
+    let box_t = full(&targets.boxes, 1, 4);
+    let box_m = full(&targets.box_mask, 1, 4);
+    let cls_t = full(&targets.cls, 5, classes);
+    let cls_m = full(&targets.cls_mask, 5, classes);
+    let obj_loss = s.graph.bce_with_logits(grid, &obj_t, &obj_m);
+    let cls_loss = s.graph.bce_with_logits(grid, &cls_t, &cls_m);
+    // box coords are sigmoid-decoded at inference; supervise the logits
+    // through a sigmoid by matching targets in logit space is ill-posed at
+    // {0,1}, so regress sigmoid(pred) toward target via smooth-L1 on the
+    // *decoded* value approximated linearly: apply sigmoid via relu_decay
+    // trick is unavailable, so regress raw logits toward logit(target).
+    let logit = |v: f32| {
+        let v = v.clamp(0.02, 0.98);
+        (v / (1.0 - v)).ln()
+    };
+    let box_t_logit = box_t.map(logit);
+    let box_loss = s.graph.smooth_l1(grid, &box_t_logit, &box_m);
+    let obj_w = s.graph.scale(obj_loss, 1.0);
+    let box_w = s.graph.scale(box_loss, 2.0);
+    let cls_w = s.graph.scale(cls_loss, 1.0);
+    let partial = s.graph.add(obj_w, box_w);
+    s.graph.add(partial, cls_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::mobilenet_v2_tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> (DetectorNet, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let backbone = TinyNet::new(mobilenet_v2_tiny(4), &mut rng);
+        let det = DetectorNet::new(backbone, 4, &mut rng);
+        (det, rng)
+    }
+
+    #[test]
+    fn grid_shapes() {
+        let (det, mut rng) = net();
+        let g = det.grid_size(32);
+        let mut s = Session::new(false);
+        let x = s.input(Tensor::randn([2, 3, 32, 32], &mut rng));
+        let y = det.forward_grid(&mut s, x);
+        assert_eq!(s.value(y).dims(), &[2, 9, g, g]);
+    }
+
+    #[test]
+    fn encode_marks_center_cell() {
+        let anns = vec![vec![BoxAnnotation {
+            class: 1,
+            cx: 0.55,
+            cy: 0.3,
+            w: 0.2,
+            h: 0.2,
+        }]];
+        let t = encode_targets(&anns, 3, 4);
+        // center (0.55, 0.3) on a 4-grid => cell (2, 1)
+        assert_eq!(t.obj.at4(0, 0, 1, 2), 1.0);
+        assert_eq!(t.obj.sum(), 1.0);
+        assert_eq!(t.cls.at4(0, 1, 1, 2), 1.0);
+        assert!((t.boxes.at4(0, 0, 1, 2) - 0.2).abs() < 1e-5); // tx
+        assert!((t.boxes.at4(0, 1, 1, 2) - 0.2).abs() < 1e-5); // ty
+        assert_eq!(t.box_mask.at4(0, 3, 1, 2), 1.0);
+        assert_eq!(t.box_mask.at4(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn decode_finds_planted_box() {
+        // hand-build a grid with one confident detection
+        let classes = 3;
+        let g = 4;
+        let mut grid = Tensor::full([1, 5 + classes, g, g], -8.0);
+        *grid.at4_mut(0, 0, 2, 1) = 8.0; // objectness at cell (1,2)
+        *grid.at4_mut(0, 1, 2, 1) = 0.0; // tx=0.5
+        *grid.at4_mut(0, 2, 2, 1) = 0.0;
+        *grid.at4_mut(0, 3, 2, 1) = -1.0;
+        *grid.at4_mut(0, 4, 2, 1) = -1.0;
+        *grid.at4_mut(0, 5 + 2, 2, 1) = 8.0; // class 2
+        let dets = decode_grid(&grid, classes, 0.5);
+        assert_eq!(dets[0].len(), 1);
+        let d = dets[0][0];
+        assert_eq!(d.bbox.class, 2);
+        assert!((d.bbox.cx - (1.5 / 4.0)).abs() < 1e-5);
+        assert!((d.bbox.cy - (2.5 / 4.0)).abs() < 1e-5);
+        assert!(d.score > 0.9);
+    }
+
+    #[test]
+    fn nms_suppresses_duplicates() {
+        let classes = 1;
+        let mut grid = Tensor::full([1, 6, 2, 2], -8.0);
+        // two adjacent confident cells predicting the *same* box: cell
+        // (0,0) with tx -> 1 and cell (0,1) with tx -> 0 both give cx = 0.5
+        for &(y, x, tx) in &[(0usize, 0usize, 12.0f32), (0, 1, -12.0)] {
+            *grid.at4_mut(0, 0, y, x) = 8.0;
+            *grid.at4_mut(0, 1, y, x) = tx;
+            *grid.at4_mut(0, 2, y, x) = 0.0; // ty = 0.5
+            *grid.at4_mut(0, 3, y, x) = 2.0; // wide
+            *grid.at4_mut(0, 4, y, x) = 2.0; // tall
+            *grid.at4_mut(0, 5, y, x) = 8.0;
+        }
+        let dets = decode_grid(&grid, classes, 0.3);
+        assert_eq!(dets[0].len(), 1, "overlapping boxes suppressed");
+    }
+
+    #[test]
+    fn detection_loss_trains() {
+        let (det, mut rng) = net();
+        let g = det.grid_size(32);
+        let anns = vec![vec![BoxAnnotation {
+            class: 0,
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.4,
+            h: 0.4,
+        }]];
+        let targets = encode_targets(&anns, 4, g);
+        let mut s = Session::new(true);
+        let x = s.input(Tensor::randn([1, 3, 32, 32], &mut rng));
+        let grid = det.forward_grid(&mut s, x);
+        let loss = detection_loss(&mut s, grid, &targets);
+        assert!(s.value(loss).item().is_finite());
+        s.backward(loss);
+        assert!(det.head.weight().grad().abs_sum() > 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # nb-models
+//!
+//! The network architectures the paper evaluates: the MobileNetV2 family
+//! (100/50/35/Tiny), an MCUNet-style searched network, and a single-scale
+//! grid detector for the Pascal VOC stand-in.
+//!
+//! Architectures are *typed* (not opaque layer lists) so that
+//! `netbooster-core` can perform surgery on specific blocks: every inverted
+//! residual block exposes its expand conv through a [`PwSlot`], which
+//! NetBooster swaps between a plain convolution and an expanded
+//! [`InsertedBlock`].
+//!
+//! ## Example
+//!
+//! ```
+//! use nb_models::{mobilenet_v2_tiny, TinyNet};
+//! use nb_nn::{Module, Session};
+//! use nb_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let net = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+//! let logits = net.logits_eval(&Tensor::randn([1, 3, 32, 32], &mut rng));
+//! assert_eq!(logits.dims(), &[1, 10]);
+//! println!("{:?}", net.profile(32));
+//! ```
+
+#![warn(missing_docs)]
+
+mod blocks;
+mod detect;
+mod mobilenet;
+mod spec;
+mod summary;
+
+pub use blocks::{ConvBnAct, InsertedBlock, InsertedConv, InsertedUnit, MbBlock, PwSlot};
+pub use detect::{
+    decode_grid, detection_loss, encode_targets, DetectorNet, Detection, GridTargets,
+};
+pub use mobilenet::{Profile, TinyNet};
+pub use summary::{summarize, ModelSummary, SummaryRow};
+pub use spec::{
+    mcunet_like, mobilenet_v2, mobilenet_v2_100, mobilenet_v2_35, mobilenet_v2_50,
+    mobilenet_v2_tiny, round_channels, teacher, BlockSpec, TnnConfig,
+};

@@ -1,0 +1,264 @@
+//! Architecture specifications: block tables and named presets.
+//!
+//! The presets mirror the four networks in the paper (MobileNetV2-100/50/
+//! Tiny [paper Table I], MobileNetV2-35 [Table II], and an MCUNet-style
+//! searched network) at channel widths scaled for CPU training; the block
+//! *topology* (inverted residuals, expansion points, strides, kernel mix)
+//! is preserved, which is what NetBooster operates on.
+
+/// One inverted-residual stage entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Expansion ratio of the block's own hidden layer (1 = no expand conv).
+    pub expand_ratio: usize,
+    /// Depthwise kernel size.
+    pub kernel: usize,
+    /// Depthwise stride.
+    pub stride: usize,
+}
+
+/// A complete tiny-network configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TnnConfig {
+    /// Preset name (appears in experiment tables).
+    pub name: String,
+    /// Stem conv output channels.
+    pub stem_c: usize,
+    /// Stem stride (2 for 32px+ inputs, 1 for very small inputs).
+    pub stem_stride: usize,
+    /// The inverted-residual stage table.
+    pub blocks: Vec<BlockSpec>,
+    /// Head 1x1 conv output channels (feature dimension).
+    pub head_c: usize,
+    /// Classifier classes.
+    pub classes: usize,
+}
+
+impl TnnConfig {
+    /// Returns a copy with a different classifier width (for downstream
+    /// transfer).
+    #[must_use]
+    pub fn with_classes(&self, classes: usize) -> TnnConfig {
+        TnnConfig {
+            classes,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with every channel count scaled by `frac` (rounded to
+    /// multiples of 4, minimum 4) — used to derive NetAug supernets.
+    #[must_use]
+    pub fn width_scaled(&self, frac: f32) -> TnnConfig {
+        let r = |c: usize| round_channels((c as f32 * frac) as usize, 4);
+        TnnConfig {
+            name: format!("{}-w{frac:.2}", self.name),
+            stem_c: r(self.stem_c),
+            stem_stride: self.stem_stride,
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| BlockSpec {
+                    in_c: r(b.in_c),
+                    out_c: r(b.out_c),
+                    ..*b
+                })
+                .collect(),
+            head_c: r(self.head_c),
+            classes: self.classes,
+        }
+    }
+}
+
+/// Rounds a channel count up to a multiple of `align` (at least `align`).
+pub fn round_channels(c: usize, align: usize) -> usize {
+    c.div_ceil(align).max(1) * align
+}
+
+fn mb_stages(width: f32) -> Vec<BlockSpec> {
+    // (t, c, n, s, k) stage table in the MobileNetV2 layout, at 1/4 of the
+    // paper's channel widths so CPU training is feasible.
+    let table: &[(usize, usize, usize, usize, usize)] = &[
+        (1, 8, 1, 1, 3),
+        (6, 12, 2, 2, 3),
+        (6, 16, 2, 2, 3),
+        (6, 24, 2, 2, 3),
+        (6, 32, 1, 1, 3),
+    ];
+    let r = |c: usize| round_channels((c as f32 * width) as usize, 4);
+    let mut blocks = Vec::new();
+    let mut in_c = r(8); // stem output
+    for &(t, c, n, s, k) in table {
+        let out_c = r(c);
+        for i in 0..n {
+            blocks.push(BlockSpec {
+                in_c,
+                out_c,
+                expand_ratio: t,
+                kernel: k,
+                stride: if i == 0 { s } else { 1 },
+            });
+            in_c = out_c;
+        }
+    }
+    blocks
+}
+
+/// MobileNetV2 at a given width multiplier (`1.0` = the paper's "-100").
+pub fn mobilenet_v2(width: f32, classes: usize) -> TnnConfig {
+    let blocks = mb_stages(width);
+    let stem_c = blocks[0].in_c;
+    let head_c = round_channels((64.0 * width.max(1.0)) as usize, 8);
+    TnnConfig {
+        name: format!("mobilenetv2-{}", (width * 100.0).round() as usize),
+        stem_c,
+        stem_stride: 1,
+        blocks,
+        head_c,
+        classes,
+    }
+}
+
+/// MobileNetV2-Tiny (the paper's smallest variant; width 0.35 with a thin
+/// head).
+pub fn mobilenet_v2_tiny(classes: usize) -> TnnConfig {
+    let mut cfg = mobilenet_v2(0.35, classes);
+    cfg.name = "mobilenetv2-tiny".into();
+    cfg.head_c = 48;
+    cfg
+}
+
+/// MobileNetV2-35.
+pub fn mobilenet_v2_35(classes: usize) -> TnnConfig {
+    let mut cfg = mobilenet_v2(0.35, classes);
+    cfg.name = "mobilenetv2-35".into();
+    cfg
+}
+
+/// MobileNetV2-50.
+pub fn mobilenet_v2_50(classes: usize) -> TnnConfig {
+    let mut cfg = mobilenet_v2(0.5, classes);
+    cfg.name = "mobilenetv2-50".into();
+    cfg
+}
+
+/// MobileNetV2-100.
+pub fn mobilenet_v2_100(classes: usize) -> TnnConfig {
+    let mut cfg = mobilenet_v2(1.0, classes);
+    cfg.name = "mobilenetv2-100".into();
+    cfg
+}
+
+/// An MCUNet-style searched network: mixed kernel sizes (3/5/7) and mixed
+/// expansion ratios, as produced by the TinyNAS search in the MCUNet paper.
+pub fn mcunet_like(classes: usize) -> TnnConfig {
+    let specs = [
+        // (in, out, t, k, s)
+        (8, 8, 1, 3, 1),
+        (8, 12, 4, 7, 2),
+        (12, 12, 3, 3, 1),
+        (12, 16, 6, 5, 2),
+        (16, 16, 4, 5, 1),
+        (16, 24, 6, 7, 2),
+        (24, 24, 5, 3, 1),
+        (24, 32, 6, 5, 1),
+    ];
+    TnnConfig {
+        name: "mcunet".into(),
+        stem_c: 8,
+        stem_stride: 1,
+        blocks: specs
+            .iter()
+            .map(|&(i, o, t, k, s)| BlockSpec {
+                in_c: i,
+                out_c: o,
+                expand_ratio: t,
+                kernel: k,
+                stride: s,
+            })
+            .collect(),
+        head_c: 64,
+        classes,
+    }
+}
+
+/// The KD teacher: a much wider/deeper network standing in for
+/// Assemble-ResNet50 (see DESIGN.md).
+pub fn teacher(classes: usize) -> TnnConfig {
+    let mut cfg = mobilenet_v2(1.5, classes);
+    cfg.name = "teacher-w150".into();
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_chains_are_consistent() {
+        for cfg in [
+            mobilenet_v2_tiny(10),
+            mobilenet_v2_35(10),
+            mobilenet_v2_50(10),
+            mobilenet_v2_100(10),
+            mcunet_like(10),
+            teacher(10),
+        ] {
+            assert_eq!(cfg.blocks[0].in_c, cfg.stem_c, "{}", cfg.name);
+            for w in cfg.blocks.windows(2) {
+                assert_eq!(w[0].out_c, w[1].in_c, "{}", cfg.name);
+            }
+            assert!(cfg.head_c >= cfg.blocks.last().unwrap().out_c / 2);
+        }
+    }
+
+    #[test]
+    fn width_ordering() {
+        let tiny = mobilenet_v2_tiny(10);
+        let m50 = mobilenet_v2_50(10);
+        let m100 = mobilenet_v2_100(10);
+        let total = |c: &TnnConfig| c.blocks.iter().map(|b| b.out_c).sum::<usize>();
+        assert!(total(&tiny) <= total(&m50));
+        assert!(total(&m50) < total(&m100));
+    }
+
+    #[test]
+    fn mcunet_has_mixed_kernels() {
+        let cfg = mcunet_like(10);
+        let mut kernels: Vec<usize> = cfg.blocks.iter().map(|b| b.kernel).collect();
+        kernels.sort();
+        kernels.dedup();
+        assert!(kernels.len() >= 3, "kernel mix {kernels:?}");
+    }
+
+    #[test]
+    fn round_channels_behaviour() {
+        assert_eq!(round_channels(1, 4), 4);
+        assert_eq!(round_channels(4, 4), 4);
+        assert_eq!(round_channels(5, 4), 8);
+        assert_eq!(round_channels(0, 4), 4);
+    }
+
+    #[test]
+    fn with_classes_changes_only_head() {
+        let a = mobilenet_v2_tiny(10);
+        let b = a.with_classes(37);
+        assert_eq!(b.classes, 37);
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn width_scaled_grows_channels() {
+        let a = mobilenet_v2_tiny(10);
+        let b = a.width_scaled(2.0);
+        assert!(b.stem_c >= 2 * a.stem_c - 4);
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert!(y.out_c >= x.out_c);
+            assert_eq!(x.kernel, y.kernel);
+            assert_eq!(x.stride, y.stride);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Layer-by-layer model summaries (the `torchsummary` analogue): output
+//! shapes, parameter counts, and FLOPs per stage, used by examples and for
+//! inspecting what expansion/contraction did to a network.
+
+use crate::blocks::PwSlot;
+use crate::mobilenet::TinyNet;
+use nb_nn::Module;
+use nb_tensor::ConvGeometry;
+use std::fmt;
+
+/// One row of a [`ModelSummary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Stage name (e.g. `block3 [expanded]`).
+    pub name: String,
+    /// Output shape formatted as `CxHxW`.
+    pub output: String,
+    /// Scalar parameters in the stage.
+    pub params: usize,
+    /// Multiply–accumulates in the stage at the summary's input size.
+    pub flops: u64,
+}
+
+/// A layer-by-layer account of a [`TinyNet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// Network name.
+    pub name: String,
+    /// Input resolution the FLOPs were computed at.
+    pub input: usize,
+    /// Per-stage rows.
+    pub rows: Vec<SummaryRow>,
+}
+
+impl ModelSummary {
+    /// Total parameters.
+    pub fn total_params(&self) -> usize {
+        self.rows.iter().map(|r| r.params).sum()
+    }
+
+    /// Total FLOPs.
+    pub fn total_flops(&self) -> u64 {
+        self.rows.iter().map(|r| r.flops).sum()
+    }
+}
+
+impl fmt::Display for ModelSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} @ {}px", self.name, self.input)?;
+        writeln!(f, "{:<22} {:>12} {:>10} {:>12}", "stage", "output", "params", "MACs")?;
+        for r in &self.rows {
+            writeln!(f, "{:<22} {:>12} {:>10} {:>12}", r.name, r.output, r.params, r.flops)?;
+        }
+        writeln!(
+            f,
+            "{:<22} {:>12} {:>10} {:>12}",
+            "total",
+            "",
+            self.total_params(),
+            self.total_flops()
+        )
+    }
+}
+
+/// Builds the per-stage summary of a network at an input resolution.
+pub fn summarize(net: &TinyNet, input: usize) -> ModelSummary {
+    let mut rows = Vec::new();
+    let mut h = input;
+    let stem_geom = ConvGeometry::same(3, net.config.stem_stride);
+    let (sh, _) = stem_geom.output_hw(h, h);
+    rows.push(SummaryRow {
+        name: "stem".into(),
+        output: format!("{}x{}x{}", net.config.stem_c, sh, sh),
+        params: net.stem.param_count(),
+        flops: net.stem.conv.flops(h, h),
+    });
+    h = sh;
+    for (i, block) in net.blocks.iter().enumerate() {
+        let mut flops = 0u64;
+        let tag = match &block.expand {
+            Some(PwSlot::Expanded(_)) => " [expanded]",
+            Some(PwSlot::Plain(c)) if c.bias().is_some() => " [contracted]",
+            _ => "",
+        };
+        if let Some(slot) = &block.expand {
+            flops += slot.flops(h, h);
+        }
+        flops += block.dw.flops(h, h);
+        let (nh, _) = block.dw.geom().output_hw(h, h);
+        h = nh;
+        flops += block.project.flops(h, h);
+        rows.push(SummaryRow {
+            name: format!("block{i}{tag}"),
+            output: format!("{}x{}x{}", block.project.out_channels(), h, h),
+            params: block.param_count(),
+            flops,
+        });
+    }
+    rows.push(SummaryRow {
+        name: "head".into(),
+        output: format!("{}x{}x{}", net.config.head_c, h, h),
+        params: net.head.param_count(),
+        flops: net.head.conv.flops(h, h),
+    });
+    rows.push(SummaryRow {
+        name: "classifier".into(),
+        output: format!("{}", net.config.classes),
+        params: net.classifier.param_count(),
+        flops: net.classifier.flops(),
+    });
+    ModelSummary {
+        name: net.config.name.clone(),
+        input,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::mobilenet_v2_tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn summary_totals_match_profile() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+        let summary = summarize(&net, 24);
+        let profile = net.profile(24);
+        assert_eq!(summary.total_params(), profile.params);
+        assert_eq!(summary.total_flops(), profile.flops);
+        assert_eq!(summary.rows.len(), net.blocks.len() + 3);
+    }
+
+    #[test]
+    fn summary_marks_expanded_blocks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+        let plain = summarize(&net, 24);
+        assert!(!plain.rows.iter().any(|r| r.name.contains("expanded")));
+        // display renders every row
+        let text = plain.to_string();
+        assert!(text.contains("stem") && text.contains("classifier") && text.contains("total"));
+    }
+}

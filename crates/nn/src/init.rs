@@ -1,0 +1,96 @@
+//! Weight initialization schemes.
+
+use nb_tensor::{Shape, Tensor};
+use rand::Rng;
+
+/// Kaiming (He) normal initialization for a conv weight
+/// `[c_out, c_in, kh, kw]` or linear weight `[out, in]`: zero-mean Gaussian
+/// with `std = sqrt(2 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if the shape has rank < 2.
+pub fn kaiming_normal(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let std = (2.0 / fan_in(&shape) as f32).sqrt();
+    Tensor::randn(shape, rng).scale(std)
+}
+
+/// Kaiming uniform initialization: `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if the shape has rank < 2.
+pub fn kaiming_uniform(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let bound = (6.0 / fan_in(&shape) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if the shape has rank < 2.
+pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let bound = (6.0 / (fan_in(&shape) + fan_out(&shape)) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Fan-in of a weight shape: `c_in * receptive field` for convs, `in` for
+/// linear weights, `receptive field` for depthwise `[c, kh, kw]` weights.
+pub fn fan_in(shape: &Shape) -> usize {
+    match shape.rank() {
+        2 => shape.dim(1),
+        3 => shape.dim(1) * shape.dim(2),
+        4 => shape.dim(1) * shape.dim(2) * shape.dim(3),
+        r => panic!("fan_in undefined for rank-{r} weight {shape}"),
+    }
+}
+
+/// Fan-out of a weight shape.
+pub fn fan_out(shape: &Shape) -> usize {
+    match shape.rank() {
+        2 => shape.dim(0),
+        3 => shape.dim(0) * shape.dim(2), // depthwise: per-channel kernels
+        4 => shape.dim(0) * shape.dim(2) * shape.dim(3),
+        r => panic!("fan_out undefined for rank-{r} weight {shape}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fans() {
+        assert_eq!(fan_in(&Shape::new(vec![8, 4, 3, 3])), 36);
+        assert_eq!(fan_out(&Shape::new(vec![8, 4, 3, 3])), 72);
+        assert_eq!(fan_in(&Shape::new(vec![10, 20])), 20);
+        assert_eq!(fan_in(&Shape::new(vec![16, 3, 3])), 9);
+    }
+
+    #[test]
+    fn kaiming_normal_std() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = kaiming_normal([64, 32, 3, 3], &mut rng);
+        let want_std = (2.0f32 / 288.0).sqrt();
+        let std = (w.map(|x| x * x).mean() - w.mean() * w.mean()).sqrt();
+        assert!((std - want_std).abs() / want_std < 0.1, "std {std} vs {want_std}");
+    }
+
+    #[test]
+    fn uniform_inits_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = kaiming_uniform([16, 16], &mut rng);
+        let bound = (6.0f32 / 16.0).sqrt();
+        assert!(w.max_value() <= bound && w.min_value() >= -bound);
+        let w = xavier_uniform([16, 16], &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(w.max_value() <= bound && w.min_value() >= -bound);
+    }
+}

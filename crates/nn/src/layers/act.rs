@@ -1,0 +1,158 @@
+//! Activation layers, including the *decayable* activations at the heart of
+//! Progressive Linearization Tuning (PLT).
+//!
+//! A [`Slope`] is a shared handle to the decay parameter `alpha` of paper
+//! Eq. 2 (`y = max(alpha*x, x)`): `alpha = 0` keeps the activation
+//! non-linear, `alpha = 1` turns it into the identity. PLT holds clones of
+//! the slopes inside every inserted block and sweeps them from 0 to 1.
+
+use crate::{Module, Parameter, Session};
+use nb_autograd::Value;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared decay-slope handle (`alpha` of paper Eq. 2).
+#[derive(Clone, Debug, Default)]
+pub struct Slope(Rc<Cell<f32>>);
+
+impl Slope {
+    /// A fresh slope at `alpha = 0` (fully non-linear).
+    pub fn new() -> Self {
+        Slope(Rc::new(Cell::new(0.0)))
+    }
+
+    /// Current `alpha`.
+    pub fn get(&self) -> f32 {
+        self.0.get()
+    }
+
+    /// Sets `alpha`, clamped to `[0, 1]`.
+    pub fn set(&self, alpha: f32) {
+        self.0.set(alpha.clamp(0.0, 1.0));
+    }
+
+    /// True once the activation has fully decayed to the identity.
+    pub fn is_linearized(&self) -> bool {
+        self.0.get() >= 1.0
+    }
+}
+
+/// The non-linearity family an [`Activation`] applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clamped at 6 (the MobileNetV2 default).
+    Relu6,
+    /// No-op (used after linear bottleneck projections).
+    Identity,
+}
+
+/// An activation layer with a decayable slope.
+///
+/// Ordinary network activations keep their slope at 0 forever; activations
+/// inside NetBooster's inserted blocks share their [`Slope`] with the PLT
+/// scheduler, which decays them to the identity before contraction.
+#[derive(Clone, Debug)]
+pub struct Activation {
+    kind: ActKind,
+    slope: Slope,
+}
+
+impl Activation {
+    /// A standard (non-decaying) activation.
+    pub fn new(kind: ActKind) -> Self {
+        Activation {
+            kind,
+            slope: Slope::new(),
+        }
+    }
+
+    /// An activation whose slope is externally driven (by PLT).
+    pub fn with_slope(kind: ActKind, slope: Slope) -> Self {
+        Activation { kind, slope }
+    }
+
+    /// The activation family.
+    pub fn kind(&self) -> ActKind {
+        self.kind
+    }
+
+    /// The slope handle.
+    pub fn slope(&self) -> &Slope {
+        &self.slope
+    }
+
+    /// True when this activation currently computes the identity (either by
+    /// kind or because its slope has fully decayed).
+    pub fn is_linear(&self) -> bool {
+        self.kind == ActKind::Identity || self.slope.is_linearized()
+    }
+}
+
+impl Module for Activation {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        let alpha = self.slope.get();
+        match self.kind {
+            ActKind::Relu => s.graph.relu_decay(x, alpha),
+            ActKind::Relu6 => s.graph.relu6_decay(x, alpha),
+            ActKind::Identity => x,
+        }
+    }
+
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Parameter)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_tensor::Tensor;
+
+    #[test]
+    fn slope_shared_between_clones() {
+        let s = Slope::new();
+        let t = s.clone();
+        t.set(0.5);
+        assert_eq!(s.get(), 0.5);
+        s.set(2.0);
+        assert_eq!(t.get(), 1.0); // clamped
+        assert!(t.is_linearized());
+    }
+
+    #[test]
+    fn relu_activation_forward() {
+        let act = Activation::new(ActKind::Relu);
+        let mut sess = Session::new(false);
+        let x = sess.input(Tensor::from_vec(vec![-1.0, 2.0], [2]).unwrap());
+        let y = act.forward(&mut sess, x);
+        assert_eq!(sess.value(y).as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn decayed_activation_is_identity() {
+        let slope = Slope::new();
+        let act = Activation::with_slope(ActKind::Relu6, slope.clone());
+        slope.set(1.0);
+        assert!(act.is_linear());
+        let mut sess = Session::new(false);
+        let x = sess.input(Tensor::from_vec(vec![-3.0, 9.0], [2]).unwrap());
+        let y = act.forward(&mut sess, x);
+        assert_eq!(sess.value(y).as_slice(), &[-3.0, 9.0]);
+    }
+
+    #[test]
+    fn identity_kind_passes_value_through() {
+        let act = Activation::new(ActKind::Identity);
+        let mut sess = Session::new(false);
+        let x = sess.input(Tensor::from_vec(vec![-5.0], [1]).unwrap());
+        let y = act.forward(&mut sess, x);
+        assert_eq!(x, y);
+        assert!(act.is_linear());
+    }
+
+    #[test]
+    fn activation_has_no_params() {
+        let act = Activation::new(ActKind::Relu);
+        assert_eq!(act.param_count(), 0);
+    }
+}

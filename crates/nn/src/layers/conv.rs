@@ -1,0 +1,261 @@
+//! Convolution layers.
+
+use crate::{init, join_name, Module, Parameter, Session};
+use nb_autograd::Value;
+use nb_tensor::{ConvGeometry, Tensor};
+use rand::Rng;
+
+/// A dense 2-D convolution layer.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Parameter,
+    bias: Option<Parameter>,
+    geom: ConvGeometry,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// A Kaiming-initialized conv layer.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        geom: ConvGeometry,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight = Parameter::new(init::kaiming_normal(
+            [out_channels, in_channels, geom.kh, geom.kw],
+            rng,
+        ));
+        let bias = bias.then(|| Parameter::new_no_decay(Tensor::zeros([out_channels])));
+        Conv2d {
+            weight,
+            bias,
+            geom,
+            in_channels,
+            out_channels,
+        }
+    }
+
+    /// Builds a conv layer from explicit weight (and optional bias) tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not rank 4 or the bias length differs from
+    /// the weight's output channels.
+    pub fn from_weights(weight: Tensor, bias: Option<Tensor>, geom: ConvGeometry) -> Self {
+        let d = weight.dims().to_vec();
+        assert_eq!(d.len(), 4, "conv weight must be rank 4");
+        assert_eq!((d[2], d[3]), (geom.kh, geom.kw), "weight kernel vs geometry");
+        if let Some(b) = &bias {
+            assert_eq!(b.dims(), &[d[0]], "bias length vs out channels");
+        }
+        Conv2d {
+            in_channels: d[1],
+            out_channels: d[0],
+            weight: Parameter::new(weight),
+            bias: bias.map(Parameter::new_no_decay),
+            geom,
+        }
+    }
+
+    /// The layer's weight parameter.
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+
+    /// The layer's bias parameter, if any.
+    pub fn bias(&self) -> Option<&Parameter> {
+        self.bias.as_ref()
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> ConvGeometry {
+        self.geom
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Multiply–accumulate count for an input of the given spatial size.
+    pub fn flops(&self, h: usize, w: usize) -> u64 {
+        let (ho, wo) = self.geom.output_hw(h, w);
+        (self.out_channels * self.in_channels * self.geom.kh * self.geom.kw) as u64
+            * (ho * wo) as u64
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        let w = s.bind(&self.weight);
+        let b = self.bias.as_ref().map(|b| s.bind(b));
+        s.graph.conv2d(x, w, b, self.geom)
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
+        f(&join_name(prefix, "weight"), &self.weight);
+        if let Some(b) = &self.bias {
+            f(&join_name(prefix, "bias"), b);
+        }
+    }
+}
+
+/// A depthwise 2-D convolution layer (`groups == channels`).
+#[derive(Debug, Clone)]
+pub struct DepthwiseConv2d {
+    weight: Parameter,
+    bias: Option<Parameter>,
+    geom: ConvGeometry,
+    channels: usize,
+}
+
+impl DepthwiseConv2d {
+    /// A Kaiming-initialized depthwise conv layer.
+    pub fn new(channels: usize, geom: ConvGeometry, bias: bool, rng: &mut impl Rng) -> Self {
+        let weight = Parameter::new(init::kaiming_normal([channels, geom.kh, geom.kw], rng));
+        let bias = bias.then(|| Parameter::new_no_decay(Tensor::zeros([channels])));
+        DepthwiseConv2d {
+            weight,
+            bias,
+            geom,
+            channels,
+        }
+    }
+
+    /// Builds a depthwise layer from an explicit `[c, kh, kw]` weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape inconsistencies.
+    pub fn from_weights(weight: Tensor, bias: Option<Tensor>, geom: ConvGeometry) -> Self {
+        let d = weight.dims().to_vec();
+        assert_eq!(d.len(), 3, "depthwise weight must be rank 3");
+        assert_eq!((d[1], d[2]), (geom.kh, geom.kw), "weight kernel vs geometry");
+        if let Some(b) = &bias {
+            assert_eq!(b.dims(), &[d[0]], "bias length vs channels");
+        }
+        DepthwiseConv2d {
+            channels: d[0],
+            weight: Parameter::new(weight),
+            bias: bias.map(Parameter::new_no_decay),
+            geom,
+        }
+    }
+
+    /// The layer's weight parameter.
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+
+    /// The layer's bias parameter, if any.
+    pub fn bias(&self) -> Option<&Parameter> {
+        self.bias.as_ref()
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> ConvGeometry {
+        self.geom
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Multiply–accumulate count for an input of the given spatial size.
+    pub fn flops(&self, h: usize, w: usize) -> u64 {
+        let (ho, wo) = self.geom.output_hw(h, w);
+        (self.channels * self.geom.kh * self.geom.kw) as u64 * (ho * wo) as u64
+    }
+}
+
+impl Module for DepthwiseConv2d {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        let w = s.bind(&self.weight);
+        let b = self.bias.as_ref().map(|b| s.bind(b));
+        s.graph.depthwise_conv2d(x, w, b, self.geom)
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
+        f(&join_name(prefix, "weight"), &self.weight);
+        if let Some(b) = &self.bias {
+            f(&join_name(prefix, "bias"), b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(3, 8, ConvGeometry::same(3, 2), true, &mut rng);
+        let mut s = Session::new(false);
+        let x = s.input(Tensor::randn([2, 3, 8, 8], &mut rng));
+        let y = conv.forward(&mut s, x);
+        assert_eq!(s.value(y).dims(), &[2, 8, 4, 4]);
+        assert_eq!(conv.param_count(), 8 * 3 * 9 + 8);
+    }
+
+    #[test]
+    fn conv_names() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(1, 2, ConvGeometry::pointwise(), true, &mut rng);
+        let mut names = Vec::new();
+        conv.visit_params("stem", &mut |n, _| names.push(n.to_string()));
+        assert_eq!(names, vec!["stem.weight", "stem.bias"]);
+    }
+
+    #[test]
+    fn conv_gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::new(2, 4, ConvGeometry::pointwise(), true, &mut rng);
+        let mut s = Session::new(true);
+        let x = s.input(Tensor::randn([1, 2, 3, 3], &mut rng));
+        let y = conv.forward(&mut s, x);
+        let loss = s.graph.mean_all(y);
+        s.backward(loss);
+        assert!(conv.weight().grad().abs_sum() > 0.0);
+        assert!(conv.bias().unwrap().grad().abs_sum() > 0.0);
+    }
+
+    #[test]
+    fn depthwise_forward_and_flops() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dw = DepthwiseConv2d::new(4, ConvGeometry::same(3, 1), false, &mut rng);
+        let mut s = Session::new(false);
+        let x = s.input(Tensor::randn([1, 4, 6, 6], &mut rng));
+        let y = dw.forward(&mut s, x);
+        assert_eq!(s.value(y).dims(), &[1, 4, 6, 6]);
+        assert_eq!(dw.flops(6, 6), (4 * 9 * 36) as u64);
+        assert_eq!(dw.param_count(), 36);
+    }
+
+    #[test]
+    fn flops_pointwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pw = Conv2d::new(8, 16, ConvGeometry::pointwise(), false, &mut rng);
+        assert_eq!(pw.flops(4, 4), (16 * 8 * 16) as u64);
+    }
+
+    #[test]
+    fn from_weights_roundtrip() {
+        let w = Tensor::from_fn([2, 3, 1, 1], |i| i as f32);
+        let conv = Conv2d::from_weights(w.clone(), None, ConvGeometry::pointwise());
+        assert_eq!(conv.weight().value(), w);
+        assert_eq!(conv.in_channels(), 3);
+        assert_eq!(conv.out_channels(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fully-connected layer.
+
+use crate::{init, join_name, Module, Parameter, Session};
+use nb_autograd::Value;
+use nb_tensor::Tensor;
+use rand::Rng;
+
+/// A fully-connected (affine) layer: `y = x W^T + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Parameter,
+    bias: Option<Parameter>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// A Kaiming-uniform-initialized linear layer.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: Parameter::new(init::kaiming_uniform([out_features, in_features], rng)),
+            bias: bias.then(|| Parameter::new_no_decay(Tensor::zeros([out_features]))),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Builds a linear layer from explicit tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not rank 2 or the bias length differs.
+    pub fn from_weights(weight: Tensor, bias: Option<Tensor>) -> Self {
+        let (out_features, in_features) = weight.shape().rc();
+        if let Some(b) = &bias {
+            assert_eq!(b.dims(), &[out_features], "bias length vs out features");
+        }
+        Linear {
+            weight: Parameter::new(weight),
+            bias: bias.map(Parameter::new_no_decay),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// The weight parameter (`[out, in]`).
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+
+    /// The bias parameter, if any.
+    pub fn bias(&self) -> Option<&Parameter> {
+        self.bias.as_ref()
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Multiply–accumulate count per sample.
+    pub fn flops(&self) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        let w = s.bind(&self.weight);
+        let y = s.graph.matmul_nt(x, w);
+        match &self.bias {
+            Some(b) => {
+                let b = s.bind(b);
+                s.graph.add_bias2(y, b)
+            }
+            None => y,
+        }
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
+        f(&join_name(prefix, "weight"), &self.weight);
+        if let Some(b) = &self.bias {
+            f(&join_name(prefix, "bias"), b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_affine() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], [2]).unwrap();
+        let lin = Linear::from_weights(w, Some(b));
+        let mut s = Session::new(false);
+        let x = s.input(Tensor::from_vec(vec![1.0, 1.0], [1, 2]).unwrap());
+        let y = lin.forward(&mut s, x);
+        assert_eq!(s.value(y).as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn grads_flow() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(4, 3, true, &mut rng);
+        let mut s = Session::new(true);
+        let x = s.input(Tensor::randn([2, 4], &mut rng));
+        let y = lin.forward(&mut s, x);
+        let loss = s.graph.softmax_cross_entropy(y, &[0, 2], 0.0);
+        s.backward(loss);
+        assert!(lin.weight().grad().abs_sum() > 0.0);
+        assert!(lin.bias().unwrap().grad().abs_sum() > 0.0);
+        assert_eq!(lin.param_count(), 15);
+        assert_eq!(lin.flops(), 12);
+    }
+}

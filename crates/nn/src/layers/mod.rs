@@ -1,0 +1,13 @@
+//! Layer implementations.
+
+mod act;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+
+pub use act::{ActKind, Activation, Slope};
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

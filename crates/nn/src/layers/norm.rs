@@ -1,0 +1,230 @@
+//! Batch normalization.
+
+use crate::{join_name, Module, Parameter, Session};
+use nb_autograd::Value;
+use nb_tensor::Tensor;
+
+/// 2-D batch normalization with running statistics.
+///
+/// In training mode the layer normalizes with batch statistics and folds
+/// them into its running averages with the configured momentum; in
+/// evaluation mode it normalizes with the running averages.
+/// The running statistics are stored as gradient-free parameters so that
+/// state dicts capture them; optimizers see a permanently-zero gradient and
+/// leave them untouched.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: Parameter,
+    running_var: Parameter,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// A fresh batch-norm layer (`gamma = 1`, `beta = 0`, running stats at
+    /// the standard-normal prior), with momentum 0.1 and epsilon 1e-5.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Parameter::new_no_decay(Tensor::ones([channels])),
+            beta: Parameter::new_no_decay(Tensor::zeros([channels])),
+            running_mean: Parameter::new_no_decay(Tensor::zeros([channels])),
+            running_var: Parameter::new_no_decay(Tensor::ones([channels])),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The scale parameter.
+    pub fn gamma(&self) -> &Parameter {
+        &self.gamma
+    }
+
+    /// The shift parameter.
+    pub fn beta(&self) -> &Parameter {
+        &self.beta
+    }
+
+    /// Normalization epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// Running-statistics momentum.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// A copy of the running mean.
+    pub fn running_mean(&self) -> Tensor {
+        self.running_mean.value()
+    }
+
+    /// A copy of the running variance.
+    pub fn running_var(&self) -> Tensor {
+        self.running_var.value()
+    }
+
+    /// Overwrites the running statistics (used by state-dict loading and by
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not `[channels]`.
+    pub fn set_running_stats(&self, mean: Tensor, var: Tensor) {
+        assert_eq!(mean.dims(), &[self.channels], "running mean shape");
+        assert_eq!(var.dims(), &[self.channels], "running var shape");
+        self.running_mean.set_value(mean);
+        self.running_var.set_value(var);
+    }
+
+    /// The affine transform this layer applies per channel in eval mode,
+    /// as `(scale, shift)`: `y = scale * x + shift`. This is what the
+    /// contraction step folds into the preceding convolution.
+    pub fn eval_affine(&self) -> (Tensor, Tensor) {
+        let mean = self.running_mean.value();
+        let var = self.running_var.value();
+        let gamma = self.gamma.value();
+        let beta = self.beta.value();
+        let scale = Tensor::from_fn([self.channels], |c| {
+            gamma.as_slice()[c] / (var.as_slice()[c] + self.eps).sqrt()
+        });
+        let shift = Tensor::from_fn([self.channels], |c| {
+            beta.as_slice()[c] - mean.as_slice()[c] * scale.as_slice()[c]
+        });
+        (scale, shift)
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        let gamma = s.bind(&self.gamma);
+        let beta = s.bind(&self.beta);
+        if s.training {
+            let (y, stats) = s.graph.batch_norm_train(x, gamma, beta, self.eps);
+            if !s.update_bn_stats {
+                return y;
+            }
+            let m = self.momentum;
+            let mut rm = self.running_mean.value().scale(1.0 - m);
+            rm.add_scaled_assign(&stats.mean, m);
+            self.running_mean.set_value(rm);
+            let mut rv = self.running_var.value().scale(1.0 - m);
+            rv.add_scaled_assign(&stats.var, m);
+            self.running_var.set_value(rv);
+            y
+        } else {
+            let rm = self.running_mean.value();
+            let rv = self.running_var.value();
+            s.graph.batch_norm_eval(x, gamma, beta, &rm, &rv, self.eps)
+        }
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
+        f(&join_name(prefix, "gamma"), &self.gamma);
+        f(&join_name(prefix, "beta"), &self.beta);
+        f(&join_name(prefix, "running_mean"), &self.running_mean);
+        f(&join_name(prefix, "running_var"), &self.running_var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn train_normalizes_and_updates_running_stats() {
+        let bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn([8, 2, 4, 4], &mut rng).scale(3.0).add_scalar(5.0);
+        let mut s = Session::new(true);
+        let xin = s.input(x);
+        let y = bn.forward(&mut s, xin);
+        let out = s.value(y);
+        assert!(out.mean().abs() < 0.05, "normalized mean {}", out.mean());
+        // running mean moved toward ~5
+        assert!(bn.running_mean().mean() > 0.3);
+        assert!(bn.running_var().mean() > 1.0);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let bn = BatchNorm2d::new(1);
+        bn.set_running_stats(Tensor::full([1], 2.0), Tensor::full([1], 4.0));
+        let mut s = Session::new(false);
+        let xin = s.input(Tensor::full([1, 1, 1, 1], 6.0));
+        let y = bn.forward(&mut s, xin);
+        // (6-2)/2 = 2 (eps tiny)
+        assert!((s.value(y).item() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_affine_matches_eval_forward() {
+        let bn = BatchNorm2d::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        bn.set_running_stats(
+            Tensor::randn([3], &mut rng),
+            Tensor::rand_uniform([3], 0.5, 2.0, &mut rng),
+        );
+        bn.gamma().set_value(Tensor::rand_uniform([3], 0.5, 1.5, &mut rng));
+        bn.beta().set_value(Tensor::randn([3], &mut rng));
+        let (scale, shift) = bn.eval_affine();
+        let x = Tensor::randn([2, 3, 2, 2], &mut rng);
+        let mut s = Session::new(false);
+        let xin = s.input(x.clone());
+        let y = bn.forward(&mut s, xin);
+        let want = Tensor::from_fn([2, 3, 2, 2], |i| {
+            let c = (i / 4) % 3;
+            scale.as_slice()[c] * x.as_slice()[i] + shift.as_slice()[c]
+        });
+        assert!(s.value(y).allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn params_excluded_from_decay() {
+        let bn = BatchNorm2d::new(2);
+        assert!(!bn.gamma().decay());
+        assert!(!bn.beta().decay());
+        // gamma + beta + running stats all visited for checkpointing
+        assert_eq!(bn.param_count(), 8);
+    }
+
+    #[test]
+    fn running_stats_roundtrip_through_state_dict() {
+        let bn = BatchNorm2d::new(2);
+        bn.set_running_stats(
+            Tensor::from_vec(vec![1.0, -1.0], [2]).unwrap(),
+            Tensor::from_vec(vec![2.0, 3.0], [2]).unwrap(),
+        );
+        let sd = crate::StateDict::from_module(&bn);
+        let fresh = BatchNorm2d::new(2);
+        sd.load_into(&fresh).unwrap();
+        assert_eq!(fresh.running_mean().as_slice(), &[1.0, -1.0]);
+        assert_eq!(fresh.running_var().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn gradients_flow_through_bn() {
+        let bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = Session::new(true);
+        let xin = s.input(Tensor::randn([4, 2, 3, 3], &mut rng));
+        let y = bn.forward(&mut s, xin);
+        let w = s.input(Tensor::from_fn([4, 2, 3, 3], |i| (i % 5) as f32));
+        let y = s.graph.mul(y, w);
+        let loss = s.graph.mean_all(y);
+        s.backward(loss);
+        assert!(bn.gamma().grad().abs_sum() > 0.0);
+        assert!(bn.beta().grad().abs_sum() > 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Pooling layers.
+
+use crate::{Module, Parameter, Session};
+use nb_autograd::Value;
+use nb_tensor::ConvGeometry;
+
+/// Global average pooling: `[n, c, h, w]` to `[n, c]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool;
+
+impl GlobalAvgPool {
+    /// The global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool
+    }
+}
+
+impl Module for GlobalAvgPool {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        s.graph.global_avg_pool(x)
+    }
+
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Parameter)) {}
+}
+
+/// Windowed max pooling.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    geom: ConvGeometry,
+}
+
+impl MaxPool2d {
+    /// A max-pool layer with the given window geometry.
+    pub fn new(geom: ConvGeometry) -> Self {
+        MaxPool2d { geom }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        s.graph.max_pool(x, self.geom)
+    }
+
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Parameter)) {}
+}
+
+/// Windowed average pooling.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d {
+    geom: ConvGeometry,
+}
+
+impl AvgPool2d {
+    /// An average-pool layer with the given window geometry.
+    pub fn new(geom: ConvGeometry) -> Self {
+        AvgPool2d { geom }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        s.graph.avg_pool(x, self.geom)
+    }
+
+    fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Parameter)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_tensor::Tensor;
+
+    #[test]
+    fn gap_shapes() {
+        let mut s = Session::new(false);
+        let x = s.input(Tensor::ones([2, 3, 4, 4]));
+        let y = GlobalAvgPool::new().forward(&mut s, x);
+        assert_eq!(s.value(y).dims(), &[2, 3]);
+        assert!(s.value(y).allclose(&Tensor::ones([2, 3]), 1e-6));
+    }
+
+    #[test]
+    fn pools_have_no_params() {
+        assert_eq!(GlobalAvgPool::new().param_count(), 0);
+        assert_eq!(MaxPool2d::new(ConvGeometry::square(2, 2, 0)).param_count(), 0);
+        assert_eq!(AvgPool2d::new(ConvGeometry::square(2, 2, 0)).param_count(), 0);
+    }
+
+    #[test]
+    fn max_and_avg_forward() {
+        let mut s = Session::new(false);
+        let x = s.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]).unwrap());
+        let y = MaxPool2d::new(ConvGeometry::square(2, 2, 0)).forward(&mut s, x);
+        assert_eq!(s.value(y).item(), 4.0);
+        let z = AvgPool2d::new(ConvGeometry::square(2, 2, 0)).forward(&mut s, x);
+        assert_eq!(s.value(z).item(), 2.5);
+    }
+}

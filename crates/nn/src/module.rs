@@ -1,0 +1,168 @@
+//! The [`Module`] trait and the per-step [`Session`] that bridges parameters
+//! and the autograd tape.
+
+use crate::Parameter;
+use nb_autograd::{Graph, Value};
+use nb_tensor::Tensor;
+use std::collections::HashMap;
+
+/// One training (or evaluation) step's worth of state: an autograd tape plus
+/// the set of parameters bound into it.
+///
+/// Binding the same [`Parameter`] twice returns the same tape leaf, so
+/// weight sharing (as in NetAug's sub-network forward) costs nothing and
+/// gradients from every use accumulate correctly.
+pub struct Session {
+    /// The underlying autograd tape.
+    pub graph: Graph,
+    /// Whether layers should run in training mode (batch statistics, etc.).
+    pub training: bool,
+    /// Whether training-mode batch norms may update their running
+    /// statistics. NetAug's auxiliary full-width forward disables this so
+    /// the deployed sub-network's statistics are not polluted.
+    pub update_bn_stats: bool,
+    bound: HashMap<usize, Value>,
+    bindings: Vec<(Parameter, Value)>,
+}
+
+impl Session {
+    /// A fresh session in the given mode.
+    pub fn new(training: bool) -> Self {
+        Session {
+            graph: Graph::new(),
+            training,
+            update_bn_stats: true,
+            bound: HashMap::new(),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Inserts an input tensor (no gradient).
+    pub fn input(&mut self, t: Tensor) -> Value {
+        self.graph.constant(t)
+    }
+
+    /// Binds a parameter into the tape, returning its leaf. Idempotent per
+    /// parameter per session. Frozen parameters (see
+    /// [`Parameter::set_trainable`]) bind as constants.
+    pub fn bind(&mut self, p: &Parameter) -> Value {
+        if let Some(&v) = self.bound.get(&p.key()) {
+            return v;
+        }
+        let trainable = p.trainable();
+        let v = self.graph.leaf(p.value(), trainable);
+        self.bound.insert(p.key(), v);
+        if trainable {
+            self.bindings.push((p.clone(), v));
+        }
+        v
+    }
+
+    /// Runs the backward pass from `loss` and accumulates the resulting
+    /// gradients into every bound parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar.
+    pub fn backward(&mut self, loss: Value) {
+        self.graph.backward(loss);
+        for (p, v) in &self.bindings {
+            if let Some(g) = self.graph.take_grad(*v) {
+                p.add_grad(&g);
+            }
+        }
+    }
+
+    /// The forward value of a node (convenience passthrough).
+    pub fn value(&self, v: Value) -> &Tensor {
+        self.graph.value(v)
+    }
+}
+
+/// A neural-network building block: a differentiable function of one tensor
+/// plus a set of named parameters.
+pub trait Module {
+    /// Records the layer's forward computation on the session's tape.
+    fn forward(&self, s: &mut Session, x: Value) -> Value;
+
+    /// Visits every parameter with its hierarchical name
+    /// (`prefix` + `.local_name`).
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter));
+
+    /// All parameters, in visit order.
+    fn parameters(&self) -> Vec<Parameter>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        self.visit_params("", &mut |_, p| out.push(p.clone()));
+        out
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize
+    where
+        Self: Sized,
+    {
+        let mut n = 0;
+        self.visit_params("", &mut |_, p| n += p.numel());
+        n
+    }
+}
+
+/// Joins a prefix and a local parameter name with a dot (no leading dot when
+/// the prefix is empty).
+pub fn join_name(prefix: &str, local: &str) -> String {
+    if prefix.is_empty() {
+        local.to_string()
+    } else {
+        format!("{prefix}.{local}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_is_idempotent() {
+        let mut s = Session::new(true);
+        let p = Parameter::new(Tensor::ones([2]));
+        let a = s.bind(&p);
+        let b = s.bind(&p);
+        assert_eq!(a, b);
+        assert_eq!(s.graph.len(), 1);
+    }
+
+    #[test]
+    fn backward_populates_parameter_grads() {
+        let mut s = Session::new(true);
+        let p = Parameter::new(Tensor::from_vec(vec![2.0, 3.0], [2]).unwrap());
+        let v = s.bind(&p);
+        let sq = s.graph.mul(v, v);
+        let loss = s.graph.mean_all(sq);
+        s.backward(loss);
+        // d mean(x^2) /dx = 2x/2 = x
+        assert!(p
+            .grad()
+            .allclose(&Tensor::from_vec(vec![2.0, 3.0], [2]).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn shared_binding_accumulates_both_uses() {
+        let mut s = Session::new(true);
+        let p = Parameter::new(Tensor::from_vec(vec![1.0], [1]).unwrap());
+        let v = s.bind(&p);
+        let v2 = s.bind(&p); // same leaf
+        let y = s.graph.add(v, v2); // y = 2x
+        let loss = s.graph.mean_all(y);
+        s.backward(loss);
+        assert_eq!(p.grad().item(), 2.0);
+    }
+
+    #[test]
+    fn join_name_formats() {
+        assert_eq!(join_name("", "weight"), "weight");
+        assert_eq!(join_name("block1.conv", "bias"), "block1.conv.bias");
+    }
+}

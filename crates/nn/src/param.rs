@@ -1,0 +1,169 @@
+//! Trainable parameters: shared, interior-mutable tensors with gradient
+//! accumulators.
+
+use nb_tensor::Tensor;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+struct ParamInner {
+    value: Tensor,
+    grad: Tensor,
+    /// Whether weight decay applies (disabled for biases and norm affines).
+    decay: bool,
+    /// Whether the parameter receives gradients (false = frozen).
+    trainable: bool,
+}
+
+/// A trainable tensor shared between a layer and the optimizer.
+///
+/// `Parameter` is a cheap clone (reference-counted); all clones view the same
+/// value and gradient. Gradients accumulate across
+/// [`Session::backward`](crate::Session::backward) calls until
+/// [`zero_grad`](Parameter::zero_grad).
+#[derive(Clone)]
+pub struct Parameter {
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+impl Parameter {
+    /// Wraps a tensor as a decayable parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Parameter {
+            inner: Rc::new(RefCell::new(ParamInner {
+                value,
+                grad,
+                decay: true,
+                trainable: true,
+            })),
+        }
+    }
+
+    /// Wraps a tensor as a parameter exempt from weight decay (for biases
+    /// and normalization affines).
+    pub fn new_no_decay(value: Tensor) -> Self {
+        let p = Self::new(value);
+        p.inner.borrow_mut().decay = false;
+        p
+    }
+
+    /// A copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Replaces the value (the gradient buffer is resized to match).
+    pub fn set_value(&self, value: Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        inner.grad = Tensor::zeros(value.shape().clone());
+        inner.value = value;
+    }
+
+    /// A copy of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Accumulates `g` into the gradient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s shape differs from the parameter's.
+    pub fn add_grad(&self, g: &Tensor) {
+        self.inner.borrow_mut().grad.add_assign(g);
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.inner.borrow_mut().grad.fill_zero();
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.inner.borrow().value.numel()
+    }
+
+    /// Whether weight decay applies to this parameter.
+    pub fn decay(&self) -> bool {
+        self.inner.borrow().decay
+    }
+
+    /// Whether the parameter currently receives gradients.
+    pub fn trainable(&self) -> bool {
+        self.inner.borrow().trainable
+    }
+
+    /// Freezes or unfreezes the parameter. Frozen parameters are bound into
+    /// sessions as constants, so no gradient is computed for them (used for
+    /// linear-probe transfer).
+    pub fn set_trainable(&self, trainable: bool) {
+        self.inner.borrow_mut().trainable = trainable;
+    }
+
+    /// Runs `f` with mutable access to `(value, grad)` — the optimizer's
+    /// update hook.
+    pub fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let inner = &mut *self.inner.borrow_mut();
+        f(&mut inner.value, &inner.grad);
+    }
+
+    /// Stable identity key: clones of the same parameter share it.
+    pub fn key(&self) -> usize {
+        Rc::as_ptr(&self.inner) as usize
+    }
+}
+
+impl fmt::Debug for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "Parameter({}, decay={}, |g|={:.3e})",
+            inner.value.shape(),
+            inner.decay,
+            inner.grad.abs_sum()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let p = Parameter::new(Tensor::zeros([2]));
+        let q = p.clone();
+        q.set_value(Tensor::ones([2]));
+        assert_eq!(p.value().as_slice(), &[1.0, 1.0]);
+        assert_eq!(p.key(), q.key());
+    }
+
+    #[test]
+    fn grad_accumulates_and_clears() {
+        let p = Parameter::new(Tensor::zeros([2]));
+        p.add_grad(&Tensor::ones([2]));
+        p.add_grad(&Tensor::ones([2]));
+        assert_eq!(p.grad().as_slice(), &[2.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn update_hook_sees_grad() {
+        let p = Parameter::new(Tensor::ones([2]));
+        p.add_grad(&Tensor::full([2], 0.5));
+        p.update(|v, g| {
+            let step = g.scale(-1.0);
+            v.add_assign(&step);
+        });
+        assert_eq!(p.value().as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn decay_flags() {
+        assert!(Parameter::new(Tensor::zeros([1])).decay());
+        assert!(!Parameter::new_no_decay(Tensor::zeros([1])).decay());
+    }
+}

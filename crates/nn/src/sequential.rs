@@ -1,0 +1,93 @@
+//! A heterogeneous layer stack.
+
+use crate::{Module, Parameter, Session};
+use nb_autograd::Value;
+
+/// An ordered stack of boxed modules applied in sequence.
+///
+/// Used for classifier and detection heads; the backbone architectures in
+/// `nb-models` are typed structs instead, so NetBooster can perform surgery
+/// on specific blocks.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn add(&mut self, layer: impl Module + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, s: &mut Session, x: Value) -> Value {
+        let mut cur = x;
+        for layer in &self.layers {
+            cur = layer.forward(s, cur);
+        }
+        cur
+    }
+
+    fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let name = crate::join_name(prefix, &i.to_string());
+            layer.visit_params(&name, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{ActKind, Activation, Linear};
+    use nb_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stack_applies_in_order() {
+        let w = Tensor::from_vec(vec![-1.0], [1, 1]).unwrap();
+        let seq = Sequential::new()
+            .push(Linear::from_weights(w, None))
+            .push(Activation::new(ActKind::Relu));
+        let mut s = Session::new(false);
+        let x = s.input(Tensor::from_vec(vec![3.0], [1, 1]).unwrap());
+        let y = seq.forward(&mut s, x);
+        assert_eq!(s.value(y).item(), 0.0); // relu(-3)
+        assert_eq!(seq.len(), 2);
+    }
+
+    #[test]
+    fn params_named_by_index() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq = Sequential::new()
+            .push(Linear::new(2, 2, true, &mut rng))
+            .push(Linear::new(2, 1, false, &mut rng));
+        let mut names = Vec::new();
+        seq.visit_params("head", &mut |n, _| names.push(n.to_string()));
+        assert_eq!(names, vec!["head.0.weight", "head.0.bias", "head.1.weight"]);
+    }
+}

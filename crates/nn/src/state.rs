@@ -1,0 +1,311 @@
+//! State dictionaries: named-tensor maps for checkpointing and for copying
+//! weights between model variants (e.g. pretrain to downstream transfer).
+//!
+//! The on-disk format is a tiny hand-rolled binary layout (magic, entry
+//! count, then length-prefixed names with shaped `f32` payloads) so the
+//! stack stays dependency-free.
+
+use crate::{Module, Parameter};
+use nb_tensor::{Shape, Tensor, TensorError};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NBST";
+
+/// An ordered map from hierarchical parameter names to tensors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateDict {
+    entries: BTreeMap<String, Tensor>,
+}
+
+impl StateDict {
+    /// An empty state dict.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots every parameter of a module.
+    pub fn from_module(module: &impl Module) -> Self {
+        let mut sd = StateDict::new();
+        module.visit_params("", &mut |name, p| {
+            sd.entries.insert(name.to_string(), p.value());
+        });
+        sd
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&mut self, name: impl Into<String>, t: Tensor) {
+        self.entries.insert(name.into(), t);
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Loads every matching entry into `module`'s parameters, strictly:
+    /// every module parameter must be present with the right shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Corrupt`] naming the first missing or
+    /// mis-shaped parameter.
+    pub fn load_into(&self, module: &impl Module) -> Result<(), TensorError> {
+        let mut failure: Option<String> = None;
+        module.visit_params("", &mut |name, p| {
+            if failure.is_some() {
+                return;
+            }
+            match self.entries.get(name) {
+                None => failure = Some(format!("missing parameter `{name}`")),
+                Some(t) if t.shape() != p.value().shape() => {
+                    failure = Some(format!(
+                        "shape mismatch for `{name}`: checkpoint {} vs model {}",
+                        t.shape(),
+                        p.value().shape()
+                    ))
+                }
+                Some(t) => p.set_value(t.clone()),
+            }
+        });
+        match failure {
+            Some(msg) => Err(TensorError::Corrupt(msg)),
+            None => Ok(()),
+        }
+    }
+
+    /// Loads every entry whose name and shape match, skipping the rest.
+    /// Returns the number of parameters loaded. Useful when transferring a
+    /// backbone under a new head.
+    pub fn load_matching(&self, module: &impl Module) -> usize {
+        let mut loaded = 0;
+        module.visit_params("", &mut |name, p| {
+            if let Some(t) = self.entries.get(name) {
+                if t.shape() == p.value().shape() {
+                    p.set_value(t.clone());
+                    loaded += 1;
+                }
+            }
+        });
+        loaded
+    }
+
+    /// Serializes to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        for (name, t) in &self.entries {
+            let name_bytes = name.as_bytes();
+            w.write_all(&(name_bytes.len() as u16).to_le_bytes())?;
+            w.write_all(name_bytes)?;
+            let dims = t.dims();
+            w.write_all(&(dims.len() as u8).to_le_bytes())?;
+            for &d in dims {
+                w.write_all(&(d as u32).to_le_bytes())?;
+            }
+            for &v in t.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Corrupt`] on malformed input; I/O errors are
+    /// folded into the same variant with the OS message.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, TensorError> {
+        fn io(e: std::io::Error) -> TensorError {
+            TensorError::Corrupt(format!("io: {e}"))
+        }
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(io)?;
+        if &magic != MAGIC {
+            return Err(TensorError::Corrupt("bad magic".into()));
+        }
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4).map_err(io)?;
+        let count = u32::from_le_bytes(b4) as usize;
+        let mut sd = StateDict::new();
+        for _ in 0..count {
+            let mut b2 = [0u8; 2];
+            r.read_exact(&mut b2).map_err(io)?;
+            let name_len = u16::from_le_bytes(b2) as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name).map_err(io)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| TensorError::Corrupt("non-utf8 name".into()))?;
+            let mut b1 = [0u8; 1];
+            r.read_exact(&mut b1).map_err(io)?;
+            let rank = b1[0] as usize;
+            if rank > 8 {
+                return Err(TensorError::Corrupt(format!("implausible rank {rank}")));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                r.read_exact(&mut b4).map_err(io)?;
+                dims.push(u32::from_le_bytes(b4) as usize);
+            }
+            let shape = Shape::new(dims);
+            let n = shape.numel();
+            if n > (1 << 30) {
+                return Err(TensorError::Corrupt(format!("implausible size {n}")));
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                r.read_exact(&mut b4).map_err(io)?;
+                data.push(f32::from_le_bytes(b4));
+            }
+            sd.insert(name, Tensor::from_vec(data, shape)?);
+        }
+        Ok(sd)
+    }
+
+    /// Saves to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Loads from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Corrupt`] on malformed or unreadable input.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TensorError> {
+        let f = std::fs::File::open(path)
+            .map_err(|e| TensorError::Corrupt(format!("open: {e}")))?;
+        Self::read_from(&mut std::io::BufReader::new(f))
+    }
+}
+
+impl FromIterator<(String, Tensor)> for StateDict {
+    fn from_iter<I: IntoIterator<Item = (String, Tensor)>>(iter: I) -> Self {
+        StateDict {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Copies all parameter values from `src` to `dst` by matching names; both
+/// modules must expose identical parameter sets.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Corrupt`] if `dst` has a parameter missing from
+/// `src` or with a different shape.
+pub fn copy_params(src: &impl Module, dst: &impl Module) -> Result<(), TensorError> {
+    StateDict::from_module(src).load_into(dst)
+}
+
+/// Accumulates `visit_params` output into `(name, Parameter)` pairs.
+pub fn named_parameters(module: &impl Module) -> Vec<(String, Parameter)> {
+    let mut out = Vec::new();
+    module.visit_params("", &mut |name, p| out.push((name.to_string(), p.clone())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(3, 2, true, &mut rng);
+        let sd = StateDict::from_module(&lin);
+        let mut buf = Vec::new();
+        sd.write_to(&mut buf).unwrap();
+        let back = StateDict::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(sd, back);
+    }
+
+    #[test]
+    fn load_into_strict() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Linear::new(3, 2, true, &mut rng);
+        let b = Linear::new(3, 2, true, &mut rng);
+        assert!(a.weight().value() != b.weight().value());
+        copy_params(&a, &b).unwrap();
+        assert_eq!(a.weight().value(), b.weight().value());
+        assert_eq!(a.bias().unwrap().value(), b.bias().unwrap().value());
+    }
+
+    #[test]
+    fn load_into_detects_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Linear::new(3, 2, true, &mut rng);
+        let b = Linear::new(4, 2, true, &mut rng);
+        let err = StateDict::from_module(&a).load_into(&b).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn load_matching_skips_new_head() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Linear::new(3, 2, true, &mut rng);
+        let b = Linear::new(3, 5, true, &mut rng); // different head size
+        let n = StateDict::from_module(&a).load_matching(&b);
+        assert_eq!(n, 0); // shapes differ => nothing loaded, no panic
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let buf = b"XXXX\0\0\0\0".to_vec();
+        let err = StateDict::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lin = Linear::new(3, 2, false, &mut rng);
+        let mut buf = Vec::new();
+        StateDict::from_module(&lin).write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(StateDict::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lin = Linear::new(2, 2, true, &mut rng);
+        let sd = StateDict::from_module(&lin);
+        let dir = std::env::temp_dir().join("nb_state_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.nbst");
+        sd.save(&path).unwrap();
+        let back = StateDict::load(&path).unwrap();
+        assert_eq!(sd, back);
+        std::fs::remove_file(path).ok();
+    }
+}

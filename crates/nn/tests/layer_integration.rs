@@ -1,0 +1,151 @@
+//! Cross-layer integration tests: a small MLP learns a non-linear task
+//! end-to-end, batch norm behaves consistently between modes, and
+//! checkpointing survives architectural reuse.
+
+use nb_nn::layers::{ActKind, Activation, BatchNorm2d, Conv2d, Linear};
+use nb_nn::{copy_params, Module, Sequential, Session, StateDict};
+use nb_tensor::{ConvGeometry, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// XOR: the canonical task a linear model cannot solve.
+#[test]
+fn mlp_learns_xor() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mlp = Sequential::new()
+        .push(Linear::new(2, 8, true, &mut rng))
+        .push(Activation::new(ActKind::Relu))
+        .push(Linear::new(8, 2, true, &mut rng));
+    let inputs = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], [4, 2]).unwrap();
+    let labels = [0usize, 1, 1, 0];
+    let params = mlp.parameters();
+    for step in 0..400 {
+        let mut s = Session::new(true);
+        let x = s.input(inputs.clone());
+        let logits = mlp.forward(&mut s, x);
+        let loss = s.graph.softmax_cross_entropy(logits, &labels, 0.0);
+        s.backward(loss);
+        let lr = 0.5 * (1.0 - step as f32 / 400.0);
+        for p in &params {
+            p.update(|v, g| v.add_scaled_assign(g, -lr));
+            p.zero_grad();
+        }
+    }
+    let mut s = Session::new(false);
+    let x = s.input(inputs);
+    let logits = mlp.forward(&mut s, x);
+    let preds = s.value(logits).argmax_last();
+    assert_eq!(preds, labels.to_vec(), "XOR solved");
+}
+
+/// After long training-mode exposure to a fixed distribution, eval-mode BN
+/// output converges to train-mode output.
+#[test]
+fn bn_modes_converge_on_stationary_distribution() {
+    let bn = BatchNorm2d::new(3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn([16, 3, 4, 4], &mut rng).scale(2.0).add_scalar(1.0);
+    // run many train-mode passes on the same batch so running stats lock on
+    let mut train_out = Tensor::zeros([16, 3, 4, 4]);
+    for _ in 0..200 {
+        let mut s = Session::new(true);
+        let xin = s.input(x.clone());
+        let y = bn.forward(&mut s, xin);
+        train_out = s.value(y).clone();
+    }
+    let mut s = Session::new(false);
+    let xin = s.input(x.clone());
+    let y = bn.forward(&mut s, xin);
+    assert!(
+        s.value(y).allclose(&train_out, 0.05),
+        "modes differ by {}",
+        s.value(y).max_abs_diff(&train_out)
+    );
+}
+
+/// The update_bn_stats flag freezes running statistics.
+#[test]
+fn bn_stats_freeze_flag() {
+    let bn = BatchNorm2d::new(2);
+    let before_mean = bn.running_mean();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut s = Session::new(true);
+    s.update_bn_stats = false;
+    let xin = s.input(Tensor::randn([8, 2, 3, 3], &mut rng).add_scalar(5.0));
+    let _ = bn.forward(&mut s, xin);
+    assert_eq!(bn.running_mean(), before_mean, "stats untouched");
+    // and with the flag on they move
+    let mut s = Session::new(true);
+    let xin = s.input(Tensor::randn([8, 2, 3, 3], &mut rng).add_scalar(5.0));
+    let _ = bn.forward(&mut s, xin);
+    assert!(bn.running_mean().max_abs_diff(&before_mean) > 0.1);
+}
+
+/// conv -> bn -> act -> conv pipeline: checkpoint restores exact eval
+/// behaviour including running statistics.
+#[test]
+fn conv_stack_checkpoint_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let build = |rng: &mut StdRng| {
+        Sequential::new()
+            .push(Conv2d::new(3, 6, ConvGeometry::same(3, 2), false, rng))
+            .push(BatchNorm2d::new(6))
+            .push(Activation::new(ActKind::Relu6))
+            .push(Conv2d::new(6, 4, ConvGeometry::pointwise(), true, rng))
+    };
+    let a = build(&mut rng);
+    // push some batches through train mode so BN stats are non-trivial
+    for i in 0..5 {
+        let mut s = Session::new(true);
+        let x = s.input(Tensor::randn([4, 3, 8, 8], &mut StdRng::seed_from_u64(i)));
+        let _ = a.forward(&mut s, x);
+    }
+    let b = build(&mut rng);
+    copy_params(&a, &b).unwrap();
+    let probe = Tensor::randn([2, 3, 8, 8], &mut rng);
+    let run = |m: &Sequential| {
+        let mut s = Session::new(false);
+        let x = s.input(probe.clone());
+        let y = m.forward(&mut s, x);
+        s.value(y).clone()
+    };
+    assert!(run(&a).allclose(&run(&b), 1e-6));
+    // serialized form matches too
+    let mut buf = Vec::new();
+    StateDict::from_module(&a).write_to(&mut buf).unwrap();
+    let back = StateDict::read_from(&mut buf.as_slice()).unwrap();
+    let c = build(&mut rng);
+    back.load_into(&c).unwrap();
+    assert!(run(&a).allclose(&run(&c), 1e-6));
+}
+
+/// Gradient accumulation across two sessions equals one doubled batch.
+#[test]
+fn gradient_accumulation_linearity() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let lin = Linear::new(4, 3, true, &mut rng);
+    let xa = Tensor::randn([2, 4], &mut rng);
+    let xb = Tensor::randn([2, 4], &mut rng);
+    let run = |x: &Tensor, labels: &[usize]| {
+        let mut s = Session::new(true);
+        let xin = s.input(x.clone());
+        let y = lin.forward(&mut s, xin);
+        let loss = s.graph.softmax_cross_entropy(y, labels, 0.0);
+        s.backward(loss);
+    };
+    // two separate sessions accumulate
+    run(&xa, &[0, 1]);
+    run(&xb, &[2, 0]);
+    let accumulated = lin.weight().grad();
+    lin.weight().zero_grad();
+    lin.bias().unwrap().zero_grad();
+    // equivalent single session with both batches averaged
+    let both = Tensor::stack0(&[xa, xb]).into_reshape([4, 4]);
+    let mut s = Session::new(true);
+    let xin = s.input(both);
+    let y = lin.forward(&mut s, xin);
+    let loss = s.graph.softmax_cross_entropy(y, &[0, 1, 2, 0], 0.0);
+    let loss = s.graph.scale(loss, 2.0); // two accumulations of mean-losses
+    s.backward(loss);
+    assert!(lin.weight().grad().allclose(&accumulated, 1e-4));
+}

@@ -1,0 +1,33 @@
+//! # nb-optim
+//!
+//! Optimizers and learning-rate schedules for the NetBooster reproduction:
+//! SGD with momentum (the paper's recipe), Adam, and cosine/step/constant
+//! schedules with linear warmup.
+//!
+//! ## Example
+//!
+//! ```
+//! use nb_nn::Parameter;
+//! use nb_optim::{CosineAnneal, LrSchedule, Sgd, SgdConfig};
+//! use nb_tensor::Tensor;
+//!
+//! let p = Parameter::new(Tensor::full([1], 4.0));
+//! let mut opt = Sgd::new(vec![p.clone()], SgdConfig::default());
+//! let sched = CosineAnneal::new(0.1, 100);
+//! for step in 0..100 {
+//!     let x = p.value().item();
+//!     p.add_grad(&Tensor::full([1], 2.0 * x)); // d/dx x^2
+//!     opt.step(sched.lr(step));
+//! }
+//! assert!(p.value().item().abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod adam;
+mod schedule;
+mod sgd;
+
+pub use adam::{Adam, AdamConfig};
+pub use schedule::{ConstantLr, CosineAnneal, LrSchedule, StepDecay};
+pub use sgd::{Sgd, SgdConfig};

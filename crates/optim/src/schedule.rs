@@ -1,0 +1,140 @@
+//! Learning-rate schedules.
+//!
+//! The paper's recipes use cosine annealing with optional linear warmup;
+//! step decay and constant schedules are provided for the downstream and
+//! ablation configurations.
+
+use std::f32::consts::PI;
+
+/// A learning-rate schedule: a map from step index to learning rate.
+pub trait LrSchedule {
+    /// Learning rate at `step` (0-based) out of the schedule's horizon.
+    fn lr(&self, step: usize) -> f32;
+}
+
+/// Cosine annealing from `base_lr` to `min_lr` over `total_steps`, with an
+/// optional linear warmup from 0 over the first `warmup_steps`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineAnneal {
+    /// Peak learning rate.
+    pub base_lr: f32,
+    /// Floor learning rate at the end of the horizon.
+    pub min_lr: f32,
+    /// Total steps in the schedule.
+    pub total_steps: usize,
+    /// Linear-warmup steps at the start.
+    pub warmup_steps: usize,
+}
+
+impl CosineAnneal {
+    /// A warmup-free cosine schedule annealing to zero.
+    pub fn new(base_lr: f32, total_steps: usize) -> Self {
+        CosineAnneal {
+            base_lr,
+            min_lr: 0.0,
+            total_steps,
+            warmup_steps: 0,
+        }
+    }
+}
+
+impl LrSchedule for CosineAnneal {
+    fn lr(&self, step: usize) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let t = (step - self.warmup_steps).min(self.total_steps - self.warmup_steps) as f32;
+        let horizon = (self.total_steps - self.warmup_steps).max(1) as f32;
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (PI * t / horizon).cos())
+    }
+}
+
+/// Multiplies the base rate by `gamma` every `step_size` steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Steps between decays.
+    pub step_size: usize,
+    /// Decay factor.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn lr(&self, step: usize) -> f32 {
+        self.base_lr * self.gamma.powi((step / self.step_size) as i32)
+    }
+}
+
+/// A constant learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr(&self, _step: usize) -> f32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = CosineAnneal::new(0.2, 100);
+        assert!((s.lr(0) - 0.2).abs() < 1e-6);
+        assert!(s.lr(100) < 1e-6);
+        // midpoint is half the base
+        assert!((s.lr(50) - 0.1).abs() < 1e-3);
+        // monotone non-increasing
+        for i in 0..100 {
+            assert!(s.lr(i + 1) <= s.lr(i) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = CosineAnneal {
+            base_lr: 1.0,
+            min_lr: 0.0,
+            total_steps: 110,
+            warmup_steps: 10,
+        };
+        assert!((s.lr(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr(4) - 0.5).abs() < 1e-6);
+        assert!((s.lr(10) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_floor_respected() {
+        let s = CosineAnneal {
+            base_lr: 0.1,
+            min_lr: 0.01,
+            total_steps: 10,
+            warmup_steps: 0,
+        };
+        assert!((s.lr(10) - 0.01).abs() < 1e-6);
+        assert!((s.lr(10_000) - 0.01).abs() < 1e-6); // clamps past horizon
+    }
+
+    #[test]
+    fn step_decay() {
+        let s = StepDecay {
+            base_lr: 1.0,
+            step_size: 10,
+            gamma: 0.1,
+        };
+        assert_eq!(s.lr(0), 1.0);
+        assert_eq!(s.lr(9), 1.0);
+        assert!((s.lr(10) - 0.1).abs() < 1e-7);
+        assert!((s.lr(25) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.05);
+        assert_eq!(s.lr(0), 0.05);
+        assert_eq!(s.lr(99999), 0.05);
+    }
+}

@@ -1,0 +1,226 @@
+//! Stochastic gradient descent with momentum, the optimizer the paper's
+//! training recipes use.
+
+use nb_nn::Parameter;
+use nb_tensor::Tensor;
+
+/// Configuration for [`Sgd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Base learning rate (rescaled per step by the schedule, if any).
+    pub lr: f32,
+    /// Momentum coefficient (`0` disables the velocity buffer).
+    pub momentum: f32,
+    /// L2 weight decay, applied only to parameters with the decay flag.
+    pub weight_decay: f32,
+    /// Use Nesterov momentum.
+    pub nesterov: bool,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 4e-5,
+            nesterov: false,
+        }
+    }
+}
+
+/// SGD with momentum over a fixed set of parameters.
+///
+/// # Examples
+///
+/// ```
+/// use nb_nn::Parameter;
+/// use nb_optim::{Sgd, SgdConfig};
+/// use nb_tensor::Tensor;
+///
+/// let p = Parameter::new(Tensor::ones([2]));
+/// let mut opt = Sgd::new(vec![p.clone()], SgdConfig { lr: 0.5, momentum: 0.0, weight_decay: 0.0, nesterov: false });
+/// p.add_grad(&Tensor::ones([2]));
+/// opt.step(0.25);
+/// assert_eq!(p.value().as_slice(), &[0.75, 0.75]);
+/// ```
+pub struct Sgd {
+    params: Vec<Parameter>,
+    velocity: Vec<Tensor>,
+    config: SgdConfig,
+}
+
+impl Sgd {
+    /// An optimizer over the given parameters.
+    pub fn new(params: Vec<Parameter>, config: SgdConfig) -> Self {
+        let velocity = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape().clone()))
+            .collect();
+        Sgd {
+            params,
+            velocity,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SgdConfig {
+        self.config
+    }
+
+    /// Number of managed parameters.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Applies one update with the given learning rate, then clears all
+    /// gradients.
+    pub fn step(&mut self, lr: f32) {
+        let c = self.config;
+        for (p, v) in self.params.iter().zip(&mut self.velocity) {
+            let decays = p.decay();
+            p.update(|value, grad| {
+                // effective gradient: grad + wd * value
+                let mut g = grad.clone();
+                if c.weight_decay > 0.0 && decays {
+                    g.add_scaled_assign(value, c.weight_decay);
+                }
+                if c.momentum > 0.0 {
+                    v.scale_assign(c.momentum);
+                    v.add_assign(&g);
+                    if c.nesterov {
+                        g.add_scaled_assign(v, c.momentum);
+                    } else {
+                        g = v.clone();
+                    }
+                }
+                value.add_scaled_assign(&g, -lr);
+            });
+            p.zero_grad();
+        }
+    }
+
+    /// Clears all gradients without updating.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Global L2 gradient-norm clipping: rescales all gradients if their
+    /// joint norm exceeds `max_norm`. Returns the pre-clip norm.
+    pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
+        let mut sq = 0.0f64;
+        for p in &self.params {
+            let n = p.grad().l2_norm() as f64;
+            sq += n * n;
+        }
+        let norm = sq.sqrt() as f32;
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &self.params {
+                let scaled = p.grad().scale(scale);
+                p.zero_grad();
+                p.add_grad(&scaled);
+            }
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(lr: f32, momentum: f32, wd: f32) -> SgdConfig {
+        SgdConfig {
+            lr,
+            momentum,
+            weight_decay: wd,
+            nesterov: false,
+        }
+    }
+
+    #[test]
+    fn plain_sgd_descends_quadratic() {
+        // minimize f(x) = x^2 by hand-computed grads
+        let p = Parameter::new(Tensor::full([1], 4.0));
+        let mut opt = Sgd::new(vec![p.clone()], cfg(0.1, 0.0, 0.0));
+        for _ in 0..50 {
+            let x = p.value().item();
+            p.add_grad(&Tensor::full([1], 2.0 * x));
+            opt.step(0.1);
+        }
+        assert!(p.value().item().abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f32| {
+            let p = Parameter::new(Tensor::full([1], 4.0));
+            let mut opt = Sgd::new(vec![p.clone()], cfg(0.02, momentum, 0.0));
+            for _ in 0..20 {
+                let x = p.value().item();
+                p.add_grad(&Tensor::full([1], 2.0 * x));
+                opt.step(0.02);
+            }
+            p.value().item().abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_skips_no_decay_params() {
+        let decayed = Parameter::new(Tensor::full([1], 1.0));
+        let frozen = Parameter::new_no_decay(Tensor::full([1], 1.0));
+        let mut opt = Sgd::new(vec![decayed.clone(), frozen.clone()], cfg(1.0, 0.0, 0.1));
+        // zero gradient: only decay acts
+        opt.step(1.0);
+        assert!((decayed.value().item() - 0.9).abs() < 1e-6);
+        assert_eq!(frozen.value().item(), 1.0);
+    }
+
+    #[test]
+    fn step_clears_grads() {
+        let p = Parameter::new(Tensor::zeros([2]));
+        let mut opt = Sgd::new(vec![p.clone()], cfg(0.1, 0.9, 0.0));
+        p.add_grad(&Tensor::ones([2]));
+        opt.step(0.1);
+        assert_eq!(p.grad().abs_sum(), 0.0);
+    }
+
+    #[test]
+    fn clip_rescales_joint_norm() {
+        let a = Parameter::new(Tensor::zeros([1]));
+        let b = Parameter::new(Tensor::zeros([1]));
+        let opt = Sgd::new(vec![a.clone(), b.clone()], cfg(0.1, 0.0, 0.0));
+        a.add_grad(&Tensor::full([1], 3.0));
+        b.add_grad(&Tensor::full([1], 4.0));
+        let norm = opt.clip_grad_norm(1.0);
+        assert!((norm - 5.0).abs() < 1e-5);
+        assert!((a.grad().item() - 0.6).abs() < 1e-5);
+        assert!((b.grad().item() - 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nesterov_differs_from_plain_momentum() {
+        let run = |nesterov: bool| {
+            let p = Parameter::new(Tensor::full([1], 1.0));
+            let mut opt = Sgd::new(
+                vec![p.clone()],
+                SgdConfig {
+                    lr: 0.1,
+                    momentum: 0.9,
+                    weight_decay: 0.0,
+                    nesterov,
+                },
+            );
+            for _ in 0..3 {
+                p.add_grad(&Tensor::full([1], 1.0));
+                opt.step(0.1);
+            }
+            p.value().item()
+        };
+        assert!((run(true) - run(false)).abs() > 1e-6);
+    }
+}

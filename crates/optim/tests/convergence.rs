@@ -1,0 +1,113 @@
+//! Convergence properties of the optimizers on randomized convex problems,
+//! and schedule integration behaviour.
+
+use nb_nn::Parameter;
+use nb_optim::{Adam, AdamConfig, ConstantLr, CosineAnneal, LrSchedule, Sgd, SgdConfig, StepDecay};
+use nb_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Gradient of the diagonal quadratic `f(x) = 0.5 * sum_i a_i (x_i - c_i)^2`.
+fn quad_grad(x: &Tensor, a: &Tensor, c: &Tensor) -> Tensor {
+    x.sub(c).mul(a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SGD converges to the minimizer of any well-conditioned diagonal
+    /// quadratic.
+    #[test]
+    fn sgd_converges_on_random_quadratics(n in 1usize..8, seed in 0u64..1000, momentum in 0.0f32..0.95) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform([n], 0.5, 2.0, &mut rng);
+        let c = Tensor::randn([n], &mut rng);
+        let p = Parameter::new(Tensor::randn([n], &mut rng));
+        let mut opt = Sgd::new(vec![p.clone()], SgdConfig {
+            lr: 0.1, momentum, weight_decay: 0.0, nesterov: false,
+        });
+        for _ in 0..400 {
+            p.add_grad(&quad_grad(&p.value(), &a, &c));
+            opt.step(0.05);
+        }
+        prop_assert!(p.value().max_abs_diff(&c) < 1e-2,
+            "residual {}", p.value().max_abs_diff(&c));
+    }
+
+    /// Adam converges on the same family.
+    #[test]
+    fn adam_converges_on_random_quadratics(n in 1usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform([n], 0.5, 2.0, &mut rng);
+        let c = Tensor::randn([n], &mut rng);
+        let p = Parameter::new(Tensor::randn([n], &mut rng));
+        let mut opt = Adam::new(vec![p.clone()], AdamConfig::default());
+        for _ in 0..1500 {
+            p.add_grad(&quad_grad(&p.value(), &a, &c));
+            opt.step(0.02);
+        }
+        prop_assert!(p.value().max_abs_diff(&c) < 5e-2,
+            "residual {}", p.value().max_abs_diff(&c));
+    }
+
+    /// Weight decay shifts the SGD fixed point toward the origin.
+    #[test]
+    fn weight_decay_shrinks_fixed_point(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = Tensor::rand_uniform([1], 0.5, 2.0, &mut rng);
+        let a = Tensor::ones([1]);
+        let run = |wd: f32| {
+            let p = Parameter::new(Tensor::zeros([1]));
+            let mut opt = Sgd::new(vec![p.clone()], SgdConfig {
+                lr: 0.1, momentum: 0.0, weight_decay: wd, nesterov: false,
+            });
+            for _ in 0..500 {
+                p.add_grad(&quad_grad(&p.value(), &a, &c));
+                opt.step(0.1);
+            }
+            p.value().item()
+        };
+        let free = run(0.0);
+        let decayed = run(0.5);
+        prop_assert!(decayed.abs() < free.abs(), "{decayed} vs {free}");
+    }
+
+    /// Every schedule is non-negative over its horizon and cosine dominates
+    /// its own floor.
+    #[test]
+    fn schedules_sane(base in 0.001f32..1.0, total in 2usize..500) {
+        let cos = CosineAnneal::new(base, total);
+        let step = StepDecay { base_lr: base, step_size: (total / 3).max(1), gamma: 0.5 };
+        let cst = ConstantLr(base);
+        for i in 0..=total {
+            prop_assert!(cos.lr(i) >= 0.0 && cos.lr(i) <= base + 1e-6);
+            prop_assert!(step.lr(i) > 0.0 && step.lr(i) <= base + 1e-6);
+            prop_assert!((cst.lr(i) - base).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn momentum_reaches_quadratic_floor_faster() {
+    let run = |momentum: f32| {
+        let p = Parameter::new(Tensor::full([1], 10.0));
+        let mut opt = Sgd::new(
+            vec![p.clone()],
+            SgdConfig {
+                lr: 0.02,
+                momentum,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
+        );
+        let mut steps = 0;
+        while p.value().item().abs() > 0.1 && steps < 10_000 {
+            p.add_grad(&Tensor::full([1], 2.0 * p.value().item()));
+            opt.step(0.02);
+            steps += 1;
+        }
+        steps
+    };
+    assert!(run(0.9) < run(0.0), "momentum accelerates convergence");
+}

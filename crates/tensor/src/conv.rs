@@ -1,0 +1,643 @@
+//! 2-D convolution kernels: im2col lowering, dense and depthwise variants,
+//! and their gradients.
+//!
+//! Layout conventions:
+//! - activations: `NCHW`
+//! - dense conv weights: `[c_out, c_in, kh, kw]`
+//! - depthwise conv weights: `[c, kh, kw]` (one filter per channel)
+//! - biases: `[c_out]`
+//!
+//! Dense convolution is lowered to matrix multiplication via
+//! [`im2col`]; gradients re-lower with [`col2im`]. Depthwise convolution is
+//! computed directly. Both parallelize over the batch dimension.
+
+use crate::matmul::{available_threads, matmul_into};
+use crate::{ConvGeometry, Tensor};
+
+/// Unfolds one image `[c, h, w]` into a `[c*kh*kw, ho*wo]` column matrix.
+///
+/// `x` is the flat slice of one sample; `cols` must have length
+/// `c * kh * kw * ho * wo` and is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the geometry.
+pub fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    cols: &mut [f32],
+) {
+    let (ho, wo) = geom.output_hw(h, w);
+    assert_eq!(x.len(), c * h * w, "im2col input length");
+    assert_eq!(
+        cols.len(),
+        c * geom.kh * geom.kw * ho * wo,
+        "im2col output length"
+    );
+    let out_hw = ho * wo;
+    let mut row = 0usize;
+    for ci in 0..c {
+        let plane = &x[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let dst = &mut cols[row * out_hw..(row + 1) * out_hw];
+                row += 1;
+                for oi in 0..ho {
+                    let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                    let dst_row = &mut dst[oi * wo..(oi + 1) * wo];
+                    if ii < 0 || ii >= h as isize {
+                        dst_row.iter_mut().for_each(|v| *v = 0.0);
+                        continue;
+                    }
+                    let src_row = &plane[ii as usize * w..(ii as usize + 1) * w];
+                    for (oj, v) in dst_row.iter_mut().enumerate() {
+                        let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                        *v = if jj < 0 || jj >= w as isize {
+                            0.0
+                        } else {
+                            src_row[jj as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a `[c*kh*kw, ho*wo]` column-gradient matrix back onto an image
+/// gradient `[c, h, w]`, accumulating overlapping contributions.
+///
+/// `dx` must have length `c * h * w`; it is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with the geometry.
+pub fn col2im(
+    dcols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    dx: &mut [f32],
+) {
+    let (ho, wo) = geom.output_hw(h, w);
+    assert_eq!(dx.len(), c * h * w, "col2im output length");
+    assert_eq!(
+        dcols.len(),
+        c * geom.kh * geom.kw * ho * wo,
+        "col2im input length"
+    );
+    dx.iter_mut().for_each(|v| *v = 0.0);
+    let out_hw = ho * wo;
+    let mut row = 0usize;
+    for ci in 0..c {
+        let plane = &mut dx[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let src = &dcols[row * out_hw..(row + 1) * out_hw];
+                row += 1;
+                for oi in 0..ho {
+                    let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let dst_row = &mut plane[ii as usize * w..(ii as usize + 1) * w];
+                    let src_row = &src[oi * wo..(oi + 1) * wo];
+                    for (oj, &g) in src_row.iter().enumerate() {
+                        let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                        if jj >= 0 && jj < w as isize {
+                            dst_row[jj as usize] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn conv_shapes(x: &Tensor, w: &Tensor, geom: ConvGeometry) -> (usize, usize, usize, usize, usize, usize, usize) {
+    let (n, c_in, h, wd) = x.shape().nchw();
+    let wd4 = w.dims();
+    assert_eq!(wd4.len(), 4, "conv weight must be [c_out,c_in,kh,kw]");
+    let (c_out, wc_in, kh, kw) = (wd4[0], wd4[1], wd4[2], wd4[3]);
+    assert_eq!(
+        wc_in, c_in,
+        "conv channel mismatch: input {} vs weight {}",
+        x.shape(),
+        w.shape()
+    );
+    assert_eq!((kh, kw), (geom.kh, geom.kw), "weight kernel vs geometry");
+    let (ho, wo) = geom.output_hw(h, wd);
+    (n, c_in, h, wd, c_out, ho, wo)
+}
+
+/// Dense 2-D convolution (cross-correlation, as in every DL framework).
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency between `x` `[n,c_in,h,w]`, `w`
+/// `[c_out,c_in,kh,kw]`, `b` `[c_out]`, and `geom`.
+pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) -> Tensor {
+    let (n, c_in, h, wd, c_out, ho, wo) = conv_shapes(x, w, geom);
+    if let Some(b) = b {
+        assert_eq!(b.dims(), &[c_out], "conv bias shape");
+    }
+    let mut out = Tensor::zeros([n, c_out, ho, wo]);
+    let in_sz = c_in * h * wd;
+    let out_sz = c_out * ho * wo;
+    let col_rows = c_in * geom.kh * geom.kw;
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let bias = b.map(Tensor::as_slice);
+    let threads = available_threads().min(n.max(1));
+    let per = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (blk, o_chunk) in out.as_mut_slice().chunks_mut(per * out_sz).enumerate() {
+            let n0 = blk * per;
+            s.spawn(move |_| {
+                let mut cols = vec![0.0f32; col_rows * ho * wo];
+                for (local, o_sample) in o_chunk.chunks_mut(out_sz).enumerate() {
+                    let ni = n0 + local;
+                    im2col(&xs[ni * in_sz..(ni + 1) * in_sz], c_in, h, wd, geom, &mut cols);
+                    matmul_into(ws, &cols, o_sample, c_out, col_rows, ho * wo);
+                    if let Some(bias) = bias {
+                        for (co, ob) in o_sample.chunks_mut(ho * wo).enumerate() {
+                            let bv = bias[co];
+                            ob.iter_mut().for_each(|v| *v += bv);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("conv2d worker panicked");
+    out
+}
+
+/// Gradients of [`conv2d`] with respect to input, weight, and bias.
+///
+/// Returns `(dx, dw, db)`; `db` is present iff `has_bias`.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies (same contract as [`conv2d`]).
+pub fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    geom: ConvGeometry,
+    has_bias: bool,
+) -> (Tensor, Tensor, Option<Tensor>) {
+    let (n, c_in, h, wd, c_out, ho, wo) = conv_shapes(x, w, geom);
+    assert_eq!(dy.dims(), &[n, c_out, ho, wo], "conv2d_backward dy shape");
+    let col_rows = c_in * geom.kh * geom.kw;
+    let in_sz = c_in * h * wd;
+    let out_sz = c_out * ho * wo;
+    let xs = x.as_slice();
+    let dys = dy.as_slice();
+
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let threads = available_threads().min(n.max(1));
+    let per = n.div_ceil(threads);
+    // W as [c_out, col_rows] matrix for dcols = W^T * dY.
+    let w_mat = w.reshape([c_out, col_rows]);
+
+    let partials: Vec<(Tensor, Tensor)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (blk, dx_chunk) in dx.as_mut_slice().chunks_mut(per * in_sz).enumerate() {
+            let n0 = blk * per;
+            let w_mat = &w_mat;
+            handles.push(s.spawn(move |_| {
+                let mut dw_part = Tensor::zeros([c_out, col_rows]);
+                let mut db_part = Tensor::zeros([c_out]);
+                let mut cols = vec![0.0f32; col_rows * ho * wo];
+                for (local, dx_sample) in dx_chunk.chunks_mut(in_sz).enumerate() {
+                    let ni = n0 + local;
+                    let dy_s = &dys[ni * out_sz..(ni + 1) * out_sz];
+                    // dW += dY * cols^T
+                    im2col(&xs[ni * in_sz..(ni + 1) * in_sz], c_in, h, wd, geom, &mut cols);
+                    {
+                        let dwp = dw_part.as_mut_slice();
+                        for co in 0..c_out {
+                            let dy_row = &dy_s[co * ho * wo..(co + 1) * ho * wo];
+                            let dw_row = &mut dwp[co * col_rows..(co + 1) * col_rows];
+                            for (r, dw_v) in dw_row.iter_mut().enumerate() {
+                                let col_row = &cols[r * ho * wo..(r + 1) * ho * wo];
+                                let mut acc = 0.0f32;
+                                for (a, b) in dy_row.iter().zip(col_row) {
+                                    acc += a * b;
+                                }
+                                *dw_v += acc;
+                            }
+                        }
+                    }
+                    if has_bias {
+                        let dbp = db_part.as_mut_slice();
+                        for co in 0..c_out {
+                            let dy_row = &dy_s[co * ho * wo..(co + 1) * ho * wo];
+                            dbp[co] += dy_row.iter().sum::<f32>();
+                        }
+                    }
+                    // dcols = W^T * dY, then fold back to dx.
+                    let dy_mat = Tensor::from_vec(dy_s.to_vec(), [c_out, ho * wo])
+                        .expect("dy sample shape");
+                    let dcols = w_mat.matmul_tn(&dy_mat);
+                    col2im(dcols.as_slice(), c_in, h, wd, geom, dx_sample);
+                }
+                (dw_part, db_part)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("conv2d_backward worker panicked")).collect()
+    })
+    .expect("conv2d_backward scope failed");
+
+    let mut dw = Tensor::zeros([c_out, col_rows]);
+    let mut db = Tensor::zeros([c_out]);
+    for (dw_p, db_p) in partials {
+        dw.add_assign(&dw_p);
+        db.add_assign(&db_p);
+    }
+    let dw = dw.into_reshape(w.shape().clone());
+    (dx, dw, if has_bias { Some(db) } else { None })
+}
+
+fn dw_shapes(x: &Tensor, w: &Tensor, geom: ConvGeometry) -> (usize, usize, usize, usize, usize, usize) {
+    let (n, c, h, wd) = x.shape().nchw();
+    let wdims = w.dims();
+    assert_eq!(wdims.len(), 3, "depthwise weight must be [c,kh,kw]");
+    assert_eq!(wdims[0], c, "depthwise channel mismatch");
+    assert_eq!((wdims[1], wdims[2]), (geom.kh, geom.kw), "depthwise kernel vs geometry");
+    let (ho, wo) = geom.output_hw(h, wd);
+    (n, c, h, wd, ho, wo)
+}
+
+/// Depthwise 2-D convolution: each channel is filtered independently.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies between `x` `[n,c,h,w]`, `w` `[c,kh,kw]`,
+/// `b` `[c]`, and `geom`.
+pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) -> Tensor {
+    let (n, c, h, wd, ho, wo) = dw_shapes(x, w, geom);
+    if let Some(b) = b {
+        assert_eq!(b.dims(), &[c], "depthwise bias shape");
+    }
+    let mut out = Tensor::zeros([n, c, ho, wo]);
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let bias = b.map(Tensor::as_slice);
+    let in_sz = c * h * wd;
+    let out_sz = c * ho * wo;
+    let threads = available_threads().min(n.max(1));
+    let per = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (blk, o_chunk) in out.as_mut_slice().chunks_mut(per * out_sz).enumerate() {
+            let n0 = blk * per;
+            s.spawn(move |_| {
+                for (local, o_sample) in o_chunk.chunks_mut(out_sz).enumerate() {
+                    let ni = n0 + local;
+                    let x_s = &xs[ni * in_sz..(ni + 1) * in_sz];
+                    for ci in 0..c {
+                        let plane = &x_s[ci * h * wd..(ci + 1) * h * wd];
+                        let ker = &ws[ci * geom.kh * geom.kw..(ci + 1) * geom.kh * geom.kw];
+                        let o_plane = &mut o_sample[ci * ho * wo..(ci + 1) * ho * wo];
+                        let bv = bias.map(|b| b[ci]).unwrap_or(0.0);
+                        for oi in 0..ho {
+                            for oj in 0..wo {
+                                let mut acc = bv;
+                                for ki in 0..geom.kh {
+                                    let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                                    if ii < 0 || ii >= h as isize {
+                                        continue;
+                                    }
+                                    for kj in 0..geom.kw {
+                                        let jj =
+                                            (oj * geom.sw + kj) as isize - geom.pw as isize;
+                                        if jj < 0 || jj >= wd as isize {
+                                            continue;
+                                        }
+                                        acc += plane[ii as usize * wd + jj as usize]
+                                            * ker[ki * geom.kw + kj];
+                                    }
+                                }
+                                o_plane[oi * wo + oj] = acc;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("depthwise worker panicked");
+    out
+}
+
+/// Gradients of [`depthwise_conv2d`]; returns `(dx, dw, db)`.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies (same contract as [`depthwise_conv2d`]).
+pub fn depthwise_conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    geom: ConvGeometry,
+    has_bias: bool,
+) -> (Tensor, Tensor, Option<Tensor>) {
+    let (n, c, h, wd, ho, wo) = dw_shapes(x, w, geom);
+    assert_eq!(dy.dims(), &[n, c, ho, wo], "depthwise backward dy shape");
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let dys = dy.as_slice();
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let mut dw = Tensor::zeros(w.shape().clone());
+    let mut db = Tensor::zeros([c]);
+    {
+        let dxs = dx.as_mut_slice();
+        let dws = dw.as_mut_slice();
+        let dbs = db.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = &xs[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+                let dplane = &mut dxs[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+                let ker = &ws[ci * geom.kh * geom.kw..(ci + 1) * geom.kh * geom.kw];
+                let dker = &mut dws[ci * geom.kh * geom.kw..(ci + 1) * geom.kh * geom.kw];
+                let dy_plane = &dys[(ni * c + ci) * ho * wo..(ni * c + ci + 1) * ho * wo];
+                for oi in 0..ho {
+                    for oj in 0..wo {
+                        let g = dy_plane[oi * wo + oj];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        dbs[ci] += g;
+                        for ki in 0..geom.kh {
+                            let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..geom.kw {
+                                let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                                if jj < 0 || jj >= wd as isize {
+                                    continue;
+                                }
+                                let xi = ii as usize * wd + jj as usize;
+                                dker[ki * geom.kw + kj] += g * plane[xi];
+                                dplane[xi] += g * ker[ki * geom.kw + kj];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (dx, dw, if has_bias { Some(db) } else { None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Direct O(n^7) reference convolution.
+    fn conv_ref(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) -> Tensor {
+        let (n, c_in, h, wd) = x.shape().nchw();
+        let (c_out, _, kh, kw) = {
+            let d = w.dims();
+            (d[0], d[1], d[2], d[3])
+        };
+        let (ho, wo) = geom.output_hw(h, wd);
+        let mut out = Tensor::zeros([n, c_out, ho, wo]);
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oi in 0..ho {
+                    for oj in 0..wo {
+                        let mut acc = b.map(|b| b.as_slice()[co]).unwrap_or(0.0);
+                        for ci in 0..c_in {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                                    let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                                    if ii < 0 || jj < 0 || ii >= h as isize || jj >= wd as isize {
+                                        continue;
+                                    }
+                                    acc += x.at4(ni, ci, ii as usize, jj as usize)
+                                        * w.as_slice()
+                                            [((co * c_in + ci) * kh + ki) * kw + kj];
+                                }
+                            }
+                        }
+                        *out.at4_mut(ni, co, oi, oj) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(k, s, p) in &[(1usize, 1usize, 0usize), (3, 1, 1), (3, 2, 1), (5, 1, 2), (5, 2, 2), (7, 1, 3)] {
+            let geom = ConvGeometry::square(k, s, p);
+            let x = Tensor::randn([2, 3, 9, 9], &mut rng);
+            let w = Tensor::randn([4, 3, k, k], &mut rng);
+            let b = Tensor::randn([4], &mut rng);
+            let got = conv2d(&x, &w, Some(&b), geom);
+            let want = conv_ref(&x, &w, Some(&b), geom);
+            assert!(
+                got.allclose(&want, 1e-3),
+                "k={k} s={s} p={p} max diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn conv_no_bias() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let geom = ConvGeometry::same(3, 1);
+        let x = Tensor::randn([1, 2, 5, 5], &mut rng);
+        let w = Tensor::randn([3, 2, 3, 3], &mut rng);
+        assert!(conv2d(&x, &w, None, geom).allclose(&conv_ref(&x, &w, None, geom), 1e-4));
+    }
+
+    #[test]
+    fn pointwise_equals_per_pixel_matmul() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn([1, 4, 3, 3], &mut rng);
+        let w = Tensor::randn([5, 4, 1, 1], &mut rng);
+        let y = conv2d(&x, &w, None, ConvGeometry::pointwise());
+        // check one pixel by hand
+        for co in 0..5 {
+            let mut acc = 0.0;
+            for ci in 0..4 {
+                acc += x.at4(0, ci, 1, 2) * w.as_slice()[co * 4 + ci];
+            }
+            assert!((y.at4(0, co, 1, 2) - acc).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), c> == <x, col2im(c)> : the fold is the exact adjoint of
+        // the unfold, which is what the gradient path relies on.
+        let mut rng = StdRng::seed_from_u64(4);
+        let geom = ConvGeometry::square(3, 2, 1);
+        let (c, h, w) = (2usize, 7usize, 6usize);
+        let (ho, wo) = geom.output_hw(h, w);
+        let x = Tensor::randn([c * h * w], &mut rng);
+        let cvec = Tensor::randn([c * 9 * ho * wo], &mut rng);
+        let mut cols = vec![0.0; c * 9 * ho * wo];
+        im2col(x.as_slice(), c, h, w, geom, &mut cols);
+        let lhs: f32 = cols.iter().zip(cvec.as_slice()).map(|(a, b)| a * b).sum();
+        let mut dx = vec![0.0; c * h * w];
+        col2im(cvec.as_slice(), c, h, w, geom, &mut dx);
+        let rhs: f32 = x.as_slice().iter().zip(&dx).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// Numerical gradient of a scalar loss sum(conv * dy-weights).
+    #[test]
+    fn conv_backward_matches_numeric() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let geom = ConvGeometry::square(3, 2, 1);
+        let x = Tensor::randn([2, 2, 5, 5], &mut rng);
+        let w = Tensor::randn([3, 2, 3, 3], &mut rng);
+        let b = Tensor::randn([3], &mut rng);
+        let y = conv2d(&x, &w, Some(&b), geom);
+        let dy = Tensor::randn(y.shape().clone(), &mut rng);
+        let (dx, dw, db) = conv2d_backward(&x, &w, &dy, geom, true);
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d(x, w, Some(b), geom)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, g)| a * g)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        // spot-check a handful of coordinates in each gradient
+        for &i in &[0usize, 7, 31, 49] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!(
+                (num - dx.as_slice()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{i}] numeric {num} analytic {}",
+                dx.as_slice()[i]
+            );
+        }
+        for &i in &[0usize, 5, 17, 53] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[i] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!(
+                (num - dw.as_slice()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dw[{i}] numeric {num} analytic {}",
+                dw.as_slice()[i]
+            );
+        }
+        let db = db.unwrap();
+        for i in 0..3 {
+            let mut bp = b.clone();
+            bp.as_mut_slice()[i] += eps;
+            let mut bm = b.clone();
+            bm.as_mut_slice()[i] -= eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            assert!((num - db.as_slice()[i]).abs() < 2e-2 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_dense() {
+        // Depthwise conv == dense conv with block-diagonal weights.
+        let mut rng = StdRng::seed_from_u64(6);
+        let geom = ConvGeometry::same(3, 1);
+        let c = 3;
+        let x = Tensor::randn([2, c, 6, 6], &mut rng);
+        let wd = Tensor::randn([c, 3, 3], &mut rng);
+        let mut dense = Tensor::zeros([c, c, 3, 3]);
+        for ci in 0..c {
+            for ki in 0..3 {
+                for kj in 0..3 {
+                    dense.as_mut_slice()[((ci * c + ci) * 3 + ki) * 3 + kj] =
+                        wd.as_slice()[(ci * 3 + ki) * 3 + kj];
+                }
+            }
+        }
+        let got = depthwise_conv2d(&x, &wd, None, geom);
+        let want = conv2d(&x, &dense, None, geom);
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn depthwise_k1_is_channel_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn([1, 3, 4, 4], &mut rng);
+        let w = Tensor::from_vec(vec![2.0, -1.0, 0.5], [3, 1, 1]).unwrap();
+        let y = depthwise_conv2d(&x, &w, None, ConvGeometry::pointwise());
+        for ci in 0..3 {
+            for hi in 0..4 {
+                for wi in 0..4 {
+                    assert!(
+                        (y.at4(0, ci, hi, wi) - x.at4(0, ci, hi, wi) * w.as_slice()[ci]).abs()
+                            < 1e-6
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_backward_matches_numeric() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let geom = ConvGeometry::same(3, 2);
+        let x = Tensor::randn([2, 2, 5, 5], &mut rng);
+        let w = Tensor::randn([2, 3, 3], &mut rng);
+        let y = depthwise_conv2d(&x, &w, None, geom);
+        let dy = Tensor::randn(y.shape().clone(), &mut rng);
+        let (dx, dw, db) = depthwise_conv2d_backward(&x, &w, &dy, geom, false);
+        assert!(db.is_none());
+        let loss = |x: &Tensor, w: &Tensor| -> f32 {
+            depthwise_conv2d(x, w, None, geom)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, g)| a * g)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 13, 29, 49] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - dx.as_slice()[i]).abs() < 2e-2 * (1.0 + num.abs()));
+        }
+        for i in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[i] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - dw.as_slice()[i]).abs() < 2e-2 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_channel_mismatch_panics() {
+        let x = Tensor::zeros([1, 3, 4, 4]);
+        let w = Tensor::zeros([2, 4, 1, 1]);
+        let _ = conv2d(&x, &w, None, ConvGeometry::pointwise());
+    }
+}

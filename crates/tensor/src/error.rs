@@ -1,0 +1,73 @@
+//! Error types for fallible tensor construction and I/O.
+
+use crate::Shape;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor constructors and serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        got: usize,
+        /// The requested shape.
+        shape: Shape,
+    },
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// First shape.
+        lhs: Shape,
+        /// Second shape.
+        rhs: Shape,
+        /// The operation that required agreement.
+        op: &'static str,
+    },
+    /// A serialized tensor stream was malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch {
+                expected,
+                got,
+                shape,
+            } => write!(
+                f,
+                "buffer of {got} elements cannot be viewed as {shape} ({expected} elements)"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
+            }
+            TensorError::Corrupt(msg) => write!(f, "corrupt tensor stream: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            got: 5,
+            shape: Shape::new(vec![2, 3]),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('5') && msg.contains('6') && msg.contains("[2x3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<TensorError>();
+    }
+}

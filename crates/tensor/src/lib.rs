@@ -1,0 +1,42 @@
+//! # nb-tensor
+//!
+//! Dense `f32` tensors and the numeric kernels underneath the NetBooster
+//! reproduction stack: elementwise math, matrix multiplication, dense and
+//! depthwise 2-D convolution (with gradients), and pooling.
+//!
+//! Everything is CPU-only, contiguous, and row-major (`NCHW` for images).
+//! Heavy kernels parallelize over the batch dimension with scoped threads.
+//!
+//! ## Example
+//!
+//! ```
+//! use nb_tensor::{conv2d, ConvGeometry, Tensor};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let image = Tensor::randn([1, 3, 8, 8], &mut rng);     // NCHW
+//! let weight = Tensor::randn([16, 3, 3, 3], &mut rng);    // [out,in,kh,kw]
+//! let feature = conv2d(&image, &weight, None, ConvGeometry::same(3, 2));
+//! assert_eq!(feature.dims(), &[1, 16, 4, 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod matmul;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use conv::{
+    col2im, conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, im2col,
+};
+pub use error::TensorError;
+pub use matmul::{available_threads, matmul_into};
+pub use pool::{
+    avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d,
+    maxpool2d_backward,
+};
+pub use shape::{ConvGeometry, Shape};
+pub use tensor::Tensor;

@@ -1,0 +1,247 @@
+//! Matrix multiplication kernels.
+//!
+//! The convolution path lowers to `weight_matrix * im2col_matrix`, so matmul
+//! throughput dominates training time. The kernel here is a cache-friendly
+//! `i-k-j` loop with the inner dimension vectorizable by LLVM, parallelized
+//! over row blocks with scoped threads when the problem is large enough.
+
+use crate::Tensor;
+
+/// Problems smaller than this many multiply-adds run single-threaded; the
+/// thread-spawn cost dominates below it.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
+
+/// `C = A * B` for row-major matrices given as flat slices.
+///
+/// `a` is `m x k`, `b` is `k x n`, and `c` (the output) is `m x n`. `c` is
+/// fully overwritten.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the stated dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer length");
+    assert_eq!(b.len(), k * n, "rhs buffer length");
+    assert_eq!(c.len(), m * n, "out buffer length");
+    if m * n * k >= PARALLEL_FLOP_THRESHOLD {
+        let threads = available_threads().min(m.max(1));
+        if threads > 1 {
+            let rows_per = m.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (block, c_block) in c.chunks_mut(rows_per * n).enumerate() {
+                    let row0 = block * rows_per;
+                    s.spawn(move |_| {
+                        let rows = c_block.len() / n;
+                        matmul_block(&a[row0 * k..(row0 + rows) * k], b, c_block, rows, k, n);
+                    });
+                }
+            })
+            .expect("matmul worker panicked");
+            return;
+        }
+    }
+    matmul_block(a, b, c, m, k, n);
+}
+
+/// Single-threaded `m x k` times `k x n` into `c`.
+fn matmul_block(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    c.iter_mut().for_each(|x| *x = 0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Number of worker threads to use for data-parallel kernels.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the inner dimensions differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nb_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+    /// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2])?;
+    /// assert_eq!(a.matmul(&i), a);
+    /// # Ok::<(), nb_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape().rc();
+        let (k2, n) = other.shape().rc();
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros([m, n]);
+        matmul_into(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
+        out
+    }
+
+    /// `self * other^T` without materializing the transpose.
+    ///
+    /// `self` is `m x k`, `other` is `n x k`; the result is `m x n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the `k` dimensions differ.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape().rc();
+        let (n, k2) = other.shape().rc();
+        assert_eq!(
+            k, k2,
+            "matmul_nt inner dimension mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = Tensor::zeros([m, n]);
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                o[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `self^T * other` without materializing the transpose.
+    ///
+    /// `self` is `k x m`, `other` is `k x n`; the result is `m x n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the `k` dimensions differ.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (k, m) = self.shape().rc();
+        let (k2, n) = other.shape().rc();
+        assert_eq!(
+            k, k2,
+            "matmul_tn inner dimension mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = Tensor::zeros([m, n]);
+        let o = out.as_mut_slice();
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let o_row = &mut o[i * n..(i + 1) * n];
+                for (o_ij, &b_pj) in o_row.iter_mut().zip(b_row) {
+                    *o_ij += a_pi * b_pj;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().rc();
+        let (_, n) = b.shape().rc();
+        Tensor::from_fn([m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k).map(|p| a.at2(i, p) * b.at2(p, j)).sum()
+        })
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::randn([7, 5], &mut rng);
+        let b = Tensor::randn([5, 9], &mut rng);
+        assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matches_naive_parallel_path() {
+        // Big enough to cross PARALLEL_FLOP_THRESHOLD.
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Tensor::randn([160, 128], &mut rng);
+        let b = Tensor::randn([128, 160], &mut rng);
+        assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn nt_and_tn_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = Tensor::randn([6, 4], &mut rng);
+        let b = Tensor::randn([5, 4], &mut rng);
+        assert!(a.matmul_nt(&b).allclose(&a.matmul(&b.transpose2d()), 1e-4));
+        let c = Tensor::randn([4, 6], &mut rng);
+        let d = Tensor::randn([4, 5], &mut rng);
+        assert!(c.matmul_tn(&d).allclose(&c.transpose2d().matmul(&d), 1e-4));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let a = Tensor::randn([8, 8], &mut rng);
+        let eye = Tensor::from_fn([8, 8], |i| if i / 8 == i % 8 { 1.0 } else { 0.0 });
+        assert!(a.matmul(&eye).allclose(&a, 1e-6));
+        assert!(eye.matmul(&a).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let a = Tensor::ones([1, 3]);
+        let b = Tensor::ones([3, 1]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[1, 1]);
+        assert_eq!(c.item(), 3.0);
+    }
+}

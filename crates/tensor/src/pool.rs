@@ -1,0 +1,272 @@
+//! Spatial pooling kernels: max, average, and global average pooling, with
+//! gradients.
+
+use crate::{ConvGeometry, Tensor};
+
+/// 2-D max pooling. Returns the pooled tensor and the flat argmax index (into
+/// the input sample-channel plane) for each output element, which the
+/// backward pass routes gradients through.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4 or the window exceeds the padded input.
+pub fn maxpool2d(x: &Tensor, geom: ConvGeometry) -> (Tensor, Vec<u32>) {
+    let (n, c, h, w) = x.shape().nchw();
+    let (ho, wo) = geom.output_hw(h, w);
+    let mut out = Tensor::zeros([n, c, ho, wo]);
+    let mut idx = vec![0u32; n * c * ho * wo];
+    let xs = x.as_slice();
+    let os = out.as_mut_slice();
+    for nc in 0..n * c {
+        let plane = &xs[nc * h * w..(nc + 1) * h * w];
+        for oi in 0..ho {
+            for oj in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_i = 0usize;
+                for ki in 0..geom.kh {
+                    let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..geom.kw {
+                        let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        let p = ii as usize * w + jj as usize;
+                        if plane[p] > best {
+                            best = plane[p];
+                            best_i = p;
+                        }
+                    }
+                }
+                let o = (nc * ho + oi) * wo + oj;
+                os[o] = best;
+                idx[o] = best_i as u32;
+            }
+        }
+    }
+    (out, idx)
+}
+
+/// Gradient of [`maxpool2d`]: routes each output gradient to its argmax.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the forward call that produced `idx`.
+pub fn maxpool2d_backward(
+    x_shape: &crate::Shape,
+    dy: &Tensor,
+    idx: &[u32],
+) -> Tensor {
+    let (n, c, h, w) = x_shape.nchw();
+    assert_eq!(idx.len(), dy.numel(), "maxpool idx/dy length mismatch");
+    let (dn, dc, ho, wo) = dy.shape().nchw();
+    assert_eq!((dn, dc), (n, c), "maxpool dy batch/channel mismatch");
+    let mut dx = Tensor::zeros([n, c, h, w]);
+    let dxs = dx.as_mut_slice();
+    let dys = dy.as_slice();
+    for nc in 0..n * c {
+        let dplane = &mut dxs[nc * h * w..(nc + 1) * h * w];
+        for o in 0..ho * wo {
+            let flat = nc * ho * wo + o;
+            dplane[idx[flat] as usize] += dys[flat];
+        }
+    }
+    dx
+}
+
+/// 2-D average pooling (zero-padded positions count toward the divisor, i.e.
+/// `count_include_pad = true`).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4 or the window exceeds the padded input.
+pub fn avgpool2d(x: &Tensor, geom: ConvGeometry) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let (ho, wo) = geom.output_hw(h, w);
+    let inv = 1.0 / (geom.kh * geom.kw) as f32;
+    let mut out = Tensor::zeros([n, c, ho, wo]);
+    let xs = x.as_slice();
+    let os = out.as_mut_slice();
+    for nc in 0..n * c {
+        let plane = &xs[nc * h * w..(nc + 1) * h * w];
+        for oi in 0..ho {
+            for oj in 0..wo {
+                let mut acc = 0.0f32;
+                for ki in 0..geom.kh {
+                    let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..geom.kw {
+                        let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        acc += plane[ii as usize * w + jj as usize];
+                    }
+                }
+                os[(nc * ho + oi) * wo + oj] = acc * inv;
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`avgpool2d`].
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn avgpool2d_backward(x_shape: &crate::Shape, dy: &Tensor, geom: ConvGeometry) -> Tensor {
+    let (n, c, h, w) = x_shape.nchw();
+    let (_, _, ho, wo) = dy.shape().nchw();
+    let inv = 1.0 / (geom.kh * geom.kw) as f32;
+    let mut dx = Tensor::zeros([n, c, h, w]);
+    let dxs = dx.as_mut_slice();
+    let dys = dy.as_slice();
+    for nc in 0..n * c {
+        let dplane = &mut dxs[nc * h * w..(nc + 1) * h * w];
+        for oi in 0..ho {
+            for oj in 0..wo {
+                let g = dys[(nc * ho + oi) * wo + oj] * inv;
+                for ki in 0..geom.kh {
+                    let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..geom.kw {
+                        let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        dplane[ii as usize * w + jj as usize] += g;
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Global average pooling: `[n, c, h, w]` to `[n, c]`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let inv = 1.0 / (h * w) as f32;
+    let xs = x.as_slice();
+    Tensor::from_fn([n, c], |i| {
+        xs[i * h * w..(i + 1) * h * w].iter().sum::<f32>() * inv
+    })
+}
+
+/// Gradient of [`global_avg_pool`]: spreads each channel gradient uniformly.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn global_avg_pool_backward(x_shape: &crate::Shape, dy: &Tensor) -> Tensor {
+    let (n, c, h, w) = x_shape.nchw();
+    assert_eq!(dy.dims(), &[n, c], "global_avg_pool_backward dy shape");
+    let inv = 1.0 / (h * w) as f32;
+    let dys = dy.as_slice();
+    Tensor::from_fn([n, c, h, w], |i| dys[i / (h * w)] * inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn maxpool_values() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            [1, 1, 4, 4],
+        )
+        .unwrap();
+        let (y, _) = maxpool2d(&x, ConvGeometry::square(2, 2, 0));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], [1, 1, 2, 2]).unwrap();
+        let (y, idx) = maxpool2d(&x, ConvGeometry::square(2, 2, 0));
+        assert_eq!(y.item(), 5.0);
+        let dy = Tensor::ones([1, 1, 1, 1]);
+        let dx = maxpool2d_backward(&Shape::new(vec![1, 1, 2, 2]), &dy, &idx);
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_values() {
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], [1, 1, 2, 2]).unwrap();
+        let y = avgpool2d(&x, ConvGeometry::square(2, 2, 0));
+        assert_eq!(y.item(), 5.0);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let dy = Tensor::from_vec(vec![4.0], [1, 1, 1, 1]).unwrap();
+        let dx = avgpool2d_backward(
+            &Shape::new(vec![1, 1, 2, 2]),
+            &dy,
+            ConvGeometry::square(2, 2, 0),
+        );
+        assert_eq!(dx.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn([2, 3, 4, 4], &mut rng);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.dims(), &[2, 3]);
+        // channel mean by hand
+        let mut acc = 0.0;
+        for h in 0..4 {
+            for w in 0..4 {
+                acc += x.at4(1, 2, h, w);
+            }
+        }
+        assert!((y.at2(1, 2) - acc / 16.0).abs() < 1e-5);
+        let dy = Tensor::ones([2, 3]);
+        let dx = global_avg_pool_backward(x.shape(), &dy);
+        assert!(dx.allclose(&Tensor::full([2, 3, 4, 4], 1.0 / 16.0), 1e-7));
+    }
+
+    #[test]
+    fn avgpool_numeric_gradient() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let geom = ConvGeometry::square(3, 2, 1);
+        let x = Tensor::randn([1, 2, 5, 5], &mut rng);
+        let y = avgpool2d(&x, geom);
+        let dy = Tensor::randn(y.shape().clone(), &mut rng);
+        let dx = avgpool2d_backward(x.shape(), &dy, geom);
+        let loss = |x: &Tensor| -> f32 {
+            avgpool2d(x, geom)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-2;
+        for &i in &[0usize, 10, 24, 49] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((num - dx.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Shape algebra for dense row-major tensors.
+//!
+//! A [`Shape`] is an ordered list of dimension extents. Tensors in this crate
+//! are always contiguous and row-major (C order), so a shape fully determines
+//! the memory layout. The convention for images is `NCHW`:
+//! `[batch, channels, height, width]`.
+
+use std::fmt;
+
+/// The extents of a tensor's dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use nb_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4, 4]);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.numel(), 96);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// A rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// The extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// ```
+    /// use nb_tensor::Shape;
+    /// assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Interprets this shape as `NCHW` and returns `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub fn nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected NCHW shape, got {self}");
+        (self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+
+    /// Interprets this shape as a matrix and returns `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 2.
+    pub fn rc(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected matrix shape, got {self}");
+        (self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Spatial geometry of a 2-D convolution or pooling window.
+///
+/// Used by both the convolution kernels in this crate and the layer types in
+/// `nb-nn`. All fields apply symmetrically to height and width unless noted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride along height.
+    pub sh: usize,
+    /// Stride along width.
+    pub sw: usize,
+    /// Zero padding along height (applied on both sides).
+    pub ph: usize,
+    /// Zero padding along width (applied on both sides).
+    pub pw: usize,
+}
+
+impl ConvGeometry {
+    /// A square kernel with symmetric stride and padding.
+    pub fn square(k: usize, stride: usize, padding: usize) -> Self {
+        ConvGeometry {
+            kh: k,
+            kw: k,
+            sh: stride,
+            sw: stride,
+            ph: padding,
+            pw: padding,
+        }
+    }
+
+    /// A square kernel with "same" padding (`k/2`) and the given stride.
+    pub fn same(k: usize, stride: usize) -> Self {
+        Self::square(k, stride, k / 2)
+    }
+
+    /// A 1x1 pointwise kernel with stride 1 and no padding.
+    pub fn pointwise() -> Self {
+        Self::square(1, 1, 0)
+    }
+
+    /// Output spatial size `(h_out, w_out)` for an input of `(h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph2 = h + 2 * self.ph;
+        let pw2 = w + 2 * self.pw;
+        assert!(
+            ph2 >= self.kh && pw2 >= self.kw,
+            "conv input {h}x{w} (padded {ph2}x{pw2}) smaller than kernel {}x{}",
+            self.kh,
+            self.kw
+        );
+        ((ph2 - self.kh) / self.sh + 1, (pw2 - self.kw) / self.sw + 1)
+    }
+}
+
+impl Default for ConvGeometry {
+    fn default() -> Self {
+        ConvGeometry::pointwise()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_basics() {
+        let s = Shape::new(vec![4, 3, 8, 8]);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.numel(), 768);
+        assert_eq!(s.nchw(), (4, 3, 8, 8));
+        assert_eq!(format!("{s}"), "[4x3x8x8]");
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn conv_geometry_output() {
+        // 3x3 stride-1 same padding keeps spatial size.
+        assert_eq!(ConvGeometry::same(3, 1).output_hw(8, 8), (8, 8));
+        // 3x3 stride-2 same padding halves (rounding up).
+        assert_eq!(ConvGeometry::same(3, 2).output_hw(8, 8), (4, 4));
+        assert_eq!(ConvGeometry::same(3, 2).output_hw(9, 9), (5, 5));
+        // pointwise keeps size.
+        assert_eq!(ConvGeometry::pointwise().output_hw(7, 5), (7, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn conv_geometry_too_small_panics() {
+        ConvGeometry::square(5, 1, 0).output_hw(3, 3);
+    }
+
+    #[test]
+    fn shape_from_array() {
+        let s: Shape = [2, 3].into();
+        assert_eq!(s.rc(), (2, 3));
+    }
+}

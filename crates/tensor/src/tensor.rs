@@ -1,0 +1,680 @@
+//! The dense, contiguous, row-major `f32` tensor.
+
+use crate::{Shape, TensorError};
+use rand::Rng;
+use std::fmt;
+
+/// A dense `f32` tensor with contiguous row-major storage.
+///
+/// This is the single data type flowing through the whole NetBooster stack:
+/// images, activations, weights, and gradients. Images use `NCHW` layout.
+///
+/// # Examples
+///
+/// ```
+/// use nb_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// let b = Tensor::full([2, 2], 0.5);
+/// let c = a.add(&b);
+/// assert_eq!(c.as_slice(), &[1.5, 2.5, 3.5, 4.5]);
+/// # Ok::<(), nb_tensor::TensorError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ----- constructors ---------------------------------------------------
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// A rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Builds a tensor from a flat buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                got: data.len(),
+                shape,
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Builds a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: (0..n).map(|i| f(i)).collect(),
+        }
+    }
+
+    /// Standard-normal random tensor (Box–Muller over the provided RNG).
+    pub fn randn(shape: impl Into<Shape>, rng: &mut impl Rng) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Uniform random tensor over `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
+        }
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the flat storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The value of a rank-0 or single-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() requires a single-element tensor, got {}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Element at `(n, c, h, w)` of an NCHW tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4 or indices are out of bounds.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        let (_, cc, hh, ww) = self.shape.nchw();
+        self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// Mutable element at `(n, c, h, w)` of an NCHW tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4 or indices are out of bounds.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let (_, cc, hh, ww) = self.shape.nchw();
+        &mut self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// Element at `(r, c)` of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 2 or indices are out of bounds.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        let (_, cols) = self.shape.rc();
+        self.data[r * cols + c]
+    }
+
+    // ----- shape manipulation ---------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's element count differs.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "cannot reshape {} to {}",
+            self.shape,
+            shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Consuming variant of [`reshape`](Self::reshape); avoids the copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's element count differs.
+    pub fn into_reshape(mut self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "cannot reshape {} to {}",
+            self.shape,
+            shape
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Transpose of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 2.
+    pub fn transpose2d(&self) -> Tensor {
+        let (r, c) = self.shape.rc();
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor {
+            shape: Shape::new(vec![c, r]),
+            data: out,
+        }
+    }
+
+    /// A contiguous sub-tensor of `len` entries along dimension 0 starting at
+    /// `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds dimension 0.
+    pub fn narrow0(&self, start: usize, len: usize) -> Tensor {
+        assert!(self.shape.rank() >= 1, "narrow0 on scalar");
+        let d0 = self.shape.dim(0);
+        assert!(
+            start + len <= d0,
+            "narrow0 range {start}..{} exceeds dim0 {d0}",
+            start + len
+        );
+        let inner: usize = self.shape.dims()[1..].iter().product();
+        let mut dims = self.shape.dims().to_vec();
+        dims[0] = len;
+        Tensor {
+            shape: Shape::new(dims),
+            data: self.data[start * inner..(start + len) * inner].to_vec(),
+        }
+    }
+
+    /// Stacks tensors along a new leading dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes disagree.
+    pub fn stack0(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "stack0 of no tensors");
+        let inner = items[0].shape.clone();
+        let mut data = Vec::with_capacity(items.len() * inner.numel());
+        for t in items {
+            assert_eq!(
+                t.shape, inner,
+                "stack0 shape mismatch: {} vs {}",
+                t.shape, inner
+            );
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(inner.dims());
+        Tensor {
+            shape: Shape::new(dims),
+            data,
+        }
+    }
+
+    // ----- elementwise ----------------------------------------------------
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shape tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_with shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum. See [`zip_with`](Self::zip_with) for panics.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference. See [`zip_with`](Self::zip_with) for panics.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise product. See [`zip_with`](Self::zip_with) for panics.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient. See [`zip_with`](Self::zip_with) for panics.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_assign shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_scaled_assign shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place `self *= s`.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    // ----- reductions -----------------------------------------------------
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn mean(&self) -> f32 {
+        assert!(self.numel() > 0, "mean of empty tensor");
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn max_value(&self) -> f32 {
+        assert!(self.numel() > 0, "max of empty tensor");
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn min_value(&self) -> f32 {
+        assert!(self.numel() > 0, "min of empty tensor");
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum of absolute values (L1 norm of the flattened tensor).
+    pub fn abs_sum(&self) -> f32 {
+        self.data.iter().map(|&x| x.abs() as f64).sum::<f64>() as f32
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        (self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+    }
+
+    /// Index of the maximum along the last dimension, for each leading index.
+    ///
+    /// For a `[batch, classes]` tensor this returns the predicted class per
+    /// sample (ties resolve to the lowest index).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 tensors or a zero-size last dimension.
+    pub fn argmax_last(&self) -> Vec<usize> {
+        assert!(self.shape.rank() >= 1, "argmax_last on scalar");
+        let last = self.shape.dim(self.shape.rank() - 1);
+        assert!(last > 0, "argmax_last over empty dimension");
+        self.data
+            .chunks_exact(last)
+            .map(|row| {
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Largest absolute difference against another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.shape, other.shape,
+            "max_abs_diff shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// True when every element differs from `other` by at most `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.max_abs_diff(other) <= tol
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, ", {:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", [{:.4}, {:.4}, ... {:.4}], mean={:.4})",
+                self.data[0],
+                self.data[1],
+                self.data[self.numel() - 1],
+                self.mean()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construct_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        assert_eq!(t.at2(0, 2), 3.0);
+        assert_eq!(t.at2(1, 0), 4.0);
+        assert_eq!(t.numel(), 6);
+    }
+
+    #[test]
+    fn from_vec_length_mismatch() {
+        let err = Tensor::from_vec(vec![1.0; 5], [2, 3]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, 0.5, 0.5], [3]).unwrap();
+        assert_eq!(a.add(&b).as_slice(), &[1.5, -1.5, 3.5]);
+        assert_eq!(a.sub(&b).as_slice(), &[0.5, -2.5, 2.5]);
+        assert_eq!(a.mul(&b).as_slice(), &[0.5, -1.0, 1.5]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_and_inplace() {
+        let mut a = Tensor::zeros([4]);
+        let b = Tensor::ones([4]);
+        a.add_scaled_assign(&b, 0.25);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[1.25; 4]);
+        a.scale_assign(4.0);
+        assert_eq!(a.as_slice(), &[5.0; 4]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -3.0, 2.0, 4.0], [2, 2]).unwrap();
+        assert_eq!(t.sum(), 4.0);
+        assert_eq!(t.mean(), 1.0);
+        assert_eq!(t.max_value(), 4.0);
+        assert_eq!(t.min_value(), -3.0);
+        assert_eq!(t.abs_sum(), 10.0);
+        assert!((t.l2_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.3, 0.2, 0.5], [2, 3]).unwrap();
+        assert_eq!(t.argmax_last(), vec![1, 2]);
+    }
+
+    #[test]
+    fn argmax_tie_resolves_low() {
+        let t = Tensor::from_vec(vec![0.5, 0.5, 0.1], [1, 3]).unwrap();
+        assert_eq!(t.argmax_last(), vec![0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]).unwrap();
+        let tt = t.transpose2d();
+        assert_eq!(tt.dims(), &[4, 3]);
+        assert_eq!(tt.at2(2, 1), t.at2(1, 2));
+        assert_eq!(tt.transpose2d(), t);
+    }
+
+    #[test]
+    fn narrow_and_stack() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]).unwrap();
+        let mid = t.narrow0(1, 1);
+        assert_eq!(mid.dims(), &[1, 4]);
+        assert_eq!(mid.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        let parts: Vec<Tensor> = (0..3).map(|i| t.narrow0(i, 1).into_reshape([4])).collect();
+        let back = Tensor::stack0(&parts);
+        assert_eq!(back.dims(), &[3, 4]);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn([10_000], &mut rng);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        let var = t.map(|x| x * x).mean() - t.mean() * t.mean();
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn rand_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform([1000], -2.0, 3.0, &mut rng);
+        assert!(t.min_value() >= -2.0 && t.max_value() < 3.0);
+    }
+
+    #[test]
+    fn nchw_indexing() {
+        let mut t = Tensor::zeros([2, 3, 4, 5]);
+        *t.at4_mut(1, 2, 3, 4) = 7.0;
+        assert_eq!(t.at4(1, 2, 3, 4), 7.0);
+        assert_eq!(t.as_slice()[t.numel() - 1], 7.0);
+    }
+
+    #[test]
+    fn allclose_tolerance() {
+        let a = Tensor::ones([3]);
+        let b = a.add_scalar(1e-6);
+        assert!(a.allclose(&b, 1e-5));
+        assert!(!a.allclose(&b, 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_mismatch_panics() {
+        let a = Tensor::ones([3]);
+        let b = Tensor::ones([4]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]).unwrap();
+        let r = t.reshape([3, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert_eq!(r.dims(), &[3, 2]);
+    }
+}

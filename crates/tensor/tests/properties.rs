@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor kernels: algebraic laws of the
+//! elementwise ops, matmul identities, convolution linearity, and the
+//! im2col/col2im adjoint relationship over random geometries.
+
+use nb_tensor::{col2im, conv2d, im2col, matmul_into, ConvGeometry, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tensor(shape: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(shape.to_vec(), &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Elementwise addition commutes and subtraction inverts it.
+    #[test]
+    fn add_commutes_sub_inverts(n in 1usize..64, s1 in 0u64..1000, s2 in 0u64..1000) {
+        let a = tensor(&[n], s1);
+        let b = tensor(&[n], s2);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert!(a.add(&b).sub(&b).allclose(&a, 1e-5));
+    }
+
+    /// Scaling distributes over addition.
+    #[test]
+    fn scale_distributes(n in 1usize..64, s in -3.0f32..3.0, seed in 0u64..1000) {
+        let a = tensor(&[n], seed);
+        let b = tensor(&[n], seed ^ 0xffff);
+        let lhs = a.add(&b).scale(s);
+        let rhs = a.scale(s).add(&b.scale(s));
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    /// Matmul respects the identity and associates (within fp tolerance).
+    #[test]
+    fn matmul_identity_and_assoc(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[k, n], seed ^ 1);
+        let c = tensor(&[n, m], seed ^ 2);
+        let eye = Tensor::from_fn([k, k], |i| if i / k == i % k { 1.0 } else { 0.0 });
+        prop_assert!(a.matmul(&eye).allclose(&a, 1e-5));
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.allclose(&rhs, 1e-3 * (1.0 + lhs.abs_sum())));
+    }
+
+    /// Transpose is an involution and distributes over matmul reversed.
+    #[test]
+    fn transpose_laws(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[k, n], seed ^ 3);
+        prop_assert_eq!(a.transpose2d().transpose2d(), a.clone());
+        let lhs = a.matmul(&b).transpose2d();
+        let rhs = b.transpose2d().matmul(&a.transpose2d());
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    /// Convolution is linear in its input.
+    #[test]
+    fn conv_linear_in_input(
+        c_in in 1usize..4, c_out in 1usize..4, k in 1usize..4, seed in 0u64..1000,
+    ) {
+        let geom = ConvGeometry::same(k, 1);
+        let x1 = tensor(&[1, c_in, 5, 5], seed);
+        let x2 = tensor(&[1, c_in, 5, 5], seed ^ 9);
+        let w = tensor(&[c_out, c_in, k, k], seed ^ 5);
+        let lhs = conv2d(&x1.add(&x2), &w, None, geom);
+        let rhs = conv2d(&x1, &w, None, geom).add(&conv2d(&x2, &w, None, geom));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    /// col2im is the exact adjoint of im2col: <im2col(x), c> == <x, col2im(c)>.
+    #[test]
+    fn im2col_adjoint(
+        c in 1usize..4, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * (k / 2) >= k && w + 2 * (k / 2) >= k);
+        let geom = ConvGeometry::same(k, stride);
+        let (ho, wo) = geom.output_hw(h, w);
+        let x = tensor(&[c * h * w], seed);
+        let cvec = tensor(&[c * k * k * ho * wo], seed ^ 11);
+        let mut cols = vec![0.0f32; c * k * k * ho * wo];
+        im2col(x.as_slice(), c, h, w, geom, &mut cols);
+        let lhs: f64 = cols.iter().zip(cvec.as_slice()).map(|(a, b)| (a * b) as f64).sum();
+        let mut dx = vec![0.0f32; c * h * w];
+        col2im(cvec.as_slice(), c, h, w, geom, &mut dx);
+        let rhs: f64 = x.as_slice().iter().zip(&dx).map(|(a, b)| (a * b) as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// matmul_into agrees with the Tensor::matmul wrapper.
+    #[test]
+    fn matmul_into_consistent(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[k, n], seed ^ 7);
+        let mut c = vec![0.0f32; m * n];
+        matmul_into(a.as_slice(), b.as_slice(), &mut c, m, k, n);
+        let want = a.matmul(&b);
+        prop_assert_eq!(c, want.as_slice().to_vec());
+    }
+
+    /// Reshape round-trips and preserves the sum.
+    #[test]
+    fn reshape_preserves(n in 1usize..8, m in 1usize..8, seed in 0u64..1000) {
+        let t = tensor(&[n, m], seed);
+        let r = t.reshape([m, n]).reshape([n * m]).reshape([n, m]);
+        prop_assert_eq!(&r, &t);
+        prop_assert!((r.sum() - t.sum()).abs() < 1e-6);
+    }
+
+    /// narrow0 then stack0 reconstructs the tensor.
+    #[test]
+    fn narrow_stack_roundtrip(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let t = tensor(&[rows, cols], seed);
+        let parts: Vec<Tensor> = (0..rows)
+            .map(|i| t.narrow0(i, 1).into_reshape([cols]))
+            .collect();
+        prop_assert_eq!(Tensor::stack0(&parts), t);
+    }
+}

@@ -1,0 +1,73 @@
+//! Downstream transfer (paper Constraint 2): pretrain a deep giant on the
+//! large-scale stand-in, then transfer it to a fine-grained downstream
+//! dataset with Progressive Linearization Tuning, contracting back to the
+//! original tiny structure along the way.
+//!
+//! Run: `cargo run --release --example downstream_transfer`
+
+use netbooster::core::{
+    netbooster_transfer, train_giant, train_vanilla, vanilla_transfer, ExpansionPlan,
+    TrainConfig,
+};
+use netbooster::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let pretrain = synthetic_imagenet(Scale::Smoke);
+    let downstream = netbooster::data::flowers_like(Scale::Smoke);
+    let model_cfg = mobilenet_v2_tiny(pretrain.train.num_classes());
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        lr: 0.05,
+        ..TrainConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // --- vanilla pretrain + transfer ----------------------------------------
+    let mut vanilla_model = TinyNet::new(model_cfg.clone(), &mut rng);
+    train_vanilla(&vanilla_model, &pretrain.train, &pretrain.val, &cfg);
+    let h = vanilla_transfer(
+        &mut vanilla_model,
+        &downstream.train,
+        &downstream.val,
+        &cfg,
+        &mut rng,
+    );
+    println!(
+        "vanilla transfer to {}: {:.1}%",
+        downstream.train.name(),
+        h.final_val_acc()
+    );
+
+    // --- deep-giant pretrain + NetBooster transfer ---------------------------
+    let (mut giant, handle, _) = train_giant(
+        &model_cfg,
+        &ExpansionPlan::paper_default(),
+        &pretrain.train,
+        &pretrain.val,
+        &cfg,
+        cfg.epochs,
+        &mut rng,
+    );
+    println!(
+        "deep giant pretrained: {} expanded blocks, {} decay slopes",
+        handle.expanded_blocks.len(),
+        handle.slopes.len()
+    );
+    let h = netbooster_transfer(
+        &mut giant,
+        &handle,
+        &downstream.train,
+        &downstream.val,
+        &cfg,
+        4, // tuning epochs; the first 20% run PLT
+        &mut rng,
+    );
+    println!(
+        "netbooster transfer to {}: {:.1}% (contracted back to {} expanded blocks)",
+        downstream.train.name(),
+        h.final_val_acc(),
+        giant.expanded_count()
+    );
+}

@@ -1,0 +1,73 @@
+//! Dumps a grid of synthetic samples as PPM images so the stand-in datasets
+//! can be inspected by eye: a few classes from every family, plus one
+//! detection scene with its boxes printed.
+//!
+//! Run: `cargo run --release --example inspect_data` (writes to
+//! `target/data_preview/`)
+
+use netbooster::core::{activation_stats, expand, linearizability_summary, ExpansionPlan};
+use netbooster::data::recipe::{render_sample, ClassRecipe, Family, Nuisance};
+use netbooster::data::render::save_ppm;
+use netbooster::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new("target/data_preview");
+    std::fs::create_dir_all(dir)?;
+
+    let families = [
+        ("imagenet", Family::Objects),
+        ("cifar", Family::General),
+        ("cars", Family::FineGrained),
+        ("flowers", Family::Radial),
+        ("food", Family::TextureMix),
+        ("pets", Family::TwoLevel),
+    ];
+    for (name, family) in families {
+        for class in 0..3 {
+            for sample in 0..2 {
+                let recipe = ClassRecipe::derive(family, class);
+                let img = render_sample(
+                    &recipe,
+                    48,
+                    &Nuisance::standard(),
+                    &mut StdRng::seed_from_u64(1000 * class as u64 + sample),
+                );
+                let path = dir.join(format!("{name}_c{class}_s{sample}.ppm"));
+                save_ppm(&img, &path)?;
+            }
+        }
+        println!("wrote {name}: 3 classes x 2 samples");
+    }
+
+    // one detection scene
+    let voc = SyntheticVoc::new(4, 64, 4, 9);
+    let (img, boxes) = voc.get(0);
+    save_ppm(&img, dir.join("voc_scene.ppm"))?;
+    println!("\nvoc_scene.ppm ground truth:");
+    for b in boxes {
+        println!(
+            "  class {} at ({:.2}, {:.2}) size {:.2}x{:.2}",
+            b.class, b.cx, b.cy, b.w, b.h
+        );
+    }
+
+    // bonus: quantify how much non-linearity a fresh deep giant's inserted
+    // activations actually use on this data (the PLT premise)
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = synthetic_imagenet(Scale::Smoke);
+    let mut net = TinyNet::new(mobilenet_v2_tiny(data.train.num_classes()), &mut rng);
+    expand(&mut net, &ExpansionPlan::paper_default(), &mut rng);
+    let batch = netbooster::data::random_probe_batch(&data.train, 8, &mut rng);
+    let stats = activation_stats(&net, &batch);
+    let (mean, max) = linearizability_summary(&stats);
+    println!(
+        "\ninserted-activation bend fraction over {} sites: mean {:.1}%, max {:.1}%",
+        stats.len(),
+        mean * 100.0,
+        max * 100.0
+    );
+    println!("(the smaller these are, the less PLT has to un-learn)");
+    println!("\npreview images in {}", dir.display());
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Model surgery walkthrough: inspect a tiny network, expand it with
+//! different plans (the paper's Q1/Q2/Q3 knobs), and watch the layer-level
+//! summary change through expansion and contraction.
+//!
+//! Run: `cargo run --release --example model_surgery`
+
+use netbooster::core::{contract_model, expand, BlockKind, ExpansionPlan, Placement};
+use netbooster::models::summarize;
+use netbooster::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+
+    println!("--- original network ---");
+    println!("{}", summarize(&net, 24));
+
+    // Q1/Q2/Q3: inverted residual blocks, uniform 50%, ratio 6 (the paper's
+    // defaults)
+    let plan = ExpansionPlan::paper_default();
+    let handle = expand(&mut net, &plan, &mut rng);
+    println!(
+        "--- after expansion ({} blocks, {} decay slopes) ---",
+        handle.expanded_blocks.len(),
+        handle.slopes.len()
+    );
+    println!("{}", summarize(&net, 24));
+
+    // linearize instantly (a real run would use PltDriver over E_d epochs)
+    for s in &handle.slopes {
+        s.set(1.0);
+    }
+    let n = contract_model(&mut net);
+    println!("--- after contraction of {n} blocks ---");
+    println!("{}", summarize(&net, 24));
+
+    // alternative plans the ablations explore
+    for (label, plan) in [
+        (
+            "bottleneck blocks",
+            ExpansionPlan {
+                kind: BlockKind::Bottleneck,
+                ..ExpansionPlan::paper_default()
+            },
+        ),
+        (
+            "first-2 placement",
+            ExpansionPlan {
+                placement: Placement::First { n: 2 },
+                ..ExpansionPlan::paper_default()
+            },
+        ),
+        (
+            "ratio 2",
+            ExpansionPlan {
+                ratio: 2,
+                ..ExpansionPlan::paper_default()
+            },
+        ),
+    ] {
+        let mut probe = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+        let base = probe.profile(24);
+        let h = expand(&mut probe, &plan, &mut rng);
+        let giant = probe.profile(24);
+        println!(
+            "plan `{label}`: {} blocks expanded, giant costs {:.2}x FLOPs / {:.2}x params",
+            h.expanded_blocks.len(),
+            giant.flops as f64 / base.flops as f64,
+            giant.params as f64 / base.params as f64,
+        );
+    }
+}

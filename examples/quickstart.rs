@@ -1,0 +1,54 @@
+//! Quickstart: train MobileNetV2-Tiny on the synthetic ImageNet stand-in
+//! with vanilla training and with NetBooster, and compare.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use netbooster::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // A seconds-scale dataset: 8 classes of procedurally rendered objects.
+    let data = synthetic_imagenet(Scale::Smoke);
+    println!(
+        "dataset: {} ({} train / {} val, {} classes, {}px)",
+        data.train.name(),
+        data.train.len(),
+        data.val.len(),
+        data.train.num_classes(),
+        data.train.image_size()
+    );
+
+    let model_cfg = mobilenet_v2_tiny(data.train.num_classes());
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        lr: 0.05,
+        ..TrainConfig::default()
+    };
+
+    // --- vanilla baseline ---------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(0);
+    let vanilla_model = TinyNet::new(model_cfg.clone(), &mut rng);
+    let profile = vanilla_model.profile(data.train.image_size());
+    println!(
+        "model: {} ({} params, {} MACs per image)",
+        model_cfg.name, profile.params, profile.flops
+    );
+    let vanilla = train_vanilla(&vanilla_model, &data.train, &data.val, &cfg);
+    println!("vanilla accuracy per epoch: {:?}", vanilla.val_acc);
+
+    // --- NetBooster: expand -> train giant -> PLT -> contract -> finetune ---
+    let nb = NetBoosterConfig::with_epochs(1, 1, 1, cfg);
+    let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng);
+    println!(
+        "netbooster: expanded giant reached {:.1}%, contracted model {:.1}%",
+        out.expanded_acc, out.final_acc
+    );
+    let contracted = out.model.profile(data.train.image_size());
+    println!(
+        "inference cost after contraction: {} MACs (vanilla: {}) — structure preserved: {}",
+        contracted.flops,
+        profile.flops,
+        contracted.flops == profile.flops
+    );
+}

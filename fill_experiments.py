@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Injects the recorded experiment outputs into EXPERIMENTS.md placeholders."""
+import re, pathlib
+
+root = pathlib.Path("/root/repo")
+md = (root / "EXPERIMENTS.md").read_text()
+
+def final_table(name):
+    p = root / f"{name}_output.txt"
+    if not p.exists():
+        return f"*(run `cargo run --release -p nb-bench --bin {name}` to regenerate; not recorded)*"
+    text = p.read_text()
+    # take everything after the last line *starting with* 'Final'
+    m = None
+    for match in re.finditer(r"^Final .*$", text, re.M):
+        m = match
+    idx = m.start() if m else -1
+    if idx == -1:
+        # partial run: take last rendered table block
+        lines = [l for l in text.splitlines() if l.startswith("|")]
+        if not lines:
+            return "*(run incomplete)*"
+        return "```\n" + "\n".join(lines) + "\n```"
+    block = text[idx:].strip()
+    return "```\n" + block + "\n```"
+
+for tag, name in [("FIG1A","fig1a"),("FIG1B","fig1b"),("TABLE1","table1"),
+                  ("TABLE2","table2"),("TABLE3","table3"),("TABLE4","table4"),
+                  ("TABLE5","table5"),("TABLE6","table6"),
+                  ("ABLATION_PLT","ablation_plt")]:
+    md = md.replace(f"<!-- {tag} -->", final_table(name))
+
+(root / "EXPERIMENTS.md").write_text(md)
+print("EXPERIMENTS.md filled")

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Runs every experiment binary sequentially at the scale given by NB_SCALE
+# (default bench), recording stdout to <name>_output.txt at the repo root.
+set -u
+cd "$(dirname "$0")/.."
+cargo build --release -p nb-bench
+for exp in fig1a fig1b table1 table2 table3 table4 table5 table6 ablation_plt; do
+  echo "=== $exp ==="
+  ./target/release/$exp | tee ${exp}_output.txt
+done

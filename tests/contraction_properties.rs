@@ -1,0 +1,169 @@
+//! Property-based tests for the contraction engine — the mathematical core
+//! of the paper (Eq. 3–4). These hold for *arbitrary* channel counts,
+//! kernel sizes, and batch-norm statistics, not just the configurations the
+//! experiments use.
+
+use netbooster::core::{
+    build_inserted_block, compose_convs, contract_inserted_block, depthwise_to_dense, fold_bn,
+    BlockKind,
+};
+use netbooster::nn::layers::BatchNorm2d;
+use netbooster::nn::{Module, Session};
+use netbooster::tensor::{conv2d, depthwise_conv2d, ConvGeometry, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn randomize_bn(bn: &BatchNorm2d, rng: &mut StdRng) {
+    let c = bn.channels();
+    bn.gamma().set_value(Tensor::rand_uniform([c], 0.5, 1.5, rng));
+    bn.beta().set_value(Tensor::randn([c], rng).scale(0.3));
+    bn.set_running_stats(
+        Tensor::randn([c], rng).scale(0.2),
+        Tensor::rand_uniform([c], 0.5, 2.0, rng),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Composing two random 1x1 convolutions is exact everywhere.
+    #[test]
+    fn compose_1x1_exact(c1 in 1usize..6, c2 in 1usize..8, c3 in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k1 = Tensor::randn([c2, c1, 1, 1], &mut rng);
+        let b1 = Tensor::randn([c2], &mut rng);
+        let k2 = Tensor::randn([c3, c2, 1, 1], &mut rng);
+        let b2 = Tensor::randn([c3], &mut rng);
+        let (k, b) = compose_convs(&k1, &b1, &k2, &b2);
+        let x = Tensor::randn([1, c1, 4, 4], &mut rng);
+        let geom = ConvGeometry::pointwise();
+        let want = conv2d(&conv2d(&x, &k1, Some(&b1), geom), &k2, Some(&b2), geom);
+        let got = conv2d(&x, &k, Some(&b), geom);
+        prop_assert!(got.allclose(&want, 1e-3 * (1.0 + want.max_value().abs())),
+            "diff {}", got.max_abs_diff(&want));
+    }
+
+    /// Kernel sizes add as k1 + k2 - 1 under composition.
+    #[test]
+    fn compose_kernel_size_law(k1 in 1usize..4, k2 in 1usize..4, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn([2, 3, k1, k1], &mut rng);
+        let b = Tensor::randn([4, 2, k2, k2], &mut rng);
+        let (k, bias) = compose_convs(&a, &Tensor::zeros([2]), &b, &Tensor::zeros([4]));
+        prop_assert_eq!(k.dims(), &[4, 3, k1 + k2 - 1, k1 + k2 - 1]);
+        prop_assert!(bias.abs_sum() < 1e-5);
+    }
+
+    /// BN folding is exact for arbitrary statistics.
+    #[test]
+    fn bn_fold_exact(c_in in 1usize..5, c_out in 1usize..5, k in 1usize..4, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Tensor::randn([c_out, c_in, k, k], &mut rng);
+        let bn = BatchNorm2d::new(c_out);
+        randomize_bn(&bn, &mut rng);
+        let geom = ConvGeometry::same(k, 1);
+        let x = Tensor::randn([2, c_in, 5, 5], &mut rng);
+        let (scale, shift) = bn.eval_affine();
+        let want = {
+            let y = conv2d(&x, &w, None, geom);
+            let (n, c, h, wd) = y.shape().nchw();
+            Tensor::from_fn([n, c, h, wd], |i| {
+                let ci = (i / (h * wd)) % c;
+                scale.as_slice()[ci] * y.as_slice()[i] + shift.as_slice()[ci]
+            })
+        };
+        let (wf, bf) = fold_bn(&w, None, &bn);
+        let got = conv2d(&x, &wf, Some(&bf), geom);
+        prop_assert!(got.allclose(&want, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    /// Depthwise-to-dense conversion preserves the function.
+    #[test]
+    fn depthwise_dense_equivalence(c in 1usize..6, k in 1usize..4, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Tensor::randn([c, k, k], &mut rng);
+        let dense = depthwise_to_dense(&w);
+        let geom = ConvGeometry::same(k, 1);
+        let x = Tensor::randn([1, c, 5, 5], &mut rng);
+        let a = depthwise_conv2d(&x, &w, None, geom);
+        let b = conv2d(&x, &dense, None, geom);
+        prop_assert!(a.allclose(&b, 1e-4));
+    }
+
+    /// Contracting a linearized inverted-residual inserted block reproduces
+    /// the block's eval output for arbitrary widths and ratios.
+    #[test]
+    fn inverted_residual_contraction_exact(
+        in_c in 1usize..6,
+        out_c in 1usize..6,
+        ratio in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block = build_inserted_block(BlockKind::InvertedResidual, in_c, out_c, ratio, &mut rng);
+        for u in &block.units {
+            randomize_bn(&u.bn, &mut rng);
+        }
+        for s in block.slopes() {
+            s.set(1.0);
+        }
+        let x = Tensor::randn([2, in_c, 4, 4], &mut rng);
+        let mut s1 = Session::new(false);
+        let xin = s1.input(x.clone());
+        let want = block.forward(&mut s1, xin);
+        let want = s1.value(want).clone();
+        let conv = contract_inserted_block(&block);
+        let mut s2 = Session::new(false);
+        let xin = s2.input(x);
+        let got = conv.forward(&mut s2, xin);
+        let tol = 1e-3 * (1.0 + want.max_value().abs().max(-want.min_value()));
+        prop_assert!(s2.value(got).allclose(&want, tol),
+            "diff {}", s2.value(got).max_abs_diff(&want));
+    }
+
+    /// Contraction cost is independent of the expansion ratio (the paper's
+    /// remark in Sec. III-D).
+    #[test]
+    fn contraction_cost_ratio_invariant(in_c in 1usize..5, out_c in 1usize..5, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shapes = Vec::new();
+        for ratio in [2usize, 6] {
+            let block = build_inserted_block(BlockKind::InvertedResidual, in_c, out_c, ratio, &mut rng);
+            for s in block.slopes() {
+                s.set(1.0);
+            }
+            shapes.push(contract_inserted_block(&block).weight().value().shape().clone());
+        }
+        prop_assert_eq!(&shapes[0], &shapes[1]);
+    }
+}
+
+/// Decayed activations interpolate between the non-linearity and identity.
+#[test]
+fn decay_endpoints_all_kinds() {
+    use netbooster::autograd::Graph;
+    let xs = Tensor::from_vec(vec![-5.0, -0.5, 0.0, 3.0, 7.0], [5]).unwrap();
+    let mut g = Graph::new();
+    let x = g.constant(xs.clone());
+    // ReLU endpoints
+    let relu0 = g.relu_decay(x, 0.0);
+    assert_eq!(g.value(relu0).as_slice(), &[0.0, 0.0, 0.0, 3.0, 7.0]);
+    let relu1 = g.relu_decay(x, 1.0);
+    assert_eq!(g.value(relu1).as_slice(), xs.as_slice());
+    // ReLU6 endpoints
+    let r60 = g.relu6_decay(x, 0.0);
+    assert_eq!(g.value(r60).as_slice(), &[0.0, 0.0, 0.0, 3.0, 6.0]);
+    let r61 = g.relu6_decay(x, 1.0);
+    assert_eq!(g.value(r61).as_slice(), xs.as_slice());
+    // monotone interpolation at a negative point
+    let mut prev = f32::NEG_INFINITY;
+    for step in 0..=10 {
+        let alpha = step as f32 / 10.0;
+        let v = g.relu_decay(x, alpha);
+        let y = g.value(v).as_slice()[0]; // x = -5
+        assert!(y <= 0.0 && y >= -5.0);
+        assert!(y <= prev + 1e-6 || prev == f32::NEG_INFINITY);
+        prev = y;
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based invariants of the synthetic data substrate: determinism,
+//! value ranges, label consistency, split disjointness, and detection box
+//! geometry — across every dataset family and arbitrary configurations.
+
+use netbooster::data::recipe::{render_sample, ClassRecipe, Family, Nuisance};
+use netbooster::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FAMILIES: [Family; 6] = [
+    Family::Objects,
+    Family::General,
+    Family::FineGrained,
+    Family::Radial,
+    Family::TextureMix,
+    Family::TwoLevel,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every rendered sample is a valid [0,1] image of the right shape.
+    #[test]
+    fn samples_are_unit_range_images(
+        fam_idx in 0usize..6,
+        class in 0usize..64,
+        size in 8usize..24,
+        seed in 0u64..10_000,
+    ) {
+        let recipe = ClassRecipe::derive(FAMILIES[fam_idx], class);
+        let img = render_sample(&recipe, size, &Nuisance::standard(), &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(img.dims(), &[3, size, size]);
+        prop_assert!(img.min_value() >= 0.0 && img.max_value() <= 1.0);
+        prop_assert!(img.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Dataset access is deterministic and labels cycle over classes.
+    #[test]
+    fn dataset_determinism(
+        classes in 1usize..8,
+        len in 1usize..32,
+        seed in 0u64..1000,
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let ds = SyntheticVision::new(
+            "p", Family::Objects, classes, 8, len, Nuisance::easy(), seed, Split::Train,
+        );
+        let idx = ((len as f64 * idx_frac) as usize).min(len - 1);
+        let (a, la) = ds.get(idx);
+        let (b, lb) = ds.get(idx);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(la, lb);
+        prop_assert_eq!(la, idx % classes);
+    }
+
+    /// Train and val splits never produce the same pixels for an index.
+    #[test]
+    fn splits_disjoint(seed in 0u64..500, idx in 0usize..8) {
+        let mk = |split| SyntheticVision::new(
+            "p", Family::General, 4, 8, 8, Nuisance::easy(), seed, split,
+        );
+        let (a, _) = mk(Split::Train).get(idx);
+        let (b, _) = mk(Split::Val).get(idx);
+        prop_assert!(a.max_abs_diff(&b) > 0.0);
+    }
+
+    /// Detection annotations stay inside the unit square with positive area
+    /// and valid classes.
+    #[test]
+    fn detection_boxes_valid(classes in 1usize..6, len in 1usize..16, seed in 0u64..500) {
+        let ds = SyntheticVoc::new(classes, 16, len, seed);
+        for i in 0..len {
+            let (img, boxes) = ds.get(i);
+            prop_assert_eq!(img.dims(), &[3, 16, 16]);
+            prop_assert!(!boxes.is_empty() && boxes.len() <= 3);
+            for b in boxes {
+                let (x0, y0, x1, y1) = b.corners();
+                prop_assert!(x1 > x0 && y1 > y0);
+                prop_assert!(x0 >= 0.0 && y0 >= 0.0 && x1 <= 1.0 && y1 <= 1.0);
+                prop_assert!(b.class < classes);
+            }
+        }
+    }
+
+    /// IoU is symmetric, bounded, and 1 on self.
+    #[test]
+    fn iou_properties(
+        cx1 in 0.1f32..0.9, cy1 in 0.1f32..0.9, w1 in 0.05f32..0.5, h1 in 0.05f32..0.5,
+        cx2 in 0.1f32..0.9, cy2 in 0.1f32..0.9, w2 in 0.05f32..0.5, h2 in 0.05f32..0.5,
+    ) {
+        let a = BoxAnnotation { class: 0, cx: cx1, cy: cy1, w: w1, h: h1 };
+        let b = BoxAnnotation { class: 0, cx: cx2, cy: cy2, w: w2, h: h2 };
+        let iou = a.iou(&b);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&iou));
+        prop_assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-6);
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+    }
+
+    /// Augmentation preserves shape and the unit range.
+    #[test]
+    fn augmentation_preserves_invariants(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = Tensor::rand_uniform([3, 10, 10], 0.0, 1.0, &mut rng);
+        let out = Augment::standard().apply(&img, &mut rng);
+        prop_assert_eq!(out.dims(), img.dims());
+        prop_assert!(out.min_value() >= 0.0 && out.max_value() <= 1.0);
+    }
+}
+
+use netbooster::data::BoxAnnotation;
+
+#[test]
+fn loader_covers_every_index_exactly_once() {
+    let ds = SyntheticVision::new(
+        "cover",
+        Family::Objects,
+        3,
+        8,
+        17,
+        Nuisance::easy(),
+        3,
+        Split::Train,
+    );
+    let loader = DataLoader::new(&ds, 5).shuffled(11);
+    let batches = loader.epoch(0);
+    let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+    assert_eq!(total, 17);
+    // label multiset matches the dataset's
+    let mut got: Vec<usize> = batches.iter().flat_map(|b| b.labels.clone()).collect();
+    got.sort();
+    let mut want: Vec<usize> = (0..17).map(|i| i % 3).collect();
+    want.sort();
+    assert_eq!(got, want);
+}

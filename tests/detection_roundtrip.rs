@@ -1,0 +1,124 @@
+//! Detection encode/decode roundtrip properties: building the ideal grid
+//! logits for a set of ground-truth boxes and decoding them must recover
+//! the boxes (up to the grid's spatial quantization), and the AP50 of the
+//! ideal decode must be perfect.
+
+use netbooster::data::BoxAnnotation;
+use netbooster::metrics::{ap50, ScoredBox};
+use netbooster::models::{decode_grid, encode_targets};
+use netbooster::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Inverse sigmoid, clamped like the training target encoding.
+fn logit(v: f32) -> f32 {
+    let v = v.clamp(0.02, 0.98);
+    (v / (1.0 - v)).ln()
+}
+
+/// Builds the ideal grid logits reproducing the encoded targets.
+fn ideal_grid(targets: &netbooster::models::GridTargets, classes: usize, g: usize) -> Tensor {
+    let n = targets.obj.dims()[0];
+    let mut grid = Tensor::full([n, 5 + classes, g, g], -12.0);
+    for ni in 0..n {
+        for gy in 0..g {
+            for gx in 0..g {
+                if targets.obj.at4(ni, 0, gy, gx) > 0.5 {
+                    *grid.at4_mut(ni, 0, gy, gx) = 12.0;
+                    for ch in 0..4 {
+                        *grid.at4_mut(ni, 1 + ch, gy, gx) =
+                            logit(targets.boxes.at4(ni, ch, gy, gx));
+                    }
+                    for c in 0..classes {
+                        *grid.at4_mut(ni, 5 + c, gy, gx) =
+                            if targets.cls.at4(ni, c, gy, gx) > 0.5 {
+                                12.0
+                            } else {
+                                -12.0
+                            };
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+fn arbitrary_box(classes: usize) -> impl Strategy<Value = BoxAnnotation> {
+    (
+        0..classes,
+        0.15f32..0.85,
+        0.15f32..0.85,
+        0.1f32..0.4,
+        0.1f32..0.4,
+    )
+        .prop_map(|(class, cx, cy, w, h)| BoxAnnotation { class, cx, cy, w, h })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single box round-trips through encode -> ideal logits -> decode.
+    #[test]
+    fn single_box_roundtrip(b in arbitrary_box(4), g in 3usize..9) {
+        let classes = 4;
+        let anns = vec![vec![b]];
+        let targets = encode_targets(&anns, classes, g);
+        let grid = ideal_grid(&targets, classes, g);
+        let dets = decode_grid(&grid, classes, 0.5);
+        prop_assert_eq!(dets[0].len(), 1, "one detection");
+        let d = dets[0][0];
+        prop_assert_eq!(d.bbox.class, b.class);
+        // center recovered up to the sigmoid clamp's quantization
+        prop_assert!((d.bbox.cx - b.cx).abs() < 0.05, "cx {} vs {}", d.bbox.cx, b.cx);
+        prop_assert!((d.bbox.cy - b.cy).abs() < 0.05);
+        prop_assert!((d.bbox.w - b.w).abs() < 0.05);
+        prop_assert!((d.bbox.h - b.h).abs() < 0.05);
+        prop_assert!(d.bbox.iou(&b) > 0.6, "iou {}", d.bbox.iou(&b));
+    }
+
+    /// Ideal decodes of multi-box scenes score (near-)perfect AP50 as long
+    /// as boxes land in distinct grid cells.
+    #[test]
+    fn ideal_decode_scores_high_ap(
+        boxes in prop::collection::vec(arbitrary_box(3), 1..3),
+        g in 4usize..8,
+    ) {
+        let classes = 3;
+        // keep only boxes landing in distinct cells (grid encoding merges
+        // same-cell boxes by construction)
+        let mut seen = std::collections::HashSet::new();
+        let filtered: Vec<BoxAnnotation> = boxes
+            .into_iter()
+            .filter(|b| {
+                let cell = (
+                    ((b.cx * g as f32) as usize).min(g - 1),
+                    ((b.cy * g as f32) as usize).min(g - 1),
+                );
+                seen.insert(cell)
+            })
+            .collect();
+        prop_assume!(!filtered.is_empty());
+        let anns = vec![filtered.clone()];
+        let targets = encode_targets(&anns, classes, g);
+        let grid = ideal_grid(&targets, classes, g);
+        let dets = decode_grid(&grid, classes, 0.5);
+        let preds: Vec<Vec<ScoredBox>> = dets
+            .into_iter()
+            .map(|ds| {
+                ds.into_iter()
+                    .map(|d| ScoredBox { bbox: d.bbox, score: d.score })
+                    .collect()
+            })
+            .collect();
+        let score = ap50(&preds, &anns, classes);
+        prop_assert!(score > 95.0, "AP50 {score}");
+    }
+
+    /// Empty grids decode to no detections at any threshold.
+    #[test]
+    fn empty_grid_decodes_empty(g in 2usize..8, thresh in 0.05f32..0.9) {
+        let grid = Tensor::full([2, 8, g, g], -12.0);
+        let dets = decode_grid(&grid, 3, thresh);
+        prop_assert!(dets.iter().all(|d| d.is_empty()));
+    }
+}

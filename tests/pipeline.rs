@@ -1,0 +1,208 @@
+//! End-to-end integration tests across crates: the full NetBooster pipeline,
+//! downstream transfer, every baseline, and the detection path, on
+//! seconds-scale synthetic data.
+
+use netbooster::core::{
+    eval_detector, evaluate, netbooster_train, netbooster_transfer, train_detector, train_giant,
+    train_kd, train_netaug, train_rocket_launch, train_tf_kd, train_vanilla,
+    train_with_feature_drop, vanilla_transfer, ExpansionPlan, FeatureDropConfig, KdConfig,
+    NetAugConfig, NetBoosterConfig, TrainConfig,
+};
+use netbooster::data::recipe::{Family, Nuisance};
+use netbooster::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn tiny_data(classes: usize, seed: u64) -> (SyntheticVision, SyntheticVision) {
+    let mk = |split| {
+        SyntheticVision::new("it", Family::Objects, classes, 12, 24, Nuisance::easy(), seed, split)
+    };
+    (mk(Split::Train), mk(Split::Val))
+}
+
+fn tiny_model_cfg(classes: usize) -> TnnConfig {
+    let mut cfg = mobilenet_v2_tiny(classes);
+    cfg.blocks.truncate(3);
+    cfg.head_c = 16;
+    cfg
+}
+
+fn quick_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        lr: 0.05,
+        augment: netbooster::data::Augment::none(),
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn netbooster_pipeline_preserves_inference_cost_and_structure() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let (train, val) = tiny_data(3, 1);
+    let cfg_model = tiny_model_cfg(3);
+    let reference = TinyNet::new(cfg_model.clone(), &mut rng).profile(12);
+    let nb = NetBoosterConfig::with_epochs(1, 1, 1, quick_cfg());
+    let out = netbooster_train(&cfg_model, &train, &val, &nb, &mut rng);
+    assert_eq!(out.model.expanded_count(), 0);
+    assert_eq!(out.model.profile(12).flops, reference.flops);
+    assert_eq!(out.history.epoch_loss.len(), 3);
+    assert!(out.final_acc >= 0.0 && out.final_acc <= 100.0);
+}
+
+#[test]
+fn all_baselines_run_on_the_same_task() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (train, val) = tiny_data(2, 2);
+    let cfg_model = tiny_model_cfg(2);
+    let cfg = quick_cfg();
+
+    let vanilla_model = TinyNet::new(cfg_model.clone(), &mut rng);
+    let vanilla = train_vanilla(&vanilla_model, &train, &val, &cfg);
+    assert_eq!(vanilla.val_acc.len(), 2);
+
+    let reg_model = TinyNet::new(cfg_model.clone(), &mut rng);
+    let reg = train_with_feature_drop(&reg_model, &train, &val, &cfg, &FeatureDropConfig::default());
+    assert_eq!(reg.val_acc.len(), 2);
+
+    let (netaug_model, netaug) = train_netaug(
+        &cfg_model,
+        &train,
+        &val,
+        &cfg,
+        &NetAugConfig::default(),
+        &mut rng,
+    );
+    assert_eq!(netaug.val_acc.len(), 2);
+    assert_eq!(netaug_model.config.blocks, cfg_model.blocks);
+
+    let teacher = TinyNet::new(cfg_model.clone(), &mut rng);
+    let student = TinyNet::new(cfg_model.clone(), &mut rng);
+    let kd = train_kd(&student, &teacher, &train, &val, &cfg, &KdConfig::default());
+    assert_eq!(kd.val_acc.len(), 2);
+
+    let student = TinyNet::new(cfg_model.clone(), &mut rng);
+    let tfkd = train_tf_kd(&student, &train, &val, &cfg, &KdConfig::default(), 0.9);
+    assert_eq!(tfkd.val_acc.len(), 2);
+
+    let light = TinyNet::new(cfg_model.clone(), &mut rng);
+    let rocket = train_rocket_launch(&light, &train, &val, &cfg, 0.5, &mut rng);
+    assert_eq!(rocket.val_acc.len(), 2);
+}
+
+#[test]
+fn transfer_pipeline_reaches_downstream_dataset() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (pre_train, pre_val) = tiny_data(2, 3);
+    let cfg_model = tiny_model_cfg(2);
+    let cfg = quick_cfg();
+    // vanilla path
+    let mut m = TinyNet::new(cfg_model.clone(), &mut rng);
+    train_vanilla(&m, &pre_train, &pre_val, &cfg);
+    let mk = |split| {
+        SyntheticVision::new("dn", Family::Radial, 4, 12, 16, Nuisance::easy(), 9, split)
+    };
+    let (dtrain, dval) = (mk(Split::Train), mk(Split::Val));
+    let h = vanilla_transfer(&mut m, &dtrain, &dval, &cfg, &mut rng);
+    assert_eq!(m.config.classes, 4);
+    assert!(h.final_val_acc() >= 0.0);
+    // netbooster path
+    let (mut giant, handle, _) = train_giant(
+        &cfg_model,
+        &ExpansionPlan::paper_default(),
+        &pre_train,
+        &pre_val,
+        &cfg,
+        1,
+        &mut rng,
+    );
+    let h = netbooster_transfer(&mut giant, &handle, &dtrain, &dval, &cfg, 2, &mut rng);
+    assert_eq!(giant.expanded_count(), 0);
+    assert_eq!(giant.config.classes, 4);
+    assert!(h.final_val_acc() >= 0.0);
+    // the contracted transferred model evaluates consistently
+    let acc = evaluate(&|imgs| giant.logits_eval(imgs), &dval, 8);
+    assert!((0.0..=100.0).contains(&acc));
+}
+
+#[test]
+fn detection_pipeline_with_plt_contraction() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let train = SyntheticVoc::new(2, 24, 12, 5);
+    let val = SyntheticVoc::new(2, 24, 6, 6);
+    let mut backbone = TinyNet::new(tiny_model_cfg(2), &mut rng);
+    let handle = netbooster::core::expand(&mut backbone, &ExpansionPlan::paper_default(), &mut rng);
+    let mut det = DetectorNet::new(backbone, 2, &mut rng);
+    let h = train_detector(&mut det, &train, &val, &quick_cfg(), Some((&handle, 1)));
+    assert_eq!(det.backbone.expanded_count(), 0);
+    assert!(h.final_ap50() >= 0.0 && h.final_ap50() <= 100.0);
+    let ap = eval_detector(&det, &val, 0.3);
+    assert!((0.0..=100.0).contains(&ap));
+}
+
+#[test]
+fn state_dict_roundtrips_whole_model_logits() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let cfg_model = tiny_model_cfg(3);
+    let model = TinyNet::new(cfg_model.clone(), &mut rng);
+    // perturb BN stats via one training step so they are non-trivial
+    let (train, val) = tiny_data(3, 7);
+    train_vanilla(&model, &train, &val, &quick_cfg());
+    let state = StateDict::from_module(&model);
+    let fresh = TinyNet::new(cfg_model, &mut rng);
+    state.load_into(&fresh).expect("same architecture");
+    let probe = Tensor::randn([2, 3, 12, 12], &mut rng);
+    assert!(model
+        .logits_eval(&probe)
+        .allclose(&fresh.logits_eval(&probe), 1e-5));
+}
+
+#[test]
+fn expanded_giant_state_roundtrips_through_disk() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg_model = tiny_model_cfg(2);
+    let mut giant = TinyNet::new(cfg_model.clone(), &mut rng);
+    netbooster::core::expand(&mut giant, &ExpansionPlan::paper_default(), &mut rng);
+    let state = StateDict::from_module(&giant);
+    let dir = std::env::temp_dir().join("nb_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("giant.nbst");
+    state.save(&path).unwrap();
+    let loaded = StateDict::load(&path).unwrap();
+    let mut fresh = TinyNet::new(cfg_model, &mut rng);
+    netbooster::core::expand(&mut fresh, &ExpansionPlan::paper_default(), &mut rng);
+    loaded.load_into(&fresh).expect("same expanded architecture");
+    let probe = Tensor::randn([1, 3, 12, 12], &mut rng);
+    assert!(giant
+        .logits_eval(&probe)
+        .allclose(&fresh.logits_eval(&probe), 1e-5));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn netbooster_pipeline_with_cosine_decay_curve() {
+    use netbooster::core::DecayCurve;
+    let mut rng = StdRng::seed_from_u64(6);
+    let (train, val) = tiny_data(2, 8);
+    let cfg_model = tiny_model_cfg(2);
+    let mut nb = NetBoosterConfig::with_epochs(1, 1, 1, quick_cfg());
+    nb.plt_curve = DecayCurve::Cosine;
+    let out = netbooster_train(&cfg_model, &train, &val, &nb, &mut rng);
+    assert_eq!(out.model.expanded_count(), 0, "cosine curve also contracts");
+    assert!(out.final_acc.is_finite());
+}
+
+#[test]
+fn eval_every_skips_intermediate_evaluations() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (train, val) = tiny_data(2, 9);
+    let model = TinyNet::new(tiny_model_cfg(2), &mut rng);
+    let cfg = TrainConfig {
+        epochs: 3,
+        eval_every: 1000,
+        ..quick_cfg()
+    };
+    let h = netbooster::core::train_vanilla(&model, &train, &val, &cfg);
+    assert_eq!(h.epoch_loss.len(), 3);
+    assert_eq!(h.val_acc.len(), 1, "only the final epoch evaluated");
+}
