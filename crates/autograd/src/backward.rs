@@ -93,9 +93,7 @@ impl Graph {
                     let (x, bias) = (*x, *bias);
                     let (_, f) = g.shape().rc();
                     let gs = g.as_slice();
-                    let db = Tensor::from_fn([f], |fi| {
-                        gs.iter().skip(fi).step_by(f).sum()
-                    });
+                    let db = Tensor::from_fn([f], |fi| gs.iter().skip(fi).step_by(f).sum());
                     accumulate_into(before, x, g);
                     accumulate_into(before, bias, db);
                 }
@@ -165,8 +163,7 @@ impl Graph {
                         Tensor::from_fn(g.shape().clone(), |i| {
                             let ci = (i / (h * w)) % c;
                             let xhat = (xs[i] - ms[ci]) * is[ci];
-                            gam[ci] * is[ci] / m
-                                * (m * gs[i] - dbeta[ci] - xhat * dgamma[ci])
+                            gam[ci] * is[ci] / m * (m * gs[i] - dbeta[ci] - xhat * dgamma[ci])
                         })
                     } else {
                         Tensor::from_fn(g.shape().clone(), |i| {
@@ -182,9 +179,10 @@ impl Graph {
                 }
                 Op::ReluDecay { x, alpha } => {
                     let (x, alpha) = (*x, *alpha);
-                    let dx = before[x.0]
-                        .value
-                        .zip_with(&g, |xv, gv| if xv >= 0.0 { gv } else { alpha * gv });
+                    let dx =
+                        before[x.0]
+                            .value
+                            .zip_with(&g, |xv, gv| if xv >= 0.0 { gv } else { alpha * gv });
                     accumulate_into(before, x, dx);
                 }
                 Op::Relu6Decay { x, alpha } => {
@@ -274,9 +272,7 @@ impl Graph {
                     let logits = *logits;
                     let (n, _) = student_probs.shape().rc();
                     let gscale = g.item() * temperature / n as f32;
-                    let dl = student_probs
-                        .sub(teacher_probs)
-                        .scale(gscale);
+                    let dl = student_probs.sub(teacher_probs).scale(gscale);
                     accumulate_into(before, logits, dl);
                 }
                 Op::MseBetween { a, b } => {
@@ -302,13 +298,10 @@ impl Graph {
                     probs,
                 } => {
                     let logits = *logits;
-                    let support: f32 =
-                        mask.as_slice().iter().filter(|&&m| m > 0.0).count() as f32;
+                    let support: f32 = mask.as_slice().iter().filter(|&&m| m > 0.0).count() as f32;
                     let gscale = g.item() / support;
                     let dl = Tensor::from_fn(probs.shape().clone(), |i| {
-                        mask.as_slice()[i]
-                            * (probs.as_slice()[i] - targets.as_slice()[i])
-                            * gscale
+                        mask.as_slice()[i] * (probs.as_slice()[i] - targets.as_slice()[i]) * gscale
                     });
                     accumulate_into(before, logits, dl);
                 }
@@ -318,8 +311,7 @@ impl Graph {
                     mask,
                 } => {
                     let pred = *pred;
-                    let support: f32 =
-                        mask.as_slice().iter().filter(|&&m| m > 0.0).count() as f32;
+                    let support: f32 = mask.as_slice().iter().filter(|&&m| m > 0.0).count() as f32;
                     let gscale = g.item() / support;
                     let ps = before[pred.0].value.as_slice();
                     let dl = Tensor::from_fn(targets.shape().clone(), |i| {
@@ -433,10 +425,7 @@ mod tests {
         let loss = g.mean_all(mid);
         g.backward(loss);
         let da = g.grad(a).unwrap();
-        assert_eq!(
-            da.as_slice(),
-            &[0.0, 0.0, 0.25, 0.25, 0.25, 0.25, 0.0, 0.0]
-        );
+        assert_eq!(da.as_slice(), &[0.0, 0.0, 0.25, 0.25, 0.25, 0.25, 0.0, 0.0]);
     }
 
     #[test]

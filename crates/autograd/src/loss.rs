@@ -146,7 +146,8 @@ impl Graph {
                 a,
                 target: target.clone(),
             },
-        rg)
+            rg,
+        )
     }
 
     /// Masked binary cross-entropy with logits, averaged over the mask

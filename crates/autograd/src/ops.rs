@@ -104,19 +104,8 @@ impl Graph {
     }
 
     /// Dense 2-D convolution. See [`nb_tensor::conv2d`] for shape contracts.
-    pub fn conv2d(
-        &mut self,
-        x: Value,
-        w: Value,
-        b: Option<Value>,
-        geom: ConvGeometry,
-    ) -> Value {
-        let out = conv2d(
-            self.value(x),
-            self.value(w),
-            b.map(|b| self.value(b)),
-            geom,
-        );
+    pub fn conv2d(&mut self, x: Value, w: Value, b: Option<Value>, geom: ConvGeometry) -> Value {
+        let out = conv2d(self.value(x), self.value(w), b.map(|b| self.value(b)), geom);
         let rg = self.wants_grad(x)
             || self.wants_grad(w)
             || b.map(|b| self.wants_grad(b)).unwrap_or(false);
@@ -131,12 +120,7 @@ impl Graph {
         b: Option<Value>,
         geom: ConvGeometry,
     ) -> Value {
-        let out = depthwise_conv2d(
-            self.value(x),
-            self.value(w),
-            b.map(|b| self.value(b)),
-            geom,
-        );
+        let out = depthwise_conv2d(self.value(x), self.value(w), b.map(|b| self.value(b)), geom);
         let rg = self.wants_grad(x)
             || self.wants_grad(w)
             || b.map(|b| self.wants_grad(b)).unwrap_or(false);
@@ -326,15 +310,13 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `w` is not rank 4 or a range is out of bounds.
-    pub fn narrow_out_in(
-        &mut self,
-        w: Value,
-        out: (usize, usize),
-        inn: (usize, usize),
-    ) -> Value {
+    pub fn narrow_out_in(&mut self, w: Value, out: (usize, usize), inn: (usize, usize)) -> Value {
         let d = self.value(w).dims().to_vec();
         assert_eq!(d.len(), 4, "narrow_out_in requires rank-4 weight");
-        assert!(out.0 + out.1 <= d[0] && inn.0 + inn.1 <= d[1], "narrow_out_in range");
+        assert!(
+            out.0 + out.1 <= d[0] && inn.0 + inn.1 <= d[1],
+            "narrow_out_in range"
+        );
         let (kh, kw) = (d[2], d[3]);
         let src = self.value(w).as_slice();
         let mut dst = Tensor::zeros([out.1, inn.1, kh, kw]);
@@ -433,10 +415,7 @@ mod tests {
     #[test]
     fn narrow_out_in_slices_weight() {
         let mut g = Graph::new();
-        let w = g.leaf(
-            Tensor::from_fn([3, 2, 1, 1], |i| i as f32),
-            false,
-        );
+        let w = g.leaf(Tensor::from_fn([3, 2, 1, 1], |i| i as f32), false);
         let s = g.narrow_out_in(w, (1, 2), (0, 1));
         assert_eq!(g.value(s).dims(), &[2, 1, 1, 1]);
         assert_eq!(g.value(s).as_slice(), &[2.0, 4.0]);

@@ -172,7 +172,10 @@ fn constant_branches_do_not_allocate_grads() {
     g.backward(loss);
     assert!(g.grad(x).is_none());
     assert!(g.grad(y).is_none());
-    assert!(g.grad(z).is_none(), "no grad tracked anywhere on a constant chain");
+    assert!(
+        g.grad(z).is_none(),
+        "no grad tracked anywhere on a constant chain"
+    );
 }
 
 #[test]

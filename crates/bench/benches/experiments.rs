@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use nb_data::{synthetic_imagenet, Scale, SyntheticVoc};
 use nb_models::{mobilenet_v2_tiny, DetectorNet, TinyNet};
 use netbooster_core::{
-    netbooster_train, train_detector, train_netaug, train_vanilla, NetAugConfig,
-    NetBoosterConfig, TrainConfig,
+    netbooster_train, train_detector, train_netaug, train_vanilla, NetAugConfig, NetBoosterConfig,
+    TrainConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,7 +50,13 @@ fn bench_table1_slice(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             let nb = NetBoosterConfig::with_epochs(1, 1, 1, smoke_cfg());
-            black_box(netbooster_train(&cfg_model, &data.train, &data.val, &nb, &mut rng))
+            black_box(netbooster_train(
+                &cfg_model,
+                &data.train,
+                &data.val,
+                &nb,
+                &mut rng,
+            ))
         })
     });
     g.bench_function("table1_netaug_epoch", |b| {

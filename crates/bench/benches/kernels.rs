@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nb_tensor::{
-    conv2d, conv2d_backward, depthwise_conv2d, global_avg_pool, im2col, ConvGeometry, Tensor,
+    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, global_avg_pool, im2col,
+    ConvGeometry, Tensor,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +30,14 @@ fn bench_matmul(c: &mut Criterion) {
             bench.iter(|| black_box(a.matmul(&b)))
         });
     }
+    let a = Tensor::randn([128, 128], &mut rng);
+    let b = Tensor::randn([128, 128], &mut rng);
+    g.bench_function("matmul_nt_128", |bench| {
+        bench.iter(|| black_box(a.matmul_nt(&b)))
+    });
+    g.bench_function("matmul_tn_128", |bench| {
+        bench.iter(|| black_box(a.matmul_tn(&b)))
+    });
     g.finish();
 }
 
@@ -49,8 +58,14 @@ fn bench_conv(c: &mut Criterion) {
         });
     }
     let wd = Tensor::randn([16, 3, 3], &mut rng);
+    let dgeom = ConvGeometry::same(3, 1);
     g.bench_function("depthwise_fwd_3x3", |bench| {
-        bench.iter(|| black_box(depthwise_conv2d(&x, &wd, None, ConvGeometry::same(3, 1))))
+        bench.iter(|| black_box(depthwise_conv2d(&x, &wd, None, dgeom)))
+    });
+    let yd = depthwise_conv2d(&x, &wd, None, dgeom);
+    let dyd = Tensor::randn(yd.shape().clone(), &mut rng);
+    g.bench_function("depthwise_bwd_3x3", |bench| {
+        bench.iter(|| black_box(depthwise_conv2d_backward(&x, &wd, &dyd, dgeom, true)))
     });
     g.finish();
 }

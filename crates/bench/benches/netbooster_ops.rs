@@ -8,8 +8,8 @@ use nb_models::{mobilenet_v2_tiny, TinyNet};
 use nb_nn::{Module, Session};
 use nb_tensor::Tensor;
 use netbooster_core::{
-    build_inserted_block, compose_convs, contract_inserted_block, expand, BlockKind,
-    ExpansionPlan, PltDriver,
+    build_inserted_block, compose_convs, contract_inserted_block, expand, BlockKind, ExpansionPlan,
+    PltDriver,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

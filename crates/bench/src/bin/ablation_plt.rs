@@ -42,7 +42,11 @@ fn main() {
     nb.plt_epochs = 0;
     nb.finetune_epochs += e.plt; // keep the total epoch budget equal
     let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(900));
-    table.row(vec!["None (snap to identity)".into(), "0".into(), pct(out.final_acc)]);
+    table.row(vec![
+        "None (snap to identity)".into(),
+        "0".into(),
+        pct(out.final_acc),
+    ]);
 
     println!("\nFinal extension-ablation table:\n{}", table.render());
     println!(

@@ -1,0 +1,148 @@
+//! Dependency-free kernel timing harness.
+//!
+//! Unlike the criterion benches (which need the full dev-dependency set),
+//! this binary uses only `std::time` and can run anywhere the workspace
+//! builds. It times the same kernels as `benches/kernels.rs` — matmul
+//! (nn/nt/tn), dense conv forward/backward, depthwise forward/backward,
+//! im2col, global average pooling — and writes one JSON object of median
+//! ns/op per kernel, so runs before and after a kernel change can be
+//! diffed mechanically.
+//!
+//! Run: `cargo run --release -p nb-bench --bin bench_kernels [out.json]`
+//! (default output path: `BENCH_kernels.json` in the current directory).
+
+use nb_tensor::{
+    available_threads, conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward,
+    global_avg_pool, im2col, ConvGeometry, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(150);
+const BUDGET: Duration = Duration::from_millis(600);
+const MAX_SAMPLES: usize = 2000;
+const MIN_SAMPLES: usize = 20;
+
+/// Times `f` call-by-call and returns the median duration in nanoseconds.
+fn median_ns(f: &mut dyn FnMut()) -> u128 {
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < WARMUP {
+        f();
+    }
+    let mut samples = Vec::with_capacity(MAX_SAMPLES);
+    let run_start = Instant::now();
+    while (run_start.elapsed() < BUDGET || samples.len() < MIN_SAMPLES)
+        && samples.len() < MAX_SAMPLES
+    {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Report {
+    rows: Vec<(String, u128)>,
+}
+
+impl Report {
+    fn time(&mut self, name: &str, mut f: impl FnMut()) {
+        let ns = median_ns(&mut f);
+        eprintln!("{name:<28} {ns:>12} ns/op");
+        self.rows.push((name.to_string(), ns));
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"threads\": {},\n", available_threads()));
+        out.push_str("  \"unit\": \"median_ns_per_op\",\n");
+        out.push_str("  \"kernels\": {\n");
+        for (i, (name, ns)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!("    \"{name}\": {ns}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let mut report = Report { rows: Vec::new() };
+    let mut rng = StdRng::seed_from_u64(0);
+
+    // Square matmuls, nn/nt/tn at the acceptance-criterion size.
+    for n in [32usize, 64, 128] {
+        let a = Tensor::randn([n, n], &mut rng);
+        let b = Tensor::randn([n, n], &mut rng);
+        report.time(&format!("matmul/{n}"), || {
+            black_box(a.matmul(&b));
+        });
+    }
+    let a = Tensor::randn([128, 128], &mut rng);
+    let b = Tensor::randn([128, 128], &mut rng);
+    report.time("matmul_nt/128", || {
+        black_box(a.matmul_nt(&b));
+    });
+    report.time("matmul_tn/128", || {
+        black_box(a.matmul_tn(&b));
+    });
+
+    // Dense convolution on the training-shaped batch used by the criterion
+    // benches: [4, 16, 16, 16], same-padded, stride 1.
+    let x = Tensor::randn([4, 16, 16, 16], &mut rng);
+    for k in [1usize, 3, 5] {
+        let w = Tensor::randn([16, 16, k, k], &mut rng);
+        let bias = Tensor::randn([16], &mut rng);
+        let geom = ConvGeometry::same(k, 1);
+        report.time(&format!("conv2d_fwd/{k}"), || {
+            black_box(conv2d(&x, &w, Some(&bias), geom));
+        });
+        let y = conv2d(&x, &w, None, geom);
+        let dy = Tensor::randn(y.shape().clone(), &mut rng);
+        report.time(&format!("conv2d_bwd/{k}"), || {
+            black_box(conv2d_backward(&x, &w, &dy, geom, true));
+        });
+    }
+
+    // Depthwise convolution, forward and backward.
+    let wd = Tensor::randn([16, 3, 3], &mut rng);
+    let geom = ConvGeometry::same(3, 1);
+    report.time("depthwise_fwd_3x3", || {
+        black_box(depthwise_conv2d(&x, &wd, None, geom));
+    });
+    let y = depthwise_conv2d(&x, &wd, None, geom);
+    let dy = Tensor::randn(y.shape().clone(), &mut rng);
+    report.time("depthwise_bwd_3x3", || {
+        black_box(depthwise_conv2d_backward(&x, &wd, &dy, geom, true));
+    });
+
+    // Lowering and pooling.
+    let xs = Tensor::randn([16 * 24 * 24], &mut rng);
+    let mut cols = vec![0.0f32; 16 * 9 * 24 * 24];
+    report.time("im2col_16x24x24_k3", || {
+        im2col(
+            xs.as_slice(),
+            16,
+            24,
+            24,
+            ConvGeometry::same(3, 1),
+            &mut cols,
+        );
+        black_box(&cols);
+    });
+    let fm = Tensor::randn([8, 32, 8, 8], &mut rng);
+    report.time("global_avg_pool", || {
+        black_box(global_avg_pool(&fm));
+    });
+
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    eprintln!("\nwrote {out_path}");
+    print!("{json}");
+}

@@ -17,7 +17,10 @@ use netbooster_core::{
 
 fn main() {
     let scale = scale_from_env();
-    announce("Fig. 1(a) — under-fitting: regularization vs NetBooster", scale);
+    announce(
+        "Fig. 1(a) — under-fitting: regularization vs NetBooster",
+        scale,
+    );
     let data = synthetic_imagenet(scale);
     let model_cfg = mobilenet_v2_tiny(data.train.num_classes());
     let cfg = pretrain_cfg(scale, 71);

@@ -18,7 +18,10 @@ use netbooster_core::{
 
 fn main() {
     let scale = scale_from_env();
-    announce("Fig. 1(b) — downstream ceiling: more epochs vs better features", scale);
+    announce(
+        "Fig. 1(b) — downstream ceiling: more epochs vs better features",
+        scale,
+    );
     let pre = synthetic_imagenet(scale);
     let down = cifar100_like(scale);
     let e = epochs(scale);
@@ -56,14 +59,30 @@ fn main() {
         eprintln!("[fig1b] vanilla transfer x{mult}");
         let mut m = TinyNet::new(model_cfg.clone(), &mut rng(810 + mult as u64));
         vanilla_state.load_into(&m).expect("same architecture");
-        let acc = vanilla_transfer(&mut m, &down.train, &down.val, &tcfg, &mut rng(810 + mult as u64))
-            .final_val_acc();
-        table.row(vec!["Vanilla".into(), format!("{budget} ({mult}x)"), pct(acc)]);
+        let acc = vanilla_transfer(
+            &mut m,
+            &down.train,
+            &down.val,
+            &tcfg,
+            &mut rng(810 + mult as u64),
+        )
+        .final_val_acc();
+        table.row(vec![
+            "Vanilla".into(),
+            format!("{budget} ({mult}x)"),
+            pct(acc),
+        ]);
 
         eprintln!("[fig1b] NetBooster transfer x{mult}");
         let mut g = TinyNet::new(model_cfg.clone(), &mut rng(820 + mult as u64));
-        netbooster_core::expand(&mut g, &ExpansionPlan::paper_default(), &mut rng(820 + mult as u64));
-        giant_state.load_into(&g).expect("giant architecture matches");
+        netbooster_core::expand(
+            &mut g,
+            &ExpansionPlan::paper_default(),
+            &mut rng(820 + mult as u64),
+        );
+        giant_state
+            .load_into(&g)
+            .expect("giant architecture matches");
         let mut h = netbooster_core::ExpansionHandle::default();
         for (i, b) in g.blocks.iter().enumerate() {
             if let Some(nb_models::PwSlot::Expanded(ib)) = &b.expand {
@@ -81,7 +100,11 @@ fn main() {
             &mut rng(820 + mult as u64),
         )
         .final_val_acc();
-        table.row(vec!["NetBooster".into(), format!("{budget} ({mult}x)"), pct(acc)]);
+        table.row(vec![
+            "NetBooster".into(),
+            format!("{budget} ({mult}x)"),
+            pct(acc),
+        ]);
         println!("{}", table.render());
     }
     println!("\nFinal Fig. 1(b) series:\n{}", table.render());

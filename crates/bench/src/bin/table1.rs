@@ -23,7 +23,13 @@ fn main() {
     let cfg = pretrain_cfg(scale, 11);
     let e = epochs(scale);
 
-    let mut table = TextTable::new(vec!["Network", "FLOPs", "Params", "Training Method", "Accuracy"]);
+    let mut table = TextTable::new(vec![
+        "Network",
+        "FLOPs",
+        "Params",
+        "Training Method",
+        "Accuracy",
+    ]);
 
     for (ni, (name, model_cfg)) in table1_zoo(classes).into_iter().enumerate() {
         let seed = 100 + ni as u64;
@@ -53,15 +59,41 @@ fn main() {
         if ni == 0 {
             eprintln!("[table1] {name}: RocketLaunch");
             let light = TinyNet::new(model_cfg.clone(), &mut rng(seed + 1));
-            let acc = train_rocket_launch(&light, &data.train, &data.val, &cfg, 0.5, &mut rng(seed + 1))
-                .final_val_acc();
-            table.row(vec![name.into(), flops.clone(), params.clone(), "RocketLaunch".into(), pct(acc)]);
+            let acc = train_rocket_launch(
+                &light,
+                &data.train,
+                &data.val,
+                &cfg,
+                0.5,
+                &mut rng(seed + 1),
+            )
+            .final_val_acc();
+            table.row(vec![
+                name.into(),
+                flops.clone(),
+                params.clone(),
+                "RocketLaunch".into(),
+                pct(acc),
+            ]);
 
             eprintln!("[table1] {name}: tf-KD");
             let student = TinyNet::new(model_cfg.clone(), &mut rng(seed + 2));
-            let acc = train_tf_kd(&student, &data.train, &data.val, &cfg, &KdConfig::default(), 0.9)
-                .final_val_acc();
-            table.row(vec![name.into(), flops.clone(), params.clone(), "tf-KD".into(), pct(acc)]);
+            let acc = train_tf_kd(
+                &student,
+                &data.train,
+                &data.val,
+                &cfg,
+                &KdConfig::default(),
+                0.9,
+            )
+            .final_val_acc();
+            table.row(vec![
+                name.into(),
+                flops.clone(),
+                params.clone(),
+                "tf-KD".into(),
+                pct(acc),
+            ]);
 
             eprintln!("[table1] {name}: RCO-KD (training teacher route)");
             let teacher_cfg = TrainConfig {
@@ -87,13 +119,32 @@ fn main() {
                 &KdConfig::default(),
             )
             .final_val_acc();
-            table.row(vec![name.into(), flops.clone(), params.clone(), "RCO-KD".into(), pct(acc)]);
+            table.row(vec![
+                name.into(),
+                flops.clone(),
+                params.clone(),
+                "RCO-KD".into(),
+                pct(acc),
+            ]);
             // reuse the trained teacher for classic KD as a bonus row
             eprintln!("[table1] {name}: KD (Hinton)");
             let student = TinyNet::new(model_cfg.clone(), &mut rng(seed + 4));
-            let acc = train_kd(&student, &teacher, &data.train, &data.val, &cfg, &KdConfig::default())
-                .final_val_acc();
-            table.row(vec![name.into(), flops.clone(), params.clone(), "KD".into(), pct(acc)]);
+            let acc = train_kd(
+                &student,
+                &teacher,
+                &data.train,
+                &data.val,
+                &cfg,
+                &KdConfig::default(),
+            )
+            .final_val_acc();
+            table.row(vec![
+                name.into(),
+                flops.clone(),
+                params.clone(),
+                "KD".into(),
+                pct(acc),
+            ]);
         }
 
         eprintln!("[table1] {name}: NetAug");
@@ -117,7 +168,10 @@ fn main() {
         let mut nb = nb_config(scale, seed + 6);
         nb.giant_epochs = ((nb.giant_epochs as f32 * budget) as usize).max(2);
         nb.finetune_epochs = ((nb.finetune_epochs as f32 * budget) as usize).max(1);
-        nb.train = TrainConfig { epochs: cfg.epochs, ..nb.train };
+        nb.train = TrainConfig {
+            epochs: cfg.epochs,
+            ..nb.train
+        };
         let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(seed + 6));
         table.row(vec![
             name.into(),

@@ -23,7 +23,11 @@ fn main() {
     let cfg = pretrain_cfg(scale, 21);
 
     let nets: Vec<(&str, TnnConfig, bool)> = vec![
-        ("MobileNetV2-Tiny (r=144)", mobilenet_v2_tiny(pre_classes), false),
+        (
+            "MobileNetV2-Tiny (r=144)",
+            mobilenet_v2_tiny(pre_classes),
+            false,
+        ),
         ("MobileNetV2-35 (r=160)", mobilenet_v2_35(pre_classes), true),
     ];
     let suite = downstream_suite(scale);
@@ -156,11 +160,7 @@ fn main() {
 }
 
 /// Rebuilds a fresh expanded giant and loads the pretrained giant weights.
-fn rebuild_giant(
-    model_cfg: &TnnConfig,
-    state: &nb_nn::StateDict,
-    seed: u64,
-) -> TinyNet {
+fn rebuild_giant(model_cfg: &TnnConfig, state: &nb_nn::StateDict, seed: u64) -> TinyNet {
     let mut giant = TinyNet::new(model_cfg.clone(), &mut rng(seed));
     netbooster_core::expand(&mut giant, &ExpansionPlan::paper_default(), &mut rng(seed));
     state.load_into(&giant).expect("giant architecture matches");

@@ -88,7 +88,13 @@ fn main() {
     let mut det = DetectorNet::new(giant, train.num_classes(), &mut rng(302));
     eprintln!("[table3] netbooster detection finetune (PLT + contraction)");
     let plt_epochs = netbooster_core::split_tuning_epochs(det_cfg.epochs).0;
-    let h = train_detector(&mut det, &train, &val, &det_cfg, Some((&handle, plt_epochs)));
+    let h = train_detector(
+        &mut det,
+        &train,
+        &val,
+        &det_cfg,
+        Some((&handle, plt_epochs)),
+    );
     assert_eq!(det.backbone.expanded_count(), 0, "backbone contracted");
     table.row(vec!["NetBooster".into(), pct(h.final_ap50())]);
 

@@ -21,8 +21,13 @@ fn main() {
 
     eprintln!("[table4] vanilla reference");
     let vanilla_model = TinyNet::new(model_cfg.clone(), &mut rng(400));
-    let vanilla = train_vanilla(&vanilla_model, &data.train, &data.val, &pretrain_cfg(scale, 41))
-        .final_val_acc();
+    let vanilla = train_vanilla(
+        &vanilla_model,
+        &data.train,
+        &data.val,
+        &pretrain_cfg(scale, 41),
+    )
+    .final_val_acc();
     table.row(vec!["Vanilla".into(), "-".into(), pct(vanilla)]);
 
     for (label, kind) in [
@@ -37,7 +42,11 @@ fn main() {
             ..ExpansionPlan::paper_default()
         };
         let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(401));
-        table.row(vec![label.into(), pct(out.expanded_acc), pct(out.final_acc)]);
+        table.row(vec![
+            label.into(),
+            pct(out.expanded_acc),
+            pct(out.final_acc),
+        ]);
         println!("{}", table.render());
     }
     println!("\nFinal Table IV:\n{}", table.render());

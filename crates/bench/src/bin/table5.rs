@@ -29,8 +29,8 @@ fn main() {
     let reference = TinyNet::new(model_cfg.clone(), &mut rng(500));
     let p = reference.profile(res);
     eprintln!("[table5] vanilla reference");
-    let vanilla = train_vanilla(&reference, &data.train, &data.val, &pretrain_cfg(scale, 51))
-        .final_val_acc();
+    let vanilla =
+        train_vanilla(&reference, &data.train, &data.val, &pretrain_cfg(scale, 51)).final_val_acc();
     table.row(vec![
         "Vanilla".into(),
         mflops(p.flops),
@@ -46,7 +46,10 @@ fn main() {
         (format!("Expand First {k}"), Placement::First { n: k }),
         (format!("Expand Middle {k}"), Placement::Middle { n: k }),
         (format!("Expand Last {k}"), Placement::Last { n: k }),
-        ("Uniform Expand".to_string(), Placement::Uniform { fraction: 0.5 }),
+        (
+            "Uniform Expand".to_string(),
+            Placement::Uniform { fraction: 0.5 },
+        ),
     ];
     for (label, placement) in placements {
         eprintln!("[table5] {label}");

@@ -23,7 +23,13 @@ fn main() {
             ratio,
             ..ExpansionPlan::paper_default()
         };
-        let out = netbooster_train(&model_cfg, &data.train, &data.val, &nb, &mut rng(600 + ratio as u64));
+        let out = netbooster_train(
+            &model_cfg,
+            &data.train,
+            &data.val,
+            &nb,
+            &mut rng(600 + ratio as u64),
+        );
         table.row(vec![ratio.to_string(), pct(out.final_acc)]);
         println!("{}", table.render());
     }

@@ -9,9 +9,7 @@
 #![warn(missing_docs)]
 
 use nb_data::{Augment, Scale};
-use nb_models::{
-    mcunet_like, mobilenet_v2_100, mobilenet_v2_50, mobilenet_v2_tiny, TnnConfig,
-};
+use nb_models::{mcunet_like, mobilenet_v2_100, mobilenet_v2_50, mobilenet_v2_tiny, TnnConfig};
 use netbooster_core::{NetBoosterConfig, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

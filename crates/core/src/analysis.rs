@@ -56,7 +56,7 @@ pub fn activation_stats(model: &TinyNet, batch: &Batch) -> Vec<ActivationStats> 
                     let bent = pre
                         .as_slice()
                         .iter()
-                        .filter(|&&v| v < 0.0 || v > 6.0)
+                        .filter(|&&v| !(0.0..=6.0).contains(&v))
                         .count() as f32;
                     out.push(ActivationStats {
                         block: bi,

@@ -37,7 +37,9 @@ pub fn fold_bn(weight: &Tensor, bias: Option<&Tensor>, bn: &BatchNorm2d) -> (Ten
     let (scale, shift) = bn.eval_affine();
     let per_out = d[1] * d[2] * d[3];
     let ws = weight.as_slice();
-    let w = Tensor::from_fn(weight.shape().clone(), |i| ws[i] * scale.as_slice()[i / per_out]);
+    let w = Tensor::from_fn(weight.shape().clone(), |i| {
+        ws[i] * scale.as_slice()[i / per_out]
+    });
     let b = Tensor::from_fn([o], |i| {
         shift.as_slice()[i] + scale.as_slice()[i] * bias.map(|b| b.as_slice()[i]).unwrap_or(0.0)
     });
@@ -72,12 +74,7 @@ pub fn depthwise_to_dense(weight: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics on channel mismatches.
-pub fn compose_convs(
-    k1: &Tensor,
-    b1: &Tensor,
-    k2: &Tensor,
-    b2: &Tensor,
-) -> (Tensor, Tensor) {
+pub fn compose_convs(k1: &Tensor, b1: &Tensor, k2: &Tensor, b2: &Tensor) -> (Tensor, Tensor) {
     let d1 = k1.dims().to_vec();
     let d2 = k2.dims().to_vec();
     assert_eq!(d1.len(), 4, "k1 rank");
@@ -141,7 +138,10 @@ pub fn add_identity(weight: &mut Tensor) {
     let d = weight.dims().to_vec();
     assert_eq!(d.len(), 4, "identity merge expects dense weight");
     assert_eq!(d[0], d[1], "residual requires matching channels");
-    assert!(d[2] % 2 == 1 && d[3] % 2 == 1, "odd kernel for centered Dirac");
+    assert!(
+        d[2] % 2 == 1 && d[3] % 2 == 1,
+        "odd kernel for centered Dirac"
+    );
     let (c, kh, kw) = (d[0], d[2], d[3]);
     let (ch, cw) = (kh / 2, kw / 2);
     for o in 0..c {
@@ -261,7 +261,11 @@ mod tests {
         let (w, b) = fold_bn(&conv.weight().value(), None, &bn);
         let folded = Conv2d::from_weights(w, Some(b), conv.geom());
         let got = eval_forward(&folded, &x);
-        assert!(got.allclose(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.allclose(&want, 1e-4),
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]
@@ -293,7 +297,11 @@ mod tests {
             geom,
         );
         let got = nb_tensor::conv2d(&x, &k, Some(&b), geom);
-        assert!(got.allclose(&want, 1e-3), "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.allclose(&want, 1e-3),
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]
@@ -344,7 +352,11 @@ mod tests {
             ConvGeometry::square(3, 1, 0),
         );
         let got = nb_tensor::conv2d(&x, &k, None, ConvGeometry::square(5, 1, 0));
-        assert!(got.allclose(&want, 1e-3), "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.allclose(&want, 1e-3),
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]
@@ -397,7 +409,11 @@ mod tests {
         let want = eval_forward(&block, &x);
         let conv = contract_inserted_block(&block);
         let got = eval_forward(&conv, &x);
-        assert!(got.allclose(&want, 1e-3), "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.allclose(&want, 1e-3),
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]
@@ -492,9 +508,7 @@ mod tests {
     fn unit_affine_respects_existing_bias() {
         let mut rng = StdRng::seed_from_u64(13);
         let conv = Conv2d::new(3, 4, ConvGeometry::pointwise(), true, &mut rng);
-        conv.bias()
-            .unwrap()
-            .set_value(Tensor::randn([4], &mut rng));
+        conv.bias().unwrap().set_value(Tensor::randn([4], &mut rng));
         let bn = BatchNorm2d::new(4);
         randomize_bn(&bn, &mut rng);
         let unit = InsertedUnit {

@@ -100,11 +100,7 @@ pub fn train_detector(
         },
     );
     let mut driver = plt.map(|(handle, plt_epochs)| {
-        PltDriver::over_epochs(
-            handle.slopes.clone(),
-            plt_epochs.max(1),
-            batches_per_epoch,
-        )
+        PltDriver::over_epochs(handle.slopes.clone(), plt_epochs.max(1), batches_per_epoch)
     });
     let g = det.grid_size(train.image_size());
     let classes = det.num_classes();

@@ -129,11 +129,7 @@ pub struct ExpansionHandle {
     pub slopes: Vec<Slope>,
 }
 
-fn unit(
-    conv: InsertedConv,
-    channels: usize,
-    act: Option<Slope>,
-) -> InsertedUnit {
+fn unit(conv: InsertedConv, channels: usize, act: Option<Slope>) -> InsertedUnit {
     InsertedUnit {
         conv,
         bn: BatchNorm2d::new(channels),

@@ -50,7 +50,9 @@ pub use contract::{
     fold_bn,
 };
 pub use detection::{eval_detector, train_detector, DetHistory};
-pub use expansion::{build_inserted_block, expand, BlockKind, ExpansionHandle, ExpansionPlan, Placement};
+pub use expansion::{
+    build_inserted_block, expand, BlockKind, ExpansionHandle, ExpansionPlan, Placement,
+};
 pub use methods::kd::{
     train_kd, train_rco_kd, train_rocket_launch, train_teacher, train_teacher_with_route,
     train_tf_kd, KdConfig,

@@ -62,7 +62,9 @@ pub fn train_kd(
         let probs = teacher_probs(teacher, &batch.images, kd.temperature);
         let x = s.input(batch.images.clone());
         let logits = student.forward(s, x);
-        let ce = s.graph.softmax_cross_entropy(logits, &batch.labels, cfg.label_smoothing);
+        let ce = s
+            .graph
+            .softmax_cross_entropy(logits, &batch.labels, cfg.label_smoothing);
         let kl = s.graph.kd_kl_loss(logits, &probs, kd.temperature);
         let ce_w = s.graph.scale(ce, 1.0 - kd.alpha);
         let kl_w = s.graph.scale(kl, kd.alpha);
@@ -103,7 +105,9 @@ pub fn train_tf_kd(
         });
         let x = s.input(batch.images.clone());
         let logits = student.forward(s, x);
-        let ce = s.graph.softmax_cross_entropy(logits, &batch.labels, cfg.label_smoothing);
+        let ce = s
+            .graph
+            .softmax_cross_entropy(logits, &batch.labels, cfg.label_smoothing);
         let kl = s.graph.kd_kl_loss(logits, &probs, kd.temperature);
         let ce_w = s.graph.scale(ce, 1.0 - kd.alpha);
         let kl_w = s.graph.scale(kl, kd.alpha);
@@ -212,7 +216,10 @@ pub fn train_rocket_launch(
     hint_weight: f32,
     rng: &mut impl Rng,
 ) -> History {
-    let booster_cfg = light.config.width_scaled(2.0).with_classes(light.config.classes);
+    let booster_cfg = light
+        .config
+        .width_scaled(2.0)
+        .with_classes(light.config.classes);
     let booster = TinyNet::new(booster_cfg, rng);
     let mut params = light.parameters();
     params.extend(booster.parameters());
@@ -277,7 +284,14 @@ mod tests {
         let (train, val) = data();
         let student = small_model(&mut rng);
         let teacher = small_model(&mut rng);
-        let h = train_kd(&student, &teacher, &train, &val, &quick_cfg(2), &KdConfig::default());
+        let h = train_kd(
+            &student,
+            &teacher,
+            &train,
+            &val,
+            &quick_cfg(2),
+            &KdConfig::default(),
+        );
         assert_eq!(h.val_acc.len(), 2);
         assert!(h.epoch_loss.iter().all(|l| l.is_finite()));
     }
@@ -287,7 +301,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (train, val) = data();
         let student = small_model(&mut rng);
-        let h = train_tf_kd(&student, &train, &val, &quick_cfg(2), &KdConfig::default(), 0.9);
+        let h = train_tf_kd(
+            &student,
+            &train,
+            &val,
+            &quick_cfg(2),
+            &KdConfig::default(),
+            0.9,
+        );
         assert_eq!(h.val_acc.len(), 2);
     }
 
@@ -299,9 +320,10 @@ mod tests {
         let teacher = small_model(&mut rng);
         let c1 = StateDict::from_module(&teacher);
         // perturb to create a distinct second checkpoint
-        teacher.classifier.weight().set_value(
-            teacher.classifier.weight().value().scale(0.5),
-        );
+        teacher
+            .classifier
+            .weight()
+            .set_value(teacher.classifier.weight().value().scale(0.5));
         let c2 = StateDict::from_module(&teacher);
         let h = train_rco_kd(
             &student,

@@ -54,9 +54,9 @@ pub fn train_netaug(
         s.update_bn_stats = false;
         let full_logits = supernet.forward(s, x);
         s.update_bn_stats = true;
-        let base_ce = s
-            .graph
-            .softmax_cross_entropy(base_logits, &batch.labels, cfg.label_smoothing);
+        let base_ce =
+            s.graph
+                .softmax_cross_entropy(base_logits, &batch.labels, cfg.label_smoothing);
         let aux_ce = s
             .graph
             .softmax_cross_entropy(full_logits, &batch.labels, cfg.label_smoothing);
@@ -109,12 +109,23 @@ mod tests {
             augment: Augment::none(),
             ..TrainConfig::default()
         };
-        let (extracted, h) = train_netaug(&base, &train, &val, &cfg, &NetAugConfig::default(), &mut rng);
+        let (extracted, h) = train_netaug(
+            &base,
+            &train,
+            &val,
+            &cfg,
+            &NetAugConfig::default(),
+            &mut rng,
+        );
         assert_eq!(h.val_acc.len(), 2);
         // extracted standalone accuracy equals the subnet-eval accuracy of
         // the final supernet state
         let acc = evaluate(&|imgs| extracted.logits_eval(imgs), &val, 8);
-        assert!((acc - h.final_val_acc()).abs() < 1e-3, "{acc} vs {}", h.final_val_acc());
+        assert!(
+            (acc - h.final_val_acc()).abs() < 1e-3,
+            "{acc} vs {}",
+            h.final_val_acc()
+        );
         assert_eq!(extracted.config.blocks, base.blocks);
     }
 }

@@ -201,7 +201,8 @@ pub fn plt_and_contract(
         move |m, s, batch| {
             let x = s.input(batch.images.clone());
             let logits = m.forward(s, x);
-            s.graph.softmax_cross_entropy(logits, &batch.labels, smoothing)
+            s.graph
+                .softmax_cross_entropy(logits, &batch.labels, smoothing)
         },
     )
 }
@@ -238,7 +239,8 @@ pub fn netbooster_train(
         move |m, s, batch| {
             let x = s.input(batch.images.clone());
             let logits = m.forward(s, x);
-            s.graph.softmax_cross_entropy(logits, &batch.labels, smoothing)
+            s.graph
+                .softmax_cross_entropy(logits, &batch.labels, smoothing)
         },
     );
     history.extend(h);
@@ -312,8 +314,15 @@ mod tests {
             augment: Augment::none(),
             ..TrainConfig::default()
         };
-        let (mut model, handle, _) =
-            train_giant(&cfg_model, &ExpansionPlan::paper_default(), &train, &val, &cfg, 1, &mut rng);
+        let (mut model, handle, _) = train_giant(
+            &cfg_model,
+            &ExpansionPlan::paper_default(),
+            &train,
+            &val,
+            &cfg,
+            1,
+            &mut rng,
+        );
         // drive slopes to 1 manually (PLT with 1 epoch)
         let h = plt_and_contract(&mut model, &handle, &train, &val, &cfg, 1, 0);
         // the last recorded accuracy was measured on the *linearized giant*

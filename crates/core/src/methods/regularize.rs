@@ -48,7 +48,11 @@ fn drop_mask(
         let y0 = rng.gen_range(0..=h - b);
         let x0 = rng.gen_range(0..=w - b);
         let kept = (h * w - b * b) as f32;
-        let scale = if kept > 0.0 { (h * w) as f32 / kept } else { 1.0 };
+        let scale = if kept > 0.0 {
+            (h * w) as f32 / kept
+        } else {
+            1.0
+        };
         for ci in 0..c {
             for y in 0..h {
                 for x in 0..w {

@@ -155,7 +155,9 @@ pub fn fit(
             .push((loss_sum / batches.max(1) as f64) as f32);
         let last = epoch + 1 == cfg.epochs;
         if last || (epoch + 1) % cfg.eval_every.max(1) == 0 {
-            history.val_acc.push(evaluate(eval_logits, val, cfg.eval_batch));
+            history
+                .val_acc
+                .push(evaluate(eval_logits, val, cfg.eval_batch));
         }
     }
     history
@@ -205,7 +207,8 @@ pub fn ce_loss_fn<'m, M: Module>(
     move |s, batch| {
         let x = s.input(batch.images.clone());
         let logits = model.forward(s, x);
-        s.graph.softmax_cross_entropy(logits, &batch.labels, smoothing)
+        s.graph
+            .softmax_cross_entropy(logits, &batch.labels, smoothing)
     }
 }
 
@@ -284,7 +287,10 @@ mod tests {
             batch_size: 12,
             ..TrainConfig::default()
         };
-        let mut hooks = Counter { epochs: 0, steps: 0 };
+        let mut hooks = Counter {
+            epochs: 0,
+            steps: 0,
+        };
         let mut loss_fn = ce_loss_fn(&model, 0.0);
         fit(
             model.parameters(),
@@ -313,7 +319,7 @@ mod tests {
 mod confusion_tests {
     use super::*;
     use nb_data::recipe::{Family, Nuisance};
-    use nb_data::{Dataset, Split};
+    use nb_data::Split;
 
     #[test]
     fn confusion_totals_match_dataset() {

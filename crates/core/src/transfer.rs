@@ -112,7 +112,8 @@ pub fn netbooster_transfer(
         move |m, s, batch| {
             let x = s.input(batch.images.clone());
             let logits = m.forward(s, x);
-            s.graph.softmax_cross_entropy(logits, &batch.labels, smoothing)
+            s.graph
+                .softmax_cross_entropy(logits, &batch.labels, smoothing)
         },
     )
 }
@@ -145,8 +146,7 @@ pub fn netbooster_transfer_kd(
         finetune,
         DecayCurve::Linear,
         move |m, s, batch| {
-            let probs =
-                softmax_rows(&teacher.logits_eval(&batch.images).scale(1.0 / temperature));
+            let probs = softmax_rows(&teacher.logits_eval(&batch.images).scale(1.0 / temperature));
             let x = s.input(batch.images.clone());
             let logits = m.forward(s, x);
             let ce = s
@@ -221,7 +221,16 @@ mod tests {
 
     fn data(classes: usize, seed: u64) -> (SyntheticVision, SyntheticVision) {
         let mk = |split| {
-            SyntheticVision::new("d", Family::Radial, classes, 12, 16, Nuisance::easy(), seed, split)
+            SyntheticVision::new(
+                "d",
+                Family::Radial,
+                classes,
+                12,
+                16,
+                Nuisance::easy(),
+                seed,
+                split,
+            )
         };
         (mk(Split::Train), mk(Split::Val))
     }
@@ -274,7 +283,10 @@ mod tests {
         // backbone untouched, head moved
         assert_eq!(model.stem.conv.weight().value(), stem_before);
         assert!(model.classifier.weight().value().max_abs_diff(&head_before) >= 0.0);
-        assert!(model.classifier.weight().grad().abs_sum() == 0.0, "grads cleared");
+        assert!(
+            model.classifier.weight().grad().abs_sum() == 0.0,
+            "grads cleared"
+        );
         // everything unfrozen again afterwards
         let mut all_trainable = true;
         model.visit_params("", &mut |_, p| all_trainable &= p.trainable());
@@ -298,7 +310,15 @@ mod tests {
         );
         assert!(giant.expanded_count() > 0);
         let (dtrain, dval) = data(4, 4);
-        let h = netbooster_transfer(&mut giant, &handle, &dtrain, &dval, &quick_cfg(), 2, &mut rng);
+        let h = netbooster_transfer(
+            &mut giant,
+            &handle,
+            &dtrain,
+            &dval,
+            &quick_cfg(),
+            2,
+            &mut rng,
+        );
         assert_eq!(giant.expanded_count(), 0, "contracted downstream");
         assert_eq!(giant.config.classes, 4);
         assert_eq!(h.val_acc.len(), 2);

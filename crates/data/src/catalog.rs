@@ -35,6 +35,7 @@ pub struct DatasetPair {
     pub val: SyntheticVision,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pair(
     name: &str,
     family: Family,
@@ -47,10 +48,24 @@ fn pair(
 ) -> DatasetPair {
     DatasetPair {
         train: SyntheticVision::new(
-            name, family, classes, image, train_len, nuisance, seed, Split::Train,
+            name,
+            family,
+            classes,
+            image,
+            train_len,
+            nuisance,
+            seed,
+            Split::Train,
         ),
         val: SyntheticVision::new(
-            name, family, classes, image, val_len, nuisance, seed, Split::Val,
+            name,
+            family,
+            classes,
+            image,
+            val_len,
+            nuisance,
+            seed,
+            Split::Val,
         ),
     }
 }

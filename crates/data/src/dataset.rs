@@ -132,7 +132,12 @@ impl Dataset for SyntheticVision {
         assert!(index < self.len, "index {index} out of range {}", self.len);
         let label = index % self.classes;
         let mut rng = StdRng::seed_from_u64(self.sample_seed(index));
-        let img = render_sample(&self.recipes[label], self.image_size, &self.nuisance, &mut rng);
+        let img = render_sample(
+            &self.recipes[label],
+            self.image_size,
+            &self.nuisance,
+            &mut rng,
+        );
         (img, label)
     }
 

@@ -91,8 +91,9 @@ impl<'d, D: Dataset + Sync> DataLoader<'d, D> {
                 let results = &results;
                 let aug = self.augment;
                 scope.spawn(move |_| {
-                    for k in t * per..((t + 1) * per).min(n) {
-                        let (img, label) = self.dataset.get(indices[k]);
+                    let hi = ((t + 1) * per).min(n);
+                    for (k, &src) in indices.iter().enumerate().take(hi).skip(t * per) {
+                        let (img, label) = self.dataset.get(src);
                         let mut rng =
                             StdRng::seed_from_u64(aug_seed.wrapping_mul(31).wrapping_add(k as u64));
                         let img = aug.apply(&img, &mut rng);
@@ -116,11 +117,7 @@ impl<'d, D: Dataset + Sync> DataLoader<'d, D> {
 }
 
 /// Samples a random probe batch (for equivalence checking and calibration).
-pub fn random_probe_batch(
-    dataset: &(impl Dataset + Sync),
-    n: usize,
-    rng: &mut impl Rng,
-) -> Batch {
+pub fn random_probe_batch(dataset: &(impl Dataset + Sync), n: usize, rng: &mut impl Rng) -> Batch {
     let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..dataset.len())).collect();
     DataLoader::new(dataset, n).load_batch(&indices, rng.gen())
 }

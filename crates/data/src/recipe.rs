@@ -145,7 +145,7 @@ impl ClassRecipe {
             },
             Family::TextureMix => ShapeKind::Disk,
             Family::TwoLevel => {
-                if class_id % 2 == 0 {
+                if class_id.is_multiple_of(2) {
                     ShapeKind::Polygon { sides: 3 } // "ears up"
                 } else {
                     ShapeKind::Rect { aspect: 0.7 } // "floppy"
@@ -290,8 +290,8 @@ pub fn render_sample(
     }
     let cx = 0.5 + rng.gen_range(-nuisance.pos_jitter..=nuisance.pos_jitter);
     let cy = 0.5 + rng.gen_range(-nuisance.pos_jitter..=nuisance.pos_jitter);
-    let scale = recipe.base_size
-        * (1.0 + rng.gen_range(-nuisance.scale_jitter..=nuisance.scale_jitter));
+    let scale =
+        recipe.base_size * (1.0 + rng.gen_range(-nuisance.scale_jitter..=nuisance.scale_jitter));
     let rot = rng.gen_range(-nuisance.rot_jitter..=nuisance.rot_jitter);
     let primary = jitter_color(recipe.primary, nuisance.color_jitter, rng);
     let secondary = jitter_color(recipe.secondary, nuisance.color_jitter, rng);
@@ -322,7 +322,9 @@ pub fn render_sample(
     }
     match recipe.texture {
         TextureKind::Plain => {}
-        TextureKind::Stripes { freq, angle } => canvas.stripes(freq, angle + rot * 0.2, secondary, 0.35),
+        TextureKind::Stripes { freq, angle } => {
+            canvas.stripes(freq, angle + rot * 0.2, secondary, 0.35)
+        }
         TextureKind::Checker { cells } => canvas.checker(cells, secondary, 0.3),
     }
     if nuisance.noise > 0.0 {

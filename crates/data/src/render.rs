@@ -192,7 +192,7 @@ impl Canvas {
         let cell = (self.size / cells.max(1)).max(1);
         for y in 0..self.size {
             for x in 0..self.size {
-                if ((x / cell) + (y / cell)) % 2 == 0 {
+                if ((x / cell) + (y / cell)).is_multiple_of(2) {
                     self.put(x, y, color, alpha);
                 }
             }
@@ -333,7 +333,14 @@ mod tests {
         let mut a = Canvas::new(32);
         a.rect(0.5, 0.5, 0.4, 0.1, 0.0, Rgb(1.0, 1.0, 1.0));
         let mut b = Canvas::new(32);
-        b.rect(0.5, 0.5, 0.4, 0.1, std::f32::consts::FRAC_PI_2, Rgb(1.0, 1.0, 1.0));
+        b.rect(
+            0.5,
+            0.5,
+            0.4,
+            0.1,
+            std::f32::consts::FRAC_PI_2,
+            Rgb(1.0, 1.0, 1.0),
+        );
         let ta = a.into_tensor();
         let tb = b.into_tensor();
         // horizontal bar lights (16, 4); vertical bar does not

@@ -112,8 +112,7 @@ mod tests {
     #[test]
     fn top1_counts_correct_rows() {
         let mut acc = Accuracy::new();
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 0.0], [2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 0.0], [2, 3]).unwrap();
         acc.update(&logits, &[1, 1]);
         assert_eq!(acc.total(), 2);
         assert_eq!(acc.top1(), 50.0);

@@ -66,10 +66,7 @@ pub fn average_precision_for_class(
         }
     }
     preds.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
-    let mut matched: Vec<Vec<bool>> = ground_truth
-        .iter()
-        .map(|g| vec![false; g.len()])
-        .collect();
+    let mut matched: Vec<Vec<bool>> = ground_truth.iter().map(|g| vec![false; g.len()]).collect();
     let mut tp = vec![0.0f32; preds.len()];
     let mut fp = vec![0.0f32; preds.len()];
     for (rank, (img, p)) in preds.iter().enumerate() {

@@ -276,7 +276,12 @@ impl MbBlock {
             }),
             expand_bn: has_expand.then(|| BatchNorm2d::new(hidden)),
             expand_act: has_expand.then(|| Activation::new(ActKind::Relu6)),
-            dw: DepthwiseConv2d::new(hidden, ConvGeometry::same(spec.kernel, spec.stride), false, rng),
+            dw: DepthwiseConv2d::new(
+                hidden,
+                ConvGeometry::same(spec.kernel, spec.stride),
+                false,
+                rng,
+            ),
             dw_bn: BatchNorm2d::new(hidden),
             dw_act: Activation::new(ActKind::Relu6),
             project: Conv2d::new(hidden, spec.out_c, ConvGeometry::pointwise(), false, rng),
@@ -296,8 +301,16 @@ impl Module for MbBlock {
         let mut cur = x;
         if let Some(expand) = &self.expand {
             cur = expand.forward(s, cur);
-            cur = self.expand_bn.as_ref().expect("bn with expand").forward(s, cur);
-            cur = self.expand_act.as_ref().expect("act with expand").forward(s, cur);
+            cur = self
+                .expand_bn
+                .as_ref()
+                .expect("bn with expand")
+                .forward(s, cur);
+            cur = self
+                .expand_act
+                .as_ref()
+                .expect("act with expand")
+                .forward(s, cur);
         }
         cur = self.dw.forward(s, cur);
         cur = self.dw_bn.forward(s, cur);

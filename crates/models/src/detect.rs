@@ -112,11 +112,7 @@ pub struct GridTargets {
 }
 
 /// Encodes ground-truth boxes onto a `g x g` grid.
-pub fn encode_targets(
-    annotations: &[Vec<BoxAnnotation>],
-    classes: usize,
-    g: usize,
-) -> GridTargets {
+pub fn encode_targets(annotations: &[Vec<BoxAnnotation>], classes: usize, g: usize) -> GridTargets {
     let n = annotations.len();
     let mut obj = Tensor::zeros([n, 1, g, g]);
     let obj_mask = Tensor::ones([n, 1, g, g]);

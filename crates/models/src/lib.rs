@@ -35,11 +35,11 @@ mod summary;
 
 pub use blocks::{ConvBnAct, InsertedBlock, InsertedConv, InsertedUnit, MbBlock, PwSlot};
 pub use detect::{
-    decode_grid, detection_loss, encode_targets, DetectorNet, Detection, GridTargets,
+    decode_grid, detection_loss, encode_targets, Detection, DetectorNet, GridTargets,
 };
 pub use mobilenet::{Profile, TinyNet};
-pub use summary::{summarize, ModelSummary, SummaryRow};
 pub use spec::{
     mcunet_like, mobilenet_v2, mobilenet_v2_100, mobilenet_v2_35, mobilenet_v2_50,
     mobilenet_v2_tiny, round_channels, teacher, BlockSpec, TnnConfig,
 };
+pub use summary::{summarize, ModelSummary, SummaryRow};

@@ -55,7 +55,11 @@ impl TinyNet {
             rng,
         );
         let blocks = config.blocks.iter().map(|b| MbBlock::new(b, rng)).collect();
-        let last_c = config.blocks.last().map(|b| b.out_c).unwrap_or(config.stem_c);
+        let last_c = config
+            .blocks
+            .last()
+            .map(|b| b.out_c)
+            .unwrap_or(config.stem_c);
         let head = ConvBnAct::new(
             last_c,
             config.head_c,
@@ -172,11 +176,7 @@ impl TinyNet {
         cur = bn_sliced(&self.stem.bn, s, cur, base.stem_c);
         cur = s.graph.relu6_decay(cur, 0.0);
         // blocks
-        for (block, (bs, full)) in self
-            .blocks
-            .iter()
-            .zip(base.blocks.iter().zip(&cfg.blocks))
-        {
+        for (block, (bs, full)) in self.blocks.iter().zip(base.blocks.iter().zip(&cfg.blocks)) {
             assert_eq!(bs.kernel, full.kernel, "subnet kernel");
             assert_eq!(bs.stride, full.stride, "subnet stride");
             assert_eq!(bs.expand_ratio, full.expand_ratio, "subnet ratio");
@@ -225,7 +225,9 @@ impl TinyNet {
         // classifier: slice input features
         let w = s.bind(self.classifier.weight());
         let w4 = s.graph.reshape(w, [cfg.classes, cfg.head_c, 1, 1]);
-        let w4 = s.graph.narrow_out_in(w4, (0, cfg.classes), (0, base.head_c));
+        let w4 = s
+            .graph
+            .narrow_out_in(w4, (0, cfg.classes), (0, base.head_c));
         let wk = s.graph.reshape(w4, [cfg.classes, base.head_c]);
         let y = s.graph.matmul_nt(cur, wk);
         let b = s.bind(self.classifier.bias().expect("classifier bias"));
@@ -332,8 +334,7 @@ fn bn_sliced(bn: &BatchNorm2d, s: &mut Session, x: Value, k: usize) -> Value {
         let mut rm = bn.running_mean();
         let mut rv = bn.running_var();
         for i in 0..k {
-            rm.as_mut_slice()[i] =
-                (1.0 - m) * rm.as_slice()[i] + m * stats.mean.as_slice()[i];
+            rm.as_mut_slice()[i] = (1.0 - m) * rm.as_slice()[i] + m * stats.mean.as_slice()[i];
             rv.as_mut_slice()[i] = (1.0 - m) * rv.as_slice()[i] + m * stats.var.as_slice()[i];
         }
         bn.set_running_stats(rm, rv);
@@ -428,7 +429,10 @@ mod tests {
             }
         });
         // running-stat buffers never receive gradients; everything else should
-        assert!(with_grad * 2 >= total, "{with_grad}/{total} params got gradient");
+        assert!(
+            with_grad * 2 >= total,
+            "{with_grad}/{total} params got gradient"
+        );
     }
 
     #[test]

@@ -47,9 +47,17 @@ impl ModelSummary {
 impl fmt::Display for ModelSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} @ {}px", self.name, self.input)?;
-        writeln!(f, "{:<22} {:>12} {:>10} {:>12}", "stage", "output", "params", "MACs")?;
+        writeln!(
+            f,
+            "{:<22} {:>12} {:>10} {:>12}",
+            "stage", "output", "params", "MACs"
+        )?;
         for r in &self.rows {
-            writeln!(f, "{:<22} {:>12} {:>10} {:>12}", r.name, r.output, r.params, r.flops)?;
+            writeln!(
+                f,
+                "{:<22} {:>12} {:>10} {:>12}",
+                r.name, r.output, r.params, r.flops
+            )?;
         }
         writeln!(
             f,

@@ -80,7 +80,10 @@ mod tests {
         let w = kaiming_normal([64, 32, 3, 3], &mut rng);
         let want_std = (2.0f32 / 288.0).sqrt();
         let std = (w.map(|x| x * x).mean() - w.mean() * w.mean()).sqrt();
-        assert!((std - want_std).abs() / want_std < 0.1, "std {std} vs {want_std}");
+        assert!(
+            (std - want_std).abs() / want_std < 0.1,
+            "std {std} vs {want_std}"
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl Conv2d {
     pub fn from_weights(weight: Tensor, bias: Option<Tensor>, geom: ConvGeometry) -> Self {
         let d = weight.dims().to_vec();
         assert_eq!(d.len(), 4, "conv weight must be rank 4");
-        assert_eq!((d[2], d[3]), (geom.kh, geom.kw), "weight kernel vs geometry");
+        assert_eq!(
+            (d[2], d[3]),
+            (geom.kh, geom.kw),
+            "weight kernel vs geometry"
+        );
         if let Some(b) = &bias {
             assert_eq!(b.dims(), &[d[0]], "bias length vs out channels");
         }
@@ -138,7 +142,11 @@ impl DepthwiseConv2d {
     pub fn from_weights(weight: Tensor, bias: Option<Tensor>, geom: ConvGeometry) -> Self {
         let d = weight.dims().to_vec();
         assert_eq!(d.len(), 3, "depthwise weight must be rank 3");
-        assert_eq!((d[1], d[2]), (geom.kh, geom.kw), "weight kernel vs geometry");
+        assert_eq!(
+            (d[1], d[2]),
+            (geom.kh, geom.kw),
+            "weight kernel vs geometry"
+        );
         if let Some(b) = &bias {
             assert_eq!(b.dims(), &[d[0]], "bias length vs channels");
         }

@@ -146,7 +146,9 @@ mod tests {
     fn train_normalizes_and_updates_running_stats() {
         let bn = BatchNorm2d::new(2);
         let mut rng = StdRng::seed_from_u64(0);
-        let x = Tensor::randn([8, 2, 4, 4], &mut rng).scale(3.0).add_scalar(5.0);
+        let x = Tensor::randn([8, 2, 4, 4], &mut rng)
+            .scale(3.0)
+            .add_scalar(5.0);
         let mut s = Session::new(true);
         let xin = s.input(x);
         let y = bn.forward(&mut s, xin);
@@ -176,7 +178,8 @@ mod tests {
             Tensor::randn([3], &mut rng),
             Tensor::rand_uniform([3], 0.5, 2.0, &mut rng),
         );
-        bn.gamma().set_value(Tensor::rand_uniform([3], 0.5, 1.5, &mut rng));
+        bn.gamma()
+            .set_value(Tensor::rand_uniform([3], 0.5, 1.5, &mut rng));
         bn.beta().set_value(Tensor::randn([3], &mut rng));
         let (scale, shift) = bn.eval_affine();
         let x = Tensor::randn([2, 3, 2, 2], &mut rng);

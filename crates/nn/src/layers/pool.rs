@@ -82,8 +82,14 @@ mod tests {
     #[test]
     fn pools_have_no_params() {
         assert_eq!(GlobalAvgPool::new().param_count(), 0);
-        assert_eq!(MaxPool2d::new(ConvGeometry::square(2, 2, 0)).param_count(), 0);
-        assert_eq!(AvgPool2d::new(ConvGeometry::square(2, 2, 0)).param_count(), 0);
+        assert_eq!(
+            MaxPool2d::new(ConvGeometry::square(2, 2, 0)).param_count(),
+            0
+        );
+        assert_eq!(
+            AvgPool2d::new(ConvGeometry::square(2, 2, 0)).param_count(),
+            0
+        );
     }
 
     #[test]

@@ -199,8 +199,8 @@ impl StateDict {
     ///
     /// Returns [`TensorError::Corrupt`] on malformed or unreadable input.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TensorError> {
-        let f = std::fs::File::open(path)
-            .map_err(|e| TensorError::Corrupt(format!("open: {e}")))?;
+        let f =
+            std::fs::File::open(path).map_err(|e| TensorError::Corrupt(format!("open: {e}")))?;
         Self::read_from(&mut std::io::BufReader::new(f))
     }
 }

@@ -44,7 +44,9 @@ fn mlp_learns_xor() {
 fn bn_modes_converge_on_stationary_distribution() {
     let bn = BatchNorm2d::new(3);
     let mut rng = StdRng::seed_from_u64(1);
-    let x = Tensor::randn([16, 3, 4, 4], &mut rng).scale(2.0).add_scalar(1.0);
+    let x = Tensor::randn([16, 3, 4, 4], &mut rng)
+        .scale(2.0)
+        .add_scalar(1.0);
     // run many train-mode passes on the same batch so running stats lock on
     let mut train_out = Tensor::zeros([16, 3, 4, 4]);
     for _ in 0..200 {

@@ -9,10 +9,21 @@
 //!
 //! Dense convolution is lowered to matrix multiplication via
 //! [`im2col`]; gradients re-lower with [`col2im`]. Depthwise convolution is
-//! computed directly. Both parallelize over the batch dimension.
+//! computed directly. All four kernels (dense/depthwise, forward/backward)
+//! parallelize over the batch dimension on the persistent worker pool, and
+//! the im2col / column-gradient matrices live in thread-local scratch
+//! buffers, so a steady-state training step performs no kernel-side heap
+//! allocation beyond the output tensors themselves. The conv bias is fused
+//! into the GEMM epilogue rather than added in a second pass.
 
-use crate::matmul::{available_threads, matmul_into};
+use crate::gemm::gemm;
+use crate::threadpool::{self, with_scratch, SharedMut, CONV_COLS, CONV_DCOLS};
 use crate::{ConvGeometry, Tensor};
+use std::sync::Mutex;
+
+/// Per-task weight/bias gradient partials, tagged with the task's chunk
+/// index so the reduction can run in a fixed (deterministic) order.
+type GradPartials = Mutex<Vec<(usize, Vec<f32>, Vec<f32>)>>;
 
 /// Unfolds one image `[c, h, w]` into a `[c*kh*kw, ho*wo]` column matrix.
 ///
@@ -22,14 +33,7 @@ use crate::{ConvGeometry, Tensor};
 /// # Panics
 ///
 /// Panics if buffer lengths disagree with the geometry.
-pub fn im2col(
-    x: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    geom: ConvGeometry,
-    cols: &mut [f32],
-) {
+pub fn im2col(x: &[f32], c: usize, h: usize, w: usize, geom: ConvGeometry, cols: &mut [f32]) {
     let (ho, wo) = geom.output_hw(h, w);
     assert_eq!(x.len(), c * h * w, "im2col input length");
     assert_eq!(
@@ -75,14 +79,7 @@ pub fn im2col(
 /// # Panics
 ///
 /// Panics if buffer lengths disagree with the geometry.
-pub fn col2im(
-    dcols: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    geom: ConvGeometry,
-    dx: &mut [f32],
-) {
+pub fn col2im(dcols: &[f32], c: usize, h: usize, w: usize, geom: ConvGeometry, dx: &mut [f32]) {
     let (ho, wo) = geom.output_hw(h, w);
     assert_eq!(dx.len(), c * h * w, "col2im output length");
     assert_eq!(
@@ -118,13 +115,18 @@ pub fn col2im(
     }
 }
 
-fn conv_shapes(x: &Tensor, w: &Tensor, geom: ConvGeometry) -> (usize, usize, usize, usize, usize, usize, usize) {
+fn conv_shapes(
+    x: &Tensor,
+    w: &Tensor,
+    geom: ConvGeometry,
+) -> (usize, usize, usize, usize, usize, usize, usize) {
     let (n, c_in, h, wd) = x.shape().nchw();
     let wd4 = w.dims();
     assert_eq!(wd4.len(), 4, "conv weight must be [c_out,c_in,kh,kw]");
     let (c_out, wc_in, kh, kw) = (wd4[0], wd4[1], wd4[2], wd4[3]);
     assert_eq!(
-        wc_in, c_in,
+        wc_in,
+        c_in,
         "conv channel mismatch: input {} vs weight {}",
         x.shape(),
         w.shape()
@@ -152,28 +154,28 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) ->
     let xs = x.as_slice();
     let ws = w.as_slice();
     let bias = b.map(Tensor::as_slice);
-    let threads = available_threads().min(n.max(1));
-    let per = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (blk, o_chunk) in out.as_mut_slice().chunks_mut(per * out_sz).enumerate() {
-            let n0 = blk * per;
-            s.spawn(move |_| {
-                let mut cols = vec![0.0f32; col_rows * ho * wo];
-                for (local, o_sample) in o_chunk.chunks_mut(out_sz).enumerate() {
-                    let ni = n0 + local;
-                    im2col(&xs[ni * in_sz..(ni + 1) * in_sz], c_in, h, wd, geom, &mut cols);
-                    matmul_into(ws, &cols, o_sample, c_out, col_rows, ho * wo);
-                    if let Some(bias) = bias {
-                        for (co, ob) in o_sample.chunks_mut(ho * wo).enumerate() {
-                            let bv = bias[co];
-                            ob.iter_mut().for_each(|v| *v += bv);
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("conv2d worker panicked");
+    let shared_out = SharedMut::new(out.as_mut_slice());
+    threadpool::parallel_for(n, &|ni| {
+        // Safety: each task writes only its own sample's output window.
+        let o_sample = unsafe { shared_out.slice(ni * out_sz, out_sz) };
+        with_scratch(&CONV_COLS, col_rows * ho * wo, |cols| {
+            im2col(&xs[ni * in_sz..(ni + 1) * in_sz], c_in, h, wd, geom, cols);
+            // Bias rides along as the GEMM row initializer (one value per
+            // output channel), so no second pass over the output is needed.
+            gemm(
+                ws,
+                false,
+                cols,
+                false,
+                o_sample,
+                c_out,
+                col_rows,
+                ho * wo,
+                bias,
+                false,
+            );
+        });
+    });
     out
 }
 
@@ -196,80 +198,91 @@ pub fn conv2d_backward(
     let col_rows = c_in * geom.kh * geom.kw;
     let in_sz = c_in * h * wd;
     let out_sz = c_out * ho * wo;
+    let out_hw = ho * wo;
     let xs = x.as_slice();
     let dys = dy.as_slice();
+    // The weight tensor is already the [c_out, col_rows] matrix, row-major.
+    let ws = w.as_slice();
 
     let mut dx = Tensor::zeros(x.shape().clone());
-    let threads = available_threads().min(n.max(1));
-    let per = n.div_ceil(threads);
-    // W as [c_out, col_rows] matrix for dcols = W^T * dY.
-    let w_mat = w.reshape([c_out, col_rows]);
-
-    let partials: Vec<(Tensor, Tensor)> = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (blk, dx_chunk) in dx.as_mut_slice().chunks_mut(per * in_sz).enumerate() {
-            let n0 = blk * per;
-            let w_mat = &w_mat;
-            handles.push(s.spawn(move |_| {
-                let mut dw_part = Tensor::zeros([c_out, col_rows]);
-                let mut db_part = Tensor::zeros([c_out]);
-                let mut cols = vec![0.0f32; col_rows * ho * wo];
-                for (local, dx_sample) in dx_chunk.chunks_mut(in_sz).enumerate() {
-                    let ni = n0 + local;
-                    let dy_s = &dys[ni * out_sz..(ni + 1) * out_sz];
-                    // dW += dY * cols^T
-                    im2col(&xs[ni * in_sz..(ni + 1) * in_sz], c_in, h, wd, geom, &mut cols);
-                    {
-                        let dwp = dw_part.as_mut_slice();
-                        for co in 0..c_out {
-                            let dy_row = &dy_s[co * ho * wo..(co + 1) * ho * wo];
-                            let dw_row = &mut dwp[co * col_rows..(co + 1) * col_rows];
-                            for (r, dw_v) in dw_row.iter_mut().enumerate() {
-                                let col_row = &cols[r * ho * wo..(r + 1) * ho * wo];
-                                let mut acc = 0.0f32;
-                                for (a, b) in dy_row.iter().zip(col_row) {
-                                    acc += a * b;
-                                }
-                                *dw_v += acc;
-                            }
-                        }
-                    }
-                    if has_bias {
-                        let dbp = db_part.as_mut_slice();
-                        for co in 0..c_out {
-                            let dy_row = &dy_s[co * ho * wo..(co + 1) * ho * wo];
-                            dbp[co] += dy_row.iter().sum::<f32>();
-                        }
-                    }
-                    // dcols = W^T * dY, then fold back to dx.
-                    let dy_mat = Tensor::from_vec(dy_s.to_vec(), [c_out, ho * wo])
-                        .expect("dy sample shape");
-                    let dcols = w_mat.matmul_tn(&dy_mat);
-                    col2im(dcols.as_slice(), c_in, h, wd, geom, dx_sample);
+    // Contiguous sample chunks, one task each, so every task owns one dw/db
+    // partial; partials are reduced in chunk order below.
+    let tasks = threadpool::num_threads().min(n);
+    let per = n.div_ceil(tasks.max(1));
+    let shared_dx = SharedMut::new(dx.as_mut_slice());
+    let partials: GradPartials = Mutex::new(Vec::with_capacity(tasks));
+    threadpool::parallel_for(tasks, &|t| {
+        let n0 = t * per;
+        let n1 = n.min(n0 + per);
+        let mut dw_part = vec![0.0f32; c_out * col_rows];
+        let mut db_part = vec![0.0f32; c_out];
+        // Safety: sample ranges [n0, n1) are disjoint across tasks.
+        let dx_chunk = unsafe { shared_dx.slice(n0 * in_sz, (n1 - n0) * in_sz) };
+        for (local, dx_sample) in dx_chunk.chunks_mut(in_sz).enumerate() {
+            let ni = n0 + local;
+            let dy_s = &dys[ni * out_sz..(ni + 1) * out_sz];
+            with_scratch(&CONV_COLS, col_rows * out_hw, |cols| {
+                im2col(&xs[ni * in_sz..(ni + 1) * in_sz], c_in, h, wd, geom, cols);
+                // dW += dY_s * cols^T, accumulated straight into the partial.
+                gemm(
+                    dy_s,
+                    false,
+                    cols,
+                    true,
+                    &mut dw_part,
+                    c_out,
+                    out_hw,
+                    col_rows,
+                    None,
+                    true,
+                );
+            });
+            if has_bias {
+                for (co, db_v) in db_part.iter_mut().enumerate() {
+                    *db_v += dy_s[co * out_hw..(co + 1) * out_hw].iter().sum::<f32>();
                 }
-                (dw_part, db_part)
-            }));
+            }
+            // dcols = W^T * dY_s (reading W transposed at pack time), folded
+            // back onto this sample's dx — no per-sample tensor allocation.
+            with_scratch(&CONV_DCOLS, col_rows * out_hw, |dcols| {
+                gemm(
+                    ws, true, dy_s, false, dcols, col_rows, c_out, out_hw, None, false,
+                );
+                col2im(dcols, c_in, h, wd, geom, dx_sample);
+            });
         }
-        handles.into_iter().map(|h| h.join().expect("conv2d_backward worker panicked")).collect()
-    })
-    .expect("conv2d_backward scope failed");
-
-    let mut dw = Tensor::zeros([c_out, col_rows]);
+        partials.lock().unwrap().push((t, dw_part, db_part));
+    });
+    let mut partials = partials.into_inner().unwrap();
+    // Fixed reduction order: sum partials by chunk index, not arrival order.
+    partials.sort_unstable_by_key(|(t, ..)| *t);
+    let mut dw = Tensor::zeros(w.shape().clone());
     let mut db = Tensor::zeros([c_out]);
-    for (dw_p, db_p) in partials {
-        dw.add_assign(&dw_p);
-        db.add_assign(&db_p);
+    for (_, dw_p, db_p) in &partials {
+        for (d, s) in dw.as_mut_slice().iter_mut().zip(dw_p) {
+            *d += s;
+        }
+        for (d, s) in db.as_mut_slice().iter_mut().zip(db_p) {
+            *d += s;
+        }
     }
-    let dw = dw.into_reshape(w.shape().clone());
     (dx, dw, if has_bias { Some(db) } else { None })
 }
 
-fn dw_shapes(x: &Tensor, w: &Tensor, geom: ConvGeometry) -> (usize, usize, usize, usize, usize, usize) {
+fn dw_shapes(
+    x: &Tensor,
+    w: &Tensor,
+    geom: ConvGeometry,
+) -> (usize, usize, usize, usize, usize, usize) {
     let (n, c, h, wd) = x.shape().nchw();
     let wdims = w.dims();
     assert_eq!(wdims.len(), 3, "depthwise weight must be [c,kh,kw]");
     assert_eq!(wdims[0], c, "depthwise channel mismatch");
-    assert_eq!((wdims[1], wdims[2]), (geom.kh, geom.kw), "depthwise kernel vs geometry");
+    assert_eq!(
+        (wdims[1], wdims[2]),
+        (geom.kh, geom.kw),
+        "depthwise kernel vs geometry"
+    );
     let (ho, wo) = geom.output_hw(h, wd);
     (n, c, h, wd, ho, wo)
 }
@@ -291,48 +304,95 @@ pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGe
     let bias = b.map(Tensor::as_slice);
     let in_sz = c * h * wd;
     let out_sz = c * ho * wo;
-    let threads = available_threads().min(n.max(1));
-    let per = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (blk, o_chunk) in out.as_mut_slice().chunks_mut(per * out_sz).enumerate() {
-            let n0 = blk * per;
-            s.spawn(move |_| {
-                for (local, o_sample) in o_chunk.chunks_mut(out_sz).enumerate() {
-                    let ni = n0 + local;
-                    let x_s = &xs[ni * in_sz..(ni + 1) * in_sz];
-                    for ci in 0..c {
-                        let plane = &x_s[ci * h * wd..(ci + 1) * h * wd];
-                        let ker = &ws[ci * geom.kh * geom.kw..(ci + 1) * geom.kh * geom.kw];
-                        let o_plane = &mut o_sample[ci * ho * wo..(ci + 1) * ho * wo];
-                        let bv = bias.map(|b| b[ci]).unwrap_or(0.0);
-                        for oi in 0..ho {
-                            for oj in 0..wo {
-                                let mut acc = bv;
-                                for ki in 0..geom.kh {
-                                    let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
-                                    if ii < 0 || ii >= h as isize {
-                                        continue;
-                                    }
-                                    for kj in 0..geom.kw {
-                                        let jj =
-                                            (oj * geom.sw + kj) as isize - geom.pw as isize;
-                                        if jj < 0 || jj >= wd as isize {
-                                            continue;
-                                        }
-                                        acc += plane[ii as usize * wd + jj as usize]
-                                            * ker[ki * geom.kw + kj];
-                                    }
-                                }
-                                o_plane[oi * wo + oj] = acc;
+    let shared_out = SharedMut::new(out.as_mut_slice());
+    threadpool::parallel_for(n, &|ni| {
+        // Safety: each task writes only its own sample's output window.
+        let o_sample = unsafe { shared_out.slice(ni * out_sz, out_sz) };
+        let x_s = &xs[ni * in_sz..(ni + 1) * in_sz];
+        for ci in 0..c {
+            let plane = &x_s[ci * h * wd..(ci + 1) * h * wd];
+            let ker = &ws[ci * geom.kh * geom.kw..(ci + 1) * geom.kh * geom.kw];
+            let o_plane = &mut o_sample[ci * ho * wo..(ci + 1) * ho * wo];
+            let bv = bias.map(|b| b[ci]).unwrap_or(0.0);
+            for oi in 0..ho {
+                for oj in 0..wo {
+                    let mut acc = bv;
+                    for ki in 0..geom.kh {
+                        let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..geom.kw {
+                            let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                            if jj < 0 || jj >= wd as isize {
+                                continue;
                             }
+                            acc += plane[ii as usize * wd + jj as usize] * ker[ki * geom.kw + kj];
+                        }
+                    }
+                    o_plane[oi * wo + oj] = acc;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Serial depthwise backward over one contiguous range of samples. Kept as a
+/// plain function (outside the worker closure) so the hot loops compile
+/// against ordinary slice parameters. `dims` is `(c, h, w, ho, wo)`.
+#[allow(clippy::too_many_arguments)]
+fn dw_backward_chunk(
+    x_chunk: &[f32],
+    dy_chunk: &[f32],
+    dx_chunk: &mut [f32],
+    ws: &[f32],
+    dw_part: &mut [f32],
+    db_part: &mut [f32],
+    dims: (usize, usize, usize, usize, usize),
+    geom: ConvGeometry,
+) {
+    let (c, h, wd, ho, wo) = dims;
+    let in_sz = c * h * wd;
+    let out_sz = c * ho * wo;
+    let ker_sz = geom.kh * geom.kw;
+    for ((x_s, dy_s), dx_sample) in x_chunk
+        .chunks_exact(in_sz)
+        .zip(dy_chunk.chunks_exact(out_sz))
+        .zip(dx_chunk.chunks_exact_mut(in_sz))
+    {
+        for ci in 0..c {
+            let plane = &x_s[ci * h * wd..(ci + 1) * h * wd];
+            let dplane = &mut dx_sample[ci * h * wd..(ci + 1) * h * wd];
+            let ker = &ws[ci * ker_sz..(ci + 1) * ker_sz];
+            let dker = &mut dw_part[ci * ker_sz..(ci + 1) * ker_sz];
+            let dy_plane = &dy_s[ci * ho * wo..(ci + 1) * ho * wo];
+            for oi in 0..ho {
+                for oj in 0..wo {
+                    let g = dy_plane[oi * wo + oj];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    db_part[ci] += g;
+                    for ki in 0..geom.kh {
+                        let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..geom.kw {
+                            let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                            if jj < 0 || jj >= wd as isize {
+                                continue;
+                            }
+                            let xi = ii as usize * wd + jj as usize;
+                            dker[ki * geom.kw + kj] += g * plane[xi];
+                            dplane[xi] += g * ker[ki * geom.kw + kj];
                         }
                     }
                 }
-            });
+            }
         }
-    })
-    .expect("depthwise worker panicked");
-    out
+    }
 }
 
 /// Gradients of [`depthwise_conv2d`]; returns `(dx, dw, db)`.
@@ -352,45 +412,45 @@ pub fn depthwise_conv2d_backward(
     let xs = x.as_slice();
     let ws = w.as_slice();
     let dys = dy.as_slice();
+    let in_sz = c * h * wd;
+    let out_sz = c * ho * wo;
+    let ker_sz = geom.kh * geom.kw;
     let mut dx = Tensor::zeros(x.shape().clone());
+    // Parallel over contiguous sample chunks with per-task dw/db partials,
+    // reduced in chunk order (same scheme as conv2d_backward).
+    let tasks = threadpool::num_threads().min(n);
+    let per = n.div_ceil(tasks.max(1));
+    let shared_dx = SharedMut::new(dx.as_mut_slice());
+    let partials: GradPartials = Mutex::new(Vec::with_capacity(tasks));
+    threadpool::parallel_for(tasks, &|t| {
+        let n0 = t * per;
+        let n1 = n.min(n0 + per);
+        let mut dw_part = vec![0.0f32; c * ker_sz];
+        let mut db_part = vec![0.0f32; c];
+        // Safety: sample ranges [n0, n1) are disjoint across tasks.
+        let dx_chunk = unsafe { shared_dx.slice(n0 * in_sz, (n1 - n0) * in_sz) };
+        dw_backward_chunk(
+            &xs[n0 * in_sz..n1 * in_sz],
+            &dys[n0 * out_sz..n1 * out_sz],
+            dx_chunk,
+            ws,
+            &mut dw_part,
+            &mut db_part,
+            (c, h, wd, ho, wo),
+            geom,
+        );
+        partials.lock().unwrap().push((t, dw_part, db_part));
+    });
+    let mut partials = partials.into_inner().unwrap();
+    partials.sort_unstable_by_key(|(t, ..)| *t);
     let mut dw = Tensor::zeros(w.shape().clone());
     let mut db = Tensor::zeros([c]);
-    {
-        let dxs = dx.as_mut_slice();
-        let dws = dw.as_mut_slice();
-        let dbs = db.as_mut_slice();
-        for ni in 0..n {
-            for ci in 0..c {
-                let plane = &xs[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
-                let dplane = &mut dxs[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
-                let ker = &ws[ci * geom.kh * geom.kw..(ci + 1) * geom.kh * geom.kw];
-                let dker = &mut dws[ci * geom.kh * geom.kw..(ci + 1) * geom.kh * geom.kw];
-                let dy_plane = &dys[(ni * c + ci) * ho * wo..(ni * c + ci + 1) * ho * wo];
-                for oi in 0..ho {
-                    for oj in 0..wo {
-                        let g = dy_plane[oi * wo + oj];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        dbs[ci] += g;
-                        for ki in 0..geom.kh {
-                            let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
-                            if ii < 0 || ii >= h as isize {
-                                continue;
-                            }
-                            for kj in 0..geom.kw {
-                                let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
-                                if jj < 0 || jj >= wd as isize {
-                                    continue;
-                                }
-                                let xi = ii as usize * wd + jj as usize;
-                                dker[ki * geom.kw + kj] += g * plane[xi];
-                                dplane[xi] += g * ker[ki * geom.kw + kj];
-                            }
-                        }
-                    }
-                }
-            }
+    for (_, dw_p, db_p) in &partials {
+        for (d, s) in dw.as_mut_slice().iter_mut().zip(dw_p) {
+            *d += s;
+        }
+        for (d, s) in db.as_mut_slice().iter_mut().zip(db_p) {
+            *d += s;
         }
     }
     (dx, dw, if has_bias { Some(db) } else { None })
@@ -425,8 +485,7 @@ mod tests {
                                         continue;
                                     }
                                     acc += x.at4(ni, ci, ii as usize, jj as usize)
-                                        * w.as_slice()
-                                            [((co * c_in + ci) * kh + ki) * kw + kj];
+                                        * w.as_slice()[((co * c_in + ci) * kh + ki) * kw + kj];
                                 }
                             }
                         }
@@ -441,7 +500,14 @@ mod tests {
     #[test]
     fn conv_matches_reference() {
         let mut rng = StdRng::seed_from_u64(1);
-        for &(k, s, p) in &[(1usize, 1usize, 0usize), (3, 1, 1), (3, 2, 1), (5, 1, 2), (5, 2, 2), (7, 1, 3)] {
+        for &(k, s, p) in &[
+            (1usize, 1usize, 0usize),
+            (3, 1, 1),
+            (3, 2, 1),
+            (5, 1, 2),
+            (5, 2, 2),
+            (7, 1, 3),
+        ] {
             let geom = ConvGeometry::square(k, s, p);
             let x = Tensor::randn([2, 3, 9, 9], &mut rng);
             let w = Tensor::randn([4, 3, k, k], &mut rng);

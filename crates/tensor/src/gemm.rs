@@ -1,0 +1,637 @@
+//! Cache-blocked, packed GEMM — the single kernel behind every matmul
+//! variant and the im2col convolution path.
+//!
+//! The kernel follows the classic BLIS/GotoBLAS decomposition: the `n`
+//! dimension is split into `NC` strips, the `k` dimension into `KC` panels,
+//! and the `m` dimension into `MC` blocks. For each `(KC, NC)` panel B is
+//! packed into contiguous `KC x NR` slivers, and for each `(MC, KC)` block A
+//! is packed into `KC x MR` slivers; an `MR x NR` register-tile microkernel
+//! with a fully unrolled inner loop then walks the packed panels. Packing
+//! happens in thread-local scratch buffers (see [`crate::threadpool`]) so
+//! steady-state GEMMs allocate nothing.
+//!
+//! Builds target baseline `x86-64`, so on x86-64 hosts the tile loop
+//! dispatches at runtime (via `is_x86_feature_detected!`) to an AVX2+FMA
+//! microkernel with eight independent accumulator chains; every other
+//! configuration uses the portable autovectorized kernel.
+//!
+//! Transposed operands (`matmul_nt`, `matmul_tn`, and the conv gradients)
+//! are handled at pack time: the pack routines read A / B through either
+//! layout, so all four variants share one microkernel and one parallel
+//! scheduler. Parallelism splits the `m` dimension only; every output element
+//! is produced by exactly one thread with a fixed k-accumulation order, so
+//! results are bitwise identical regardless of thread count.
+
+use crate::threadpool::{self, with_scratch, SharedMut, GEMM_PACK_A, GEMM_PACK_B};
+
+/// Microkernel tile height (rows of C held in registers).
+pub const MR: usize = 4;
+/// Microkernel tile width (columns of C held in registers).
+pub const NR: usize = 8;
+/// Rows of A packed per L2-resident block (multiple of `MR`).
+const MC: usize = 64;
+/// Depth of a packed panel (inner dimension per pass).
+const KC: usize = 256;
+/// Columns of B packed per strip (multiple of `NR`).
+const NC: usize = 256;
+
+/// Below this many multiply-adds the naive loops beat packing overhead.
+const SMALL_MNK: usize = 16 * 16 * 16;
+/// Below this many multiply-adds a single thread beats pool dispatch.
+const PARALLEL_MNK: usize = 1 << 17;
+
+/// General matrix multiply: `C = A' * B'` (or `C += A' * B'`).
+///
+/// `A'` is the logical `m x k` left operand: the slice `a` stores it
+/// row-major when `a_trans` is false, or as its `k x m` row-major transpose
+/// when `a_trans` is true (so `matmul_tn` needs no materialized transpose).
+/// `B'` is the logical `k x n` right operand with the same convention:
+/// `b_trans` means `b` stores the `n x k` transpose.
+///
+/// When `accumulate` is false, `c` is overwritten; if `row_init` is given
+/// (length `m`), element `c[i, j]` starts from `row_init[i]` instead of zero
+/// — this is how the convolution forward pass fuses its bias add into the
+/// GEMM epilogue. When `accumulate` is true, the product is added onto the
+/// existing contents of `c` (`row_init` must be `None`).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the stated dimensions or if
+/// `row_init` is combined with `accumulate`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    a: &[f32],
+    a_trans: bool,
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row_init: Option<&[f32]>,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs buffer length");
+    assert_eq!(b.len(), k * n, "gemm rhs buffer length");
+    assert_eq!(c.len(), m * n, "gemm out buffer length");
+    if let Some(init) = row_init {
+        assert_eq!(init.len(), m, "gemm row_init length");
+        assert!(!accumulate, "gemm row_init requires accumulate = false");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // No products to add: the epilogue alone defines the output.
+        if !accumulate {
+            for i in 0..m {
+                let base = row_init.map_or(0.0, |r| r[i]);
+                c[i * n..(i + 1) * n].iter_mut().for_each(|v| *v = base);
+            }
+        }
+        return;
+    }
+    let mnk = m * n * k;
+    if mnk < SMALL_MNK {
+        gemm_naive(a, a_trans, b, b_trans, c, m, k, n, row_init, accumulate);
+        return;
+    }
+    let threads = threadpool::num_threads();
+    if mnk < PARALLEL_MNK || threads <= 1 || m < 2 * MR {
+        gemm_blocked(
+            a, a_trans, b, b_trans, c, 0, m, m, k, n, row_init, accumulate,
+        );
+        return;
+    }
+    // Split rows into MR-aligned chunks, one task each. Each task runs the
+    // full blocked algorithm on its row range, so the k-order per output
+    // element (and hence the bit pattern) is independent of the split.
+    let chunk = m.div_ceil(threads).div_ceil(MR) * MR;
+    let tasks = m.div_ceil(chunk);
+    let shared_c = SharedMut::new(c);
+    threadpool::parallel_for(tasks, &|t| {
+        let i0 = t * chunk;
+        let rows = chunk.min(m - i0);
+        // Safety: row ranges [i0, i0 + rows) are disjoint across tasks.
+        let c_rows = unsafe { shared_c.slice(i0 * n, rows * n) };
+        gemm_blocked(
+            a, a_trans, b, b_trans, c_rows, i0, rows, m, k, n, row_init, accumulate,
+        );
+    });
+}
+
+/// Element of the logical `k x n` right operand (see [`gemm`] layout rules).
+#[inline(always)]
+fn b_at(b: &[f32], b_trans: bool, k: usize, n: usize, p: usize, j: usize) -> f32 {
+    if b_trans {
+        b[j * k + p]
+    } else {
+        b[p * n + j]
+    }
+}
+
+/// Reference kernel: simple loops, no packing. Used for small problems and
+/// as the ground truth in tests.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_naive(
+    a: &[f32],
+    a_trans: bool,
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row_init: Option<&[f32]>,
+    accumulate: bool,
+) {
+    if !accumulate {
+        for i in 0..m {
+            let base = row_init.map_or(0.0, |r| r[i]);
+            c[i * n..(i + 1) * n].iter_mut().for_each(|v| *v = base);
+        }
+    }
+    match (a_trans, b_trans) {
+        (false, false) => {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                        *c_ij += a_ip * b_pj;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (j, c_ij) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (x, y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *c_ij += acc;
+                }
+            }
+        }
+        (true, false) => {
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &a_pi) in a_row.iter().enumerate() {
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                        *c_ij += a_pi * b_pj;
+                    }
+                }
+            }
+        }
+        (true, true) => {
+            for i in 0..m {
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (j, c_ij) in c_row.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[p * m + i] * b[j * k + p];
+                    }
+                    *c_ij += acc;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` panel of B starting at `(p0, j0)` into `NR`-wide
+/// slivers: `bp[(jr * kc + p) * NR + j]` holds `B[p0 + p, j0 + jr * NR + j]`,
+/// zero-padded past `n`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    bp: &mut [f32],
+    b: &[f32],
+    b_trans: bool,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    let panels = nc.div_ceil(NR);
+    for jr in 0..panels {
+        let j_base = j0 + jr * NR;
+        let width = NR.min(j0 + nc - j_base);
+        let dst = &mut bp[jr * kc * NR..(jr * kc + kc) * NR];
+        if !b_trans && width == NR {
+            for (p, chunk) in dst.chunks_exact_mut(NR).enumerate() {
+                chunk.copy_from_slice(&b[(p0 + p) * n + j_base..(p0 + p) * n + j_base + NR]);
+            }
+        } else {
+            for (p, chunk) in dst.chunks_exact_mut(NR).enumerate() {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = if j < width {
+                        b_at(b, b_trans, k, n, p0 + p, j_base + j)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `mc x kc` block of A starting at `(i0, p0)` into `MR`-tall
+/// slivers: `ap[(ir * kc + p) * MR + r]` holds `A[i0 + ir * MR + r, p0 + p]`,
+/// zero-padded past `m`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    ap: &mut [f32],
+    a: &[f32],
+    a_trans: bool,
+    m: usize,
+    k: usize,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+) {
+    let panels = mc.div_ceil(MR);
+    for ir in 0..panels {
+        let i_base = i0 + ir * MR;
+        let height = MR.min(i0 + mc - i_base);
+        let dst = &mut ap[ir * kc * MR..(ir * kc + kc) * MR];
+        if a_trans {
+            for (p, chunk) in dst.chunks_exact_mut(MR).enumerate() {
+                let a_row = &a[(p0 + p) * m + i_base..(p0 + p) * m + i_base + height];
+                for (r, v) in chunk.iter_mut().enumerate() {
+                    *v = if r < height { a_row[r] } else { 0.0 };
+                }
+            }
+        } else {
+            for (p, chunk) in dst.chunks_exact_mut(MR).enumerate() {
+                for (r, v) in chunk.iter_mut().enumerate() {
+                    *v = if r < height {
+                        a[(i_base + r) * k + p0 + p]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// `MR x NR` register tile over packed slivers: the hot loop of the crate.
+/// `ap` is one `kc x MR` sliver, `bp` one `kc x NR` sliver.
+#[inline(always)]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a_p, b_p) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        // Fixed-size views so LLVM unrolls and vectorizes without bounds
+        // checks; MR broadcasts against one NR-wide row per k step.
+        let a_p: &[f32; MR] = a_p.try_into().unwrap();
+        let b_p: &[f32; NR] = b_p.try_into().unwrap();
+        for r in 0..MR {
+            let a_v = a_p[r];
+            for j in 0..NR {
+                acc[r][j] += a_v * b_p[j];
+            }
+        }
+    }
+}
+
+/// True when the runtime CPU supports the AVX2+FMA microkernel. The builds
+/// target baseline `x86-64`, so this is a runtime decision, not a compile
+/// flag; detection results are cached by `is_x86_feature_detected!`.
+#[inline]
+fn use_fma_kernel() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Dispatches one register tile to the best available microkernel.
+#[inline(always)]
+fn run_microkernel(fma: bool, kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if fma {
+        // Safety: `fma` is only true when AVX2+FMA were detected at runtime,
+        // and the slivers are at least `kc` packed rows long.
+        unsafe { x86::microkernel_fma(kc, ap, bp, acc) };
+        return;
+    }
+    let _ = fma;
+    microkernel(kc, ap, bp, acc);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use core::arch::x86_64::*;
+
+    /// AVX2+FMA twin of [`super::microkernel`]: each C row is one `ymm`
+    /// accumulator, and k is unrolled by two into separate accumulator banks
+    /// (8 independent FMA chains) so the loop is throughput-bound instead of
+    /// FMA-latency-bound. The banks are summed at the end, so the k-reduction
+    /// is pairwise — still a fixed order, just not the serial order of the
+    /// scalar kernel.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2` and `fma` target features at runtime, and sliver
+    /// slices holding at least `kc` packed rows (`kc * MR` / `kc * NR`
+    /// elements).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn microkernel_fma(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+        let mut a_ptr = ap.as_ptr();
+        let mut b_ptr = bp.as_ptr();
+        let mut e0 = _mm256_setzero_ps();
+        let mut e1 = _mm256_setzero_ps();
+        let mut e2 = _mm256_setzero_ps();
+        let mut e3 = _mm256_setzero_ps();
+        let mut o0 = _mm256_setzero_ps();
+        let mut o1 = _mm256_setzero_ps();
+        let mut o2 = _mm256_setzero_ps();
+        let mut o3 = _mm256_setzero_ps();
+        for _ in 0..kc / 2 {
+            let b0 = _mm256_loadu_ps(b_ptr);
+            e0 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr), b0, e0);
+            e1 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(1)), b0, e1);
+            e2 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(2)), b0, e2);
+            e3 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(3)), b0, e3);
+            let b1 = _mm256_loadu_ps(b_ptr.add(NR));
+            o0 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(MR)), b1, o0);
+            o1 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(MR + 1)), b1, o1);
+            o2 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(MR + 2)), b1, o2);
+            o3 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(MR + 3)), b1, o3);
+            a_ptr = a_ptr.add(2 * MR);
+            b_ptr = b_ptr.add(2 * NR);
+        }
+        if kc % 2 == 1 {
+            let b0 = _mm256_loadu_ps(b_ptr);
+            e0 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr), b0, e0);
+            e1 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(1)), b0, e1);
+            e2 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(2)), b0, e2);
+            e3 = _mm256_fmadd_ps(_mm256_set1_ps(*a_ptr.add(3)), b0, e3);
+        }
+        let rows = [
+            _mm256_add_ps(e0, o0),
+            _mm256_add_ps(e1, o1),
+            _mm256_add_ps(e2, o2),
+            _mm256_add_ps(e3, o3),
+        ];
+        for (row, sum) in acc.iter_mut().zip(rows) {
+            let prev = _mm256_loadu_ps(row.as_ptr());
+            _mm256_storeu_ps(row.as_mut_ptr(), _mm256_add_ps(prev, sum));
+        }
+    }
+}
+
+/// Blocked GEMM over the row range `[i0, i0 + mc)` of the full problem.
+/// `c` holds exactly those rows (`mc x n`, row-major).
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    a: &[f32],
+    a_trans: bool,
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+    i0: usize,
+    mc_total: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    row_init: Option<&[f32]>,
+    accumulate: bool,
+) {
+    let fma = use_fma_kernel();
+    with_scratch(&GEMM_PACK_B, KC * NC.div_ceil(NR) * NR, |bp| {
+        with_scratch(&GEMM_PACK_A, KC * MC.div_ceil(MR) * MR, |ap| {
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                for pc in (0..k).step_by(KC) {
+                    let kc = KC.min(k - pc);
+                    pack_b(bp, b, b_trans, k, n, pc, kc, jc, nc);
+                    let first = pc == 0;
+                    for ic in (0..mc_total).step_by(MC) {
+                        let mc = MC.min(mc_total - ic);
+                        pack_a(ap, a, a_trans, m, k, i0 + ic, mc, pc, kc);
+                        macro_kernel(
+                            ap, bp, c, ic, mc, jc, nc, n, kc, i0, row_init, accumulate, first, fma,
+                        );
+                    }
+                }
+            }
+        })
+    })
+}
+
+/// Walks the packed block: one microkernel call per `MR x NR` tile, then the
+/// epilogue writes the tile into C (initializing from zero / `row_init` on
+/// the first k-panel, accumulating afterwards).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ic: usize,
+    mc: usize,
+    jc: usize,
+    nc: usize,
+    n: usize,
+    kc: usize,
+    i0: usize,
+    row_init: Option<&[f32]>,
+    accumulate: bool,
+    first: bool,
+    fma: bool,
+) {
+    for jr in 0..nc.div_ceil(NR) {
+        let j_base = jc + jr * NR;
+        let width = NR.min(jc + nc - j_base);
+        let b_sliver = &bp[jr * kc * NR..(jr * kc + kc) * NR];
+        for ir in 0..mc.div_ceil(MR) {
+            let i_base = ic + ir * MR;
+            let height = MR.min(ic + mc - i_base);
+            let a_sliver = &ap[ir * kc * MR..(ir * kc + kc) * MR];
+            let mut acc = [[0.0f32; NR]; MR];
+            run_microkernel(fma, kc, a_sliver, b_sliver, &mut acc);
+            for r in 0..height {
+                let c_row = &mut c[(i_base + r) * n + j_base..(i_base + r) * n + j_base + width];
+                if first && !accumulate {
+                    let base = row_init.map_or(0.0, |init| init[i0 + i_base + r]);
+                    for (c_v, &t) in c_row.iter_mut().zip(&acc[r]) {
+                        *c_v = base + t;
+                    }
+                } else {
+                    for (c_v, &t) in c_row.iter_mut().zip(&acc[r]) {
+                        *c_v += t;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threadpool::with_thread_cap;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fill(len: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    /// Shapes chosen to stress every tail: non-multiples of MR/NR/MC/KC/NC,
+    /// unit dimensions, and panel-boundary +/- 1 cases.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 7, 1),
+        (5, 1, 9),
+        (1, 300, 1),
+        (4, 8, 8),
+        (7, 13, 11),
+        (16, 16, 16),
+        (33, 65, 17),
+        (64, 64, 64),
+        (65, 255, 63),
+        (40, 256, 24),
+        (40, 257, 24),
+        (3, 513, 130),
+        (130, 30, 300),
+        (128, 128, 128),
+    ];
+
+    fn check_variant(a_trans: bool, b_trans: bool) {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            gemm(&a, a_trans, &b, b_trans, &mut got, m, k, n, None, false);
+            gemm_naive(&a, a_trans, &b, b_trans, &mut want, m, k, n, None, false);
+            let diff = got
+                .iter()
+                .zip(&want)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                diff <= 1e-4 * (k as f32).sqrt(),
+                "({m},{k},{n}) at={a_trans} bt={b_trans}: max diff {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_nn() {
+        check_variant(false, false);
+    }
+
+    #[test]
+    fn blocked_matches_naive_nt() {
+        check_variant(false, true);
+    }
+
+    #[test]
+    fn blocked_matches_naive_tn() {
+        check_variant(true, false);
+    }
+
+    #[test]
+    fn blocked_matches_naive_tt() {
+        check_variant(true, true);
+    }
+
+    #[test]
+    fn row_init_seeds_output() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(3usize, 5usize, 4usize), (65, 129, 33)] {
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            let init = fill(m, &mut rng);
+            let mut got = vec![0.0f32; m * n];
+            gemm(&a, false, &b, false, &mut got, m, k, n, Some(&init), false);
+            let mut want = vec![0.0f32; m * n];
+            gemm_naive(&a, false, &b, false, &mut want, m, k, n, Some(&init), false);
+            let diff = got
+                .iter()
+                .zip(&want)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(diff <= 1e-4 * (k as f32).sqrt(), "({m},{k},{n}): {diff}");
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_onto_existing() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, k, n) = (33, 70, 29);
+        let a = fill(m * k, &mut rng);
+        let b = fill(k * n, &mut rng);
+        let start = fill(m * n, &mut rng);
+        let mut got = start.clone();
+        gemm(&a, false, &b, false, &mut got, m, k, n, None, true);
+        let mut prod = vec![0.0f32; m * n];
+        gemm_naive(&a, false, &b, false, &mut prod, m, k, n, None, false);
+        for i in 0..m * n {
+            assert!((got[i] - (start[i] + prod[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn k_zero_writes_init() {
+        let mut c = vec![9.0f32; 6];
+        gemm(
+            &[],
+            false,
+            &[],
+            false,
+            &mut c,
+            2,
+            0,
+            3,
+            Some(&[1.0, 2.0]),
+            false,
+        );
+        assert_eq!(c, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        let mut c2 = vec![5.0f32; 6];
+        gemm(&[], false, &[], false, &mut c2, 2, 0, 3, None, true);
+        assert_eq!(c2, vec![5.0f32; 6]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Big enough to take the parallel path at default width.
+        for &(m, k, n) in &[(128usize, 128usize, 128usize), (97, 301, 83)] {
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            let mut wide = vec![0.0f32; m * n];
+            gemm(&a, false, &b, false, &mut wide, m, k, n, None, false);
+            let mut narrow = vec![0.0f32; m * n];
+            with_thread_cap(1, || {
+                gemm(&a, false, &b, false, &mut narrow, m, k, n, None, false);
+            });
+            assert!(
+                wide.iter()
+                    .zip(&narrow)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "({m},{k},{n}) not bitwise equal across thread counts"
+            );
+        }
+    }
+}

@@ -5,7 +5,35 @@
 //! depthwise 2-D convolution (with gradients), and pooling.
 //!
 //! Everything is CPU-only, contiguous, and row-major (`NCHW` for images).
-//! Heavy kernels parallelize over the batch dimension with scoped threads.
+//!
+//! ## Threading and memory model
+//!
+//! Heavy kernels are data-parallel over a **persistent, process-wide worker
+//! pool** ([`threadpool`]): workers are spawned lazily on first use and then
+//! sleep between jobs, so going parallel costs a queue push instead of a
+//! thread spawn. The pool width defaults to the machine parallelism and can
+//! be pinned with the `NB_NUM_THREADS` environment variable (read once, at
+//! first use; `NB_NUM_THREADS=1` disables worker threads entirely).
+//! [`with_thread_cap`] lowers the width per-thread for the duration of a
+//! closure, which is how tests compare thread counts within one process.
+//!
+//! Matrix multiplication uses a cache-blocked, packed GEMM ([`gemm`]): a
+//! 4x8 register-tile microkernel over `MC x KC` packed A blocks and
+//! `KC x NC` packed B strips, with transposed operands handled at pack time
+//! so `matmul`, `matmul_nt`, and `matmul_tn` share one kernel. Packing
+//! panels and the im2col / column-gradient matrices used by the convolution
+//! kernels live in **thread-local scratch buffers** that grow to a
+//! high-water mark and are reused, so steady-state training steps perform no
+//! kernel-side heap allocation beyond output tensors. The convolution bias
+//! is fused into the GEMM epilogue (outputs are initialized from the bias
+//! rather than zero).
+//!
+//! **Determinism:** every GEMM output element is produced by exactly one
+//! thread with a fixed k-accumulation order, so matmul results are bitwise
+//! identical for any thread count. Convolution input gradients are
+//! per-sample and equally thread-count-invariant; the `dw`/`db` reductions
+//! sum per-chunk partials in a fixed chunk order, which is deterministic for
+//! a given pool width (run-to-run) but may round differently across widths.
 //!
 //! ## Example
 //!
@@ -24,15 +52,18 @@
 
 mod conv;
 mod error;
+pub mod gemm;
 mod matmul;
 mod pool;
 mod shape;
 mod tensor;
+pub mod threadpool;
 
 pub use conv::{
     col2im, conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, im2col,
 };
 pub use error::TensorError;
+pub use gemm::gemm;
 pub use matmul::{available_threads, matmul_into};
 pub use pool::{
     avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d,
@@ -40,3 +71,4 @@ pub use pool::{
 };
 pub use shape::{ConvGeometry, Shape};
 pub use tensor::Tensor;
+pub use threadpool::{num_threads, parallel_for, with_thread_cap};

@@ -1,15 +1,15 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication entry points.
 //!
-//! The convolution path lowers to `weight_matrix * im2col_matrix`, so matmul
-//! throughput dominates training time. The kernel here is a cache-friendly
-//! `i-k-j` loop with the inner dimension vectorizable by LLVM, parallelized
-//! over row blocks with scoped threads when the problem is large enough.
+//! All variants — `matmul`, `matmul_nt`, `matmul_tn`, and the raw
+//! [`matmul_into`] — route through the blocked, packed kernel in
+//! [`crate::gemm`]; transposition is absorbed at pack time, so no transpose
+//! is ever materialized. Large problems are split over row blocks on the
+//! persistent worker pool (see [`crate::threadpool`]); the k-accumulation
+//! order per output element is fixed, so results do not depend on the thread
+//! count.
 
+use crate::gemm::gemm;
 use crate::Tensor;
-
-/// Problems smaller than this many multiply-adds run single-threaded; the
-/// thread-spawn cost dominates below it.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
 
 /// `C = A * B` for row-major matrices given as flat slices.
 ///
@@ -20,52 +20,13 @@ const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
 ///
 /// Panics if slice lengths disagree with the stated dimensions.
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k, "lhs buffer length");
-    assert_eq!(b.len(), k * n, "rhs buffer length");
-    assert_eq!(c.len(), m * n, "out buffer length");
-    if m * n * k >= PARALLEL_FLOP_THRESHOLD {
-        let threads = available_threads().min(m.max(1));
-        if threads > 1 {
-            let rows_per = m.div_ceil(threads);
-            crossbeam::thread::scope(|s| {
-                for (block, c_block) in c.chunks_mut(rows_per * n).enumerate() {
-                    let row0 = block * rows_per;
-                    s.spawn(move |_| {
-                        let rows = c_block.len() / n;
-                        matmul_block(&a[row0 * k..(row0 + rows) * k], b, c_block, rows, k, n);
-                    });
-                }
-            })
-            .expect("matmul worker panicked");
-            return;
-        }
-    }
-    matmul_block(a, b, c, m, k, n);
+    gemm(a, false, b, false, c, m, k, n, None, false);
 }
 
-/// Single-threaded `m x k` times `k x n` into `c`.
-fn matmul_block(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    c.iter_mut().for_each(|x| *x = 0.0);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_ip * b_pj;
-            }
-        }
-    }
-}
-
-/// Number of worker threads to use for data-parallel kernels.
+/// Number of worker threads data-parallel kernels will use (including the
+/// calling thread). Honors the `NB_NUM_THREADS` override.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    crate::threadpool::num_threads()
 }
 
 impl Tensor {
@@ -88,19 +49,24 @@ impl Tensor {
         let (m, k) = self.shape().rc();
         let (k2, n) = other.shape().rc();
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner dimension mismatch: {} vs {}",
             self.shape(),
             other.shape()
         );
         let mut out = Tensor::zeros([m, n]);
-        matmul_into(
+        gemm(
             self.as_slice(),
+            false,
             other.as_slice(),
+            false,
             out.as_mut_slice(),
             m,
             k,
             n,
+            None,
+            false,
         );
         out
     }
@@ -116,26 +82,25 @@ impl Tensor {
         let (m, k) = self.shape().rc();
         let (n, k2) = other.shape().rc();
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_nt inner dimension mismatch: {} vs {}",
             self.shape(),
             other.shape()
         );
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = Tensor::zeros([m, n]);
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                o[i * n + j] = acc;
-            }
-        }
+        gemm(
+            self.as_slice(),
+            false,
+            other.as_slice(),
+            true,
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+            None,
+            false,
+        );
         out
     }
 
@@ -150,28 +115,25 @@ impl Tensor {
         let (k, m) = self.shape().rc();
         let (k2, n) = other.shape().rc();
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_tn inner dimension mismatch: {} vs {}",
             self.shape(),
             other.shape()
         );
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = Tensor::zeros([m, n]);
-        let o = out.as_mut_slice();
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &a_pi) in a_row.iter().enumerate() {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let o_row = &mut o[i * n..(i + 1) * n];
-                for (o_ij, &b_pj) in o_row.iter_mut().zip(b_row) {
-                    *o_ij += a_pi * b_pj;
-                }
-            }
-        }
+        gemm(
+            self.as_slice(),
+            true,
+            other.as_slice(),
+            false,
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+            None,
+            false,
+        );
         out
     }
 }
@@ -201,7 +163,7 @@ mod tests {
 
     #[test]
     fn matches_naive_parallel_path() {
-        // Big enough to cross PARALLEL_FLOP_THRESHOLD.
+        // Big enough to cross the parallel threshold.
         let mut rng = StdRng::seed_from_u64(13);
         let a = Tensor::randn([160, 128], &mut rng);
         let b = Tensor::randn([128, 160], &mut rng);
@@ -217,6 +179,18 @@ mod tests {
         let c = Tensor::randn([4, 6], &mut rng);
         let d = Tensor::randn([4, 5], &mut rng);
         assert!(c.matmul_tn(&d).allclose(&c.transpose2d().matmul(&d), 1e-4));
+    }
+
+    #[test]
+    fn nt_and_tn_agree_with_explicit_transpose_large() {
+        // Large enough to take the blocked (and parallel) path.
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Tensor::randn([96, 130], &mut rng);
+        let b = Tensor::randn([70, 130], &mut rng);
+        assert!(a.matmul_nt(&b).allclose(&a.matmul(&b.transpose2d()), 1e-3));
+        let c = Tensor::randn([130, 96], &mut rng);
+        let d = Tensor::randn([130, 70], &mut rng);
+        assert!(c.matmul_tn(&d).allclose(&c.transpose2d().matmul(&d), 1e-3));
     }
 
     #[test]

@@ -54,11 +54,7 @@ pub fn maxpool2d(x: &Tensor, geom: ConvGeometry) -> (Tensor, Vec<u32>) {
 /// # Panics
 ///
 /// Panics if shapes disagree with the forward call that produced `idx`.
-pub fn maxpool2d_backward(
-    x_shape: &crate::Shape,
-    dy: &Tensor,
-    idx: &[u32],
-) -> Tensor {
+pub fn maxpool2d_backward(x_shape: &crate::Shape, dy: &Tensor, idx: &[u32]) -> Tensor {
     let (n, c, h, w) = x_shape.nchw();
     assert_eq!(idx.len(), dy.numel(), "maxpool idx/dy length mismatch");
     let (dn, dc, ho, wo) = dy.shape().nchw();
@@ -187,7 +183,10 @@ mod tests {
     #[test]
     fn maxpool_values() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             [1, 1, 4, 4],
         )
         .unwrap();

@@ -81,12 +81,12 @@ impl Tensor {
     }
 
     /// Builds a tensor by evaluating `f` at each flat index.
-    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
         Tensor {
             shape,
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 
@@ -462,7 +462,12 @@ impl Tensor {
 
     /// Euclidean norm of the flattened tensor.
     pub fn l2_norm(&self) -> f32 {
-        (self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+        (self
+            .data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>())
+        .sqrt() as f32
     }
 
     /// Index of the maximum along the last dimension, for each leading index.

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use nb_tensor::{ConvGeometry, Shape, Tensor};
     pub use netbooster_core::{
         contract_model, expand, linear_probe_transfer, netbooster_train, netbooster_transfer,
-        train_netaug, train_vanilla, BlockKind, DecayCurve, ExpansionPlan, KdConfig,
-        NetAugConfig, NetBoosterConfig, Placement, TrainConfig,
+        train_netaug, train_vanilla, BlockKind, DecayCurve, ExpansionPlan, KdConfig, NetAugConfig,
+        NetBoosterConfig, Placement, TrainConfig,
     };
 }

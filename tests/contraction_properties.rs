@@ -16,7 +16,8 @@ use rand::SeedableRng;
 
 fn randomize_bn(bn: &BatchNorm2d, rng: &mut StdRng) {
     let c = bn.channels();
-    bn.gamma().set_value(Tensor::rand_uniform([c], 0.5, 1.5, rng));
+    bn.gamma()
+        .set_value(Tensor::rand_uniform([c], 0.5, 1.5, rng));
     bn.beta().set_value(Tensor::randn([c], rng).scale(0.3));
     bn.set_running_stats(
         Tensor::randn([c], rng).scale(0.2),

@@ -29,12 +29,11 @@ fn ideal_grid(targets: &netbooster::models::GridTargets, classes: usize, g: usiz
                             logit(targets.boxes.at4(ni, ch, gy, gx));
                     }
                     for c in 0..classes {
-                        *grid.at4_mut(ni, 5 + c, gy, gx) =
-                            if targets.cls.at4(ni, c, gy, gx) > 0.5 {
-                                12.0
-                            } else {
-                                -12.0
-                            };
+                        *grid.at4_mut(ni, 5 + c, gy, gx) = if targets.cls.at4(ni, c, gy, gx) > 0.5 {
+                            12.0
+                        } else {
+                            -12.0
+                        };
                     }
                 }
             }
@@ -51,7 +50,13 @@ fn arbitrary_box(classes: usize) -> impl Strategy<Value = BoxAnnotation> {
         0.1f32..0.4,
         0.1f32..0.4,
     )
-        .prop_map(|(class, cx, cy, w, h)| BoxAnnotation { class, cx, cy, w, h })
+        .prop_map(|(class, cx, cy, w, h)| BoxAnnotation {
+            class,
+            cx,
+            cy,
+            w,
+            h,
+        })
 }
 
 proptest! {

@@ -14,7 +14,16 @@ use rand::{rngs::StdRng, SeedableRng};
 
 fn tiny_data(classes: usize, seed: u64) -> (SyntheticVision, SyntheticVision) {
     let mk = |split| {
-        SyntheticVision::new("it", Family::Objects, classes, 12, 24, Nuisance::easy(), seed, split)
+        SyntheticVision::new(
+            "it",
+            Family::Objects,
+            classes,
+            12,
+            24,
+            Nuisance::easy(),
+            seed,
+            split,
+        )
     };
     (mk(Split::Train), mk(Split::Val))
 }
@@ -62,7 +71,13 @@ fn all_baselines_run_on_the_same_task() {
     assert_eq!(vanilla.val_acc.len(), 2);
 
     let reg_model = TinyNet::new(cfg_model.clone(), &mut rng);
-    let reg = train_with_feature_drop(&reg_model, &train, &val, &cfg, &FeatureDropConfig::default());
+    let reg = train_with_feature_drop(
+        &reg_model,
+        &train,
+        &val,
+        &cfg,
+        &FeatureDropConfig::default(),
+    );
     assert_eq!(reg.val_acc.len(), 2);
 
     let (netaug_model, netaug) = train_netaug(
@@ -99,9 +114,8 @@ fn transfer_pipeline_reaches_downstream_dataset() {
     // vanilla path
     let mut m = TinyNet::new(cfg_model.clone(), &mut rng);
     train_vanilla(&m, &pre_train, &pre_val, &cfg);
-    let mk = |split| {
-        SyntheticVision::new("dn", Family::Radial, 4, 12, 16, Nuisance::easy(), 9, split)
-    };
+    let mk =
+        |split| SyntheticVision::new("dn", Family::Radial, 4, 12, 16, Nuisance::easy(), 9, split);
     let (dtrain, dval) = (mk(Split::Train), mk(Split::Val));
     let h = vanilla_transfer(&mut m, &dtrain, &dval, &cfg, &mut rng);
     assert_eq!(m.config.classes, 4);
@@ -171,7 +185,9 @@ fn expanded_giant_state_roundtrips_through_disk() {
     let loaded = StateDict::load(&path).unwrap();
     let mut fresh = TinyNet::new(cfg_model, &mut rng);
     netbooster::core::expand(&mut fresh, &ExpansionPlan::paper_default(), &mut rng);
-    loaded.load_into(&fresh).expect("same expanded architecture");
+    loaded
+        .load_into(&fresh)
+        .expect("same expanded architecture");
     let probe = Tensor::randn([1, 3, 12, 12], &mut rng);
     assert!(giant
         .logits_eval(&probe)
