@@ -32,8 +32,15 @@ impl GradCheckReport {
 ///
 /// `f` receives a graph and a leaf for the (possibly perturbed) input and
 /// must return a scalar loss value. The analytic gradient is compared
-/// against central finite differences with step `eps` at every coordinate
-/// (or a strided subset when the tensor has more than `max_probes` entries).
+/// against central finite differences at every coordinate (or a strided
+/// subset when the tensor has more than `max_probes` entries).
+///
+/// The actual step at coordinate `i` is `eps * (1 + |x_i|)`: a fixed step
+/// is catastrophically cancelled for large-magnitude parameters (the loss
+/// difference drops below f32 resolution) and disproportionately large for
+/// tiny ones. The difference quotient divides by the *representable* step
+/// `(x_i + h) - (x_i - h)` as rounded to f32, removing the quantization
+/// component of the error.
 ///
 /// # Panics
 ///
@@ -70,11 +77,14 @@ pub fn grad_check(
             let loss = f(&mut g, x);
             g.value(loss).item()
         };
+        let xi = input.as_slice()[i];
+        let h = eps * (1.0 + xi.abs());
         let mut plus = input.clone();
-        plus.as_mut_slice()[i] += eps;
+        plus.as_mut_slice()[i] = xi + h;
         let mut minus = input.clone();
-        minus.as_mut_slice()[i] -= eps;
-        let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+        minus.as_mut_slice()[i] = xi - h;
+        let step = plus.as_slice()[i] - minus.as_slice()[i];
+        let numeric = (eval(&plus) - eval(&minus)) / step;
         let a = analytic.as_slice()[i];
         let rel = (a - numeric).abs() / (1.0 + a.abs().max(numeric.abs()));
         if rel > report.max_rel_err {
@@ -310,6 +320,32 @@ mod tests {
         let pred = Tensor::randn([12], &mut r).scale(2.0);
         let rep = grad_check(&pred, 1e-3, 12, |g, pin| g.smooth_l1(pin, &targets, &mask));
         assert!(rep.passes(2e-2), "smooth_l1: {rep:?}");
+    }
+
+    #[test]
+    fn eps_scales_with_parameter_magnitude() {
+        // with a fixed step of 1e-3, a quadratic loss over order-1e3 inputs
+        // has a loss difference of ~2e-6 relative to the loss itself —
+        // below f32 resolution, so the numeric derivative quantizes to
+        // garbage. the magnitude-scaled step keeps the check meaningful.
+        let mut r = rng();
+        let big = Tensor::from_fn([16], |i| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            sign * (800.0 + 50.0 * i as f32)
+        });
+        let rep = grad_check(&big, 1e-3, 16, |g, xin| {
+            let y = g.mul(xin, xin);
+            g.mean_all(y)
+        });
+        assert!(rep.passes(1e-2), "large magnitude: {rep:?}");
+        // and a tiny-magnitude input must not be swamped by the step either
+        let small = Tensor::randn([16], &mut r).scale(1e-4);
+        let rep = grad_check(&small, 1e-3, 16, |g, xin| {
+            let w = g.constant(Tensor::from_fn([16], |i| i as f32 - 7.5));
+            let y = g.mul(xin, w);
+            g.mean_all(y)
+        });
+        assert!(rep.passes(1e-2), "small magnitude: {rep:?}");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod detection;
 pub mod expansion;
 pub mod methods;
 pub mod plt;
+pub mod sweep;
 pub mod trainer;
 pub mod transfer;
 
@@ -63,8 +64,9 @@ pub use methods::netbooster::{
     NetBoosterOutcome,
 };
 pub use methods::regularize::{train_with_feature_drop, FeatureDropConfig};
-pub use methods::vanilla::train_vanilla;
+pub use methods::vanilla::{train_vanilla, vanilla_easy_task_metric, vanilla_easy_task_sweep};
 pub use plt::{DecayCurve, PltDriver};
+pub use sweep::{seed_sweep, SeedRun, SweepCriterion, SweepReport};
 pub use trainer::{
     ce_loss_fn, evaluate, evaluate_confusion, fit, History, NoHooks, TrainConfig, TrainHooks,
 };

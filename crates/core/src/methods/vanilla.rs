@@ -5,6 +5,13 @@ use nb_data::SyntheticVision;
 use nb_models::TinyNet;
 use nb_nn::Module;
 
+use crate::sweep::{seed_sweep, SweepCriterion, SweepReport};
+use nb_data::recipe::{Family, Nuisance};
+use nb_data::Split;
+use nb_models::mobilenet_v2_tiny;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 /// Trains a model with plain cross-entropy (the paper's "Vanilla" rows).
 pub fn train_vanilla(
     model: &TinyNet,
@@ -24,38 +31,55 @@ pub fn train_vanilla(
     )
 }
 
+/// One vanilla run on the 2-class easy task: returns the best validation
+/// accuracy for `seed`, which drives both the model init and the shuffle
+/// order. The shared single-run closure behind
+/// [`vanilla_easy_task_sweep`].
+pub fn vanilla_easy_task_metric(seed: u64) -> f32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mk =
+        |split| SyntheticVision::new("e", Family::Objects, 2, 12, 32, Nuisance::easy(), 9, split);
+    let (train, val) = (mk(Split::Train), mk(Split::Val));
+    let mut cfg_model = mobilenet_v2_tiny(2);
+    cfg_model.blocks.truncate(3);
+    cfg_model.head_c = 16;
+    let model = TinyNet::new(cfg_model, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 8,
+        lr: 0.08,
+        seed,
+        augment: nb_data::Augment::none(),
+        ..TrainConfig::default()
+    };
+    train_vanilla(&model, &train, &val, &cfg).best_val_acc()
+}
+
+/// The deflaked form of the old single-seed `vanilla_learns_an_easy_task`
+/// check: sweeps [`vanilla_easy_task_metric`] over `seeds` and judges the
+/// 75% accuracy bar statistically (≥ 80% of seeds must clear it). Used by
+/// both the unit test and `nb-verify`'s `verify_all`.
+pub fn vanilla_easy_task_sweep(seeds: &[u64]) -> SweepReport {
+    seed_sweep(
+        seeds,
+        SweepCriterion::majority(75.0),
+        vanilla_easy_task_metric,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nb_data::recipe::{Family, Nuisance};
-    use nb_data::Split;
-    use nb_models::mobilenet_v2_tiny;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn vanilla_learns_an_easy_task() {
-        let mut rng = StdRng::seed_from_u64(0);
-        let mk = |split| {
-            SyntheticVision::new("e", Family::Objects, 2, 12, 32, Nuisance::easy(), 9, split)
-        };
-        let (train, val) = (mk(Split::Train), mk(Split::Val));
-        let mut cfg_model = mobilenet_v2_tiny(2);
-        cfg_model.blocks.truncate(3);
-        cfg_model.head_c = 16;
-        let model = TinyNet::new(cfg_model, &mut rng);
-        let cfg = TrainConfig {
-            epochs: 6,
-            batch_size: 8,
-            lr: 0.08,
-            augment: nb_data::Augment::none(),
-            ..TrainConfig::default()
-        };
-        let h = train_vanilla(&model, &train, &val, &cfg);
+        // statistical criterion across seeds instead of a single-seed
+        // threshold — any one seed may land an unlucky init (see sweep.rs)
+        let report = vanilla_easy_task_sweep(&[0, 1, 2, 3, 4]);
         assert!(
-            h.best_val_acc() >= 75.0,
-            "2-class easy task should be learnable: {:?}",
-            h.val_acc
+            report.passes(),
+            "2-class easy task should be learnable on most seeds:\n{}",
+            report.summary()
         );
     }
 }

@@ -145,7 +145,7 @@ proptest! {
     /// Results are bitwise identical whether the pool runs wide or is capped
     /// to a single thread (parallelism only ever splits rows).
     #[test]
-    fn thread_width_is_invisible(seed in 0u64..1000) {
+    fn thread_width_is_invisible_prop(seed in 0u64..1000) {
         // Fixed large-ish shape so the default-width run takes the parallel
         // path when the pool has more than one thread.
         let (m, k, n) = (96usize, 160usize, 80usize);
@@ -160,6 +160,144 @@ proptest! {
         prop_assert!(
             wide.iter().zip(&narrow).all(|(x, y)| x.to_bits() == y.to_bits()),
             "thread width changed bits"
+        );
+    }
+}
+
+// ---- pinned edge shapes -----------------------------------------------
+//
+// The shapes the tiling makes dangerous, as explicit always-run cases (the
+// property tests above only sample them): K = 0 (epilogue-only path),
+// outputs smaller than the 4x8 microkernel tile, the exact-tile shape, and
+// sizes leaving MC/KC/NC remainder blocks.
+
+/// Runs all four transpose variants of one shape against the reference.
+fn check_all_variants(m: usize, k: usize, n: usize, seed: u64) {
+    let a = buf(m * k, seed);
+    let b = buf(k * n, seed ^ 0x1234);
+    for (a_trans, b_trans) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut got = vec![0.0f32; m * n];
+        gemm(&a, a_trans, &b, b_trans, &mut got, m, k, n, None, false);
+        let want = naive(&a, a_trans, &b, b_trans, m, k, n);
+        let diff = max_diff(&got, &want);
+        assert!(
+            diff <= tol(k),
+            "({m},{k},{n}) at={a_trans} bt={b_trans}: max diff {diff}"
+        );
+    }
+}
+
+#[test]
+fn pinned_k0_is_epilogue_only() {
+    let (m, n) = (3usize, 5usize);
+    let a: Vec<f32> = vec![];
+    let b: Vec<f32> = vec![];
+    // plain: zero-fills
+    let mut c = vec![7.0f32; m * n];
+    gemm(&a, false, &b, false, &mut c, m, 0, n, None, false);
+    assert!(c.iter().all(|&v| v == 0.0), "k=0 plain must zero-fill");
+    // row_init: broadcasts the per-row seed
+    let init = [1.0f32, 2.0, 3.0];
+    let mut c = vec![7.0f32; m * n];
+    gemm(&a, false, &b, false, &mut c, m, 0, n, Some(&init), false);
+    for i in 0..m {
+        assert!(c[i * n..(i + 1) * n].iter().all(|&v| v == init[i]));
+    }
+    // accumulate: leaves the existing contents alone
+    let mut c = vec![7.0f32; m * n];
+    gemm(&a, false, &b, false, &mut c, m, 0, n, None, true);
+    assert!(
+        c.iter().all(|&v| v == 7.0),
+        "k=0 accumulate must not touch c"
+    );
+}
+
+#[test]
+fn pinned_empty_output_dims_are_noops() {
+    // m = 0 and n = 0: nothing to write, nothing to read out of bounds
+    let mut c: Vec<f32> = vec![];
+    gemm(
+        &buf(0, 1),
+        false,
+        &buf(12, 2),
+        false,
+        &mut c,
+        0,
+        3,
+        4,
+        None,
+        false,
+    );
+    gemm(
+        &buf(12, 3),
+        false,
+        &buf(0, 4),
+        false,
+        &mut c,
+        4,
+        3,
+        0,
+        None,
+        false,
+    );
+}
+
+#[test]
+fn pinned_scalar_1x1x1() {
+    check_all_variants(1, 1, 1, 10);
+}
+
+#[test]
+fn pinned_smaller_than_microkernel_tile() {
+    // the 4x8 microkernel must handle m < 4 and n < 8 remaindering
+    check_all_variants(2, 7, 3, 11);
+    check_all_variants(3, 5, 7, 12);
+    check_all_variants(1, 16, 1, 13);
+}
+
+#[test]
+fn pinned_exact_microkernel_tile() {
+    check_all_variants(4, 8, 8, 14);
+}
+
+#[test]
+fn pinned_remainder_rows_and_cols() {
+    check_all_variants(5, 3, 9, 15);
+    check_all_variants(7, 12, 10, 16);
+}
+
+#[test]
+fn pinned_cache_block_remainders() {
+    // one past MC = 64, KC = 256; one short of NC-aligned widths
+    check_all_variants(65, 257, 63, 17);
+}
+
+#[test]
+fn pinned_shapes_thread_invariant() {
+    // bitwise equality between width 1 and the full pool on every pinned
+    // shape (including those the parallel row-split refuses to take)
+    for (i, &(m, k, n)) in [
+        (2usize, 7usize, 3usize),
+        (4, 8, 8),
+        (5, 3, 9),
+        (65, 257, 63),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let a = buf(m * k, 20 + i as u64);
+        let b = buf(k * n, 40 + i as u64);
+        let mut wide = vec![0.0f32; m * n];
+        gemm(&a, false, &b, false, &mut wide, m, k, n, None, false);
+        let mut narrow = vec![0.0f32; m * n];
+        with_thread_cap(1, || {
+            gemm(&a, false, &b, false, &mut narrow, m, k, n, None, false);
+        });
+        assert!(
+            wide.iter()
+                .zip(&narrow)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "({m},{k},{n}): thread width changed bits"
         );
     }
 }

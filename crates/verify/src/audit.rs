@@ -1,0 +1,366 @@
+//! Contraction exactness audit.
+//!
+//! The audit takes an [`ExpansionPlan`] — any Q1 block kind, Q2 placement,
+//! Q3 ratio — builds a small all-stride-1 network, expands it, runs a few
+//! optimization steps while a [`PltDriver`] decays the slopes to `alpha = 1`
+//! (with batch-norm running statistics updating along the way, exactly as
+//! real PLT training does), and then checks the contraction algebra:
+//!
+//! - **per layer**: each expanded block's output is compared against its
+//!   contracted single convolution on the block's actual input activations.
+//!   For inverted-residual inserted blocks (all 1x1 kernels) the comparison
+//!   covers the full plane; for the 3x3 Basic/Bottleneck kinds, bias
+//!   propagation through zero padding is only exact in the interior, so the
+//!   gated criterion excludes a `(k-1)/2`-pixel border (the full-plane
+//!   divergence is still recorded in the table);
+//! - **end to end**: after [`contract_model`], eval logits on a probe batch
+//!   must match the giant's (gated only for the inverted-residual kind,
+//!   where contraction is exact everywhere).
+//!
+//! Divergences are max-abs, normalized by `1 + max|reference|` so the bound
+//! is scale-free.
+
+use nb_models::{PwSlot, TinyNet};
+use nb_nn::{Module, Session};
+use nb_optim::{Sgd, SgdConfig};
+use nb_tensor::Tensor;
+use netbooster_core::{
+    contract_inserted_block, contract_model, expand, BlockKind, ExpansionPlan, Placement, PltDriver,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Divergence of one expanded block against its contracted convolution.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerDivergence {
+    /// Index of the block in `model.blocks`.
+    pub block_index: usize,
+    /// Kernel size of the contracted convolution.
+    pub kernel: usize,
+    /// Normalized max-abs divergence over the full output plane.
+    pub full: f32,
+    /// Normalized max-abs divergence over the interior (excluding the
+    /// `(kernel-1)/2`-pixel border where 3x3 compositions are approximate).
+    pub interior: f32,
+}
+
+/// The outcome of auditing one expansion plan.
+#[derive(Debug, Clone)]
+pub struct ContractionAudit {
+    /// The plan that was audited.
+    pub plan: ExpansionPlan,
+    /// Seed the model, data, and training steps were derived from.
+    pub seed: u64,
+    /// The normalized divergence bound applied to gated comparisons.
+    pub tolerance: f32,
+    /// Per-layer divergence table.
+    pub layers: Vec<LayerDivergence>,
+    /// Normalized max-abs divergence of eval logits after `contract_model`.
+    pub logits: f32,
+    /// Whether the logits comparison gates `pass` (inverted residual only).
+    pub logits_gated: bool,
+    /// How many blocks `contract_model` contracted.
+    pub contracted: usize,
+}
+
+impl ContractionAudit {
+    /// True when every gated comparison is within tolerance.
+    pub fn pass(&self) -> bool {
+        self.layers.iter().all(|l| l.interior <= self.tolerance)
+            && (!self.logits_gated || self.logits <= self.tolerance)
+            && self.contracted == self.layers.len()
+            && !self.layers.is_empty()
+    }
+
+    /// The per-layer divergence table (plus the end-to-end row).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "plan {:?}/{:?}/r{} seed {} (tol {:.1e}): {}\n",
+            self.plan.kind,
+            self.plan.placement,
+            self.plan.ratio,
+            self.seed,
+            self.tolerance,
+            if self.pass() { "PASS" } else { "FAIL" },
+        );
+        for l in &self.layers {
+            out.push_str(&format!(
+                "  block {:>2}  k={}  full={:.3e}  interior={:.3e}  {}\n",
+                l.block_index,
+                l.kernel,
+                l.full,
+                l.interior,
+                if l.interior <= self.tolerance {
+                    "ok"
+                } else {
+                    "DIVERGED"
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "  logits    full={:.3e}  {}\n",
+            self.logits,
+            if !self.logits_gated {
+                "(not gated: 3x3 border effects propagate)"
+            } else if self.logits <= self.tolerance {
+                "ok"
+            } else {
+                "DIVERGED"
+            }
+        ));
+        out
+    }
+}
+
+/// Normalized max-abs divergence: `max|got-want| / (1 + max|want|)`.
+fn norm_div(got: &Tensor, want: &Tensor) -> f32 {
+    let scale = 1.0 + want.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    got.max_abs_diff(want) / scale
+}
+
+/// Like [`norm_div`] but over `[n, c, h, w]` interior pixels only, skipping
+/// `margin` pixels at every spatial border.
+fn norm_div_interior(got: &Tensor, want: &Tensor, margin: usize) -> f32 {
+    let d = want.dims();
+    assert_eq!(d.len(), 4, "interior divergence expects [n,c,h,w]");
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    if h <= 2 * margin || w <= 2 * margin {
+        return 0.0;
+    }
+    let mut max_abs = 0.0f32;
+    let mut max_ref = 0.0f32;
+    for b in 0..n {
+        for ch in 0..c {
+            for y in margin..h - margin {
+                for x in margin..w - margin {
+                    let g = got.at4(b, ch, y, x);
+                    let r = want.at4(b, ch, y, x);
+                    max_abs = max_abs.max((g - r).abs());
+                    max_ref = max_ref.max(r.abs());
+                }
+            }
+        }
+    }
+    max_abs / (1.0 + max_ref)
+}
+
+fn eval_forward(m: &impl Module, x: &Tensor) -> Tensor {
+    let mut s = Session::new(false);
+    let xin = s.input(x.clone());
+    let y = m.forward(&mut s, xin);
+    s.value(y).clone()
+}
+
+/// The small all-stride-1 architecture the audit runs on.
+///
+/// Strides are 1 everywhere so every feature map stays at the input
+/// resolution, leaving enough interior pixels to judge even a 5x5
+/// contracted kernel (margin 2). The first block has expansion ratio 1
+/// (no slot), so placement variants act on a 4-element expandable set.
+fn audit_config() -> nb_models::TnnConfig {
+    let blk = |in_c, out_c| nb_models::BlockSpec {
+        in_c,
+        out_c,
+        expand_ratio: 2,
+        kernel: 3,
+        stride: 1,
+    };
+    nb_models::TnnConfig {
+        name: "audit-net".to_string(),
+        stem_c: 8,
+        stem_stride: 1,
+        blocks: vec![
+            nb_models::BlockSpec {
+                in_c: 8,
+                out_c: 8,
+                expand_ratio: 1,
+                kernel: 3,
+                stride: 1,
+            },
+            blk(8, 8),
+            blk(8, 12),
+            blk(12, 12),
+            blk(12, 12),
+        ],
+        head_c: 16,
+        classes: 4,
+    }
+}
+
+/// Spatial size the audit feeds the network.
+const AUDIT_HW: usize = 12;
+/// Optimization steps run while PLT decays the slopes.
+const AUDIT_STEPS: usize = 4;
+
+/// Expands a fresh audit model with `plan`, trains it a few steps while PLT
+/// decays every slope to 1 (batch-norm running stats updating), then
+/// contracts and measures per-layer and end-to-end divergence.
+pub fn audit_contraction(plan: &ExpansionPlan, seed: u64, tolerance: f32) -> ContractionAudit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = TinyNet::new(audit_config(), &mut rng);
+    let handle = expand(&mut model, plan, &mut rng);
+    let classes = model.config.classes;
+
+    // a few real optimization steps mid-PLT: weights move, BN running
+    // statistics update, slopes sweep 0 -> 1
+    let mut plt = PltDriver::new(handle.slopes.clone(), AUDIT_STEPS);
+    let mut opt = Sgd::new(
+        model.parameters(),
+        SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            nesterov: false,
+        },
+    );
+    let batch = Tensor::randn([8, 3, AUDIT_HW, AUDIT_HW], &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % classes).collect();
+    for _ in 0..AUDIT_STEPS {
+        opt.zero_grad();
+        let mut s = Session::new(true);
+        let x = s.input(batch.clone());
+        let y = model.forward(&mut s, x);
+        let loss = s.graph.softmax_cross_entropy(y, &labels, 0.0);
+        s.backward(loss);
+        opt.step(0.05);
+        plt.step();
+    }
+    plt.finish();
+
+    // per-layer walk: the expand slot is the first op of its block, so the
+    // running activation entering each block is exactly the slot's input
+    let probe = Tensor::randn([2, 3, AUDIT_HW, AUDIT_HW], &mut rng);
+    let mut layers = Vec::new();
+    {
+        let mut s = Session::new(false);
+        let mut cur = s.input(probe.clone());
+        cur = model.stem.forward(&mut s, cur);
+        for (bi, block) in model.blocks.iter().enumerate() {
+            if let Some(PwSlot::Expanded(ib)) = &block.expand {
+                let xin = s.value(cur).clone();
+                let want = eval_forward(ib, &xin);
+                let conv = contract_inserted_block(ib);
+                let got = eval_forward(&conv, &xin);
+                let kernel = conv.geom().kh;
+                layers.push(LayerDivergence {
+                    block_index: bi,
+                    kernel,
+                    full: norm_div(&got, &want),
+                    interior: norm_div_interior(&got, &want, (kernel - 1) / 2),
+                });
+            }
+            cur = block.forward(&mut s, cur);
+        }
+    }
+
+    // end to end: eval logits before vs after contraction
+    let before = model.logits_eval(&probe);
+    let contracted = contract_model(&mut model);
+    let after = model.logits_eval(&probe);
+    ContractionAudit {
+        plan: *plan,
+        seed,
+        tolerance,
+        layers,
+        logits: norm_div(&after, &before),
+        logits_gated: plan.kind == BlockKind::InvertedResidual,
+        contracted,
+    }
+}
+
+/// The Q1 x Q2 x Q3 plan grid the audit sweeps.
+///
+/// Fast mode: 3 kinds x {Uniform 0.5, Last 2} x ratio 6 (6 plans).
+/// Full mode: 3 kinds x 4 placements x ratios {2, 6} (24 plans).
+pub fn default_plans(fast: bool) -> Vec<ExpansionPlan> {
+    let kinds = [
+        BlockKind::InvertedResidual,
+        BlockKind::Basic,
+        BlockKind::Bottleneck,
+    ];
+    let placements: Vec<Placement> = if fast {
+        vec![
+            Placement::Uniform { fraction: 0.5 },
+            Placement::Last { n: 2 },
+        ]
+    } else {
+        vec![
+            Placement::Uniform { fraction: 0.5 },
+            Placement::First { n: 2 },
+            Placement::Middle { n: 2 },
+            Placement::Last { n: 2 },
+        ]
+    };
+    let ratios: &[usize] = if fast { &[6] } else { &[2, 6] };
+    let mut plans = Vec::new();
+    for &kind in &kinds {
+        for &placement in &placements {
+            for &ratio in ratios {
+                plans.push(ExpansionPlan {
+                    kind,
+                    placement,
+                    ratio,
+                });
+            }
+        }
+    }
+    plans
+}
+
+/// Audits every plan in [`default_plans`] at the given tolerance.
+pub fn run_audit_suite(fast: bool, tolerance: f32) -> Vec<ContractionAudit> {
+    default_plans(fast)
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| audit_contraction(plan, 100 + i as u64, tolerance))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_grid_sizes() {
+        assert_eq!(default_plans(true).len(), 6);
+        assert_eq!(default_plans(false).len(), 24);
+    }
+
+    #[test]
+    fn paper_default_plan_audit_passes() {
+        let audit = audit_contraction(&ExpansionPlan::paper_default(), 7, 1e-4);
+        assert!(audit.pass(), "{}", audit.render());
+        assert!(audit.logits_gated);
+        assert_eq!(audit.contracted, audit.layers.len());
+        // inverted residual contracts to 1x1: full plane is gated
+        for l in &audit.layers {
+            assert_eq!(l.kernel, 1);
+            assert!((l.full - l.interior).abs() < f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn basic_kind_audit_passes_in_interior() {
+        let plan = ExpansionPlan {
+            kind: BlockKind::Basic,
+            placement: Placement::Last { n: 2 },
+            ratio: 6,
+        };
+        let audit = audit_contraction(&plan, 11, 1e-4);
+        assert!(audit.pass(), "{}", audit.render());
+        assert!(!audit.logits_gated, "3x3 kinds don't gate on logits");
+        for l in &audit.layers {
+            assert_eq!(l.kernel, 5, "basic contracts to 5x5");
+        }
+    }
+
+    #[test]
+    fn render_lists_every_layer() {
+        let audit = audit_contraction(&ExpansionPlan::paper_default(), 3, 1e-4);
+        let table = audit.render();
+        for l in &audit.layers {
+            assert!(table.contains(&format!("block {:>2}", l.block_index)));
+        }
+        assert!(table.contains("logits"));
+    }
+}

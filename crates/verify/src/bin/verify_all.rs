@@ -1,0 +1,65 @@
+//! Runs the full correctness gauntlet: kernel differential suites,
+//! contraction exactness audits, and the training seed sweep.
+//!
+//! Usage: `verify_all [--fast]`. Exits non-zero on any divergence and
+//! prints the offending per-case / per-layer tables.
+
+use nb_verify::audit::run_audit_suite;
+use nb_verify::diff::{run_conv_suite, run_depthwise_suite, run_gemm_suite, run_pool_suite};
+use netbooster_core::vanilla_easy_task_sweep;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let mode = if fast { "fast" } else { "full" };
+    println!("== nb-verify ({mode} mode) ==");
+    let mut failed = false;
+
+    // 1. differential oracles
+    for (name, report) in [
+        ("gemm", run_gemm_suite(fast)),
+        ("conv", run_conv_suite(fast)),
+        ("depthwise", run_depthwise_suite(fast)),
+        ("pool", run_pool_suite(fast)),
+    ] {
+        println!("[diff:{name}] {}", report.summary_line());
+        if !report.pass() {
+            failed = true;
+            print!("{}", report.render_failures());
+        }
+    }
+
+    // 2. contraction exactness audit over the Q1 x Q2 x Q3 grid
+    let audits = run_audit_suite(fast, 1e-4);
+    let bad = audits.iter().filter(|a| !a.pass()).count();
+    println!("[audit] {} plans, {} failures", audits.len(), bad);
+    for a in &audits {
+        if !a.pass() {
+            failed = true;
+            print!("{}", a.render());
+        }
+    }
+
+    // 3. training seed sweep (statistical pass criterion)
+    let seeds: Vec<u64> = if fast {
+        (0..5).collect()
+    } else {
+        (0..8).collect()
+    };
+    let report = vanilla_easy_task_sweep(&seeds);
+    println!(
+        "[sweep] vanilla easy task: {:.0}% of {} seeds passed (need {:.0}%)",
+        report.pass_fraction() * 100.0,
+        report.runs.len(),
+        report.criterion.min_pass_fraction * 100.0,
+    );
+    if !report.passes() {
+        failed = true;
+        print!("{}", report.summary());
+    }
+
+    if failed {
+        println!("verify_all: FAILED");
+        std::process::exit(1);
+    }
+    println!("verify_all: OK");
+}

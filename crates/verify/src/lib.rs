@@ -1,0 +1,34 @@
+//! Correctness subsystem for the NetBooster reproduction.
+//!
+//! Numerical code fails quietly: a mis-tiled GEMM remainder block or a
+//! mis-folded batch norm doesn't crash, it just trains a slightly wrong
+//! network. This crate makes those failures loud, with three pillars:
+//!
+//! 1. **Differential oracles** ([`oracle`], [`diff`]) — naive, obviously
+//!    correct f64 re-implementations of every hot kernel (GEMM in all
+//!    transpose/epilogue variants, dense and depthwise convolution forward
+//!    and backward, pooling), plus a fuzz driver that sweeps edge-shape
+//!    grids against the fast kernels at several thread-pool widths under
+//!    ULP-bounded tolerances ([`tolerance`]).
+//! 2. **Contraction exactness audit** ([`audit`]) — for any
+//!    [`ExpansionPlan`](netbooster_core::ExpansionPlan) (all Q1 block kinds,
+//!    Q2 placements, Q3 ratios), expand a model, run PLT to `alpha = 1`
+//!    with real optimization steps (batch-norm running statistics
+//!    updating), contract, and assert the giant and the contracted tiny
+//!    network agree — per layer and end to end.
+//! 3. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
+//!    statistical pass criteria for learning tests: a test passes when
+//!    enough seeds clear the bar, not when one lucky seed does.
+//!
+//! The `verify_all` binary runs all three (`--fast` for the CI-sized grid)
+//! and exits non-zero on any divergence, printing the per-layer tables.
+
+pub mod audit;
+pub mod diff;
+pub mod oracle;
+pub mod tolerance;
+
+pub use audit::{audit_contraction, default_plans, run_audit_suite, ContractionAudit};
+pub use diff::{run_all_suites, DiffReport};
+pub use netbooster_core::{seed_sweep, SeedRun, SweepCriterion, SweepReport};
+pub use tolerance::{ulp_distance, Divergence, UlpTolerance};

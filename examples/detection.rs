@@ -40,7 +40,10 @@ fn main() {
     let dets = det.detect(&img.reshape([1, 3, 24, 24]), 0.3);
     println!("\nimage 0 ground truth:");
     for b in &gt {
-        println!("  class {} at ({:.2}, {:.2}) size {:.2}x{:.2}", b.class, b.cx, b.cy, b.w, b.h);
+        println!(
+            "  class {} at ({:.2}, {:.2}) size {:.2}x{:.2}",
+            b.class, b.cx, b.cy, b.w, b.h
+        );
     }
     println!("image 0 detections:");
     for d in &dets[0] {

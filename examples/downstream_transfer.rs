@@ -6,8 +6,7 @@
 //! Run: `cargo run --release --example downstream_transfer`
 
 use netbooster::core::{
-    netbooster_transfer, train_giant, train_vanilla, vanilla_transfer, ExpansionPlan,
-    TrainConfig,
+    netbooster_transfer, train_giant, train_vanilla, vanilla_transfer, ExpansionPlan, TrainConfig,
 };
 use netbooster::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};

@@ -13,4 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== verify_all (fast mode) =="
+# differential kernel oracles, contraction exactness audits, seed sweep;
+# exits non-zero and prints per-case / per-layer tables on any divergence
+cargo run --release -q -p nb-verify --bin verify_all -- --fast
+
 echo "CI OK"

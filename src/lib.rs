@@ -56,6 +56,10 @@ pub use netbooster_core as core;
 /// Metrics and experiment-table reporting.
 pub use nb_metrics as metrics;
 
+/// Correctness subsystem: differential kernel oracles, contraction
+/// exactness audits, and the seed-sweep harness.
+pub use nb_verify as verify;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use nb_data::{
@@ -72,7 +76,7 @@ pub mod prelude {
     pub use nb_tensor::{ConvGeometry, Shape, Tensor};
     pub use netbooster_core::{
         contract_model, expand, linear_probe_transfer, netbooster_train, netbooster_transfer,
-        train_netaug, train_vanilla, BlockKind, DecayCurve, ExpansionPlan, KdConfig, NetAugConfig,
-        NetBoosterConfig, Placement, TrainConfig,
+        seed_sweep, train_netaug, train_vanilla, BlockKind, DecayCurve, ExpansionPlan, KdConfig,
+        NetAugConfig, NetBoosterConfig, Placement, SweepCriterion, TrainConfig,
     };
 }

@@ -168,3 +168,79 @@ fn decay_endpoints_all_kinds() {
         prev = y;
     }
 }
+
+/// Contraction of an inverted-residual block (whose middle unit is the
+/// depthwise-k1 conv) stays exact when the batch norms' running statistics
+/// were updated by training-mode forwards *mid-PLT*, and the
+/// `update_bn_stats` switch isolates those statistics when off.
+#[test]
+fn depthwise_k1_contracts_after_bn_stats_update_mid_plt() {
+    let mut rng = StdRng::seed_from_u64(0x8111);
+    let block = build_inserted_block(BlockKind::InvertedResidual, 6, 6, 4, &mut rng);
+    assert!(block.residual, "matching channels give a residual block");
+    assert!(
+        block
+            .units
+            .iter()
+            .any(|u| matches!(u.conv, netbooster::models::InsertedConv::Depthwise(_))),
+        "inverted residual carries the depthwise-k1 middle unit"
+    );
+    let snapshot = || -> Vec<(Tensor, Tensor)> {
+        block
+            .units
+            .iter()
+            .map(|u| (u.bn.running_mean(), u.bn.running_var()))
+            .collect()
+    };
+    let before = snapshot();
+
+    // training-mode forwards at partial alpha: running stats must move
+    let slopes = block.slopes();
+    for alpha in [0.25f32, 0.5, 0.75] {
+        for s in &slopes {
+            s.set(alpha);
+        }
+        let mut s = Session::new(true);
+        let x = s.input(Tensor::randn([4, 6, 5, 5], &mut rng));
+        let _ = block.forward(&mut s, x);
+    }
+    let after_training = snapshot();
+    for ((m0, v0), (m1, v1)) in before.iter().zip(&after_training) {
+        assert!(
+            m0.max_abs_diff(m1) > 0.0 || v0.max_abs_diff(v1) > 0.0,
+            "mid-PLT training forwards must update running stats"
+        );
+    }
+
+    // with update_bn_stats off, a training forward leaves them untouched
+    let mut s = Session::new(true);
+    s.update_bn_stats = false;
+    let x = s.input(Tensor::randn([4, 6, 5, 5], &mut rng));
+    let _ = block.forward(&mut s, x);
+    for ((m1, v1), u) in after_training.iter().zip(&block.units) {
+        assert_eq!(m1.max_abs_diff(&u.bn.running_mean()), 0.0);
+        assert_eq!(v1.max_abs_diff(&u.bn.running_var()), 0.0);
+    }
+
+    // finish PLT and contract: eval outputs must still match exactly,
+    // with the *updated* statistics folded into the merged conv
+    for s in &slopes {
+        s.set(1.0);
+    }
+    let xe = Tensor::randn([2, 6, 5, 5], &mut rng);
+    let mut se = Session::new(false);
+    let xin = se.input(xe.clone());
+    let y = block.forward(&mut se, xin);
+    let want = se.value(y).clone();
+    let conv = contract_inserted_block(&block);
+    assert_eq!(conv.geom(), ConvGeometry::pointwise());
+    let mut sc = Session::new(false);
+    let xin = sc.input(xe);
+    let y = conv.forward(&mut sc, xin);
+    let got = sc.value(y).clone();
+    assert!(
+        got.allclose(&want, 1e-3),
+        "contracted vs giant after BN stat updates: diff {}",
+        got.max_abs_diff(&want)
+    );
+}
