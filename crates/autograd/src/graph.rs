@@ -1,11 +1,43 @@
 //! The computation tape: nodes, values, and the backward pass driver.
 
 use nb_tensor::{ConvGeometry, Shape, Tensor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide count of tape nodes ever allocated. Grad-free execution
+/// paths must not move this; tests diff it around an eval forward to prove
+/// no `Graph` node was recorded.
+static NODES_ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+/// Total number of [`Graph`] nodes allocated by this process so far.
+///
+/// Monotonic; diff two readings to count allocations across a region. The
+/// grad-free inference path is required to leave this unchanged.
+pub fn nodes_allocated() -> usize {
+    NODES_ALLOCATED.load(Ordering::Relaxed)
+}
 
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
 /// that produced it.
+///
+/// The same handle type doubles as the slot index of other `Forward`
+/// executors (e.g. the grad-free inference context in `nb-nn`), which is
+/// what lets one `Module::forward` definition serve every execution path;
+/// [`Value::index`]/[`Value::from_index`] convert explicitly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Value(pub(crate) usize);
+
+impl Value {
+    /// The raw index this handle wraps.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a handle from a raw index. Only meaningful for the executor
+    /// that assigned the index.
+    pub fn from_index(i: usize) -> Self {
+        Value(i)
+    }
+}
 
 /// The recorded operation that produced a node, together with whatever
 /// context its backward pass needs.
@@ -170,6 +202,7 @@ impl Graph {
     }
 
     pub(crate) fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Value {
+        NODES_ALLOCATED.fetch_add(1, Ordering::Relaxed);
         self.nodes.push(Node {
             value,
             grad: None,
@@ -177,6 +210,20 @@ impl Graph {
             requires_grad,
         });
         Value(self.nodes.len() - 1)
+    }
+
+    /// Bytes held by retained node values and gradients — the activation
+    /// memory an eval forward on the tape keeps alive. Counts each tensor's
+    /// storage once even when buffers are COW-shared, so this is an upper
+    /// bound on unique bytes.
+    pub fn retained_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                (n.value.numel() + n.grad.as_ref().map(|g| g.numel()).unwrap_or(0))
+                    * std::mem::size_of::<f32>()
+            })
+            .sum()
     }
 
     pub(crate) fn wants_grad(&self, v: Value) -> bool {

@@ -38,6 +38,6 @@ mod loss;
 mod ops;
 
 pub use check::{grad_check, GradCheckReport};
-pub use graph::{Graph, Value};
+pub use graph::{nodes_allocated, Graph, Value};
 pub use loss::softmax_rows;
 pub use ops::BnBatchStats;

@@ -2,7 +2,8 @@
 
 use crate::graph::{Graph, Op, Value};
 use nb_tensor::{
-    avgpool2d, conv2d, depthwise_conv2d, global_avg_pool, maxpool2d, ConvGeometry, Shape, Tensor,
+    avgpool2d, conv2d, depthwise_conv2d, eltwise, global_avg_pool, maxpool2d, ConvGeometry, Shape,
+    Tensor,
 };
 
 /// Batch statistics produced by a training-mode batch-norm forward, for the
@@ -62,14 +63,8 @@ impl Graph {
     ///
     /// Panics if `x` is not rank 4 or `bias` is not `[c]`.
     pub fn add_bias4(&mut self, x: Value, bias: Value) -> Value {
-        let (n, c, h, w) = self.value(x).shape().nchw();
-        assert_eq!(self.value(bias).dims(), &[c], "add_bias4 bias shape");
-        let xs = self.value(x).as_slice();
-        let bs = self.value(bias).as_slice();
-        let mut out = Tensor::zeros([n, c, h, w]);
-        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
-            *v = xs[i] + bs[(i / (h * w)) % c];
-        }
+        let mut out = self.value(x).clone();
+        eltwise::add_bias4_inplace(&mut out, self.value(bias));
         let rg = self.wants_grad(x) || self.wants_grad(bias);
         self.push(out, Op::AddBias4(x, bias), rg)
     }
@@ -80,14 +75,8 @@ impl Graph {
     ///
     /// Panics if `x` is not rank 2 or `bias` is not `[f]`.
     pub fn add_bias2(&mut self, x: Value, bias: Value) -> Value {
-        let (n, f) = self.value(x).shape().rc();
-        assert_eq!(self.value(bias).dims(), &[f], "add_bias2 bias shape");
-        let xs = self.value(x).as_slice();
-        let bs = self.value(bias).as_slice();
-        let mut out = Tensor::zeros([n, f]);
-        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
-            *v = xs[i] + bs[i % f];
-        }
+        let mut out = self.value(x).clone();
+        eltwise::add_bias2_inplace(&mut out, self.value(bias));
         let rg = self.wants_grad(x) || self.wants_grad(bias);
         self.push(out, Op::AddBias2(x, bias), rg)
     }
@@ -160,7 +149,7 @@ impl Graph {
         }
         let mean_t = Tensor::from_fn([c], |i| mean[i] as f32);
         let var_t = Tensor::from_fn([c], |i| var[i] as f32);
-        let invstd = var_t.map(|v| 1.0 / (v + eps).sqrt());
+        let invstd = eltwise::bn_invstd(&var_t, eps);
         let out = self.bn_forward(x, gamma, beta, &mean_t, &invstd);
         let rg = self.wants_grad(x) || self.wants_grad(gamma) || self.wants_grad(beta);
         let v = self.push(
@@ -198,7 +187,7 @@ impl Graph {
         running_var: &Tensor,
         eps: f32,
     ) -> Value {
-        let invstd = running_var.map(|v| 1.0 / (v + eps).sqrt());
+        let invstd = eltwise::bn_invstd(running_var, eps);
         let out = self.bn_forward(x, gamma, beta, running_mean, &invstd);
         let rg = self.wants_grad(x) || self.wants_grad(gamma) || self.wants_grad(beta);
         self.push(
@@ -223,26 +212,16 @@ impl Graph {
         mean: &Tensor,
         invstd: &Tensor,
     ) -> Tensor {
-        let (n, c, h, w) = self.value(x).shape().nchw();
-        assert_eq!(self.value(gamma).dims(), &[c], "bn gamma shape");
-        assert_eq!(self.value(beta).dims(), &[c], "bn beta shape");
-        let xs = self.value(x).as_slice();
-        let g = self.value(gamma).as_slice();
-        let b = self.value(beta).as_slice();
-        let ms = mean.as_slice();
-        let is = invstd.as_slice();
-        let mut out = Tensor::zeros([n, c, h, w]);
-        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
-            let ci = (i / (h * w)) % c;
-            *v = g[ci] * (xs[i] - ms[ci]) * is[ci] + b[ci];
-        }
+        let mut out = self.value(x).clone();
+        eltwise::bn_apply_inplace(&mut out, self.value(gamma), self.value(beta), mean, invstd);
         out
     }
 
     /// Decayable ReLU `y = max(alpha*x, x)` (paper Eq. 2). `alpha = 0` is the
     /// plain ReLU, `alpha = 1` the identity; PLT sweeps alpha from 0 to 1.
     pub fn relu_decay(&mut self, x: Value, alpha: f32) -> Value {
-        let out = self.value(x).map(|v| v.max(alpha * v));
+        let mut out = self.value(x).clone();
+        eltwise::relu_decay_inplace(&mut out, alpha);
         let rg = self.wants_grad(x);
         self.push(out, Op::ReluDecay { x, alpha }, rg)
     }
@@ -250,9 +229,8 @@ impl Graph {
     /// Decayable ReLU6 `y = max(alpha*x, x) - (1-alpha)*max(0, x-6)`.
     /// `alpha = 0` is ReLU6 (clamp to `[0, 6]`), `alpha = 1` the identity.
     pub fn relu6_decay(&mut self, x: Value, alpha: f32) -> Value {
-        let out = self
-            .value(x)
-            .map(|v| v.max(alpha * v) - (1.0 - alpha) * (v - 6.0).max(0.0));
+        let mut out = self.value(x).clone();
+        eltwise::relu6_decay_inplace(&mut out, alpha);
         let rg = self.wants_grad(x);
         self.push(out, Op::Relu6Decay { x, alpha }, rg)
     }
@@ -311,25 +289,7 @@ impl Graph {
     ///
     /// Panics if `w` is not rank 4 or a range is out of bounds.
     pub fn narrow_out_in(&mut self, w: Value, out: (usize, usize), inn: (usize, usize)) -> Value {
-        let d = self.value(w).dims().to_vec();
-        assert_eq!(d.len(), 4, "narrow_out_in requires rank-4 weight");
-        assert!(
-            out.0 + out.1 <= d[0] && inn.0 + inn.1 <= d[1],
-            "narrow_out_in range"
-        );
-        let (kh, kw) = (d[2], d[3]);
-        let src = self.value(w).as_slice();
-        let mut dst = Tensor::zeros([out.1, inn.1, kh, kw]);
-        {
-            let ds = dst.as_mut_slice();
-            for oi in 0..out.1 {
-                for ii in 0..inn.1 {
-                    let s0 = (((out.0 + oi) * d[1]) + (inn.0 + ii)) * kh * kw;
-                    let d0 = (oi * inn.1 + ii) * kh * kw;
-                    ds[d0..d0 + kh * kw].copy_from_slice(&src[s0..s0 + kh * kw]);
-                }
-            }
-        }
+        let dst = self.value(w).narrow_out_in(out, inn);
         let rg = self.wants_grad(w);
         self.push(dst, Op::NarrowOutIn { w, out, inn }, rg)
     }

@@ -1,0 +1,180 @@
+//! Eval-path benchmark: the taped `Session` against the grad-free
+//! `InferCtx`.
+//!
+//! For each model family and batch size the binary times one eval forward
+//! on both executors and records the activation-memory footprint of each:
+//! the tape's retained intermediate bytes ([`Graph::retained_bytes`]) for
+//! the taped path, and the ping-pong high-water mark
+//! ([`InferCtx::peak_bytes`]) for the grad-free path. One JSON object is
+//! written so before/after runs can be diffed mechanically.
+//!
+//! Run: `cargo run --release -p nb-bench --bin bench_infer [--smoke] [out.json]`
+//! (default output path: `BENCH_infer.json` in the current directory).
+//! `--smoke` shrinks the timing budget to a CI-friendly sanity pass.
+//!
+//! [`Graph::retained_bytes`]: nb_autograd::Graph::retained_bytes
+//! [`InferCtx::peak_bytes`]: nb_nn::InferCtx::peak_bytes
+
+use nb_models::{mobilenet_v2_tiny, TinyNet};
+use nb_nn::{Forward, InferCtx, Module, Session};
+use nb_tensor::{num_threads, Tensor};
+use netbooster_core::{expand, ExpansionPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times `f` call-by-call and returns the median duration in nanoseconds.
+fn median_ns(budget: Duration, f: &mut dyn FnMut()) -> u128 {
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < budget / 4 {
+        f();
+    }
+    let mut samples = Vec::new();
+    let run_start = Instant::now();
+    while (run_start.elapsed() < budget || samples.len() < 5) && samples.len() < 2000 {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    model: &'static str,
+    batch: usize,
+    taped_ns: u128,
+    infer_ns: u128,
+    taped_retained_bytes: usize,
+    infer_peak_bytes: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.taped_ns as f64 / self.infer_ns.max(1) as f64
+    }
+
+    fn mem_ratio(&self) -> f64 {
+        self.taped_retained_bytes as f64 / self.infer_peak_bytes.max(1) as f64
+    }
+}
+
+fn bench_model(model: &TinyNet, name: &'static str, batch: usize, budget: Duration) -> Row {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x = Tensor::randn([batch, 3, 32, 32], &mut rng);
+
+    // memory footprints from a single representative forward of each path
+    let mut s = Session::new(false);
+    let xv = s.input(x.clone());
+    let y = model.forward(&mut s, xv);
+    black_box(s.value(y));
+    let taped_retained_bytes = s.graph.retained_bytes();
+    drop(s);
+
+    let mut ctx = InferCtx::new();
+    let xv = ctx.input(x.clone());
+    let y = model.forward(&mut ctx, xv);
+    black_box(ctx.value(y));
+    let infer_peak_bytes = ctx.peak_bytes();
+    drop(ctx);
+
+    let taped_ns = median_ns(budget, &mut || {
+        let mut s = Session::new(false);
+        let xv = s.input(x.clone());
+        let y = model.forward(&mut s, xv);
+        black_box(s.value(y));
+    });
+    let infer_ns = median_ns(budget, &mut || {
+        let mut ctx = InferCtx::new();
+        let xv = ctx.input(x.clone());
+        let y = model.forward(&mut ctx, xv);
+        black_box(ctx.value(y));
+    });
+
+    let row = Row {
+        model: name,
+        batch,
+        taped_ns,
+        infer_ns,
+        taped_retained_bytes,
+        infer_peak_bytes,
+    };
+    eprintln!(
+        "{name:<16} batch {batch:>2}: taped {taped_ns:>10} ns, infer {infer_ns:>10} ns \
+         ({:.2}x), retained {taped_retained_bytes:>9} B vs peak {infer_peak_bytes:>9} B \
+         ({:.2}x less)",
+        row.speedup(),
+        row.mem_ratio(),
+    );
+    row
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {},\n", num_threads()));
+    out.push_str("  \"unit\": \"median_ns_per_eval_forward; activation bytes per forward\",\n");
+    out.push_str("  \"eval\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}/b{}\": {{\n      \"taped_ns\": {},\n      \"infer_ns\": {},\n      \
+             \"speedup\": {:.2},\n      \"taped_retained_bytes\": {},\n      \
+             \"infer_peak_bytes\": {},\n      \"memory_ratio\": {:.2}\n    }}{}\n",
+            r.model,
+            r.batch,
+            r.taped_ns,
+            r.infer_ns,
+            r.speedup(),
+            r.taped_retained_bytes,
+            r.infer_peak_bytes,
+            r.mem_ratio(),
+            comma,
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| *a != "--smoke")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_infer.json".to_string());
+    let budget = if smoke {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(800)
+    };
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let tiny = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+    let mut giant = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+    let _handle = expand(&mut giant, &ExpansionPlan::paper_default(), &mut rng);
+
+    let mut rows = Vec::new();
+    let batches: &[usize] = if smoke { &[4] } else { &[1, 8] };
+    for &b in batches {
+        rows.push(bench_model(&tiny, "tinynet", b, budget));
+    }
+    for &b in batches {
+        rows.push(bench_model(&giant, "expanded-giant", b, budget));
+    }
+
+    // the split execution path exists to make eval cheaper on both axes;
+    // fail loudly if it ever regresses to the tape
+    let ok = rows
+        .iter()
+        .all(|r| r.infer_peak_bytes < r.taped_retained_bytes);
+    let json = to_json(&rows);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    if !ok {
+        eprintln!("bench_infer: FAILED (grad-free path retained more than the tape)");
+        std::process::exit(1);
+    }
+}

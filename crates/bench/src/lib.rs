@@ -73,6 +73,7 @@ pub fn pretrain_cfg(scale: Scale, seed: u64) -> TrainConfig {
         lr: 0.1,
         momentum: 0.9,
         weight_decay: 4e-5,
+        grad_clip: 10.0,
         label_smoothing: 0.0,
         seed,
         augment: Augment::standard(),

@@ -122,7 +122,10 @@ pub fn train_detector(
             loss_sum += s.value(loss).item() as f64;
             batches += 1;
             s.backward(loss);
-            opt.clip_grad_norm(10.0);
+            // release the tape before stepping so the optimizer's COW
+            // parameter updates are in-place rather than copy-on-write
+            drop(s);
+            opt.clip_grad_norm(cfg.grad_clip);
             opt.step(sched.lr(step));
             step += 1;
             if let Some(d) = &mut driver {

@@ -9,7 +9,7 @@
 use crate::trainer::{fit, History, NoHooks, TrainConfig};
 use nb_data::SyntheticVision;
 use nb_models::{TinyNet, TnnConfig};
-use nb_nn::{Module, Session};
+use nb_nn::{Forward, InferCtx, Module, Session};
 use rand::Rng;
 
 /// NetAug hyperparameters.
@@ -64,10 +64,10 @@ pub fn train_netaug(
         s.graph.add(base_ce, aux)
     };
     let eval = |imgs: &nb_tensor::Tensor| {
-        let mut s = Session::new(false);
-        let x = s.input(imgs.clone());
-        let y = supernet.forward_subnet(&mut s, x, base_cfg);
-        s.value(y).clone()
+        let mut ctx = InferCtx::new();
+        let x = ctx.input(imgs.clone());
+        let y = supernet.forward_subnet(&mut ctx, x, base_cfg);
+        ctx.take(y)
     };
     let history = fit(
         supernet.parameters(),

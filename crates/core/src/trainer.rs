@@ -22,6 +22,8 @@ pub struct TrainConfig {
     pub momentum: f32,
     /// L2 weight decay.
     pub weight_decay: f32,
+    /// Global gradient-norm clip applied before every optimizer step.
+    pub grad_clip: f32,
     /// Label smoothing for the cross-entropy loss.
     pub label_smoothing: f32,
     /// Shuffling/augmentation seed.
@@ -43,6 +45,7 @@ impl Default for TrainConfig {
             lr: 0.1,
             momentum: 0.9,
             weight_decay: 4e-5,
+            grad_clip: 10.0,
             label_smoothing: 0.0,
             seed: 0,
             augment: Augment::standard(),
@@ -145,7 +148,10 @@ pub fn fit(
             loss_sum += s.value(loss).item() as f64;
             batches += 1;
             s.backward(loss);
-            opt.clip_grad_norm(10.0);
+            // release the tape before stepping so the optimizer's COW
+            // parameter updates are in-place rather than copy-on-write
+            drop(s);
+            opt.clip_grad_norm(cfg.grad_clip);
             opt.step(sched.lr(step));
             step += 1;
             hooks.on_step(step);

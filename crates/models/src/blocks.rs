@@ -4,7 +4,7 @@
 
 use nb_autograd::Value;
 use nb_nn::layers::{ActKind, Activation, BatchNorm2d, Conv2d, DepthwiseConv2d, Slope};
-use nb_nn::{join_name, Module, Parameter, Session};
+use nb_nn::{join_name, Forward, Module, Parameter};
 use nb_tensor::ConvGeometry;
 use rand::Rng;
 
@@ -37,10 +37,10 @@ impl ConvBnAct {
 }
 
 impl Module for ConvBnAct {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        let y = self.conv.forward(s, x);
-        let y = self.bn.forward(s, y);
-        self.act.forward(s, y)
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        let y = self.conv.forward(f, x);
+        let y = self.bn.forward(f, y);
+        self.act.forward(f, y)
     }
 
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
@@ -59,10 +59,10 @@ pub enum InsertedConv {
 }
 
 impl InsertedConv {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
         match self {
-            InsertedConv::Dense(c) => c.forward(s, x),
-            InsertedConv::Depthwise(c) => c.forward(s, x),
+            InsertedConv::Dense(c) => c.forward(f, x),
+            InsertedConv::Depthwise(c) => c.forward(f, x),
         }
     }
 
@@ -148,17 +148,20 @@ impl InsertedBlock {
 }
 
 impl Module for InsertedBlock {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        if self.residual {
+            f.retain(x); // keep the skip branch alive past the block body
+        }
         let mut cur = x;
         for unit in &self.units {
-            cur = unit.conv.forward(s, cur);
-            cur = unit.bn.forward(s, cur);
+            cur = unit.conv.forward(f, cur);
+            cur = unit.bn.forward(f, cur);
             if let Some(act) = &unit.act {
-                cur = act.forward(s, cur);
+                cur = act.forward(f, cur);
             }
         }
         if self.residual {
-            s.graph.add(cur, x)
+            f.add(cur, x)
         } else {
             cur
         }
@@ -217,10 +220,10 @@ impl PwSlot {
 }
 
 impl Module for PwSlot {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
         match self {
-            PwSlot::Plain(c) => c.forward(s, x),
-            PwSlot::Expanded(b) => b.forward(s, x),
+            PwSlot::Plain(c) => c.forward(f, x),
+            PwSlot::Expanded(b) => b.forward(f, x),
         }
     }
 
@@ -297,28 +300,31 @@ impl MbBlock {
 }
 
 impl Module for MbBlock {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        if self.residual {
+            f.retain(x); // keep the skip branch alive past the block body
+        }
         let mut cur = x;
         if let Some(expand) = &self.expand {
-            cur = expand.forward(s, cur);
+            cur = expand.forward(f, cur);
             cur = self
                 .expand_bn
                 .as_ref()
                 .expect("bn with expand")
-                .forward(s, cur);
+                .forward(f, cur);
             cur = self
                 .expand_act
                 .as_ref()
                 .expect("act with expand")
-                .forward(s, cur);
+                .forward(f, cur);
         }
-        cur = self.dw.forward(s, cur);
-        cur = self.dw_bn.forward(s, cur);
-        cur = self.dw_act.forward(s, cur);
-        cur = self.project.forward(s, cur);
-        cur = self.project_bn.forward(s, cur);
+        cur = self.dw.forward(f, cur);
+        cur = self.dw_bn.forward(f, cur);
+        cur = self.dw_act.forward(f, cur);
+        cur = self.project.forward(f, cur);
+        cur = self.project_bn.forward(f, cur);
         if self.residual {
-            s.graph.add(cur, x)
+            f.add(cur, x)
         } else {
             cur
         }
@@ -344,6 +350,7 @@ impl Module for MbBlock {
 mod tests {
     use super::*;
     use crate::spec::BlockSpec;
+    use nb_nn::Session;
     use nb_tensor::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

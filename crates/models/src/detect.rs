@@ -11,7 +11,7 @@ use crate::mobilenet::TinyNet;
 use nb_autograd::Value;
 use nb_data::BoxAnnotation;
 use nb_nn::layers::Conv2d;
-use nb_nn::{join_name, Module, Parameter, Session};
+use nb_nn::{join_name, Forward, InferCtx, Module, Parameter, Session};
 use nb_tensor::{ConvGeometry, Tensor};
 use rand::Rng;
 
@@ -57,9 +57,9 @@ impl DetectorNet {
     }
 
     /// Raw grid predictions `[n, 5+classes, g, g]`.
-    pub fn forward_grid(&self, s: &mut Session, x: Value) -> Value {
-        let fm = self.backbone.forward_conv_features(s, x);
-        self.head.forward(s, fm)
+    pub fn forward_grid(&self, f: &mut dyn Forward, x: Value) -> Value {
+        let fm = self.backbone.forward_conv_features(f, x);
+        self.head.forward(f, fm)
     }
 
     /// The grid side length for a given input resolution.
@@ -73,18 +73,19 @@ impl DetectorNet {
         h
     }
 
-    /// Decodes eval-mode detections for a `[n,3,s,s]` batch.
+    /// Decodes eval-mode detections for a `[n,3,s,s]` batch, computed on
+    /// the grad-free path.
     pub fn detect(&self, images: &Tensor, score_threshold: f32) -> Vec<Vec<Detection>> {
-        let mut s = Session::new(false);
-        let x = s.input(images.clone());
-        let grid = self.forward_grid(&mut s, x);
-        decode_grid(s.value(grid), self.classes, score_threshold)
+        let mut ctx = InferCtx::new();
+        let x = ctx.input(images.clone());
+        let grid = self.forward_grid(&mut ctx, x);
+        decode_grid(ctx.value(grid), self.classes, score_threshold)
     }
 }
 
 impl Module for DetectorNet {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        self.forward_grid(s, x)
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        self.forward_grid(f, x)
     }
 
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {

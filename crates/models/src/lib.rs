@@ -14,7 +14,6 @@
 //!
 //! ```
 //! use nb_models::{mobilenet_v2_tiny, TinyNet};
-//! use nb_nn::{Module, Session};
 //! use nb_tensor::Tensor;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!

@@ -14,7 +14,7 @@ use crate::blocks::{ConvBnAct, MbBlock, PwSlot};
 use crate::spec::TnnConfig;
 use nb_autograd::Value;
 use nb_nn::layers::{ActKind, BatchNorm2d, GlobalAvgPool, Linear};
-use nb_nn::{join_name, Module, Parameter, Session};
+use nb_nn::{join_name, Forward, InferCtx, Module, Parameter};
 use nb_tensor::{ConvGeometry, Tensor};
 use rand::Rng;
 
@@ -79,26 +79,27 @@ impl TinyNet {
     }
 
     /// Forward pass up to (and including) the head conv: `[n, head_c, h, w]`.
-    pub fn forward_conv_features(&self, s: &mut Session, x: Value) -> Value {
-        let mut cur = self.stem.forward(s, x);
+    pub fn forward_conv_features(&self, f: &mut dyn Forward, x: Value) -> Value {
+        let mut cur = self.stem.forward(f, x);
         for block in &self.blocks {
-            cur = block.forward(s, cur);
+            cur = block.forward(f, cur);
         }
-        self.head.forward(s, cur)
+        self.head.forward(f, cur)
     }
 
     /// Forward pass to the pooled feature vector `[n, head_c]`.
-    pub fn forward_features(&self, s: &mut Session, x: Value) -> Value {
-        let fm = self.forward_conv_features(s, x);
-        self.pool.forward(s, fm)
+    pub fn forward_features(&self, f: &mut dyn Forward, x: Value) -> Value {
+        let fm = self.forward_conv_features(f, x);
+        self.pool.forward(f, fm)
     }
 
-    /// Convenience: eval-mode logits for a `[n,3,s,s]` batch.
+    /// Convenience: eval-mode logits for a `[n,3,s,s]` batch, computed on
+    /// the grad-free path (no tape, recycled activation buffers).
     pub fn logits_eval(&self, images: &Tensor) -> Tensor {
-        let mut s = Session::new(false);
-        let x = s.input(images.clone());
-        let y = self.forward(&mut s, x);
-        s.value(y).clone()
+        let mut ctx = InferCtx::new();
+        let x = ctx.input(images.clone());
+        let y = self.forward(&mut ctx, x);
+        ctx.take(y)
     }
 
     /// Replaces the classifier with a freshly initialized head for
@@ -164,17 +165,21 @@ impl TinyNet {
     ///
     /// Panics if `base` is not element-wise narrower than this config or
     /// differs in depth/stride/kernels.
-    pub fn forward_subnet(&self, s: &mut Session, x: Value, base: &TnnConfig) -> Value {
+    pub fn forward_subnet(&self, f: &mut dyn Forward, x: Value, base: &TnnConfig) -> Value {
         let cfg = &self.config;
         assert_eq!(cfg.blocks.len(), base.blocks.len(), "subnet depth");
         assert_eq!(cfg.classes, base.classes, "subnet classes");
         assert!(base.stem_c <= cfg.stem_c, "subnet stem width");
         // stem
-        let w = s.bind(self.stem.conv.weight());
-        let w = s.graph.narrow_out_in(w, (0, base.stem_c), (0, 3));
-        let mut cur = s.graph.conv2d(x, w, None, self.stem.conv.geom());
-        cur = bn_sliced(&self.stem.bn, s, cur, base.stem_c);
-        cur = s.graph.relu6_decay(cur, 0.0);
+        let mut cur = f.conv2d_sliced(
+            x,
+            self.stem.conv.weight(),
+            base.stem_c,
+            3,
+            self.stem.conv.geom(),
+        );
+        cur = f.batch_norm_sliced(cur, &self.stem.bn, base.stem_c);
+        cur = f.relu6_decay(cur, 0.0);
         // blocks
         for (block, (bs, full)) in self.blocks.iter().zip(base.blocks.iter().zip(&cfg.blocks)) {
             assert_eq!(bs.kernel, full.kernel, "subnet kernel");
@@ -185,53 +190,56 @@ impl TinyNet {
             let out_k = bs.out_c;
             let residual = block.residual && in_k == out_k;
             let block_in = cur;
+            if residual {
+                f.retain(block_in); // skip branch outlives the block body
+            }
             if let Some(PwSlot::Plain(conv)) = &block.expand {
-                let w = s.bind(conv.weight());
-                let w = s.graph.narrow_out_in(w, (0, hidden_k), (0, in_k));
-                cur = s.graph.conv2d(cur, w, None, conv.geom());
-                cur = bn_sliced(
-                    block.expand_bn.as_ref().expect("bn with expand"),
-                    s,
+                cur = f.conv2d_sliced(cur, conv.weight(), hidden_k, in_k, conv.geom());
+                cur = f.batch_norm_sliced(
                     cur,
+                    block.expand_bn.as_ref().expect("bn with expand"),
                     hidden_k,
                 );
-                cur = s.graph.relu6_decay(cur, 0.0);
+                cur = f.relu6_decay(cur, 0.0);
             } else if block.expand.is_some() {
                 panic!("forward_subnet requires un-expanded slots");
             }
             // depthwise
-            let w = s.bind(block.dw.weight());
-            let w = s.graph.narrow0(w, 0, hidden_k);
-            cur = s.graph.depthwise_conv2d(cur, w, None, block.dw.geom());
-            cur = bn_sliced(&block.dw_bn, s, cur, hidden_k);
-            cur = s.graph.relu6_decay(cur, 0.0);
+            cur = f.depthwise_conv2d_sliced(cur, block.dw.weight(), hidden_k, block.dw.geom());
+            cur = f.batch_norm_sliced(cur, &block.dw_bn, hidden_k);
+            cur = f.relu6_decay(cur, 0.0);
             // project
-            let w = s.bind(block.project.weight());
-            let w = s.graph.narrow_out_in(w, (0, out_k), (0, hidden_k));
-            cur = s.graph.conv2d(cur, w, None, block.project.geom());
-            cur = bn_sliced(&block.project_bn, s, cur, out_k);
+            cur = f.conv2d_sliced(
+                cur,
+                block.project.weight(),
+                out_k,
+                hidden_k,
+                block.project.geom(),
+            );
+            cur = f.batch_norm_sliced(cur, &block.project_bn, out_k);
             if residual {
-                cur = s.graph.add(cur, block_in);
+                cur = f.add(cur, block_in);
             }
         }
         // head
         let last_k = base.blocks.last().map(|b| b.out_c).unwrap_or(base.stem_c);
-        let w = s.bind(self.head.conv.weight());
-        let w = s.graph.narrow_out_in(w, (0, base.head_c), (0, last_k));
-        cur = s.graph.conv2d(cur, w, None, self.head.conv.geom());
-        cur = bn_sliced(&self.head.bn, s, cur, base.head_c);
-        cur = s.graph.relu6_decay(cur, 0.0);
-        cur = s.graph.global_avg_pool(cur);
+        cur = f.conv2d_sliced(
+            cur,
+            self.head.conv.weight(),
+            base.head_c,
+            last_k,
+            self.head.conv.geom(),
+        );
+        cur = f.batch_norm_sliced(cur, &self.head.bn, base.head_c);
+        cur = f.relu6_decay(cur, 0.0);
+        cur = f.global_avg_pool(cur);
         // classifier: slice input features
-        let w = s.bind(self.classifier.weight());
-        let w4 = s.graph.reshape(w, [cfg.classes, cfg.head_c, 1, 1]);
-        let w4 = s
-            .graph
-            .narrow_out_in(w4, (0, cfg.classes), (0, base.head_c));
-        let wk = s.graph.reshape(w4, [cfg.classes, base.head_c]);
-        let y = s.graph.matmul_nt(cur, wk);
-        let b = s.bind(self.classifier.bias().expect("classifier bias"));
-        s.graph.add_bias2(y, b)
+        f.linear_sliced(
+            cur,
+            self.classifier.weight(),
+            self.classifier.bias(),
+            base.head_c,
+        )
     }
 
     /// Materializes the width-`base` sub-network as a standalone model by
@@ -318,38 +326,10 @@ fn copy_sliced_bn(src: &BatchNorm2d, dst: &BatchNorm2d) {
     );
 }
 
-/// Batch norm over the first `k` channels of a sliced activation, updating
-/// the leading entries of the layer's running statistics in training mode.
-fn bn_sliced(bn: &BatchNorm2d, s: &mut Session, x: Value, k: usize) -> Value {
-    let gamma = s.bind(bn.gamma());
-    let gamma = s.graph.narrow0(gamma, 0, k);
-    let beta = s.bind(bn.beta());
-    let beta = s.graph.narrow0(beta, 0, k);
-    if s.training {
-        let (y, stats) = s.graph.batch_norm_train(x, gamma, beta, bn.eps());
-        if !s.update_bn_stats {
-            return y;
-        }
-        let m = bn.momentum();
-        let mut rm = bn.running_mean();
-        let mut rv = bn.running_var();
-        for i in 0..k {
-            rm.as_mut_slice()[i] = (1.0 - m) * rm.as_slice()[i] + m * stats.mean.as_slice()[i];
-            rv.as_mut_slice()[i] = (1.0 - m) * rv.as_slice()[i] + m * stats.var.as_slice()[i];
-        }
-        bn.set_running_stats(rm, rv);
-        y
-    } else {
-        let rm = bn.running_mean().narrow0(0, k);
-        let rv = bn.running_var().narrow0(0, k);
-        s.graph.batch_norm_eval(x, gamma, beta, &rm, &rv, bn.eps())
-    }
-}
-
 impl Module for TinyNet {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        let feats = self.forward_features(s, x);
-        self.classifier.forward(s, feats)
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        let feats = self.forward_features(f, x);
+        self.classifier.forward(f, feats)
     }
 
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
@@ -367,6 +347,7 @@ impl Module for TinyNet {
 mod tests {
     use super::*;
     use crate::spec::{mcunet_like, mobilenet_v2_tiny};
+    use nb_nn::Session;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

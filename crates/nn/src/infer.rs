@@ -1,0 +1,430 @@
+//! [`InferCtx`]: the grad-free, allocation-recycling inference executor.
+//!
+//! Where [`Session`](crate::Session) records every op on an autograd tape
+//! and keeps all intermediates alive for the backward pass, `InferCtx`
+//! executes layer math eagerly: no `Graph` node is allocated, parameters
+//! are borrowed (COW) rather than bound, batch norm always uses running
+//! statistics, and an activation's buffer is recycled the moment its last
+//! consumer has run. Freed buffers land in a thread-local scratch pool, so
+//! a steady-state evaluation loop ping-pongs between a handful of
+//! high-water-mark buffers instead of allocating per layer.
+//!
+//! Numerics are bitwise-identical to an eval-mode `Session` forward at the
+//! same thread-pool width: both paths run the same convolution/GEMM kernels
+//! and the same [`nb_tensor::eltwise`] pointwise kernels.
+
+use crate::forward::Forward;
+use crate::layers::BatchNorm2d;
+use crate::Parameter;
+use nb_autograd::Value;
+use nb_tensor::{
+    avgpool2d, conv2d_into, depthwise_conv2d_into, eltwise, global_avg_pool, maxpool2d,
+    ConvGeometry, Tensor,
+};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Freed activation buffers, kept per thread across `InferCtx`
+    /// instances so repeated evaluations reuse the same storage.
+    static SCRATCH: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Upper bound on pooled scratch buffers per thread; beyond it the smallest
+/// buffer is dropped.
+const SCRATCH_KEEP: usize = 8;
+
+struct Slot {
+    t: Option<Tensor>,
+    /// Remaining consumers. Ops decrement; the buffer is released (and
+    /// recycled) when it reaches zero.
+    rc: u32,
+}
+
+/// Grad-free eager executor implementing [`Forward`].
+///
+/// Build one per evaluation batch; see the module docs for semantics. The
+/// peak of live activation bytes is tracked and exposed via
+/// [`peak_bytes`](InferCtx::peak_bytes) for memory benchmarking.
+#[derive(Default)]
+pub struct InferCtx {
+    slots: Vec<Slot>,
+    live_bytes: usize,
+    peak_bytes: usize,
+}
+
+impl InferCtx {
+    /// A fresh inference context.
+    pub fn new() -> Self {
+        InferCtx::default()
+    }
+
+    /// High-water mark of simultaneously live activation bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Bytes of activations currently live.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    fn alloc(&self, len: usize) -> Vec<f32> {
+        let mut v = SCRATCH.with(|s| {
+            let mut pool = s.borrow_mut();
+            let mut best: Option<usize> = None;
+            for (i, b) in pool.iter().enumerate() {
+                if b.capacity() >= len
+                    && best.is_none_or(|j: usize| pool[j].capacity() > b.capacity())
+                {
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => pool.swap_remove(i),
+                // no buffer is big enough: grow the largest instead of
+                // leaving it stranded below the new high-water mark
+                None => pool.pop().unwrap_or_default(),
+            }
+        });
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    fn recycle(&self, t: Tensor) {
+        if t.is_shared() {
+            return; // storage still referenced elsewhere (retained/COW)
+        }
+        SCRATCH.with(|s| {
+            let mut pool = s.borrow_mut();
+            pool.push(t.into_vec());
+            if pool.len() > SCRATCH_KEEP {
+                let smallest = (0..pool.len())
+                    .min_by_key(|&i| pool[i].capacity())
+                    .expect("non-empty pool");
+                pool.swap_remove(smallest);
+            }
+        });
+    }
+
+    fn store(&mut self, t: Tensor) -> Value {
+        self.live_bytes += t.numel() * std::mem::size_of::<f32>();
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.slots.push(Slot { t: Some(t), rc: 1 });
+        Value::from_index(self.slots.len() - 1)
+    }
+
+    /// Uses up one reference to `v`, returning its tensor. The slot's
+    /// buffer is released at the final use; earlier uses get a COW share.
+    fn consume(&mut self, v: Value) -> Tensor {
+        let slot = &mut self.slots[v.index()];
+        let t = slot.t.as_ref().expect("value already consumed");
+        assert!(slot.rc > 0, "value already consumed");
+        slot.rc -= 1;
+        if slot.rc == 0 {
+            let t = slot.t.take().expect("live slot");
+            self.live_bytes -= t.numel() * std::mem::size_of::<f32>();
+            t
+        } else {
+            t.clone()
+        }
+    }
+
+    /// Consumes one reference to `v` and recycles its buffer. Called after
+    /// the op output is stored, so `peak_bytes` sees input and output
+    /// coexist (as the buffers really do during the op).
+    fn release(&mut self, v: Value) {
+        let t = self.consume(v);
+        self.recycle(t);
+    }
+}
+
+impl Forward for InferCtx {
+    fn training(&self) -> bool {
+        false
+    }
+
+    fn input(&mut self, t: Tensor) -> Value {
+        self.store(t)
+    }
+
+    fn value(&self, v: Value) -> &Tensor {
+        self.slots[v.index()]
+            .t
+            .as_ref()
+            .expect("value already consumed")
+    }
+
+    fn take(&mut self, v: Value) -> Tensor {
+        let slot = &mut self.slots[v.index()];
+        let t = slot.t.take().expect("value already consumed");
+        slot.rc = 0;
+        self.live_bytes -= t.numel() * std::mem::size_of::<f32>();
+        t
+    }
+
+    fn retain(&mut self, v: Value) {
+        let slot = &mut self.slots[v.index()];
+        assert!(slot.t.is_some(), "cannot retain a consumed value");
+        slot.rc += 1;
+    }
+
+    fn conv2d(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        b: Option<&Parameter>,
+        geom: ConvGeometry,
+    ) -> Value {
+        let wt = w.value();
+        let bt = b.map(|p| p.value());
+        let (n, _, h, wd) = self.value(x).shape().nchw();
+        let c_out = wt.dims()[0];
+        let (ho, wo) = geom.output_hw(h, wd);
+        let mut out = self.alloc(n * c_out * ho * wo);
+        conv2d_into(self.value(x), &wt, bt.as_ref(), geom, &mut out);
+        let t = Tensor::from_vec(out, [n, c_out, ho, wo]).expect("conv output shape");
+        let v = self.store(t);
+        self.release(x);
+        v
+    }
+
+    fn conv2d_sliced(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        out_c: usize,
+        in_c: usize,
+        geom: ConvGeometry,
+    ) -> Value {
+        let wt = w.value().narrow_out_in((0, out_c), (0, in_c));
+        let (n, _, h, wd) = self.value(x).shape().nchw();
+        let (ho, wo) = geom.output_hw(h, wd);
+        let mut out = self.alloc(n * out_c * ho * wo);
+        conv2d_into(self.value(x), &wt, None, geom, &mut out);
+        let t = Tensor::from_vec(out, [n, out_c, ho, wo]).expect("conv output shape");
+        let v = self.store(t);
+        self.release(x);
+        v
+    }
+
+    fn depthwise_conv2d(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        b: Option<&Parameter>,
+        geom: ConvGeometry,
+    ) -> Value {
+        let wt = w.value();
+        let bt = b.map(|p| p.value());
+        let (n, c, h, wd) = self.value(x).shape().nchw();
+        let (ho, wo) = geom.output_hw(h, wd);
+        let mut out = self.alloc(n * c * ho * wo);
+        depthwise_conv2d_into(self.value(x), &wt, bt.as_ref(), geom, &mut out);
+        let t = Tensor::from_vec(out, [n, c, ho, wo]).expect("conv output shape");
+        let v = self.store(t);
+        self.release(x);
+        v
+    }
+
+    fn depthwise_conv2d_sliced(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        channels: usize,
+        geom: ConvGeometry,
+    ) -> Value {
+        let wt = w.value().narrow0(0, channels);
+        let (n, c, h, wd) = self.value(x).shape().nchw();
+        debug_assert_eq!(c, channels, "sliced depthwise input channels");
+        let (ho, wo) = geom.output_hw(h, wd);
+        let mut out = self.alloc(n * channels * ho * wo);
+        depthwise_conv2d_into(self.value(x), &wt, None, geom, &mut out);
+        let t = Tensor::from_vec(out, [n, channels, ho, wo]).expect("conv output shape");
+        let v = self.store(t);
+        self.release(x);
+        v
+    }
+
+    fn linear(&mut self, x: Value, w: &Parameter, b: Option<&Parameter>) -> Value {
+        let wt = w.value();
+        let mut y = self.value(x).matmul_nt(&wt);
+        if let Some(b) = b {
+            eltwise::add_bias2_inplace(&mut y, &b.value());
+        }
+        let v = self.store(y);
+        self.release(x);
+        v
+    }
+
+    fn linear_sliced(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        b: Option<&Parameter>,
+        in_features: usize,
+    ) -> Value {
+        let wv = w.value();
+        let (out_f, big_in) = wv.shape().rc();
+        let mut wk = Tensor::zeros([out_f, in_features]);
+        {
+            let dst = wk.as_mut_slice();
+            let src = wv.as_slice();
+            for r in 0..out_f {
+                dst[r * in_features..(r + 1) * in_features]
+                    .copy_from_slice(&src[r * big_in..r * big_in + in_features]);
+            }
+        }
+        let mut y = self.value(x).matmul_nt(&wk);
+        if let Some(b) = b {
+            eltwise::add_bias2_inplace(&mut y, &b.value());
+        }
+        let v = self.store(y);
+        self.release(x);
+        v
+    }
+
+    fn batch_norm(&mut self, x: Value, bn: &BatchNorm2d) -> Value {
+        let mut xt = self.consume(x);
+        let invstd = eltwise::bn_invstd(&bn.running_var(), bn.eps());
+        eltwise::bn_apply_inplace(
+            &mut xt,
+            &bn.gamma().value(),
+            &bn.beta().value(),
+            &bn.running_mean(),
+            &invstd,
+        );
+        self.store(xt)
+    }
+
+    fn batch_norm_sliced(&mut self, x: Value, bn: &BatchNorm2d, channels: usize) -> Value {
+        let k = channels;
+        let mut xt = self.consume(x);
+        let invstd = eltwise::bn_invstd(&bn.running_var().narrow0(0, k), bn.eps());
+        eltwise::bn_apply_inplace(
+            &mut xt,
+            &bn.gamma().value().narrow0(0, k),
+            &bn.beta().value().narrow0(0, k),
+            &bn.running_mean().narrow0(0, k),
+            &invstd,
+        );
+        self.store(xt)
+    }
+
+    fn relu_decay(&mut self, x: Value, alpha: f32) -> Value {
+        let mut xt = self.consume(x);
+        eltwise::relu_decay_inplace(&mut xt, alpha);
+        self.store(xt)
+    }
+
+    fn relu6_decay(&mut self, x: Value, alpha: f32) -> Value {
+        let mut xt = self.consume(x);
+        eltwise::relu6_decay_inplace(&mut xt, alpha);
+        self.store(xt)
+    }
+
+    fn max_pool(&mut self, x: Value, geom: ConvGeometry) -> Value {
+        let (out, _idx) = maxpool2d(self.value(x), geom);
+        let v = self.store(out);
+        self.release(x);
+        v
+    }
+
+    fn avg_pool(&mut self, x: Value, geom: ConvGeometry) -> Value {
+        let out = avgpool2d(self.value(x), geom);
+        let v = self.store(out);
+        self.release(x);
+        v
+    }
+
+    fn global_avg_pool(&mut self, x: Value) -> Value {
+        let out = global_avg_pool(self.value(x));
+        let v = self.store(out);
+        self.release(x);
+        v
+    }
+
+    fn add(&mut self, a: Value, b: Value) -> Value {
+        let mut at = self.consume(a);
+        at.add_assign(self.value(b));
+        let v = self.store(at);
+        self.release(b);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{ActKind, Activation, Linear};
+    use crate::{Module, Sequential, Session};
+    use nb_autograd::nodes_allocated;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(rng: &mut StdRng) -> Sequential {
+        Sequential::new()
+            .push(Linear::new(6, 12, true, rng))
+            .push(Activation::new(ActKind::Relu))
+            .push(Linear::new(12, 4, true, rng))
+    }
+
+    #[test]
+    fn matches_taped_eval_bitwise_with_zero_nodes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = mlp(&mut rng);
+        let x = Tensor::randn([3, 6], &mut rng);
+
+        let mut s = Session::new(false);
+        let xs = s.input(x.clone());
+        let ys = model.forward(&mut s, xs);
+        let want = s.value(ys).clone();
+
+        let before = nodes_allocated();
+        let mut ctx = InferCtx::new();
+        let xi = ctx.input(x);
+        let yi = model.forward(&mut ctx, xi);
+        let got = ctx.take(yi);
+        assert_eq!(nodes_allocated(), before, "InferCtx allocated tape nodes");
+        assert_eq!(got.as_slice(), want.as_slice(), "bitwise parity");
+    }
+
+    #[test]
+    fn retain_keeps_residual_branch_alive() {
+        let mut ctx = InferCtx::new();
+        let x = ctx.input(Tensor::from_vec(vec![-1.0, 2.0], [2]).unwrap());
+        ctx.retain(x);
+        let y = ctx.relu_decay(x, 0.0);
+        let z = ctx.add(y, x);
+        assert_eq!(ctx.take(z).as_slice(), &[-1.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already consumed")]
+    fn double_consume_panics() {
+        let mut ctx = InferCtx::new();
+        let x = ctx.input(Tensor::ones([2]));
+        let _ = ctx.relu_decay(x, 0.0);
+        let _ = ctx.relu_decay(x, 0.0);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water_mark() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = mlp(&mut rng);
+        let x = Tensor::randn([2, 6], &mut rng);
+        let mut ctx = InferCtx::new();
+        let xi = ctx.input(x.clone());
+        let yi = model.forward(&mut ctx, xi);
+        let _ = ctx.take(yi);
+        // peak: at least input [2,6] + widest activation [2,12] live at once
+        assert!(ctx.peak_bytes() >= (2 * 6 + 2 * 12) * 4);
+        assert_eq!(ctx.live_bytes(), 0, "everything consumed or taken");
+        // a second run reuses the scratch pool and sees the same peak
+        let mut ctx2 = InferCtx::new();
+        let xi = ctx2.input(x);
+        let yi = model.forward(&mut ctx2, xi);
+        let _ = ctx2.take(yi);
+        assert_eq!(ctx2.peak_bytes(), ctx.peak_bytes());
+    }
+}

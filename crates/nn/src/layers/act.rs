@@ -6,7 +6,7 @@
 //! non-linear, `alpha = 1` turns it into the identity. PLT holds clones of
 //! the slopes inside every inserted block and sweeps them from 0 to 1.
 
-use crate::{Module, Parameter, Session};
+use crate::{Forward, Module, Parameter};
 use nb_autograd::Value;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -91,11 +91,11 @@ impl Activation {
 }
 
 impl Module for Activation {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
         let alpha = self.slope.get();
         match self.kind {
-            ActKind::Relu => s.graph.relu_decay(x, alpha),
-            ActKind::Relu6 => s.graph.relu6_decay(x, alpha),
+            ActKind::Relu => f.relu_decay(x, alpha),
+            ActKind::Relu6 => f.relu6_decay(x, alpha),
             ActKind::Identity => x,
         }
     }
@@ -106,6 +106,7 @@ impl Module for Activation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Session;
     use nb_tensor::Tensor;
 
     #[test]

@@ -1,6 +1,6 @@
 //! Convolution layers.
 
-use crate::{init, join_name, Module, Parameter, Session};
+use crate::{init, join_name, Forward, Module, Parameter};
 use nb_autograd::Value;
 use nb_tensor::{ConvGeometry, Tensor};
 use rand::Rng;
@@ -98,10 +98,8 @@ impl Conv2d {
 }
 
 impl Module for Conv2d {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        let w = s.bind(&self.weight);
-        let b = self.bias.as_ref().map(|b| s.bind(b));
-        s.graph.conv2d(x, w, b, self.geom)
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        f.conv2d(x, &self.weight, self.bias.as_ref(), self.geom)
     }
 
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
@@ -186,10 +184,8 @@ impl DepthwiseConv2d {
 }
 
 impl Module for DepthwiseConv2d {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        let w = s.bind(&self.weight);
-        let b = self.bias.as_ref().map(|b| s.bind(b));
-        s.graph.depthwise_conv2d(x, w, b, self.geom)
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        f.depthwise_conv2d(x, &self.weight, self.bias.as_ref(), self.geom)
     }
 
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
@@ -203,6 +199,7 @@ impl Module for DepthwiseConv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Session;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,6 +1,6 @@
 //! Fully-connected layer.
 
-use crate::{init, join_name, Module, Parameter, Session};
+use crate::{init, join_name, Forward, Module, Parameter};
 use nb_autograd::Value;
 use nb_tensor::Tensor;
 use rand::Rng;
@@ -70,16 +70,8 @@ impl Linear {
 }
 
 impl Module for Linear {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        let w = s.bind(&self.weight);
-        let y = s.graph.matmul_nt(x, w);
-        match &self.bias {
-            Some(b) => {
-                let b = s.bind(b);
-                s.graph.add_bias2(y, b)
-            }
-            None => y,
-        }
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        f.linear(x, &self.weight, self.bias.as_ref())
     }
 
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
@@ -93,6 +85,7 @@ impl Module for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Session;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,6 +1,6 @@
 //! Batch normalization.
 
-use crate::{join_name, Module, Parameter, Session};
+use crate::{join_name, Forward, Module, Parameter};
 use nb_autograd::Value;
 use nb_tensor::Tensor;
 
@@ -105,27 +105,8 @@ impl BatchNorm2d {
 }
 
 impl Module for BatchNorm2d {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        let gamma = s.bind(&self.gamma);
-        let beta = s.bind(&self.beta);
-        if s.training {
-            let (y, stats) = s.graph.batch_norm_train(x, gamma, beta, self.eps);
-            if !s.update_bn_stats {
-                return y;
-            }
-            let m = self.momentum;
-            let mut rm = self.running_mean.value().scale(1.0 - m);
-            rm.add_scaled_assign(&stats.mean, m);
-            self.running_mean.set_value(rm);
-            let mut rv = self.running_var.value().scale(1.0 - m);
-            rv.add_scaled_assign(&stats.var, m);
-            self.running_var.set_value(rv);
-            y
-        } else {
-            let rm = self.running_mean.value();
-            let rv = self.running_var.value();
-            s.graph.batch_norm_eval(x, gamma, beta, &rm, &rv, self.eps)
-        }
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        f.batch_norm(x, self)
     }
 
     fn visit_params(&self, prefix: &str, f: &mut dyn FnMut(&str, &Parameter)) {
@@ -139,6 +120,7 @@ impl Module for BatchNorm2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Session;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,6 +1,6 @@
 //! Pooling layers.
 
-use crate::{Module, Parameter, Session};
+use crate::{Forward, Module, Parameter};
 use nb_autograd::Value;
 use nb_tensor::ConvGeometry;
 
@@ -16,8 +16,8 @@ impl GlobalAvgPool {
 }
 
 impl Module for GlobalAvgPool {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        s.graph.global_avg_pool(x)
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        f.global_avg_pool(x)
     }
 
     fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Parameter)) {}
@@ -37,8 +37,8 @@ impl MaxPool2d {
 }
 
 impl Module for MaxPool2d {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        s.graph.max_pool(x, self.geom)
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        f.max_pool(x, self.geom)
     }
 
     fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Parameter)) {}
@@ -58,8 +58,8 @@ impl AvgPool2d {
 }
 
 impl Module for AvgPool2d {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
-        s.graph.avg_pool(x, self.geom)
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
+        f.avg_pool(x, self.geom)
     }
 
     fn visit_params(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Parameter)) {}
@@ -68,6 +68,7 @@ impl Module for AvgPool2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Session;
     use nb_tensor::Tensor;
 
     #[test]

@@ -6,8 +6,12 @@
 //! initialization, and state-dict checkpointing.
 //!
 //! The central abstractions are [`Module`] (a differentiable function with
-//! named parameters) and [`Session`] (one training step's tape plus the
-//! parameter bindings into it).
+//! named parameters) and [`Forward`] (one execution path's view of a
+//! forward pass). Two executors implement [`Forward`]: the taped
+//! [`Session`] (one training step's tape plus the parameter bindings into
+//! it) and the grad-free [`InferCtx`] (eager evaluation with recycled
+//! activation buffers and no tape). A single `Module::forward` definition
+//! serves both.
 //!
 //! ## Example
 //!
@@ -31,6 +35,8 @@
 
 #![warn(missing_docs)]
 
+mod forward;
+mod infer;
 pub mod init;
 pub mod layers;
 mod module;
@@ -38,6 +44,8 @@ mod param;
 mod sequential;
 mod state;
 
+pub use forward::Forward;
+pub use infer::InferCtx;
 pub use module::{join_name, Module, Session};
 pub use param::Parameter;
 pub use sequential::Sequential;

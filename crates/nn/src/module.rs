@@ -45,6 +45,10 @@ impl Session {
     /// Binds a parameter into the tape, returning its leaf. Idempotent per
     /// parameter per session. Frozen parameters (see
     /// [`Parameter::set_trainable`]) bind as constants.
+    ///
+    /// Binding is clone-free: the tape leaf COW-shares the parameter's
+    /// storage, and a parameter update after binding copies on write, so
+    /// mid-session mutation is never observable through the tape.
     pub fn bind(&mut self, p: &Parameter) -> Value {
         if let Some(&v) = self.bound.get(&p.key()) {
             return v;
@@ -82,8 +86,10 @@ impl Session {
 /// A neural-network building block: a differentiable function of one tensor
 /// plus a set of named parameters.
 pub trait Module {
-    /// Records the layer's forward computation on the session's tape.
-    fn forward(&self, s: &mut Session, x: Value) -> Value;
+    /// Runs the layer's forward computation on an executor: recorded on the
+    /// tape when `f` is a [`Session`], executed eagerly and grad-free when
+    /// it is an [`InferCtx`](crate::InferCtx).
+    fn forward(&self, f: &mut dyn crate::Forward, x: Value) -> Value;
 
     /// Visits every parameter with its hierarchical name
     /// (`prefix` + `.local_name`).
@@ -158,6 +164,23 @@ mod tests {
         let loss = s.graph.mean_all(y);
         s.backward(loss);
         assert_eq!(p.grad().item(), 2.0);
+    }
+
+    #[test]
+    fn bind_is_clone_free_and_isolated_from_mutation() {
+        let mut s = Session::new(true);
+        let p = Parameter::new(Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap());
+        let v = s.bind(&p);
+        // clone-free: parameter and tape leaf share one buffer
+        assert_eq!(
+            p.value().as_slice().as_ptr(),
+            s.value(v).as_slice().as_ptr(),
+            "bind deep-copied the parameter"
+        );
+        // mid-session mutation copies on write and is invisible to the tape
+        p.update(|val, _| val.as_mut_slice()[0] = 99.0);
+        assert_eq!(p.value().as_slice(), &[99.0, 2.0]);
+        assert_eq!(s.value(v).as_slice(), &[1.0, 2.0]);
     }
 
     #[test]

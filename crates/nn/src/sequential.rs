@@ -1,6 +1,6 @@
 //! A heterogeneous layer stack.
 
-use crate::{Module, Parameter, Session};
+use crate::{Forward, Module, Parameter};
 use nb_autograd::Value;
 
 /// An ordered stack of boxed modules applied in sequence.
@@ -43,10 +43,10 @@ impl Sequential {
 }
 
 impl Module for Sequential {
-    fn forward(&self, s: &mut Session, x: Value) -> Value {
+    fn forward(&self, f: &mut dyn Forward, x: Value) -> Value {
         let mut cur = x;
         for layer in &self.layers {
-            cur = layer.forward(s, cur);
+            cur = layer.forward(f, cur);
         }
         cur
     }
@@ -63,6 +63,7 @@ impl Module for Sequential {
 mod tests {
     use super::*;
     use crate::layers::{ActKind, Activation, Linear};
+    use crate::Session;
     use nb_tensor::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -143,18 +143,40 @@ fn conv_shapes(
 /// Panics on any shape inconsistency between `x` `[n,c_in,h,w]`, `w`
 /// `[c_out,c_in,kh,kw]`, `b` `[c_out]`, and `geom`.
 pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) -> Tensor {
+    let (n, _, _, _, c_out, ho, wo) = conv_shapes(x, w, geom);
+    let mut out = Tensor::zeros([n, c_out, ho, wo]);
+    conv2d_into(x, w, b, geom, out.as_mut_slice());
+    out
+}
+
+/// [`conv2d`] writing into a caller-provided flat output buffer of length
+/// `n * c_out * ho * wo`. Every element of `out` is overwritten (the bias is
+/// the GEMM row initializer), so the buffer's prior contents are irrelevant —
+/// this is what lets inference contexts recycle activation buffers without a
+/// zeroing pass.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies or a wrong `out` length.
+pub fn conv2d_into(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    geom: ConvGeometry,
+    out: &mut [f32],
+) {
     let (n, c_in, h, wd, c_out, ho, wo) = conv_shapes(x, w, geom);
     if let Some(b) = b {
         assert_eq!(b.dims(), &[c_out], "conv bias shape");
     }
-    let mut out = Tensor::zeros([n, c_out, ho, wo]);
+    assert_eq!(out.len(), n * c_out * ho * wo, "conv2d_into output length");
     let in_sz = c_in * h * wd;
     let out_sz = c_out * ho * wo;
     let col_rows = c_in * geom.kh * geom.kw;
     let xs = x.as_slice();
     let ws = w.as_slice();
     let bias = b.map(Tensor::as_slice);
-    let shared_out = SharedMut::new(out.as_mut_slice());
+    let shared_out = SharedMut::new(out);
     threadpool::parallel_for(n, &|ni| {
         // Safety: each task writes only its own sample's output window.
         let o_sample = unsafe { shared_out.slice(ni * out_sz, out_sz) };
@@ -176,7 +198,6 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) ->
             );
         });
     });
-    out
 }
 
 /// Gradients of [`conv2d`] with respect to input, weight, and bias.
@@ -294,17 +315,37 @@ fn dw_shapes(
 /// Panics on shape inconsistencies between `x` `[n,c,h,w]`, `w` `[c,kh,kw]`,
 /// `b` `[c]`, and `geom`.
 pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) -> Tensor {
+    let (n, c, _, _, ho, wo) = dw_shapes(x, w, geom);
+    let mut out = Tensor::zeros([n, c, ho, wo]);
+    depthwise_conv2d_into(x, w, b, geom, out.as_mut_slice());
+    out
+}
+
+/// [`depthwise_conv2d`] writing into a caller-provided flat output buffer of
+/// length `n * c * ho * wo`; every element is overwritten. See
+/// [`conv2d_into`] for the buffer-recycling rationale.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies or a wrong `out` length.
+pub fn depthwise_conv2d_into(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    geom: ConvGeometry,
+    out: &mut [f32],
+) {
     let (n, c, h, wd, ho, wo) = dw_shapes(x, w, geom);
     if let Some(b) = b {
         assert_eq!(b.dims(), &[c], "depthwise bias shape");
     }
-    let mut out = Tensor::zeros([n, c, ho, wo]);
+    assert_eq!(out.len(), n * c * ho * wo, "depthwise_conv2d_into length");
     let xs = x.as_slice();
     let ws = w.as_slice();
     let bias = b.map(Tensor::as_slice);
     let in_sz = c * h * wd;
     let out_sz = c * ho * wo;
-    let shared_out = SharedMut::new(out.as_mut_slice());
+    let shared_out = SharedMut::new(out);
     threadpool::parallel_for(n, &|ni| {
         // Safety: each task writes only its own sample's output window.
         let o_sample = unsafe { shared_out.slice(ni * out_sz, out_sz) };
@@ -335,7 +376,6 @@ pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGe
             }
         }
     });
-    out
 }
 
 /// Serial depthwise backward over one contiguous range of samples. Kept as a

@@ -28,6 +28,13 @@
 //! is fused into the GEMM epilogue (outputs are initialized from the bias
 //! rather than zero).
 //!
+//! Tensor storage is `Arc`-backed copy-on-write: `Tensor::clone` and
+//! `reshape` are O(1) buffer shares, and a shared buffer is copied only at
+//! the first mutation. This is what makes parameter binding on the autograd
+//! tape clone-free. The shared elementwise forward kernels in [`eltwise`]
+//! are the single source of truth for pointwise layer math, so the taped
+//! and grad-free execution paths produce bitwise-identical activations.
+//!
 //! **Determinism:** every GEMM output element is produced by exactly one
 //! thread with a fixed k-accumulation order, so matmul results are bitwise
 //! identical for any thread count. Convolution input gradients are
@@ -51,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod conv;
+pub mod eltwise;
 mod error;
 pub mod gemm;
 mod matmul;
@@ -60,7 +68,8 @@ mod tensor;
 pub mod threadpool;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, im2col,
+    col2im, conv2d, conv2d_backward, conv2d_into, depthwise_conv2d, depthwise_conv2d_backward,
+    depthwise_conv2d_into, im2col,
 };
 pub use error::TensorError;
 pub use gemm::gemm;

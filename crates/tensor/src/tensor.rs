@@ -3,11 +3,17 @@
 use crate::{Shape, TensorError};
 use rand::Rng;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense `f32` tensor with contiguous row-major storage.
 ///
 /// This is the single data type flowing through the whole NetBooster stack:
 /// images, activations, weights, and gradients. Images use `NCHW` layout.
+///
+/// Storage is shared copy-on-write: `clone()` is O(1) (a refcount bump) and
+/// the buffer is only copied when a shared tensor is mutated through
+/// [`as_mut_slice`](Self::as_mut_slice) or one of the in-place ops. Reads
+/// never copy.
 ///
 /// # Examples
 ///
@@ -23,20 +29,24 @@ use std::fmt;
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl Tensor {
     // ----- constructors ---------------------------------------------------
 
+    fn from_parts(shape: Shape, data: Vec<f32>) -> Self {
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
+    }
+
     /// A tensor of zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: vec![0.0; n],
-        }
+        Self::from_parts(shape, vec![0.0; n])
     }
 
     /// A tensor of ones.
@@ -48,18 +58,12 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: vec![value; n],
-        }
+        Self::from_parts(shape, vec![value; n])
     }
 
     /// A rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            shape: Shape::scalar(),
-            data: vec![value],
-        }
+        Self::from_parts(Shape::scalar(), vec![value])
     }
 
     /// Builds a tensor from a flat buffer.
@@ -77,17 +81,14 @@ impl Tensor {
                 shape,
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Self::from_parts(shape, data))
     }
 
     /// Builds a tensor by evaluating `f` at each flat index.
     pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: (0..n).map(f).collect(),
-        }
+        Self::from_parts(shape, (0..n).map(f).collect())
     }
 
     /// Standard-normal random tensor (Box–Muller over the provided RNG).
@@ -105,17 +106,14 @@ impl Tensor {
                 data.push(r * theta.sin());
             }
         }
-        Tensor { shape, data }
+        Self::from_parts(shape, data)
     }
 
     /// Uniform random tensor over `[lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
-        }
+        Self::from_parts(shape, (0..n).map(|_| rng.gen_range(lo..hi)).collect())
     }
 
     // ----- accessors ------------------------------------------------------
@@ -141,13 +139,25 @@ impl Tensor {
     }
 
     /// Mutable view of the flat storage.
+    ///
+    /// Copy-on-write: if the storage is shared with other tensors, this
+    /// detaches by copying the buffer first; mutations are never visible
+    /// through clones taken earlier.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// Consumes the tensor, returning its flat storage.
+    ///
+    /// Zero-copy when this tensor is the sole owner of its buffer; copies
+    /// otherwise.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// True when this tensor's buffer is shared with at least one clone.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
     }
 
     /// The value of a rank-0 or single-element tensor.
@@ -184,7 +194,7 @@ impl Tensor {
     #[inline]
     pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
         let (_, cc, hh, ww) = self.shape.nchw();
-        &mut self.data[((n * cc + c) * hh + h) * ww + w]
+        &mut Arc::make_mut(&mut self.data)[((n * cc + c) * hh + h) * ww + w]
     }
 
     /// Element at `(r, c)` of a matrix.
@@ -216,7 +226,8 @@ impl Tensor {
         );
         Tensor {
             shape,
-            data: self.data.clone(),
+            // Arc clone: reshape is a zero-copy view of the same buffer.
+            data: Arc::clone(&self.data),
         }
     }
 
@@ -251,10 +262,7 @@ impl Tensor {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
-        Tensor {
-            shape: Shape::new(vec![c, r]),
-            data: out,
-        }
+        Self::from_parts(Shape::new(vec![c, r]), out)
     }
 
     /// A contiguous sub-tensor of `len` entries along dimension 0 starting at
@@ -274,10 +282,41 @@ impl Tensor {
         let inner: usize = self.shape.dims()[1..].iter().product();
         let mut dims = self.shape.dims().to_vec();
         dims[0] = len;
-        Tensor {
-            shape: Shape::new(dims),
-            data: self.data[start * inner..(start + len) * inner].to_vec(),
+        Self::from_parts(
+            Shape::new(dims),
+            self.data[start * inner..(start + len) * inner].to_vec(),
+        )
+    }
+
+    /// Slices the leading output-channel and input-channel dimensions of a
+    /// rank-4 conv weight: `w[out.0..out.0+out.1, inn.0..inn.0+inn.1, :, :]`.
+    /// Used by NetAug-style width-sliced weight sharing on both execution
+    /// paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4 or a range is out of bounds.
+    pub fn narrow_out_in(&self, out: (usize, usize), inn: (usize, usize)) -> Tensor {
+        let d = self.dims().to_vec();
+        assert_eq!(d.len(), 4, "narrow_out_in requires rank-4 weight");
+        assert!(
+            out.0 + out.1 <= d[0] && inn.0 + inn.1 <= d[1],
+            "narrow_out_in range"
+        );
+        let (kh, kw) = (d[2], d[3]);
+        let src = self.as_slice();
+        let mut dst = Tensor::zeros([out.1, inn.1, kh, kw]);
+        {
+            let ds = dst.as_mut_slice();
+            for oi in 0..out.1 {
+                for ii in 0..inn.1 {
+                    let s0 = (((out.0 + oi) * d[1]) + (inn.0 + ii)) * kh * kw;
+                    let d0 = (oi * inn.1 + ii) * kh * kw;
+                    ds[d0..d0 + kh * kw].copy_from_slice(&src[s0..s0 + kh * kw]);
+                }
+            }
         }
+        dst
     }
 
     /// Stacks tensors along a new leading dimension.
@@ -299,25 +338,22 @@ impl Tensor {
         }
         let mut dims = vec![items.len()];
         dims.extend_from_slice(inner.dims());
-        Tensor {
-            shape: Shape::new(dims),
-            data,
-        }
+        Self::from_parts(Shape::new(dims), data)
     }
 
     // ----- elementwise ----------------------------------------------------
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Self::from_parts(
+            self.shape.clone(),
+            self.data.iter().map(|&x| f(x)).collect(),
+        )
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in Arc::make_mut(&mut self.data) {
             *x = f(*x);
         }
     }
@@ -333,15 +369,14 @@ impl Tensor {
             "zip_with shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        Self::from_parts(
+            self.shape.clone(),
+            self.data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Elementwise sum. See [`zip_with`](Self::zip_with) for panics.
@@ -385,7 +420,10 @@ impl Tensor {
             "add_assign shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .zip(other.data.iter())
+        {
             *a += b;
         }
     }
@@ -401,21 +439,26 @@ impl Tensor {
             "add_scaled_assign shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .zip(other.data.iter())
+        {
             *a += alpha * b;
         }
     }
 
     /// In-place `self *= s`.
     pub fn scale_assign(&mut self, s: f32) {
-        for a in &mut self.data {
+        for a in Arc::make_mut(&mut self.data) {
             *a *= s;
         }
     }
 
-    /// Sets every element to zero, keeping the allocation.
+    /// Sets every element to zero, keeping the allocation when unshared.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .for_each(|x| *x = 0.0);
     }
 
     // ----- reductions -----------------------------------------------------
@@ -509,7 +552,7 @@ impl Tensor {
         );
         self.data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max)
     }
@@ -673,6 +716,25 @@ mod tests {
         let a = Tensor::ones([3]);
         let b = Tensor::ones([4]);
         let _ = a.add(&b);
+    }
+
+    #[test]
+    fn clone_is_cow() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).unwrap();
+        let b = a.clone();
+        assert!(a.is_shared() && b.is_shared());
+        a.as_mut_slice()[0] = 9.0; // detaches a from the shared buffer
+        assert_eq!(a.as_slice(), &[9.0, 2.0, 3.0]);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0], "clone unaffected");
+        assert!(!b.is_shared(), "a detached, b is sole owner again");
+    }
+
+    #[test]
+    fn into_vec_copies_only_when_shared() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let b = a.clone();
+        assert_eq!(a.into_vec(), vec![1.0, 2.0]); // shared: copies
+        assert_eq!(b.into_vec(), vec![1.0, 2.0]); // sole owner: moves
     }
 
     #[test]

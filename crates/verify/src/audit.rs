@@ -21,7 +21,7 @@
 //! is scale-free.
 
 use nb_models::{PwSlot, TinyNet};
-use nb_nn::{Module, Session};
+use nb_nn::{Forward, InferCtx, Module, Session};
 use nb_optim::{Sgd, SgdConfig};
 use nb_tensor::Tensor;
 use netbooster_core::{
@@ -145,10 +145,10 @@ fn norm_div_interior(got: &Tensor, want: &Tensor, margin: usize) -> f32 {
 }
 
 fn eval_forward(m: &impl Module, x: &Tensor) -> Tensor {
-    let mut s = Session::new(false);
-    let xin = s.input(x.clone());
-    let y = m.forward(&mut s, xin);
-    s.value(y).clone()
+    let mut ctx = InferCtx::new();
+    let xin = ctx.input(x.clone());
+    let y = m.forward(&mut ctx, xin);
+    ctx.take(y)
 }
 
 /// The small all-stride-1 architecture the audit runs on.

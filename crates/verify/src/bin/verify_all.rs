@@ -6,6 +6,7 @@
 
 use nb_verify::audit::run_audit_suite;
 use nb_verify::diff::{run_conv_suite, run_depthwise_suite, run_gemm_suite, run_pool_suite};
+use nb_verify::parity::run_parity_suite;
 use netbooster_core::vanilla_easy_task_sweep;
 
 fn main() {
@@ -39,7 +40,15 @@ fn main() {
         }
     }
 
-    // 3. training seed sweep (statistical pass criterion)
+    // 3. train/eval parity: taped eval vs the grad-free InferCtx, bitwise
+    let parity = run_parity_suite();
+    println!("[parity] {}", parity.summary_line());
+    if !parity.pass() {
+        failed = true;
+        print!("{}", parity.render_failures());
+    }
+
+    // 4. training seed sweep (statistical pass criterion)
     let seeds: Vec<u64> = if fast {
         (0..5).collect()
     } else {

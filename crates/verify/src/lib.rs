@@ -16,19 +16,25 @@
 //!    with real optimization steps (batch-norm running statistics
 //!    updating), contract, and assert the giant and the contracted tiny
 //!    network agree — per layer and end to end.
-//! 3. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
+//! 3. **Train/eval parity** ([`parity`]) — the taped eval path and the
+//!    grad-free [`InferCtx`](nb_nn::InferCtx) must produce *bitwise*
+//!    identical logits for every model family at every worker-pool width,
+//!    with zero graph nodes allocated on the grad-free side.
+//! 4. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
 //!    statistical pass criteria for learning tests: a test passes when
 //!    enough seeds clear the bar, not when one lucky seed does.
 //!
-//! The `verify_all` binary runs all three (`--fast` for the CI-sized grid)
+//! The `verify_all` binary runs all four (`--fast` for the CI-sized grid)
 //! and exits non-zero on any divergence, printing the per-layer tables.
 
 pub mod audit;
 pub mod diff;
 pub mod oracle;
+pub mod parity;
 pub mod tolerance;
 
 pub use audit::{audit_contraction, default_plans, run_audit_suite, ContractionAudit};
 pub use diff::{run_all_suites, DiffReport};
 pub use netbooster_core::{seed_sweep, SeedRun, SweepCriterion, SweepReport};
+pub use parity::{run_parity_suite, ParityCase, ParityReport};
 pub use tolerance::{ulp_distance, Divergence, UlpTolerance};
