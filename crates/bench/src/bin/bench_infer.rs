@@ -1,22 +1,33 @@
 //! Eval-path benchmark: the taped `Session` against the grad-free
-//! `InferCtx`.
+//! `InferCtx` against the compiled `CompiledPlan`.
 //!
 //! For each model family and batch size the binary times one eval forward
-//! on both executors and records the activation-memory footprint of each:
-//! the tape's retained intermediate bytes ([`Graph::retained_bytes`]) for
-//! the taped path, and the ping-pong high-water mark
-//! ([`InferCtx::peak_bytes`]) for the grad-free path. One JSON object is
-//! written so before/after runs can be diffed mechanically.
+//! on all three executors and records the activation-memory footprint of
+//! each: the tape's retained intermediate bytes
+//! ([`Graph::retained_bytes`]) for the taped path, the ping-pong high-water
+//! mark ([`InferCtx::peak_bytes`]) for the grad-free path, and the
+//! deterministic compile-time liveness peak ([`CompiledPlan::peak_bytes`])
+//! for the compiled path. The plan is compiled once per case, outside the
+//! timed region — that is its contract: folding, packing, and arena sizing
+//! are paid at compile time. One JSON object (with thread count, batch
+//! sizes, and build profile) is written so before/after runs can be diffed
+//! mechanically.
 //!
 //! Run: `cargo run --release -p nb-bench --bin bench_infer [--smoke] [out.json]`
 //! (default output path: `BENCH_infer.json` in the current directory).
 //! `--smoke` shrinks the timing budget to a CI-friendly sanity pass.
 //!
+//! The binary exits non-zero if the grad-free path retains more than the
+//! tape, if the compiled plan is slower than `InferCtx`, or if the plan's
+//! peak activation bytes exceed `InferCtx`'s.
+//!
 //! [`Graph::retained_bytes`]: nb_autograd::Graph::retained_bytes
 //! [`InferCtx::peak_bytes`]: nb_nn::InferCtx::peak_bytes
+//! [`CompiledPlan::peak_bytes`]: nb_nn::CompiledPlan::peak_bytes
 
-use nb_models::{mobilenet_v2_tiny, TinyNet};
-use nb_nn::{Forward, InferCtx, Module, Session};
+use nb_autograd::Value;
+use nb_models::{mobilenet_v2_tiny, DetectorNet, TinyNet};
+use nb_nn::{CompiledPlan, Forward, InferCtx, Module, Session};
 use nb_tensor::{num_threads, Tensor};
 use netbooster_core::{expand, ExpansionPlan};
 use rand::rngs::StdRng;
@@ -46,8 +57,10 @@ struct Row {
     batch: usize,
     taped_ns: u128,
     infer_ns: u128,
+    plan_ns: u128,
     taped_retained_bytes: usize,
     infer_peak_bytes: usize,
+    plan_peak_bytes: usize,
 }
 
 impl Row {
@@ -55,41 +68,58 @@ impl Row {
         self.taped_ns as f64 / self.infer_ns.max(1) as f64
     }
 
+    fn plan_speedup(&self) -> f64 {
+        self.infer_ns as f64 / self.plan_ns.max(1) as f64
+    }
+
     fn mem_ratio(&self) -> f64 {
         self.taped_retained_bytes as f64 / self.infer_peak_bytes.max(1) as f64
     }
 }
 
-fn bench_model(model: &TinyNet, name: &'static str, batch: usize, budget: Duration) -> Row {
+fn bench_case(
+    name: &'static str,
+    batch: usize,
+    fwd: &dyn Fn(&mut dyn Forward, Value) -> Value,
+    budget: Duration,
+) -> Row {
     let mut rng = StdRng::seed_from_u64(11);
     let x = Tensor::randn([batch, 3, 32, 32], &mut rng);
 
     // memory footprints from a single representative forward of each path
     let mut s = Session::new(false);
     let xv = s.input(x.clone());
-    let y = model.forward(&mut s, xv);
+    let y = fwd(&mut s, xv);
     black_box(s.value(y));
     let taped_retained_bytes = s.graph.retained_bytes();
     drop(s);
 
     let mut ctx = InferCtx::new();
     let xv = ctx.input(x.clone());
-    let y = model.forward(&mut ctx, xv);
+    let y = fwd(&mut ctx, xv);
     black_box(ctx.value(y));
     let infer_peak_bytes = ctx.peak_bytes();
     drop(ctx);
 
+    // compiled once, outside the timed region — the plan's contract
+    let mut plan = CompiledPlan::compile(x.dims(), |f, v| fwd(f, v));
+    black_box(plan.run(&x));
+    let plan_peak_bytes = plan.peak_bytes();
+
     let taped_ns = median_ns(budget, &mut || {
         let mut s = Session::new(false);
         let xv = s.input(x.clone());
-        let y = model.forward(&mut s, xv);
+        let y = fwd(&mut s, xv);
         black_box(s.value(y));
     });
     let infer_ns = median_ns(budget, &mut || {
         let mut ctx = InferCtx::new();
         let xv = ctx.input(x.clone());
-        let y = model.forward(&mut ctx, xv);
+        let y = fwd(&mut ctx, xv);
         black_box(ctx.value(y));
+    });
+    let plan_ns = median_ns(budget, &mut || {
+        black_box(plan.run(&x));
     });
 
     let row = Row {
@@ -97,37 +127,56 @@ fn bench_model(model: &TinyNet, name: &'static str, batch: usize, budget: Durati
         batch,
         taped_ns,
         infer_ns,
+        plan_ns,
         taped_retained_bytes,
         infer_peak_bytes,
+        plan_peak_bytes,
     };
     eprintln!(
         "{name:<16} batch {batch:>2}: taped {taped_ns:>10} ns, infer {infer_ns:>10} ns \
-         ({:.2}x), retained {taped_retained_bytes:>9} B vs peak {infer_peak_bytes:>9} B \
-         ({:.2}x less)",
+         ({:.2}x), plan {plan_ns:>10} ns ({:.2}x over infer), retained \
+         {taped_retained_bytes:>9} B vs peak {infer_peak_bytes:>9} B vs plan peak \
+         {plan_peak_bytes:>9} B",
         row.speedup(),
-        row.mem_ratio(),
+        row.plan_speedup(),
     );
     row
 }
 
-fn to_json(rows: &[Row]) -> String {
+fn to_json(rows: &[Row], batches: &[usize]) -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let batch_list = batches
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"threads\": {},\n", num_threads()));
+    out.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    out.push_str(&format!("  \"batch_sizes\": [{batch_list}],\n"));
     out.push_str("  \"unit\": \"median_ns_per_eval_forward; activation bytes per forward\",\n");
     out.push_str("  \"eval\": {\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
             "    \"{}/b{}\": {{\n      \"taped_ns\": {},\n      \"infer_ns\": {},\n      \
-             \"speedup\": {:.2},\n      \"taped_retained_bytes\": {},\n      \
-             \"infer_peak_bytes\": {},\n      \"memory_ratio\": {:.2}\n    }}{}\n",
+             \"plan_ns\": {},\n      \"speedup\": {:.2},\n      \"plan_speedup\": {:.2},\n      \
+             \"taped_retained_bytes\": {},\n      \"infer_peak_bytes\": {},\n      \
+             \"plan_peak_bytes\": {},\n      \"memory_ratio\": {:.2}\n    }}{}\n",
             r.model,
             r.batch,
             r.taped_ns,
             r.infer_ns,
+            r.plan_ns,
             r.speedup(),
+            r.plan_speedup(),
             r.taped_retained_bytes,
             r.infer_peak_bytes,
+            r.plan_peak_bytes,
             r.mem_ratio(),
             comma,
         ));
@@ -154,27 +203,58 @@ fn main() {
     let tiny = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
     let mut giant = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
     let _handle = expand(&mut giant, &ExpansionPlan::paper_default(), &mut rng);
+    let det_backbone = TinyNet::new(mobilenet_v2_tiny(4), &mut rng);
+    let det = DetectorNet::new(det_backbone, 4, &mut rng);
 
     let mut rows = Vec::new();
     let batches: &[usize] = if smoke { &[4] } else { &[1, 8] };
     for &b in batches {
-        rows.push(bench_model(&tiny, "tinynet", b, budget));
+        rows.push(bench_case("tinynet", b, &|f, v| tiny.forward(f, v), budget));
     }
     for &b in batches {
-        rows.push(bench_model(&giant, "expanded-giant", b, budget));
+        rows.push(bench_case(
+            "expanded-giant",
+            b,
+            &|f, v| giant.forward(f, v),
+            budget,
+        ));
+    }
+    for &b in batches {
+        rows.push(bench_case(
+            "detector-grid",
+            b,
+            &|f, v| det.forward_grid(f, v),
+            budget,
+        ));
     }
 
     // the split execution path exists to make eval cheaper on both axes;
-    // fail loudly if it ever regresses to the tape
-    let ok = rows
+    // fail loudly if it ever regresses to the tape — and the compiled plan
+    // exists to beat the grad-free path, so gate it against InferCtx on
+    // both time and peak activation bytes
+    let infer_ok = rows
         .iter()
         .all(|r| r.infer_peak_bytes < r.taped_retained_bytes);
-    let json = to_json(&rows);
+    let plan_time_ok = rows.iter().all(|r| r.plan_ns <= r.infer_ns);
+    let plan_mem_ok = rows.iter().all(|r| r.plan_peak_bytes <= r.infer_peak_bytes);
+    let json = to_json(&rows, batches);
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("{json}");
     eprintln!("wrote {out_path}");
-    if !ok {
+    let mut failed = false;
+    if !infer_ok {
         eprintln!("bench_infer: FAILED (grad-free path retained more than the tape)");
+        failed = true;
+    }
+    if !plan_time_ok {
+        eprintln!("bench_infer: FAILED (compiled plan slower than InferCtx)");
+        failed = true;
+    }
+    if !plan_mem_ok {
+        eprintln!("bench_infer: FAILED (compiled plan peak bytes above InferCtx)");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -18,33 +18,13 @@
 //! of the border — one of the reasons the paper rejects those blocks.
 
 use nb_models::{InsertedBlock, InsertedConv, PwSlot, TinyNet};
-use nb_nn::layers::{BatchNorm2d, Conv2d};
+use nb_nn::layers::Conv2d;
 use nb_tensor::{ConvGeometry, Tensor};
 
-/// Folds an eval-mode batch norm into a dense conv weight/bias.
-///
-/// Returns `(w', b')` with `w'[o] = scale[o] * w[o]` and
-/// `b'[o] = scale[o] * b[o] + shift[o]`.
-///
-/// # Panics
-///
-/// Panics if shapes are inconsistent.
-pub fn fold_bn(weight: &Tensor, bias: Option<&Tensor>, bn: &BatchNorm2d) -> (Tensor, Tensor) {
-    let d = weight.dims().to_vec();
-    assert_eq!(d.len(), 4, "fold_bn expects dense [o,i,kh,kw] weight");
-    let o = d[0];
-    assert_eq!(bn.channels(), o, "bn channels vs conv out");
-    let (scale, shift) = bn.eval_affine();
-    let per_out = d[1] * d[2] * d[3];
-    let ws = weight.as_slice();
-    let w = Tensor::from_fn(weight.shape().clone(), |i| {
-        ws[i] * scale.as_slice()[i / per_out]
-    });
-    let b = Tensor::from_fn([o], |i| {
-        shift.as_slice()[i] + scale.as_slice()[i] * bias.map(|b| b.as_slice()[i]).unwrap_or(0.0)
-    });
-    (w, b)
-}
+// Batch-norm folding moved to `nb_nn::fold` so the eval-time compile pass
+// (`nb_nn::plan`) can use it without a dependency cycle; re-exported here to
+// keep the contraction API surface intact.
+pub use nb_nn::fold_bn;
 
 /// Converts a depthwise `[c, kh, kw]` weight into the equivalent dense
 /// block-diagonal `[c, c, kh, kw]` weight.
@@ -221,7 +201,7 @@ mod tests {
     use super::*;
     use crate::expansion::{build_inserted_block, BlockKind};
     use nb_models::InsertedUnit;
-    use nb_nn::layers::DepthwiseConv2d;
+    use nb_nn::layers::{BatchNorm2d, DepthwiseConv2d};
     use nb_nn::{Module, Session};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -9,7 +9,7 @@
 use crate::trainer::{fit, History, NoHooks, TrainConfig};
 use nb_data::SyntheticVision;
 use nb_models::{TinyNet, TnnConfig};
-use nb_nn::{Forward, InferCtx, Module, Session};
+use nb_nn::{CompiledPlan, Module, Session};
 use rand::Rng;
 
 /// NetAug hyperparameters.
@@ -63,11 +63,12 @@ pub fn train_netaug(
         let aux = s.graph.scale(aux_ce, na.aux_weight);
         s.graph.add(base_ce, aux)
     };
+    // Compiled fresh per eval batch: the plan snapshots weights and running
+    // statistics, which keep moving between epochs during training. The
+    // compile step re-slices the base-subnet weights, which the InferCtx
+    // path also paid per call.
     let eval = |imgs: &nb_tensor::Tensor| {
-        let mut ctx = InferCtx::new();
-        let x = ctx.input(imgs.clone());
-        let y = supernet.forward_subnet(&mut ctx, x, base_cfg);
-        ctx.take(y)
+        CompiledPlan::compile(imgs.dims(), |f, x| supernet.forward_subnet(f, x, base_cfg)).run(imgs)
     };
     let history = fit(
         supernet.parameters(),

@@ -11,7 +11,7 @@ use crate::mobilenet::TinyNet;
 use nb_autograd::Value;
 use nb_data::BoxAnnotation;
 use nb_nn::layers::Conv2d;
-use nb_nn::{join_name, Forward, InferCtx, Module, Parameter, Session};
+use nb_nn::{join_name, CompiledPlan, Forward, Module, Parameter, Session};
 use nb_tensor::{ConvGeometry, Tensor};
 use rand::Rng;
 
@@ -73,13 +73,18 @@ impl DetectorNet {
         h
     }
 
+    /// Compiles the eval-mode grid forward into a [`CompiledPlan`] for an
+    /// input of shape `dims` (any batch size at run time; recompile after
+    /// mutating parameters).
+    pub fn compile_grid(&self, dims: &[usize]) -> CompiledPlan {
+        CompiledPlan::compile(dims, |f, x| self.forward_grid(f, x))
+    }
+
     /// Decodes eval-mode detections for a `[n,3,s,s]` batch, computed on
-    /// the grad-free path.
+    /// the compiled serving path (see [`DetectorNet::compile_grid`]).
     pub fn detect(&self, images: &Tensor, score_threshold: f32) -> Vec<Vec<Detection>> {
-        let mut ctx = InferCtx::new();
-        let x = ctx.input(images.clone());
-        let grid = self.forward_grid(&mut ctx, x);
-        decode_grid(ctx.value(grid), self.classes, score_threshold)
+        let grid = self.compile_grid(images.dims()).run(images);
+        decode_grid(&grid, self.classes, score_threshold)
     }
 }
 

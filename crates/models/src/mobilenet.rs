@@ -14,7 +14,7 @@ use crate::blocks::{ConvBnAct, MbBlock, PwSlot};
 use crate::spec::TnnConfig;
 use nb_autograd::Value;
 use nb_nn::layers::{ActKind, BatchNorm2d, GlobalAvgPool, Linear};
-use nb_nn::{join_name, Forward, InferCtx, Module, Parameter};
+use nb_nn::{join_name, CompiledPlan, Forward, Module, Parameter};
 use nb_tensor::{ConvGeometry, Tensor};
 use rand::Rng;
 
@@ -93,13 +93,21 @@ impl TinyNet {
         self.pool.forward(f, fm)
     }
 
+    /// Compiles the eval-mode forward pass into a [`CompiledPlan`]
+    /// (batch-norm folding, fused activations, prepacked weights, static
+    /// activation arena) for an input of shape `dims`. The plan accepts any
+    /// batch size; per-sample dims are fixed at compile time. Recompile
+    /// after mutating parameters or architecture.
+    pub fn compile_eval(&self, dims: &[usize]) -> CompiledPlan {
+        CompiledPlan::compile(dims, |f, x| self.forward(f, x))
+    }
+
     /// Convenience: eval-mode logits for a `[n,3,s,s]` batch, computed on
-    /// the grad-free path (no tape, recycled activation buffers).
+    /// the compiled serving path (see [`TinyNet::compile_eval`]). Callers
+    /// evaluating many batches should hold a plan instead of paying the
+    /// compile step per call.
     pub fn logits_eval(&self, images: &Tensor) -> Tensor {
-        let mut ctx = InferCtx::new();
-        let x = ctx.input(images.clone());
-        let y = self.forward(&mut ctx, x);
-        ctx.take(y)
+        self.compile_eval(images.dims()).run(images)
     }
 
     /// Replaces the classifier with a freshly initialized head for

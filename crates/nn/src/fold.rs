@@ -1,0 +1,128 @@
+//! Eval-mode batch-norm folding (paper Sec. III-D, Eq. 3).
+//!
+//! An eval-mode batch norm is a per-channel affine map
+//! `y = scale * x + shift` with `scale = gamma / sqrt(var + eps)` and
+//! `shift = beta - scale * mean`, so it commutes into the weights of the
+//! preceding convolution. These folds are the first step of expanded-block
+//! contraction in `netbooster-core` (which re-exports [`fold_bn`]) and of
+//! the eval-time compile pass in [`crate::plan`].
+//!
+//! Folding reassociates the per-channel scale into each multiply-accumulate,
+//! so the folded layer is mathematically exact but not bitwise identical to
+//! conv-then-bn; callers needing bitwise parity keep the bn as a separate
+//! pass (see `CompiledPlan`'s `fold_bn` option).
+//!
+//! There is no linear+bn fold: [`BatchNorm2d`] normalizes `NCHW` activations
+//! and in this stack never follows a rank-2 linear layer.
+
+use crate::layers::BatchNorm2d;
+use nb_tensor::Tensor;
+
+/// Folds an eval-mode batch norm into a dense conv weight/bias.
+///
+/// Returns `(w', b')` with `w'[o] = scale[o] * w[o]` and
+/// `b'[o] = scale[o] * b[o] + shift[o]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn fold_bn(weight: &Tensor, bias: Option<&Tensor>, bn: &BatchNorm2d) -> (Tensor, Tensor) {
+    let d = weight.dims().to_vec();
+    assert_eq!(d.len(), 4, "fold_bn expects dense [o,i,kh,kw] weight");
+    let o = d[0];
+    assert_eq!(bn.channels(), o, "bn channels vs conv out");
+    let (scale, shift) = bn.eval_affine();
+    let per_out = d[1] * d[2] * d[3];
+    let ws = weight.as_slice();
+    let w = Tensor::from_fn(weight.shape().clone(), |i| {
+        ws[i] * scale.as_slice()[i / per_out]
+    });
+    let b = Tensor::from_fn([o], |i| {
+        shift.as_slice()[i] + scale.as_slice()[i] * bias.map(|b| b.as_slice()[i]).unwrap_or(0.0)
+    });
+    (w, b)
+}
+
+/// [`fold_bn`] for a depthwise `[c, kh, kw]` weight: channel `c`'s filter
+/// scales by `scale[c]`, and the bias becomes `scale[c] * b[c] + shift[c]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn fold_bn_depthwise(
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    bn: &BatchNorm2d,
+) -> (Tensor, Tensor) {
+    let d = weight.dims().to_vec();
+    assert_eq!(d.len(), 3, "fold_bn_depthwise expects [c,kh,kw] weight");
+    let c = d[0];
+    assert_eq!(bn.channels(), c, "bn channels vs depthwise channels");
+    let (scale, shift) = bn.eval_affine();
+    let per_ch = d[1] * d[2];
+    let ws = weight.as_slice();
+    let w = Tensor::from_fn(weight.shape().clone(), |i| {
+        ws[i] * scale.as_slice()[i / per_ch]
+    });
+    let b = Tensor::from_fn([c], |i| {
+        shift.as_slice()[i] + scale.as_slice()[i] * bias.map(|b| b.as_slice()[i]).unwrap_or(0.0)
+    });
+    (w, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_tensor::{conv2d, depthwise_conv2d, ConvGeometry};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn random_bn(c: usize, rng: &mut StdRng) -> BatchNorm2d {
+        let bn = BatchNorm2d::new(c);
+        bn.set_running_stats(
+            Tensor::randn([c], rng),
+            Tensor::randn([c], rng).map(|v| v.abs() + 0.5),
+        );
+        bn
+    }
+
+    #[test]
+    fn folded_dense_conv_matches_conv_then_bn() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let w = Tensor::randn([6, 3, 3, 3], &mut rng);
+        let b = Tensor::randn([6], &mut rng);
+        let bn = random_bn(6, &mut rng);
+        let (scale, shift) = bn.eval_affine();
+        let mut want = conv2d(&x, &w, Some(&b), ConvGeometry::same(3, 1));
+        nb_tensor::eltwise::bn_apply_inplace(
+            &mut want,
+            &scale,
+            &shift,
+            &Tensor::zeros([6]),
+            &Tensor::full([6], 1.0),
+        );
+        let (wf, bf) = fold_bn(&w, Some(&b), &bn);
+        let got = conv2d(&x, &wf, Some(&bf), ConvGeometry::same(3, 1));
+        assert!(got.allclose(&want, 1e-4), "folded dense conv diverged");
+    }
+
+    #[test]
+    fn folded_depthwise_conv_matches_conv_then_bn() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::randn([2, 4, 8, 8], &mut rng);
+        let w = Tensor::randn([4, 3, 3], &mut rng);
+        let bn = random_bn(4, &mut rng);
+        let (scale, shift) = bn.eval_affine();
+        let mut want = depthwise_conv2d(&x, &w, None, ConvGeometry::same(3, 1));
+        nb_tensor::eltwise::bn_apply_inplace(
+            &mut want,
+            &scale,
+            &shift,
+            &Tensor::zeros([4]),
+            &Tensor::full([4], 1.0),
+        );
+        let (wf, bf) = fold_bn_depthwise(&w, None, &bn);
+        let got = depthwise_conv2d(&x, &wf, Some(&bf), ConvGeometry::same(3, 1));
+        assert!(got.allclose(&want, 1e-4), "folded depthwise conv diverged");
+    }
+}

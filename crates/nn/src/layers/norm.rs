@@ -38,6 +38,14 @@ impl BatchNorm2d {
         }
     }
 
+    /// Replaces the normalization epsilon (builder style). Used by the
+    /// compile pass to reconstruct sliced batch-norm snapshots and by
+    /// property tests that sweep eps values.
+    pub fn with_eps(mut self, eps: f32) -> Self {
+        self.eps = eps;
+        self
+    }
+
     /// Channel count.
     pub fn channels(&self) -> usize {
         self.channels

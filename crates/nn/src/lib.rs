@@ -7,11 +7,13 @@
 //!
 //! The central abstractions are [`Module`] (a differentiable function with
 //! named parameters) and [`Forward`] (one execution path's view of a
-//! forward pass). Two executors implement [`Forward`]: the taped
+//! forward pass). Three executors implement [`Forward`]: the taped
 //! [`Session`] (one training step's tape plus the parameter bindings into
-//! it) and the grad-free [`InferCtx`] (eager evaluation with recycled
-//! activation buffers and no tape). A single `Module::forward` definition
-//! serves both.
+//! it), the grad-free [`InferCtx`] (eager evaluation with recycled
+//! activation buffers and no tape), and the [`CompiledPlan`] (a serving
+//! path compiled once per model: batch-norm folding, activation fusion,
+//! prepacked GEMM weights, and a static activation arena). A single
+//! `Module::forward` definition serves all three.
 //!
 //! ## Example
 //!
@@ -35,18 +37,22 @@
 
 #![warn(missing_docs)]
 
+pub mod fold;
 mod forward;
 mod infer;
 pub mod init;
 pub mod layers;
 mod module;
 mod param;
+pub mod plan;
 mod sequential;
 mod state;
 
+pub use fold::{fold_bn, fold_bn_depthwise};
 pub use forward::Forward;
 pub use infer::InferCtx;
 pub use module::{join_name, Module, Session};
 pub use param::Parameter;
+pub use plan::{CompiledPlan, PlanOptions};
 pub use sequential::Sequential;
 pub use state::{copy_params, named_parameters, StateDict};

@@ -1,0 +1,1579 @@
+//! [`CompiledPlan`]: the ahead-of-time compiled serving executor.
+//!
+//! [`InferCtx`](crate::InferCtx) already skips the tape, but it still pays
+//! per-call costs a frozen deployment graph shouldn't: every forward
+//! re-packs GEMM weight panels, runs eval-mode batch norm as a separate
+//! elementwise pass, and grows thread-local scratch on demand. A
+//! `CompiledPlan` moves all of that to a one-time compile step:
+//!
+//! 1. **Record** — the module's `forward` runs once against a shape-only
+//!    recorder (zero tensors, no kernels, no tape nodes), capturing the op
+//!    sequence, activation shapes at a probe batch, and parameter snapshots
+//!    (sliced exactly as `InferCtx` would slice them).
+//! 2. **Rewrite** — eval-mode batch norms fold into their preceding
+//!    conv/depthwise weights ([`crate::fold`]); identity activations
+//!    (decay slope `alpha >= 1`, the PLT endpoint) are elided; remaining
+//!    ReLU/ReLU6 fuse into the producing kernel's epilogue
+//!    ([`nb_tensor::Epilogue`]).
+//! 3. **Prepack** — every GEMM-backed weight is packed once into panel
+//!    format ([`nb_tensor::PackedA`]/[`nb_tensor::PackedB`]) and reused
+//!    across calls.
+//! 4. **Arena** — activation buffers are assigned at compile time by a
+//!    best-fit liveness pass over per-sample sizes, so steady-state runs
+//!    perform no activation allocation and [`peak_bytes`] is a deterministic
+//!    function of the graph and batch size, not of runtime history.
+//!
+//! With folding disabled ([`PlanOptions`]) the plan is **bitwise identical**
+//! to `InferCtx` at every thread width: prepacked panels are byte-identical
+//! to on-demand packing, fused epilogues delegate to the same
+//! [`nb_tensor::eltwise`] expressions, and unfused batch norm uses the same
+//! `bn_invstd`/`bn_apply_inplace` kernels. Folding reassociates the
+//! per-channel scale into the convolution's multiply-accumulate chain, so a
+//! folded plan is exact in infinite precision and ULP-bounded in f32 (the
+//! parity suite in `nb-verify` checks both regimes).
+//!
+//! A plan replays only the module it was compiled from: the [`Forward`]
+//! implementation walks the recorded op sequence with a cursor and
+//! debug-asserts each call against the recorded kind. Use [`CompiledPlan::run`]
+//! for the common whole-model case.
+//!
+//! [`peak_bytes`]: CompiledPlan::peak_bytes
+
+use crate::fold::{fold_bn, fold_bn_depthwise};
+use crate::forward::Forward;
+use crate::layers::BatchNorm2d;
+use crate::Parameter;
+use nb_autograd::Value;
+use nb_tensor::{
+    avgpool2d, conv2d_packed_into, depthwise_conv2d_fused_into, eltwise, global_avg_pool,
+    maxpool2d, ConvGeometry, Epilogue, PackedA, PackedB, Tensor,
+};
+
+/// Compile-time switches for [`CompiledPlan::compile_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlanOptions {
+    /// Fold eval-mode batch norms into their preceding conv/depthwise
+    /// weights. On (the default), the plan is fastest but ULP-bounded
+    /// rather than bitwise against `InferCtx`; off, it is bitwise.
+    pub fold_bn: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions { fold_bn: true }
+    }
+}
+
+/// Discriminant of a recorded op, used to check replay alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecKind {
+    Conv,
+    Depthwise,
+    Linear,
+    BatchNorm,
+    Relu,
+    Relu6,
+    MaxPool,
+    AvgPool,
+    Gap,
+    Add,
+}
+
+/// One op captured by the recording pass. Parameter tensors are snapshotted
+/// (and pre-sliced, for the NetAug `_sliced` variants) exactly as `InferCtx`
+/// would materialize them.
+enum RecOp {
+    Conv {
+        x: usize,
+        out: usize,
+        w: Tensor,
+        b: Option<Tensor>,
+        geom: ConvGeometry,
+    },
+    Depthwise {
+        x: usize,
+        out: usize,
+        w: Tensor,
+        b: Option<Tensor>,
+        geom: ConvGeometry,
+    },
+    Linear {
+        x: usize,
+        out: usize,
+        w: Tensor,
+        b: Option<Tensor>,
+    },
+    BatchNorm {
+        x: usize,
+        out: usize,
+        snap: BatchNorm2d,
+    },
+    Relu {
+        x: usize,
+        out: usize,
+        alpha: f32,
+    },
+    Relu6 {
+        x: usize,
+        out: usize,
+        alpha: f32,
+    },
+    MaxPool {
+        x: usize,
+        out: usize,
+        geom: ConvGeometry,
+    },
+    AvgPool {
+        x: usize,
+        out: usize,
+        geom: ConvGeometry,
+    },
+    Gap {
+        x: usize,
+        out: usize,
+    },
+    Add {
+        a: usize,
+        b: usize,
+        out: usize,
+    },
+}
+
+impl RecOp {
+    fn kind(&self) -> RecKind {
+        match self {
+            RecOp::Conv { .. } => RecKind::Conv,
+            RecOp::Depthwise { .. } => RecKind::Depthwise,
+            RecOp::Linear { .. } => RecKind::Linear,
+            RecOp::BatchNorm { .. } => RecKind::BatchNorm,
+            RecOp::Relu { .. } => RecKind::Relu,
+            RecOp::Relu6 { .. } => RecKind::Relu6,
+            RecOp::MaxPool { .. } => RecKind::MaxPool,
+            RecOp::AvgPool { .. } => RecKind::AvgPool,
+            RecOp::Gap { .. } => RecKind::Gap,
+            RecOp::Add { .. } => RecKind::Add,
+        }
+    }
+
+    fn out(&self) -> usize {
+        match *self {
+            RecOp::Conv { out, .. }
+            | RecOp::Depthwise { out, .. }
+            | RecOp::Linear { out, .. }
+            | RecOp::BatchNorm { out, .. }
+            | RecOp::Relu { out, .. }
+            | RecOp::Relu6 { out, .. }
+            | RecOp::MaxPool { out, .. }
+            | RecOp::AvgPool { out, .. }
+            | RecOp::Gap { out, .. }
+            | RecOp::Add { out, .. } => out,
+        }
+    }
+
+    fn inputs(&self) -> (usize, Option<usize>) {
+        match *self {
+            RecOp::Conv { x, .. }
+            | RecOp::Depthwise { x, .. }
+            | RecOp::Linear { x, .. }
+            | RecOp::BatchNorm { x, .. }
+            | RecOp::Relu { x, .. }
+            | RecOp::Relu6 { x, .. }
+            | RecOp::MaxPool { x, .. }
+            | RecOp::AvgPool { x, .. }
+            | RecOp::Gap { x, .. } => (x, None),
+            RecOp::Add { a, b, .. } => (a, Some(b)),
+        }
+    }
+}
+
+/// Shape-only recorder: implements [`Forward`] over zero tensors, capturing
+/// the op list without running any kernel.
+struct Recorder {
+    vals: Vec<Tensor>,
+    ops: Vec<RecOp>,
+}
+
+impl Recorder {
+    fn new() -> Self {
+        Recorder {
+            vals: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    fn push_val(&mut self, dims: Vec<usize>) -> usize {
+        self.vals.push(Tensor::zeros(dims));
+        self.vals.len() - 1
+    }
+
+    fn dims(&self, v: Value) -> Vec<usize> {
+        self.vals[v.index()].dims().to_vec()
+    }
+}
+
+/// Reconstructs a standalone eval-mode batch-norm snapshot from explicit
+/// statistics, so compile-time folding can call the real [`fold_bn`].
+fn snap_bn(gamma: Tensor, beta: Tensor, mean: Tensor, var: Tensor, eps: f32) -> BatchNorm2d {
+    let c = gamma.dims()[0];
+    let bn = BatchNorm2d::new(c).with_eps(eps);
+    bn.gamma().set_value(gamma);
+    bn.beta().set_value(beta);
+    bn.set_running_stats(mean, var);
+    bn
+}
+
+impl Forward for Recorder {
+    fn training(&self) -> bool {
+        false
+    }
+
+    fn input(&mut self, t: Tensor) -> Value {
+        self.vals.push(t);
+        Value::from_index(self.vals.len() - 1)
+    }
+
+    fn value(&self, v: Value) -> &Tensor {
+        &self.vals[v.index()]
+    }
+
+    fn take(&mut self, v: Value) -> Tensor {
+        self.vals[v.index()].clone()
+    }
+
+    fn retain(&mut self, _v: Value) {}
+
+    fn conv2d(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        b: Option<&Parameter>,
+        geom: ConvGeometry,
+    ) -> Value {
+        let wt = w.value();
+        let d = self.dims(x);
+        let (ho, wo) = geom.output_hw(d[2], d[3]);
+        let out = self.push_val(vec![d[0], wt.dims()[0], ho, wo]);
+        self.ops.push(RecOp::Conv {
+            x: x.index(),
+            out,
+            w: wt,
+            b: b.map(|p| p.value()),
+            geom,
+        });
+        Value::from_index(out)
+    }
+
+    fn conv2d_sliced(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        out_c: usize,
+        in_c: usize,
+        geom: ConvGeometry,
+    ) -> Value {
+        let wt = w.value().narrow_out_in((0, out_c), (0, in_c));
+        let d = self.dims(x);
+        let (ho, wo) = geom.output_hw(d[2], d[3]);
+        let out = self.push_val(vec![d[0], out_c, ho, wo]);
+        self.ops.push(RecOp::Conv {
+            x: x.index(),
+            out,
+            w: wt,
+            b: None,
+            geom,
+        });
+        Value::from_index(out)
+    }
+
+    fn depthwise_conv2d(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        b: Option<&Parameter>,
+        geom: ConvGeometry,
+    ) -> Value {
+        let d = self.dims(x);
+        let (ho, wo) = geom.output_hw(d[2], d[3]);
+        let out = self.push_val(vec![d[0], d[1], ho, wo]);
+        self.ops.push(RecOp::Depthwise {
+            x: x.index(),
+            out,
+            w: w.value(),
+            b: b.map(|p| p.value()),
+            geom,
+        });
+        Value::from_index(out)
+    }
+
+    fn depthwise_conv2d_sliced(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        channels: usize,
+        geom: ConvGeometry,
+    ) -> Value {
+        let d = self.dims(x);
+        let (ho, wo) = geom.output_hw(d[2], d[3]);
+        let out = self.push_val(vec![d[0], channels, ho, wo]);
+        self.ops.push(RecOp::Depthwise {
+            x: x.index(),
+            out,
+            w: w.value().narrow0(0, channels),
+            b: None,
+            geom,
+        });
+        Value::from_index(out)
+    }
+
+    fn linear(&mut self, x: Value, w: &Parameter, b: Option<&Parameter>) -> Value {
+        let wt = w.value();
+        let d = self.dims(x);
+        let out = self.push_val(vec![d[0], wt.dims()[0]]);
+        self.ops.push(RecOp::Linear {
+            x: x.index(),
+            out,
+            w: wt,
+            b: b.map(|p| p.value()),
+        });
+        Value::from_index(out)
+    }
+
+    fn linear_sliced(
+        &mut self,
+        x: Value,
+        w: &Parameter,
+        b: Option<&Parameter>,
+        in_features: usize,
+    ) -> Value {
+        let wv = w.value();
+        let (out_f, big_in) = wv.shape().rc();
+        // Materialize the sliced weight exactly as `InferCtx` does: the
+        // leading `in_features` columns of every row.
+        let mut wk = Tensor::zeros([out_f, in_features]);
+        {
+            let dst = wk.as_mut_slice();
+            let src = wv.as_slice();
+            for r in 0..out_f {
+                dst[r * in_features..(r + 1) * in_features]
+                    .copy_from_slice(&src[r * big_in..r * big_in + in_features]);
+            }
+        }
+        let d = self.dims(x);
+        let out = self.push_val(vec![d[0], out_f]);
+        self.ops.push(RecOp::Linear {
+            x: x.index(),
+            out,
+            w: wk,
+            b: b.map(|p| p.value()),
+        });
+        Value::from_index(out)
+    }
+
+    fn batch_norm(&mut self, x: Value, bn: &BatchNorm2d) -> Value {
+        let d = self.dims(x);
+        let out = self.push_val(d);
+        self.ops.push(RecOp::BatchNorm {
+            x: x.index(),
+            out,
+            snap: snap_bn(
+                bn.gamma().value(),
+                bn.beta().value(),
+                bn.running_mean(),
+                bn.running_var(),
+                bn.eps(),
+            ),
+        });
+        Value::from_index(out)
+    }
+
+    fn batch_norm_sliced(&mut self, x: Value, bn: &BatchNorm2d, channels: usize) -> Value {
+        let k = channels;
+        let d = self.dims(x);
+        let out = self.push_val(d);
+        self.ops.push(RecOp::BatchNorm {
+            x: x.index(),
+            out,
+            snap: snap_bn(
+                bn.gamma().value().narrow0(0, k),
+                bn.beta().value().narrow0(0, k),
+                bn.running_mean().narrow0(0, k),
+                bn.running_var().narrow0(0, k),
+                bn.eps(),
+            ),
+        });
+        Value::from_index(out)
+    }
+
+    fn relu_decay(&mut self, x: Value, alpha: f32) -> Value {
+        let d = self.dims(x);
+        let out = self.push_val(d);
+        self.ops.push(RecOp::Relu {
+            x: x.index(),
+            out,
+            alpha,
+        });
+        Value::from_index(out)
+    }
+
+    fn relu6_decay(&mut self, x: Value, alpha: f32) -> Value {
+        let d = self.dims(x);
+        let out = self.push_val(d);
+        self.ops.push(RecOp::Relu6 {
+            x: x.index(),
+            out,
+            alpha,
+        });
+        Value::from_index(out)
+    }
+
+    fn max_pool(&mut self, x: Value, geom: ConvGeometry) -> Value {
+        let d = self.dims(x);
+        let (ho, wo) = geom.output_hw(d[2], d[3]);
+        let out = self.push_val(vec![d[0], d[1], ho, wo]);
+        self.ops.push(RecOp::MaxPool {
+            x: x.index(),
+            out,
+            geom,
+        });
+        Value::from_index(out)
+    }
+
+    fn avg_pool(&mut self, x: Value, geom: ConvGeometry) -> Value {
+        let d = self.dims(x);
+        let (ho, wo) = geom.output_hw(d[2], d[3]);
+        let out = self.push_val(vec![d[0], d[1], ho, wo]);
+        self.ops.push(RecOp::AvgPool {
+            x: x.index(),
+            out,
+            geom,
+        });
+        Value::from_index(out)
+    }
+
+    fn global_avg_pool(&mut self, x: Value) -> Value {
+        let d = self.dims(x);
+        let out = self.push_val(vec![d[0], d[1]]);
+        self.ops.push(RecOp::Gap { x: x.index(), out });
+        Value::from_index(out)
+    }
+
+    fn add(&mut self, a: Value, b: Value) -> Value {
+        let d = self.dims(a);
+        let out = self.push_val(d);
+        self.ops.push(RecOp::Add {
+            a: a.index(),
+            b: b.index(),
+            out,
+        });
+        Value::from_index(out)
+    }
+}
+
+/// The kernel an [`Action`] executes.
+enum Kernel {
+    Conv {
+        wp: PackedA,
+        bias: Option<Tensor>,
+        geom: ConvGeometry,
+        act: Epilogue,
+    },
+    Depthwise {
+        w: Tensor,
+        b: Option<Tensor>,
+        geom: ConvGeometry,
+        act: Epilogue,
+    },
+    Linear {
+        wp: PackedB,
+        bias: Option<Tensor>,
+        act: Epilogue,
+    },
+    BatchNorm {
+        gamma: Tensor,
+        beta: Tensor,
+        mean: Tensor,
+        invstd: Tensor,
+    },
+    Relu {
+        alpha: f32,
+    },
+    Relu6 {
+        alpha: f32,
+    },
+    MaxPool {
+        geom: ConvGeometry,
+    },
+    AvgPool {
+        geom: ConvGeometry,
+    },
+    Gap,
+    Add {
+        rhs: usize,
+    },
+}
+
+/// How an action obtains its output buffer.
+#[derive(Clone, Copy, Debug)]
+enum ExecMode {
+    /// Kernel writes every element into the arena home `home`.
+    OutOfPlace { home: usize },
+    /// In-place op whose input dies here: the input tensor (and its home,
+    /// if any) moves to the output.
+    Inherit,
+    /// In-place op whose input is still needed (or is the caller-owned
+    /// input tensor): copy into the arena home `home`, then mutate.
+    CopyToHome { home: usize },
+    /// Kernel allocates its own output (pooling); not arena-backed.
+    Fresh,
+}
+
+/// One executable step of a compiled plan.
+struct Action {
+    x: usize,
+    out: usize,
+    /// Output dims at the probe batch; dim 0 is replaced by the run batch.
+    out_dims: Vec<usize>,
+    kernel: Kernel,
+    mode: ExecMode,
+    /// Canonical value ids whose last use is this action; their buffers
+    /// return to the arena afterwards.
+    free_after: Vec<usize>,
+}
+
+/// An eval-only executor compiled once from a module's forward pass.
+///
+/// Build with [`CompiledPlan::compile`] (folding on) or
+/// [`CompiledPlan::compile_with`], then call [`CompiledPlan::run`] per
+/// batch. The batch size may differ from the probe batch (arena buffers
+/// scale linearly); per-sample dims must match.
+pub struct CompiledPlan {
+    actions: Vec<Action>,
+    /// Per recorded op: expected kind, action to execute (None when the op
+    /// was folded/elided), canonical output value id.
+    rec_meta: Vec<(RecKind, Option<usize>, usize)>,
+    in_dims: Vec<usize>,
+    final_out: usize,
+    values: Vec<Option<Tensor>>,
+    homes: Vec<Vec<f32>>,
+    val_home: Vec<Option<usize>>,
+    /// Per-sample f32 counts of every arena home, fixed at compile time.
+    home_units: Vec<usize>,
+    /// Deterministic per-sample high-water mark of live activation f32s
+    /// (same accounting as `InferCtx::peak_bytes`).
+    peak_units: usize,
+    packed_bytes: usize,
+    last_batch: usize,
+    cursor: usize,
+}
+
+impl CompiledPlan {
+    /// Compiles a plan (with batch-norm folding) from a forward pass probed
+    /// at input shape `dims` (`dims[0]` is the probe batch; runs may use
+    /// any batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forward uses training-mode semantics or inconsistent
+    /// shapes.
+    pub fn compile(dims: &[usize], fwd: impl FnOnce(&mut dyn Forward, Value) -> Value) -> Self {
+        Self::compile_with(dims, PlanOptions::default(), fwd)
+    }
+
+    /// [`CompiledPlan::compile`] with explicit [`PlanOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forward uses training-mode semantics or inconsistent
+    /// shapes.
+    pub fn compile_with(
+        dims: &[usize],
+        opts: PlanOptions,
+        fwd: impl FnOnce(&mut dyn Forward, Value) -> Value,
+    ) -> Self {
+        let mut rec = Recorder::new();
+        let x = rec.input(Tensor::zeros(dims.to_vec()));
+        let y = fwd(&mut rec, x);
+        build(rec, y.index(), dims.to_vec(), opts)
+    }
+
+    /// Runs the compiled graph over one batch, returning the final value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s per-sample dims differ from the compiled shape.
+    pub fn run(&mut self, x: &Tensor) -> Tensor {
+        let v = Forward::input(self, x.clone());
+        debug_assert_eq!(v.index(), 0);
+        for ai in 0..self.actions.len() {
+            self.exec(ai);
+        }
+        Forward::take(self, Value::from_index(self.final_out))
+    }
+
+    /// Deterministic peak of live activation bytes for the most recent (or
+    /// probe) batch — the compile-time liveness high-water mark, directly
+    /// comparable to [`crate::InferCtx::peak_bytes`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_units * self.last_batch * std::mem::size_of::<f32>()
+    }
+
+    /// Total arena footprint in bytes for the most recent (or probe) batch:
+    /// what the plan actually keeps resident between runs.
+    pub fn arena_bytes(&self) -> usize {
+        self.home_units.iter().sum::<usize>() * self.last_batch * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes held by prepacked weight panels (including retained raw
+    /// operands for the small-problem dispatch).
+    pub fn packed_bytes(&self) -> usize {
+        self.packed_bytes
+    }
+
+    /// Number of executable actions after folding/elision.
+    pub fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Executes action `ai` against the current values/arena state.
+    fn exec(&mut self, ai: usize) {
+        let Self {
+            actions,
+            values,
+            homes,
+            val_home,
+            last_batch,
+            ..
+        } = self;
+        let a = &actions[ai];
+        let mut dims = a.out_dims.clone();
+        dims[0] = *last_batch;
+        let unit: usize = dims[1..].iter().product();
+        let need = unit * *last_batch;
+
+        let take_home = |homes: &mut Vec<Vec<f32>>, h: usize| -> Vec<f32> {
+            let mut buf = std::mem::take(&mut homes[h]);
+            if buf.len() != need {
+                buf.resize(need, 0.0);
+            }
+            buf
+        };
+
+        let out_t = match (&a.kernel, a.mode) {
+            (
+                Kernel::Conv {
+                    wp,
+                    bias,
+                    geom,
+                    act,
+                },
+                ExecMode::OutOfPlace { home },
+            ) => {
+                let mut buf = take_home(homes, home);
+                let xt = values[a.x].as_ref().expect("conv input live");
+                conv2d_packed_into(
+                    xt,
+                    wp,
+                    bias.as_ref().map(Tensor::as_slice),
+                    *geom,
+                    *act,
+                    &mut buf,
+                );
+                Tensor::from_vec(buf, dims).expect("conv output shape")
+            }
+            (Kernel::Depthwise { w, b, geom, act }, ExecMode::OutOfPlace { home }) => {
+                let mut buf = take_home(homes, home);
+                let xt = values[a.x].as_ref().expect("depthwise input live");
+                depthwise_conv2d_fused_into(xt, w, b.as_ref(), *geom, *act, &mut buf);
+                Tensor::from_vec(buf, dims).expect("depthwise output shape")
+            }
+            (Kernel::Linear { wp, bias, act }, ExecMode::OutOfPlace { home }) => {
+                let mut buf = take_home(homes, home);
+                let xt = values[a.x].as_ref().expect("linear input live");
+                // With a bias the order must match InferCtx (matmul, then
+                // add_bias2, then activation); without one the activation
+                // rides the GEMM epilogue.
+                let gemm_act = if bias.is_some() { Epilogue::None } else { *act };
+                nb_tensor::gemm_b_packed(
+                    xt.as_slice(),
+                    false,
+                    wp,
+                    &mut buf,
+                    *last_batch,
+                    None,
+                    gemm_act,
+                );
+                let mut t = Tensor::from_vec(buf, dims).expect("linear output shape");
+                if let Some(b) = bias {
+                    eltwise::add_bias2_inplace(&mut t, b);
+                    act.apply(t.as_mut_slice());
+                }
+                t
+            }
+            (kernel, ExecMode::Inherit) => {
+                let mut t = values[a.x].take().expect("in-place input live");
+                apply_inplace(kernel, &mut t, values);
+                t
+            }
+            (kernel, ExecMode::CopyToHome { home }) => {
+                let mut buf = take_home(homes, home);
+                let xt = values[a.x].as_ref().expect("in-place input live");
+                buf.copy_from_slice(xt.as_slice());
+                let mut t = Tensor::from_vec(buf, dims).expect("in-place output shape");
+                apply_inplace(kernel, &mut t, values);
+                t
+            }
+            (Kernel::MaxPool { geom }, ExecMode::Fresh) => {
+                let (t, _idx) = maxpool2d(values[a.x].as_ref().expect("pool input live"), *geom);
+                t
+            }
+            (Kernel::AvgPool { geom }, ExecMode::Fresh) => {
+                avgpool2d(values[a.x].as_ref().expect("pool input live"), *geom)
+            }
+            (Kernel::Gap, ExecMode::Fresh) => {
+                global_avg_pool(values[a.x].as_ref().expect("pool input live"))
+            }
+            _ => unreachable!("kernel/mode combination not produced by compile"),
+        };
+        values[a.out] = Some(out_t);
+
+        for &id in &a.free_after {
+            if let Some(t) = values[id].take() {
+                if let Some(h) = val_home[id] {
+                    if !t.is_shared() {
+                        homes[h] = t.into_vec();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays one recorded op: executes its action (if any) and returns
+    /// the canonical output handle.
+    fn replay(&mut self, kind: RecKind) -> Value {
+        let i = self.cursor;
+        self.cursor += 1;
+        let (rec_kind, action, out) = self.rec_meta[i];
+        debug_assert_eq!(
+            rec_kind, kind,
+            "CompiledPlan replayed against a different forward than it was compiled from"
+        );
+        if let Some(ai) = action {
+            self.exec(ai);
+        }
+        Value::from_index(out)
+    }
+}
+
+/// Applies an in-place kernel to an exclusively-owned tensor.
+fn apply_inplace(kernel: &Kernel, t: &mut Tensor, values: &[Option<Tensor>]) {
+    match kernel {
+        Kernel::BatchNorm {
+            gamma,
+            beta,
+            mean,
+            invstd,
+        } => eltwise::bn_apply_inplace(t, gamma, beta, mean, invstd),
+        Kernel::Relu { alpha } => eltwise::relu_decay_inplace(t, *alpha),
+        Kernel::Relu6 { alpha } => eltwise::relu6_decay_inplace(t, *alpha),
+        Kernel::Add { rhs } => t.add_assign(values[*rhs].as_ref().expect("add rhs live")),
+        _ => unreachable!("not an in-place kernel"),
+    }
+}
+
+impl Forward for CompiledPlan {
+    fn training(&self) -> bool {
+        false
+    }
+
+    fn input(&mut self, t: Tensor) -> Value {
+        assert_eq!(
+            t.dims().len(),
+            self.in_dims.len(),
+            "CompiledPlan input rank"
+        );
+        assert_eq!(
+            &t.dims()[1..],
+            &self.in_dims[1..],
+            "CompiledPlan input per-sample shape"
+        );
+        self.last_batch = t.dims()[0];
+        self.cursor = 0;
+        // Reclaim last run's buffers into the arena before rebinding.
+        let Self {
+            values,
+            homes,
+            val_home,
+            ..
+        } = self;
+        for (id, slot) in values.iter_mut().enumerate() {
+            if let Some(t) = slot.take() {
+                if let Some(h) = val_home[id] {
+                    if !t.is_shared() {
+                        homes[h] = t.into_vec();
+                    }
+                }
+            }
+        }
+        self.values[0] = Some(t);
+        Value::from_index(0)
+    }
+
+    fn value(&self, v: Value) -> &Tensor {
+        self.values[v.index()]
+            .as_ref()
+            .expect("value not live in compiled plan")
+    }
+
+    fn take(&mut self, v: Value) -> Tensor {
+        // Deep copy so the arena keeps its buffer; final outputs are small
+        // (logits / detection grids) relative to the activations saved.
+        let t = self.values[v.index()]
+            .as_ref()
+            .expect("value not live in compiled plan");
+        Tensor::from_vec(t.as_slice().to_vec(), t.dims().to_vec()).expect("take copy")
+    }
+
+    fn retain(&mut self, _v: Value) {}
+
+    fn conv2d(
+        &mut self,
+        _x: Value,
+        _w: &Parameter,
+        _b: Option<&Parameter>,
+        _geom: ConvGeometry,
+    ) -> Value {
+        self.replay(RecKind::Conv)
+    }
+
+    fn conv2d_sliced(
+        &mut self,
+        _x: Value,
+        _w: &Parameter,
+        _out_c: usize,
+        _in_c: usize,
+        _geom: ConvGeometry,
+    ) -> Value {
+        self.replay(RecKind::Conv)
+    }
+
+    fn depthwise_conv2d(
+        &mut self,
+        _x: Value,
+        _w: &Parameter,
+        _b: Option<&Parameter>,
+        _geom: ConvGeometry,
+    ) -> Value {
+        self.replay(RecKind::Depthwise)
+    }
+
+    fn depthwise_conv2d_sliced(
+        &mut self,
+        _x: Value,
+        _w: &Parameter,
+        _channels: usize,
+        _geom: ConvGeometry,
+    ) -> Value {
+        self.replay(RecKind::Depthwise)
+    }
+
+    fn linear(&mut self, _x: Value, _w: &Parameter, _b: Option<&Parameter>) -> Value {
+        self.replay(RecKind::Linear)
+    }
+
+    fn linear_sliced(
+        &mut self,
+        _x: Value,
+        _w: &Parameter,
+        _b: Option<&Parameter>,
+        _in_features: usize,
+    ) -> Value {
+        self.replay(RecKind::Linear)
+    }
+
+    fn batch_norm(&mut self, _x: Value, _bn: &BatchNorm2d) -> Value {
+        self.replay(RecKind::BatchNorm)
+    }
+
+    fn batch_norm_sliced(&mut self, _x: Value, _bn: &BatchNorm2d, _channels: usize) -> Value {
+        self.replay(RecKind::BatchNorm)
+    }
+
+    fn relu_decay(&mut self, _x: Value, _alpha: f32) -> Value {
+        self.replay(RecKind::Relu)
+    }
+
+    fn relu6_decay(&mut self, _x: Value, _alpha: f32) -> Value {
+        self.replay(RecKind::Relu6)
+    }
+
+    fn max_pool(&mut self, _x: Value, _geom: ConvGeometry) -> Value {
+        self.replay(RecKind::MaxPool)
+    }
+
+    fn avg_pool(&mut self, _x: Value, _geom: ConvGeometry) -> Value {
+        self.replay(RecKind::AvgPool)
+    }
+
+    fn global_avg_pool(&mut self, _x: Value) -> Value {
+        self.replay(RecKind::Gap)
+    }
+
+    fn add(&mut self, _a: Value, _b: Value) -> Value {
+        self.replay(RecKind::Add)
+    }
+}
+
+/// Identity activation test: slopes are clamped to `[0, 1]`, so
+/// `alpha >= 1` means exactly `max(x, x) = x` (and the ReLU6 correction
+/// term is multiplied by zero).
+fn is_identity_alpha(alpha: f32) -> bool {
+    alpha >= 1.0
+}
+
+/// Working state of the arena-assignment/liveness pass (pass B of [`build`]).
+struct Liveness<'a> {
+    /// Uses left per canonical value id (op inputs + 1 for the final output).
+    remaining: Vec<usize>,
+    val_home: Vec<Option<usize>>,
+    home_units: Vec<usize>,
+    /// Homes currently unoccupied, available for reuse.
+    free: Vec<usize>,
+    live_units: usize,
+    peak_units: usize,
+    val_dims: &'a [Vec<usize>],
+}
+
+impl Liveness<'_> {
+    fn unit_of(&self, id: usize) -> usize {
+        self.val_dims[id][1..].iter().product()
+    }
+
+    /// Best-fit home acquisition, mirroring `InferCtx::alloc`: smallest free
+    /// home that fits, else grow the largest free home, else a new home.
+    fn acquire(&mut self, need: usize) -> usize {
+        let mut best: Option<usize> = None;
+        for (pos, &h) in self.free.iter().enumerate() {
+            if self.home_units[h] >= need
+                && best.is_none_or(|bp: usize| self.home_units[self.free[bp]] > self.home_units[h])
+            {
+                best = Some(pos);
+            }
+        }
+        if best.is_none() && !self.free.is_empty() {
+            let largest = (0..self.free.len())
+                .max_by_key(|&p| self.home_units[self.free[p]])
+                .expect("non-empty free list");
+            self.home_units[self.free[largest]] = need;
+            best = Some(largest);
+        }
+        match best {
+            Some(pos) => self.free.swap_remove(pos),
+            None => {
+                self.home_units.push(need);
+                self.home_units.len() - 1
+            }
+        }
+    }
+
+    /// Records one use of `id`; on its last use the value dies, and (unless
+    /// its tensor moves to the output via `Inherit`) its buffer returns to
+    /// the arena after the current action.
+    fn consume(&mut self, id: usize, free_after: &mut Vec<usize>, return_home: bool) {
+        self.remaining[id] -= 1;
+        if self.remaining[id] == 0 {
+            self.live_units -= self.unit_of(id);
+            if return_home {
+                free_after.push(id);
+                if let Some(h) = self.val_home[id] {
+                    self.free.push(h);
+                }
+            }
+        }
+    }
+
+    /// Accounts a newly-live output of `unit` per-sample f32s.
+    fn store(&mut self, unit: usize) {
+        self.live_units += unit;
+        self.peak_units = self.peak_units.max(self.live_units);
+    }
+}
+
+/// The rewrite + arena-assignment pass: recorded ops in, compiled plan out.
+fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions) -> CompiledPlan {
+    let Recorder { vals, ops } = rec;
+    let nvals = vals.len();
+    let val_dims: Vec<Vec<usize>> = vals.iter().map(|t| t.dims().to_vec()).collect();
+
+    // Rec-level use counts (for fold/fuse legality): one per op input, plus
+    // the final output.
+    let mut rec_uses = vec![0usize; nvals];
+    for op in &ops {
+        let (x, b) = op.inputs();
+        rec_uses[x] += 1;
+        if let Some(b) = b {
+            rec_uses[b] += 1;
+        }
+    }
+    rec_uses[final_val] += 1;
+
+    // --- Pass A: peephole rewrite into actions over canonical value ids ---
+    let mut canon: Vec<usize> = (0..nvals).collect();
+    let mut actions: Vec<Action> = Vec::new();
+    let mut rec_meta: Vec<(RecKind, Option<usize>, usize)> = Vec::with_capacity(ops.len());
+    let mut packed_bytes = 0usize;
+    let mut i = 0;
+    while i < ops.len() {
+        let kind = ops[i].kind();
+        match &ops[i] {
+            RecOp::Conv { x, out, w, b, geom } | RecOp::Depthwise { x, out, w, b, geom } => {
+                let depthwise = kind == RecKind::Depthwise;
+                let (mut w, mut b) = (w.clone(), b.clone());
+                let mut tail = *out;
+                let mut consumed = 0usize;
+                // Fold a directly-following single-use batch norm.
+                if opts.fold_bn && rec_uses[tail] == 1 {
+                    if let Some(RecOp::BatchNorm {
+                        x: bx,
+                        out: bout,
+                        snap,
+                    }) = ops.get(i + 1)
+                    {
+                        if *bx == tail {
+                            let (wf, bf) = if depthwise {
+                                fold_bn_depthwise(&w, b.as_ref(), snap)
+                            } else {
+                                fold_bn(&w, b.as_ref(), snap)
+                            };
+                            w = wf;
+                            b = Some(bf);
+                            canon[*bout] = tail;
+                            tail = *bout;
+                            consumed += 1;
+                        }
+                    }
+                }
+                // Fuse (or elide) a directly-following single-use activation.
+                let mut act = Epilogue::None;
+                if rec_uses[tail] == 1 {
+                    match ops.get(i + 1 + consumed) {
+                        Some(RecOp::Relu {
+                            x: rx,
+                            out: rout,
+                            alpha,
+                        }) if *rx == tail => {
+                            if !is_identity_alpha(*alpha) {
+                                act = Epilogue::Relu { alpha: *alpha };
+                            }
+                            canon[*rout] = canon[tail];
+                            consumed += 1;
+                        }
+                        Some(RecOp::Relu6 {
+                            x: rx,
+                            out: rout,
+                            alpha,
+                        }) if *rx == tail => {
+                            if !is_identity_alpha(*alpha) {
+                                act = Epilogue::Relu6 { alpha: *alpha };
+                            }
+                            canon[*rout] = canon[tail];
+                            consumed += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                let kernel = if depthwise {
+                    Kernel::Depthwise {
+                        w,
+                        b,
+                        geom: *geom,
+                        act,
+                    }
+                } else {
+                    let d = w.dims().to_vec();
+                    let wp = PackedA::pack(w.as_slice(), false, d[0], d[1] * d[2] * d[3]);
+                    packed_bytes += wp.bytes();
+                    Kernel::Conv {
+                        wp,
+                        bias: b,
+                        geom: *geom,
+                        act,
+                    }
+                };
+                let ai = actions.len();
+                actions.push(Action {
+                    x: canon[*x],
+                    out: canon[*out],
+                    out_dims: val_dims[*out].clone(),
+                    kernel,
+                    mode: ExecMode::Fresh, // assigned in pass B
+                    free_after: Vec::new(),
+                });
+                rec_meta.push((kind, Some(ai), canon[*out]));
+                for j in 1..=consumed {
+                    rec_meta.push((ops[i + j].kind(), None, canon[ops[i + j].out()]));
+                }
+                i += 1 + consumed;
+            }
+            RecOp::Linear { x, out, w, b } => {
+                let tail = *out;
+                let mut consumed = 0usize;
+                let mut act = Epilogue::None;
+                if rec_uses[tail] == 1 {
+                    match ops.get(i + 1) {
+                        Some(RecOp::Relu {
+                            x: rx,
+                            out: rout,
+                            alpha,
+                        }) if *rx == tail => {
+                            if !is_identity_alpha(*alpha) {
+                                act = Epilogue::Relu { alpha: *alpha };
+                            }
+                            canon[*rout] = tail;
+                            consumed += 1;
+                        }
+                        Some(RecOp::Relu6 {
+                            x: rx,
+                            out: rout,
+                            alpha,
+                        }) if *rx == tail => {
+                            if !is_identity_alpha(*alpha) {
+                                act = Epilogue::Relu6 { alpha: *alpha };
+                            }
+                            canon[*rout] = tail;
+                            consumed += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                let (out_f, in_f) = w.shape().rc();
+                // y = x W^T: the weight is the logical [in_f, out_f] right
+                // operand stored transposed, matching `matmul_nt`.
+                let wp = PackedB::pack(w.as_slice(), true, in_f, out_f);
+                packed_bytes += wp.bytes();
+                let ai = actions.len();
+                actions.push(Action {
+                    x: canon[*x],
+                    out: canon[*out],
+                    out_dims: val_dims[*out].clone(),
+                    kernel: Kernel::Linear {
+                        wp,
+                        bias: b.clone(),
+                        act,
+                    },
+                    mode: ExecMode::Fresh,
+                    free_after: Vec::new(),
+                });
+                rec_meta.push((kind, Some(ai), canon[*out]));
+                for j in 1..=consumed {
+                    rec_meta.push((ops[i + j].kind(), None, canon[ops[i + j].out()]));
+                }
+                i += 1 + consumed;
+            }
+            RecOp::BatchNorm { x, out, snap } => {
+                let invstd = eltwise::bn_invstd(&snap.running_var(), snap.eps());
+                let ai = actions.len();
+                actions.push(Action {
+                    x: canon[*x],
+                    out: canon[*out],
+                    out_dims: val_dims[*out].clone(),
+                    kernel: Kernel::BatchNorm {
+                        gamma: snap.gamma().value(),
+                        beta: snap.beta().value(),
+                        mean: snap.running_mean(),
+                        invstd,
+                    },
+                    mode: ExecMode::Fresh,
+                    free_after: Vec::new(),
+                });
+                rec_meta.push((kind, Some(ai), canon[*out]));
+                i += 1;
+            }
+            RecOp::Relu { x, out, alpha } | RecOp::Relu6 { x, out, alpha } => {
+                if is_identity_alpha(*alpha) {
+                    // Standalone identity activation (PLT endpoint): pure alias.
+                    canon[*out] = canon[*x];
+                    rec_meta.push((kind, None, canon[*out]));
+                } else {
+                    let kernel = if kind == RecKind::Relu {
+                        Kernel::Relu { alpha: *alpha }
+                    } else {
+                        Kernel::Relu6 { alpha: *alpha }
+                    };
+                    let ai = actions.len();
+                    actions.push(Action {
+                        x: canon[*x],
+                        out: canon[*out],
+                        out_dims: val_dims[*out].clone(),
+                        kernel,
+                        mode: ExecMode::Fresh,
+                        free_after: Vec::new(),
+                    });
+                    rec_meta.push((kind, Some(ai), canon[*out]));
+                }
+                i += 1;
+            }
+            RecOp::MaxPool { x, out, geom } | RecOp::AvgPool { x, out, geom } => {
+                let kernel = if kind == RecKind::MaxPool {
+                    Kernel::MaxPool { geom: *geom }
+                } else {
+                    Kernel::AvgPool { geom: *geom }
+                };
+                let ai = actions.len();
+                actions.push(Action {
+                    x: canon[*x],
+                    out: canon[*out],
+                    out_dims: val_dims[*out].clone(),
+                    kernel,
+                    mode: ExecMode::Fresh,
+                    free_after: Vec::new(),
+                });
+                rec_meta.push((kind, Some(ai), canon[*out]));
+                i += 1;
+            }
+            RecOp::Gap { x, out } => {
+                let ai = actions.len();
+                actions.push(Action {
+                    x: canon[*x],
+                    out: canon[*out],
+                    out_dims: val_dims[*out].clone(),
+                    kernel: Kernel::Gap,
+                    mode: ExecMode::Fresh,
+                    free_after: Vec::new(),
+                });
+                rec_meta.push((kind, Some(ai), canon[*out]));
+                i += 1;
+            }
+            RecOp::Add { a, b, out } => {
+                let ai = actions.len();
+                actions.push(Action {
+                    x: canon[*a],
+                    out: canon[*out],
+                    out_dims: val_dims[*out].clone(),
+                    kernel: Kernel::Add { rhs: canon[*b] },
+                    mode: ExecMode::Fresh,
+                    free_after: Vec::new(),
+                });
+                rec_meta.push((kind, Some(ai), canon[*out]));
+                i += 1;
+            }
+        }
+    }
+    let final_out = canon[final_val];
+
+    // --- Pass B: arena assignment + liveness over the emitted actions ---
+    let mut remaining = vec![0usize; nvals];
+    for a in &actions {
+        remaining[a.x] += 1;
+        if let Kernel::Add { rhs } = a.kernel {
+            remaining[rhs] += 1;
+        }
+    }
+    remaining[final_out] += 1;
+
+    let mut st = Liveness {
+        remaining,
+        val_home: vec![None; nvals],
+        home_units: Vec::new(),
+        free: Vec::new(),
+        live_units: val_dims[0][1..].iter().product(), // the bound input
+        peak_units: 0,
+        val_dims: &val_dims,
+    };
+    st.peak_units = st.live_units;
+
+    for a in actions.iter_mut() {
+        let out = a.out;
+        let x = a.x;
+        let out_unit: usize = a.out_dims[1..].iter().product();
+        let in_place = matches!(
+            a.kernel,
+            Kernel::BatchNorm { .. }
+                | Kernel::Relu { .. }
+                | Kernel::Relu6 { .. }
+                | Kernel::Add { .. }
+        );
+        let fresh = matches!(
+            a.kernel,
+            Kernel::MaxPool { .. } | Kernel::AvgPool { .. } | Kernel::Gap
+        );
+
+        let mut free_after: Vec<usize> = Vec::new();
+        if in_place {
+            // Mirror InferCtx's consume-then-store accounting: the input
+            // leaves before the output lands, so same-size in-place ops
+            // never bump the peak.
+            let inherits = st.remaining[x] == 1 && x != 0;
+            st.consume(x, &mut free_after, !inherits);
+            if inherits {
+                a.mode = ExecMode::Inherit;
+                st.val_home[out] = st.val_home[x];
+            } else {
+                let h = st.acquire(out_unit);
+                a.mode = ExecMode::CopyToHome { home: h };
+                st.val_home[out] = Some(h);
+            }
+            st.store(out_unit);
+            if let Kernel::Add { rhs } = a.kernel {
+                st.consume(rhs, &mut free_after, true);
+            }
+        } else if fresh {
+            a.mode = ExecMode::Fresh;
+            st.val_home[out] = None;
+            st.store(out_unit);
+            st.consume(x, &mut free_after, true);
+        } else {
+            let h = st.acquire(out_unit);
+            a.mode = ExecMode::OutOfPlace { home: h };
+            st.val_home[out] = Some(h);
+            st.store(out_unit);
+            st.consume(x, &mut free_after, true);
+        }
+        a.free_after = free_after;
+    }
+    let Liveness {
+        val_home,
+        home_units,
+        peak_units,
+        ..
+    } = st;
+
+    let probe_batch = in_dims[0];
+    let homes = home_units.iter().map(|_| Vec::new()).collect();
+    CompiledPlan {
+        actions,
+        rec_meta,
+        in_dims,
+        final_out,
+        values: vec![None; nvals],
+        homes,
+        val_home,
+        home_units,
+        peak_units,
+        packed_bytes,
+        last_batch: probe_batch,
+        cursor: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{ActKind, Activation, BatchNorm2d, Conv2d, DepthwiseConv2d, Linear};
+    use crate::{InferCtx, Module, Sequential};
+    use nb_autograd::nodes_allocated;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// conv -> bn -> relu -> depthwise -> bn -> relu6 -> gap -> linear,
+    /// with randomized bn statistics so folding is non-trivial.
+    fn conv_model(rng: &mut StdRng) -> Sequential {
+        let bn1 = BatchNorm2d::new(8);
+        bn1.set_running_stats(
+            Tensor::randn([8], rng),
+            Tensor::randn([8], rng).map(|v| v.abs() + 0.5),
+        );
+        bn1.gamma().set_value(Tensor::randn([8], rng));
+        bn1.beta().set_value(Tensor::randn([8], rng));
+        let bn2 = BatchNorm2d::new(8);
+        bn2.set_running_stats(
+            Tensor::randn([8], rng),
+            Tensor::randn([8], rng).map(|v| v.abs() + 0.5),
+        );
+        Sequential::new()
+            .push(Conv2d::new(3, 8, ConvGeometry::same(3, 1), true, rng))
+            .push(bn1)
+            .push(Activation::new(ActKind::Relu))
+            .push(DepthwiseConv2d::new(
+                8,
+                ConvGeometry::same(3, 1),
+                false,
+                rng,
+            ))
+            .push(bn2)
+            .push(Activation::new(ActKind::Relu6))
+            .push(crate::layers::GlobalAvgPool::new())
+            .push(Linear::new(8, 4, true, rng))
+    }
+
+    fn infer_forward(model: &Sequential, x: &Tensor) -> (Tensor, usize) {
+        let mut ctx = InferCtx::new();
+        let xv = ctx.input(x.clone());
+        let yv = model.forward(&mut ctx, xv);
+        let out = ctx.take(yv);
+        (out, ctx.peak_bytes())
+    }
+
+    #[test]
+    fn unfolded_plan_is_bitwise_with_zero_nodes() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let (want, _) = infer_forward(&model, &x);
+
+        let before = nodes_allocated();
+        let mut plan =
+            CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
+                model.forward(f, v)
+            });
+        let got = plan.run(&x);
+        assert_eq!(nodes_allocated(), before, "plan allocated tape nodes");
+        assert_eq!(got.dims(), want.dims());
+        assert_eq!(got.as_slice(), want.as_slice(), "bitwise parity");
+    }
+
+    #[test]
+    fn folded_plan_is_close_and_smaller() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let (want, _) = infer_forward(&model, &x);
+
+        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let mut unfolded =
+            CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
+                model.forward(f, v)
+            });
+        assert!(
+            plan.action_count() < unfolded.action_count(),
+            "folding should remove bn/activation actions ({} vs {})",
+            plan.action_count(),
+            unfolded.action_count()
+        );
+        let got = plan.run(&x);
+        assert!(got.allclose(&want, 1e-4), "folded plan diverged");
+        let _ = unfolded.run(&x);
+    }
+
+    #[test]
+    fn repeated_runs_reuse_arena_and_match_bitwise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let first = plan.run(&x);
+        let second = plan.run(&x);
+        assert_eq!(
+            first.as_slice(),
+            second.as_slice(),
+            "runs must be identical"
+        );
+        // A different batch reuses the same plan.
+        let x8 = Tensor::randn([8, 3, 8, 8], &mut rng);
+        let big = plan.run(&x8);
+        assert_eq!(big.dims(), &[8, 4]);
+        let (want, _) = infer_forward(&model, &x8);
+        assert!(big.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn peak_bytes_no_worse_than_infer_ctx() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let (_, infer_peak) = infer_forward(&model, &x);
+        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let _ = plan.run(&x);
+        assert!(
+            plan.peak_bytes() <= infer_peak,
+            "plan peak {} vs InferCtx {}",
+            plan.peak_bytes(),
+            infer_peak
+        );
+        assert!(plan.arena_bytes() > 0);
+        assert!(plan.packed_bytes() > 0);
+    }
+
+    #[test]
+    fn identity_activations_are_elided() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let conv = Conv2d::new(3, 4, ConvGeometry::same(3, 1), true, &mut rng);
+        let act = Activation::new(ActKind::Relu);
+        act.slope().set(1.0); // PLT-linearized
+        let model = Sequential::new().push(conv).push(act);
+        let x = Tensor::randn([1, 3, 6, 6], &mut rng);
+        let (want, _) = infer_forward(&model, &x);
+        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        assert_eq!(plan.action_count(), 1, "identity activation not elided");
+        let got = plan.run(&x);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn mlp_with_residual_retain_matches_infer_ctx() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let l1 = Linear::new(6, 6, true, &mut rng);
+        let l2 = Linear::new(6, 4, false, &mut rng);
+        let x = Tensor::randn([3, 6], &mut rng);
+        let fwd = |f: &mut dyn Forward, v: Value| {
+            f.retain(v);
+            let h = l1.forward(f, v);
+            let h = f.relu_decay(h, 0.25);
+            let h = f.add(h, v);
+            l2.forward(f, h)
+        };
+        let mut ctx = InferCtx::new();
+        let xv = ctx.input(x.clone());
+        let yv = fwd(&mut ctx, xv);
+        let want = ctx.take(yv);
+
+        let mut plan = CompiledPlan::compile(x.dims(), fwd);
+        let got = plan.run(&x);
+        assert_eq!(got.as_slice(), want.as_slice(), "residual path bitwise");
+    }
+
+    #[test]
+    fn forward_replay_matches_run() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let via_run = plan.run(&x);
+        let xv = Forward::input(&mut plan, x.clone());
+        let yv = model.forward(&mut plan, xv);
+        let via_replay = Forward::take(&mut plan, yv);
+        assert_eq!(via_run.as_slice(), via_replay.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-sample shape")]
+    fn wrong_input_shape_panics() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let model = conv_model(&mut rng);
+        let mut plan = CompiledPlan::compile(&[1, 3, 8, 8], |f, v| model.forward(f, v));
+        let _ = plan.run(&Tensor::zeros([1, 3, 9, 9]));
+    }
+
+    /// Satellite coverage for random fold configurations without proptest:
+    /// sweep channel counts, eps values, and affine/non-affine configs.
+    #[test]
+    fn bn_fold_sweep_matches_unfused_path() {
+        let mut rng = StdRng::seed_from_u64(18);
+        for &(c, eps, affine) in &[
+            (1usize, 1e-5f32, true),
+            (3, 1e-3, false),
+            (8, 1e-1, true),
+            (13, 1e-7, false),
+            (32, 1e-5, true),
+        ] {
+            let conv = Conv2d::new(3, c, ConvGeometry::same(3, 1), affine, &mut rng);
+            let bn = BatchNorm2d::new(c).with_eps(eps);
+            bn.set_running_stats(
+                Tensor::randn([c], &mut rng),
+                Tensor::randn([c], &mut rng).map(|v| v.abs() + 0.1),
+            );
+            if affine {
+                bn.gamma().set_value(Tensor::randn([c], &mut rng));
+                bn.beta().set_value(Tensor::randn([c], &mut rng));
+            }
+            let model = Sequential::new().push(conv).push(bn);
+            let x = Tensor::randn([2, 3, 6, 6], &mut rng);
+            let (want, _) = infer_forward(&model, &x);
+            let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+            let got = plan.run(&x);
+            assert!(
+                got.allclose(&want, 1e-3),
+                "fold sweep c={c} eps={eps} affine={affine}"
+            );
+        }
+    }
+}

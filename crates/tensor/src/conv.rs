@@ -16,7 +16,8 @@
 //! allocation beyond the output tensors themselves. The conv bias is fused
 //! into the GEMM epilogue rather than added in a second pass.
 
-use crate::gemm::gemm;
+use crate::eltwise::Epilogue;
+use crate::gemm::{gemm, gemm_a_packed, PackedA};
 use crate::threadpool::{self, with_scratch, SharedMut, CONV_COLS, CONV_DCOLS};
 use crate::{ConvGeometry, Tensor};
 use std::sync::Mutex;
@@ -200,6 +201,64 @@ pub fn conv2d_into(
     });
 }
 
+/// [`conv2d_into`] against a prepacked weight, with the bias as the GEMM row
+/// initializer and an activation fused into the epilogue — the serving-path
+/// kernel behind `CompiledPlan`.
+///
+/// `wp` packs the `[c_out, c_in*kh*kw]` weight matrix as the GEMM left
+/// operand. Output bits match [`conv2d_into`] followed by a separate
+/// elementwise activation pass for every thread count (see
+/// [`gemm_a_packed`]). 1x1 stride-1 unpadded convolutions skip im2col
+/// entirely: the column matrix of a pointwise conv is the input sample
+/// itself, so the sample slice feeds the GEMM directly — same bytes, no
+/// copy.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies between `x` `[n,c_in,h,w]`, the packed
+/// weight, `bias` `[c_out]`, `geom`, and `out`.
+pub fn conv2d_packed_into(
+    x: &Tensor,
+    wp: &PackedA,
+    bias: Option<&[f32]>,
+    geom: ConvGeometry,
+    act: Epilogue,
+    out: &mut [f32],
+) {
+    let (n, c_in, h, wd) = x.shape().nchw();
+    let col_rows = c_in * geom.kh * geom.kw;
+    assert_eq!(wp.k(), col_rows, "packed conv weight inner dimension");
+    let c_out = wp.m();
+    if let Some(b) = bias {
+        assert_eq!(b.len(), c_out, "conv bias shape");
+    }
+    let (ho, wo) = geom.output_hw(h, wd);
+    assert_eq!(
+        out.len(),
+        n * c_out * ho * wo,
+        "conv2d_packed_into output length"
+    );
+    let in_sz = c_in * h * wd;
+    let out_sz = c_out * ho * wo;
+    let pointwise = geom.kh == 1 && geom.kw == 1 && geom.sh == 1 && geom.sw == 1 && geom.ph == 0;
+    let pointwise = pointwise && geom.pw == 0;
+    let xs = x.as_slice();
+    let shared_out = SharedMut::new(out);
+    threadpool::parallel_for(n, &|ni| {
+        // Safety: each task writes only its own sample's output window.
+        let o_sample = unsafe { shared_out.slice(ni * out_sz, out_sz) };
+        let x_s = &xs[ni * in_sz..(ni + 1) * in_sz];
+        if pointwise {
+            gemm_a_packed(wp, x_s, false, o_sample, ho * wo, bias, act);
+        } else {
+            with_scratch(&CONV_COLS, col_rows * ho * wo, |cols| {
+                im2col(x_s, c_in, h, wd, geom, cols);
+                gemm_a_packed(wp, cols, false, o_sample, ho * wo, bias, act);
+            });
+        }
+    });
+}
+
 /// Gradients of [`conv2d`] with respect to input, weight, and bias.
 ///
 /// Returns `(dx, dw, db)`; `db` is present iff `has_bias`.
@@ -335,11 +394,26 @@ pub fn depthwise_conv2d_into(
     geom: ConvGeometry,
     out: &mut [f32],
 ) {
-    let (n, c, h, wd, ho, wo) = dw_shapes(x, w, geom);
+    let (n, c, _, _, ho, wo) = dw_shapes(x, w, geom);
     if let Some(b) = b {
         assert_eq!(b.dims(), &[c], "depthwise bias shape");
     }
     assert_eq!(out.len(), n * c * ho * wo, "depthwise_conv2d_into length");
+    depthwise_dispatch(x, w, b, geom, Epilogue::None, out);
+}
+
+/// Shared forward driver behind [`depthwise_conv2d_into`] and
+/// [`depthwise_conv2d_fused_into`]: one task per sample, with the (possibly
+/// identity) epilogue applied to the finished sample inside the same task.
+fn depthwise_dispatch(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    geom: ConvGeometry,
+    act: Epilogue,
+    out: &mut [f32],
+) {
+    let (n, c, h, wd, ho, wo) = dw_shapes(x, w, geom);
     let xs = x.as_slice();
     let ws = w.as_slice();
     let bias = b.map(Tensor::as_slice);
@@ -375,7 +449,38 @@ pub fn depthwise_conv2d_into(
                 }
             }
         }
+        act.apply(o_sample);
     });
+}
+
+/// [`depthwise_conv2d_into`] with an activation fused into the epilogue.
+///
+/// The accumulation loops are identical to the unfused kernel (both run
+/// through one shared driver); the epilogue runs over each finished sample
+/// inside the same parallel task, so the bits match
+/// [`depthwise_conv2d_into`] followed by a separate elementwise pass.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies or a wrong `out` length.
+pub fn depthwise_conv2d_fused_into(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    geom: ConvGeometry,
+    act: Epilogue,
+    out: &mut [f32],
+) {
+    let (n, c, _, _, ho, wo) = dw_shapes(x, w, geom);
+    assert_eq!(
+        out.len(),
+        n * c * ho * wo,
+        "depthwise_conv2d_fused_into length"
+    );
+    if let Some(b) = b {
+        assert_eq!(b.dims(), &[c], "depthwise bias shape");
+    }
+    depthwise_dispatch(x, w, b, geom, act, out);
 }
 
 /// Serial depthwise backward over one contiguous range of samples. Kept as a

@@ -76,15 +76,70 @@ pub fn bn_apply_inplace(
 
 /// Decayable ReLU `y = max(alpha*x, x)` in place (NetBooster Eq. 2).
 pub fn relu_decay_inplace(x: &mut Tensor, alpha: f32) {
-    for v in x.as_mut_slice() {
-        *v = v.max(alpha * *v);
-    }
+    relu_decay_slice(x.as_mut_slice(), alpha);
 }
 
 /// Decayable ReLU6 `y = max(alpha*x, x) - (1-alpha)*max(0, x-6)` in place.
 pub fn relu6_decay_inplace(x: &mut Tensor, alpha: f32) {
-    for v in x.as_mut_slice() {
+    relu6_decay_slice(x.as_mut_slice(), alpha);
+}
+
+/// [`relu_decay_inplace`] over a raw buffer — the same single f32
+/// expression, callable from kernel epilogues that hold a slice rather
+/// than a tensor.
+pub fn relu_decay_slice(x: &mut [f32], alpha: f32) {
+    for v in x {
+        *v = v.max(alpha * *v);
+    }
+}
+
+/// [`relu6_decay_inplace`] over a raw buffer.
+pub fn relu6_decay_slice(x: &mut [f32], alpha: f32) {
+    for v in x {
         *v = v.max(alpha * *v) - (1.0 - alpha) * (*v - 6.0).max(0.0);
+    }
+}
+
+/// A pointwise activation fused into a GEMM / convolution epilogue.
+///
+/// The variants delegate to the slice kernels above, so a fused epilogue
+/// produces exactly the bits a separate elementwise pass would: fusing
+/// changes *when* the expression runs, never *what* it computes.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum Epilogue {
+    /// No activation; the output is left as the kernel produced it.
+    #[default]
+    None,
+    /// Decayable ReLU `y = max(alpha*x, x)`.
+    Relu {
+        /// PLT decay slope (1.0 = identity).
+        alpha: f32,
+    },
+    /// Decayable ReLU6 `y = max(alpha*x, x) - (1-alpha)*max(0, x-6)`.
+    Relu6 {
+        /// PLT decay slope (1.0 = identity).
+        alpha: f32,
+    },
+}
+
+impl Epilogue {
+    /// Applies the activation to a finished output buffer (no-op for
+    /// [`Epilogue::None`]).
+    #[inline]
+    pub fn apply(self, x: &mut [f32]) {
+        match self {
+            Epilogue::None => {}
+            Epilogue::Relu { alpha } => relu_decay_slice(x, alpha),
+            Epilogue::Relu6 { alpha } => relu6_decay_slice(x, alpha),
+        }
+    }
+
+    /// True when applying this epilogue would leave the buffer unchanged.
+    pub fn is_identity(self) -> bool {
+        match self {
+            Epilogue::None => true,
+            Epilogue::Relu { alpha } | Epilogue::Relu6 { alpha } => alpha >= 1.0,
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 //! is produced by exactly one thread with a fixed k-accumulation order, so
 //! results are bitwise identical regardless of thread count.
 
+use crate::eltwise::Epilogue;
 use crate::threadpool::{self, with_scratch, SharedMut, GEMM_PACK_A, GEMM_PACK_B};
 
 /// Microkernel tile height (rows of C held in registers).
@@ -484,6 +485,313 @@ fn macro_kernel(
     }
 }
 
+/// A left operand packed once into the GEMM panel format.
+///
+/// The panel layout is byte-identical to what [`gemm`] packs per call: for
+/// each `KC`-deep k-panel starting at `pc`, all `m.div_ceil(MR)` row slivers
+/// are stored contiguously at `pc * m.div_ceil(MR) * MR`, each sliver being
+/// `kc x MR` (zero-padded past `m`). The blocked kernel then slices straight
+/// into the prepacked buffer instead of repacking, so results stay bitwise
+/// identical to the pack-on-demand path. The raw operand is retained so the
+/// small-problem dispatch can run the same naive loops [`gemm`] would.
+pub struct PackedA {
+    panels: Vec<f32>,
+    raw: Vec<f32>,
+    trans: bool,
+    m: usize,
+    k: usize,
+}
+
+impl PackedA {
+    /// Packs the logical `m x k` left operand (layout rules as in [`gemm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn pack(a: &[f32], a_trans: bool, m: usize, k: usize) -> Self {
+        assert_eq!(a.len(), m * k, "PackedA operand length");
+        let mb = m.div_ceil(MR);
+        let mut panels = vec![0.0f32; k * mb * MR];
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let slab = &mut panels[pc * mb * MR..(pc + kc) * mb * MR];
+            pack_a(slab, a, a_trans, m, k, 0, m, pc, kc);
+        }
+        PackedA {
+            panels,
+            raw: a.to_vec(),
+            trans: a_trans,
+            m,
+            k,
+        }
+    }
+
+    /// Logical row count `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Logical inner dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Heap bytes held by this pack (panels + retained raw operand).
+    pub fn bytes(&self) -> usize {
+        (self.panels.len() + self.raw.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// A right operand packed once into the GEMM panel format.
+///
+/// Mirror image of [`PackedA`]: for each k-panel at `pc`, all
+/// `n.div_ceil(NR)` column slivers live contiguously at
+/// `pc * n.div_ceil(NR) * NR`, each `kc x NR` and zero-padded past `n`.
+pub struct PackedB {
+    panels: Vec<f32>,
+    raw: Vec<f32>,
+    trans: bool,
+    k: usize,
+    n: usize,
+}
+
+impl PackedB {
+    /// Packs the logical `k x n` right operand (layout rules as in [`gemm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn pack(b: &[f32], b_trans: bool, k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "PackedB operand length");
+        let nb = n.div_ceil(NR);
+        let mut panels = vec![0.0f32; k * nb * NR];
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let slab = &mut panels[pc * nb * NR..(pc + kc) * nb * NR];
+            pack_b(slab, b, b_trans, k, n, pc, kc, 0, n);
+        }
+        PackedB {
+            panels,
+            raw: b.to_vec(),
+            trans: b_trans,
+            k,
+            n,
+        }
+    }
+
+    /// Logical inner dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical column count `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Heap bytes held by this pack (panels + retained raw operand).
+    pub fn bytes(&self) -> usize {
+        (self.panels.len() + self.raw.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// [`gemm`] with a prepacked left operand and a fused activation epilogue:
+/// `C = act(A' * B' + row_init)`.
+///
+/// Dispatch mirrors [`gemm`] exactly (naive below the small-problem cutoff,
+/// serial or row-split blocked otherwise), and the prepacked panels are
+/// byte-identical to what the blocked path would pack, so the output bits
+/// match `gemm` followed by a separate elementwise activation pass for every
+/// thread count. The epilogue is applied per row-chunk on the parallel path,
+/// which is equivalent because it is pointwise.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the packed dimensions.
+pub fn gemm_a_packed(
+    pa: &PackedA,
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+    n: usize,
+    row_init: Option<&[f32]>,
+    act: Epilogue,
+) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(b.len(), k * n, "gemm_a_packed rhs buffer length");
+    assert_eq!(c.len(), m * n, "gemm_a_packed out buffer length");
+    if let Some(init) = row_init {
+        assert_eq!(init.len(), m, "gemm_a_packed row_init length");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for i in 0..m {
+            let base = row_init.map_or(0.0, |r| r[i]);
+            c[i * n..(i + 1) * n].iter_mut().for_each(|v| *v = base);
+        }
+        act.apply(c);
+        return;
+    }
+    let mnk = m * n * k;
+    if mnk < SMALL_MNK {
+        gemm_naive(&pa.raw, pa.trans, b, b_trans, c, m, k, n, row_init, false);
+        act.apply(c);
+        return;
+    }
+    let threads = threadpool::num_threads();
+    if mnk < PARALLEL_MNK || threads <= 1 || m < 2 * MR {
+        gemm_blocked_pa(pa, b, b_trans, c, 0, m, n, row_init);
+        act.apply(c);
+        return;
+    }
+    let chunk = m.div_ceil(threads).div_ceil(MR) * MR;
+    let tasks = m.div_ceil(chunk);
+    let shared_c = SharedMut::new(c);
+    threadpool::parallel_for(tasks, &|t| {
+        let i0 = t * chunk;
+        let rows = chunk.min(m - i0);
+        // Safety: row ranges [i0, i0 + rows) are disjoint across tasks.
+        let c_rows = unsafe { shared_c.slice(i0 * n, rows * n) };
+        gemm_blocked_pa(pa, b, b_trans, c_rows, i0, rows, n, row_init);
+        act.apply(c_rows);
+    });
+}
+
+/// [`gemm`] with a prepacked right operand and a fused activation epilogue:
+/// `C = act(A' * B' + row_init)`. See [`gemm_a_packed`] for the bitwise
+/// contract; this is its mirror for linear layers, where the weight is the
+/// right operand.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the packed dimensions.
+pub fn gemm_b_packed(
+    a: &[f32],
+    a_trans: bool,
+    pb: &PackedB,
+    c: &mut [f32],
+    m: usize,
+    row_init: Option<&[f32]>,
+    act: Epilogue,
+) {
+    let (k, n) = (pb.k, pb.n);
+    assert_eq!(a.len(), m * k, "gemm_b_packed lhs buffer length");
+    assert_eq!(c.len(), m * n, "gemm_b_packed out buffer length");
+    if let Some(init) = row_init {
+        assert_eq!(init.len(), m, "gemm_b_packed row_init length");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for i in 0..m {
+            let base = row_init.map_or(0.0, |r| r[i]);
+            c[i * n..(i + 1) * n].iter_mut().for_each(|v| *v = base);
+        }
+        act.apply(c);
+        return;
+    }
+    let mnk = m * n * k;
+    if mnk < SMALL_MNK {
+        gemm_naive(a, a_trans, &pb.raw, pb.trans, c, m, k, n, row_init, false);
+        act.apply(c);
+        return;
+    }
+    let threads = threadpool::num_threads();
+    if mnk < PARALLEL_MNK || threads <= 1 || m < 2 * MR {
+        gemm_blocked_pb(a, a_trans, pb, c, 0, m, m, row_init);
+        act.apply(c);
+        return;
+    }
+    let chunk = m.div_ceil(threads).div_ceil(MR) * MR;
+    let tasks = m.div_ceil(chunk);
+    let shared_c = SharedMut::new(c);
+    threadpool::parallel_for(tasks, &|t| {
+        let i0 = t * chunk;
+        let rows = chunk.min(m - i0);
+        // Safety: row ranges [i0, i0 + rows) are disjoint across tasks.
+        let c_rows = unsafe { shared_c.slice(i0 * n, rows * n) };
+        gemm_blocked_pb(a, a_trans, pb, c_rows, i0, rows, m, row_init);
+        act.apply(c_rows);
+    });
+}
+
+/// [`gemm_blocked`] with A read from prepacked panels instead of repacking.
+/// `MC` is a multiple of `MR` and the parallel row split is `MR`-aligned, so
+/// `(i0 + ic) / MR` lands exactly on a sliver boundary and the existing
+/// [`macro_kernel`] indexing works unchanged on the slab tail.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_pa(
+    pa: &PackedA,
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+    i0: usize,
+    mc_total: usize,
+    n: usize,
+    row_init: Option<&[f32]>,
+) {
+    let (m, k) = (pa.m, pa.k);
+    let mb = m.div_ceil(MR);
+    let fma = use_fma_kernel();
+    with_scratch(&GEMM_PACK_B, KC * NC.div_ceil(NR) * NR, |bp| {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(bp, b, b_trans, k, n, pc, kc, jc, nc);
+                let first = pc == 0;
+                let slab = &pa.panels[pc * mb * MR..];
+                for ic in (0..mc_total).step_by(MC) {
+                    let mc = MC.min(mc_total - ic);
+                    let ap = &slab[(i0 + ic) / MR * kc * MR..];
+                    macro_kernel(
+                        ap, bp, c, ic, mc, jc, nc, n, kc, i0, row_init, false, first, fma,
+                    );
+                }
+            }
+        }
+    })
+}
+
+/// [`gemm_blocked`] with B read from prepacked panels instead of repacking.
+/// `NC` is a multiple of `NR`, so `jc / NR` lands exactly on a sliver
+/// boundary within the k-panel's slab.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_pb(
+    a: &[f32],
+    a_trans: bool,
+    pb: &PackedB,
+    c: &mut [f32],
+    i0: usize,
+    mc_total: usize,
+    m: usize,
+    row_init: Option<&[f32]>,
+) {
+    let (k, n) = (pb.k, pb.n);
+    let nb = n.div_ceil(NR);
+    let fma = use_fma_kernel();
+    with_scratch(&GEMM_PACK_A, KC * MC.div_ceil(MR) * MR, |ap| {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                let bp = &pb.panels[pc * nb * NR + jc / NR * kc * NR..];
+                let first = pc == 0;
+                for ic in (0..mc_total).step_by(MC) {
+                    let mc = MC.min(mc_total - ic);
+                    pack_a(ap, a, a_trans, m, k, i0 + ic, mc, pc, kc);
+                    macro_kernel(
+                        ap, bp, c, ic, mc, jc, nc, n, kc, i0, row_init, false, first, fma,
+                    );
+                }
+            }
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +919,144 @@ mod tests {
         let mut c2 = vec![5.0f32; 6];
         gemm(&[], false, &[], false, &mut c2, 2, 0, 3, None, true);
         assert_eq!(c2, vec![5.0f32; 6]);
+    }
+
+    #[test]
+    fn packed_a_matches_gemm_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            let init = fill(m, &mut rng);
+            for (a_trans, row_init) in [(false, None), (true, Some(&init[..]))] {
+                let stored = if a_trans {
+                    // Re-lay A as its k x m transpose.
+                    let mut t = vec![0.0f32; m * k];
+                    for i in 0..m {
+                        for p in 0..k {
+                            t[p * m + i] = a[i * k + p];
+                        }
+                    }
+                    t
+                } else {
+                    a.clone()
+                };
+                let pa = PackedA::pack(&stored, a_trans, m, k);
+                let mut got = vec![0.0f32; m * n];
+                gemm_a_packed(&pa, &b, false, &mut got, n, row_init, Epilogue::None);
+                let mut want = vec![0.0f32; m * n];
+                gemm(
+                    &stored, a_trans, &b, false, &mut want, m, k, n, row_init, false,
+                );
+                assert!(
+                    got.iter()
+                        .zip(&want)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "({m},{k},{n}) at={a_trans}: packed A not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_b_matches_gemm_bitwise() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            for b_trans in [false, true] {
+                let stored = if b_trans {
+                    let mut t = vec![0.0f32; k * n];
+                    for p in 0..k {
+                        for j in 0..n {
+                            t[j * k + p] = b[p * n + j];
+                        }
+                    }
+                    t
+                } else {
+                    b.clone()
+                };
+                let pb = PackedB::pack(&stored, b_trans, k, n);
+                let mut got = vec![0.0f32; m * n];
+                gemm_b_packed(&a, false, &pb, &mut got, m, None, Epilogue::None);
+                let mut want = vec![0.0f32; m * n];
+                gemm(&a, false, &stored, b_trans, &mut want, m, k, n, None, false);
+                assert!(
+                    got.iter()
+                        .zip(&want)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "({m},{k},{n}) bt={b_trans}: packed B not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_epilogue_matches_separate_pass_bitwise() {
+        use crate::eltwise::{relu6_decay_slice, relu_decay_slice};
+        let mut rng = StdRng::seed_from_u64(23);
+        // One shape per dispatch tier: naive, serial blocked, parallel blocked.
+        for &(m, k, n) in &[(7usize, 13usize, 11usize), (40, 256, 24), (128, 128, 128)] {
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            let init = fill(m, &mut rng);
+            let pa = PackedA::pack(&a, false, m, k);
+            for alpha in [0.0f32, 0.25] {
+                #[allow(clippy::type_complexity)]
+                let cases: [(Epilogue, fn(&mut [f32], f32)); 2] = [
+                    (Epilogue::Relu { alpha }, relu_decay_slice),
+                    (Epilogue::Relu6 { alpha }, relu6_decay_slice),
+                ];
+                for (act, reference) in cases {
+                    let mut got = vec![0.0f32; m * n];
+                    gemm_a_packed(&pa, &b, false, &mut got, n, Some(&init), act);
+                    let mut want = vec![0.0f32; m * n];
+                    gemm(&a, false, &b, false, &mut want, m, k, n, Some(&init), false);
+                    reference(&mut want, alpha);
+                    assert!(
+                        got.iter()
+                            .zip(&want)
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "({m},{k},{n}) {act:?}: fused epilogue not bitwise equal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_thread_count_does_not_change_bits() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let (m, k, n) = (97usize, 301usize, 83usize);
+        let a = fill(m * k, &mut rng);
+        let b = fill(k * n, &mut rng);
+        let pa = PackedA::pack(&a, false, m, k);
+        let mut wide = vec![0.0f32; m * n];
+        gemm_a_packed(
+            &pa,
+            &b,
+            false,
+            &mut wide,
+            n,
+            None,
+            Epilogue::Relu { alpha: 0.1 },
+        );
+        let mut narrow = vec![0.0f32; m * n];
+        with_thread_cap(1, || {
+            gemm_a_packed(
+                &pa,
+                &b,
+                false,
+                &mut narrow,
+                n,
+                None,
+                Epilogue::Relu { alpha: 0.1 },
+            );
+        });
+        assert!(wide
+            .iter()
+            .zip(&narrow)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]

@@ -68,11 +68,12 @@ mod tensor;
 pub mod threadpool;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_into, depthwise_conv2d, depthwise_conv2d_backward,
-    depthwise_conv2d_into, im2col,
+    col2im, conv2d, conv2d_backward, conv2d_into, conv2d_packed_into, depthwise_conv2d,
+    depthwise_conv2d_backward, depthwise_conv2d_fused_into, depthwise_conv2d_into, im2col,
 };
+pub use eltwise::Epilogue;
 pub use error::TensorError;
-pub use gemm::gemm;
+pub use gemm::{gemm, gemm_a_packed, gemm_b_packed, PackedA, PackedB};
 pub use matmul::{available_threads, matmul_into};
 pub use pool::{
     avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d,

@@ -131,12 +131,26 @@ fn configured_width() -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    match std::env::var("NB_NUM_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => hw,
+    let raw = std::env::var("NB_NUM_THREADS").ok();
+    parse_thread_override(raw.as_deref()).unwrap_or(hw)
+}
+
+/// Parses an `NB_NUM_THREADS` value. `None` (unset) defers to the machine
+/// parallelism; anything set must be a positive integer — a typo silently
+/// falling back to the hardware width would make "pinned" benchmark and
+/// verification runs lie about their thread count.
+///
+/// # Panics
+///
+/// Panics with a clear message on `0` or non-numeric input.
+fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => panic!(
+            "NB_NUM_THREADS must be a positive integer, got {raw:?} \
+             (unset it to use the machine parallelism)"
+        ),
     }
 }
 
@@ -281,6 +295,26 @@ thread_local! {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn thread_override_parses_positive_integers() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("4")), Some(4));
+        assert_eq!(parse_thread_override(Some(" 8 ")), Some(8));
+        assert_eq!(parse_thread_override(Some("1")), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "NB_NUM_THREADS must be a positive integer")]
+    fn thread_override_rejects_zero() {
+        parse_thread_override(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "NB_NUM_THREADS must be a positive integer")]
+    fn thread_override_rejects_non_numeric() {
+        parse_thread_override(Some("all"));
+    }
 
     #[test]
     fn runs_every_task_exactly_once() {

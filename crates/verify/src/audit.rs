@@ -21,7 +21,7 @@
 //! is scale-free.
 
 use nb_models::{PwSlot, TinyNet};
-use nb_nn::{Forward, InferCtx, Module, Session};
+use nb_nn::{CompiledPlan, Module, Session};
 use nb_optim::{Sgd, SgdConfig};
 use nb_tensor::Tensor;
 use netbooster_core::{
@@ -145,10 +145,7 @@ fn norm_div_interior(got: &Tensor, want: &Tensor, margin: usize) -> f32 {
 }
 
 fn eval_forward(m: &impl Module, x: &Tensor) -> Tensor {
-    let mut ctx = InferCtx::new();
-    let xin = ctx.input(x.clone());
-    let y = m.forward(&mut ctx, xin);
-    ctx.take(y)
+    CompiledPlan::compile(x.dims(), |f, v| m.forward(f, v)).run(x)
 }
 
 /// The small all-stride-1 architecture the audit runs on.

@@ -1,23 +1,34 @@
 //! Train/eval parity: the taped eval path against the grad-free
-//! [`InferCtx`].
+//! [`InferCtx`] and the compiled [`CompiledPlan`].
 //!
-//! The two executors behind [`Forward`] share every pointwise and
+//! The executors behind [`Forward`] share every pointwise and
 //! convolution kernel, and those kernels are bitwise thread-count
-//! invariant, so for any fixed worker-pool width the eval-mode tape and the
-//! grad-free context must produce *bitwise identical* outputs — not merely
-//! close ones. The suite runs every model family the repo evaluates —
-//! the tiny classifier, the expanded deep giant, the width-sliced NetAug
+//! invariant, so for any fixed worker-pool width the eval-mode tape, the
+//! grad-free context, and the unfolded compiled plan must produce *bitwise
+//! identical* outputs — not merely close ones. Prepacking and epilogue
+//! fusion preserve bits by construction; batch-norm folding does not (it
+//! reassociates the per-channel scale into each multiply-accumulate), so
+//! the folded plan is held to a ULP bound from [`crate::tolerance`]
+//! instead. The suite runs every model family the repo evaluates — the
+//! tiny classifier, the expanded deep giant, the width-sliced NetAug
 //! subnet, and the detection grid head — at worker widths 1 and the full
-//! pool, and additionally requires that the grad-free forward allocates
+//! pool, and additionally requires that every grad-free forward allocates
 //! **zero** autograd graph nodes (the point of the split execution path).
 
+use crate::tolerance::{Divergence, UlpTolerance};
 use nb_autograd::{nodes_allocated, Value};
 use nb_models::{mobilenet_v2_tiny, DetectorNet, TinyNet};
-use nb_nn::{Forward, InferCtx, Module, Session};
+use nb_nn::{CompiledPlan, Forward, InferCtx, Module, PlanOptions, Session};
 use nb_tensor::{self as nt, Tensor};
 use netbooster_core::{expand, ExpansionPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Effective reduction length assumed when bounding folded-plan divergence:
+/// generous enough for the deepest eval model (largest conv reduction ~1k
+/// terms, compounding across ~20 layers) while still rejecting real defects,
+/// which show up orders of magnitude above it.
+const FOLD_REDUCTION_K: usize = 16384;
 
 /// One parity comparison: a model family at one worker-pool width.
 #[derive(Debug, Clone)]
@@ -76,7 +87,7 @@ impl ParityReport {
     }
 }
 
-/// Runs one forward on both executors at each width and records the cases.
+/// Runs one forward on all three executors at each width and records the cases.
 fn run_case(
     report: &mut ParityReport,
     name: &str,
@@ -115,11 +126,58 @@ fn run_case(
                 graph_nodes,
                 pass: bitwise && graph_nodes == 0,
             });
+
+            // candidate 2: the compiled plan with folding off — prepacking
+            // and epilogue fusion alone must preserve bits vs InferCtx
+            let before = nodes_allocated();
+            let mut plan =
+                CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
+                    fwd(f, v)
+                });
+            let plan_got = plan.run(x);
+            let plan_nodes = nodes_allocated() - before;
+            let plan_bitwise =
+                plan_got.dims() == got.dims() && plan_got.as_slice() == got.as_slice();
+            report.cases.push(ParityCase {
+                case: format!("{name}+plan"),
+                threads,
+                max_abs: if plan_got.dims() == got.dims() {
+                    plan_got.max_abs_diff(&got)
+                } else {
+                    f32::INFINITY
+                },
+                bitwise: plan_bitwise,
+                graph_nodes: plan_nodes,
+                pass: plan_bitwise && plan_nodes == 0,
+            });
+
+            // candidate 3: the folded plan — batch-norm folding
+            // reassociates, so the comparison is ULP-bounded
+            let before = nodes_allocated();
+            let mut folded = CompiledPlan::compile(x.dims(), |f, v| fwd(f, v));
+            let folded_got = folded.run(x);
+            let folded_nodes = nodes_allocated() - before;
+            let tol = UlpTolerance::for_reduction(FOLD_REDUCTION_K);
+            let (fold_pass, fold_max_abs) = if folded_got.dims() == got.dims() {
+                let div = Divergence::measure(folded_got.as_slice(), got.as_slice(), &tol);
+                (div.passes(), div.max_abs)
+            } else {
+                (false, f32::INFINITY)
+            };
+            report.cases.push(ParityCase {
+                case: format!("{name}+plan-fold"),
+                threads,
+                max_abs: fold_max_abs,
+                bitwise: folded_got.dims() == got.dims() && folded_got.as_slice() == got.as_slice(),
+                graph_nodes: folded_nodes,
+                pass: fold_pass && folded_nodes == 0,
+            });
         });
     }
 }
 
-/// Bitwise logits parity for every model family, at worker widths 1 and
+/// Logits parity (bitwise for InferCtx and the unfolded plan, ULP-bounded
+/// for the folded plan) for every model family, at worker widths 1 and
 /// the full pool.
 pub fn run_parity_suite() -> ParityReport {
     let mut report = ParityReport::default();
@@ -161,8 +219,16 @@ mod tests {
     #[test]
     fn parity_suite_passes() {
         let report = run_parity_suite();
-        // 4 families x {1, full-pool} widths (collapsing when the pool is 1)
-        assert!(report.cases.len() >= 4, "{}", report.cases.len());
+        // 4 families x 3 executor columns x {1, full-pool} widths
+        // (width set collapsing when the pool is 1)
+        assert!(report.cases.len() >= 12, "{}", report.cases.len());
         assert!(report.pass(), "{}", report.render_failures());
+        // the fold-off plan column must be bitwise, not merely within
+        // tolerance
+        assert!(report
+            .cases
+            .iter()
+            .filter(|c| c.case.ends_with("+plan"))
+            .all(|c| c.bitwise));
     }
 }

@@ -14,14 +14,16 @@ echo "== cargo test =="
 cargo test --workspace -q
 
 echo "== verify_all (fast mode) =="
-# differential kernel oracles, contraction exactness audits, train/eval
-# parity (taped vs grad-free, bitwise), seed sweep; exits non-zero and
-# prints per-case / per-layer tables on any divergence
+# differential kernel oracles, contraction exactness audits, three-executor
+# parity (taped vs grad-free vs compiled plan: bitwise with folding off,
+# ULP-bounded with folding on), seed sweep; exits non-zero and prints
+# per-case / per-layer tables on any divergence
 cargo run --release -q -p nb-verify --bin verify_all -- --fast
 
 echo "== bench_infer (smoke) =="
-# sanity-checks the grad-free eval path: must retain less activation
-# memory than the tape on every model family (exits non-zero otherwise)
+# sanity-checks the eval executors: the grad-free path must retain less
+# activation memory than the tape, and the compiled plan must be no slower
+# than InferCtx with no higher peak bytes (exits non-zero otherwise)
 mkdir -p target
 cargo run --release -q -p nb-bench --bin bench_infer -- --smoke target/BENCH_infer_smoke.json >/dev/null
 
