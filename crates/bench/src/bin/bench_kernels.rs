@@ -1,16 +1,29 @@
-//! Dependency-free kernel timing harness.
+//! Dependency-free kernel timing harness with a regression gate.
 //!
 //! Unlike the criterion benches (which need the full dev-dependency set),
 //! this binary uses only `std::time` and can run anywhere the workspace
 //! builds. It times the same kernels as `benches/kernels.rs` — matmul
 //! (nn/nt/tn), dense conv forward/backward, depthwise forward/backward,
-//! im2col, global average pooling — and writes one JSON object of median
-//! ns/op per kernel, so runs before and after a kernel change can be
-//! diffed mechanically.
+//! im2col, global average pooling — and writes one JSON object per kernel
+//! with the seed baseline, the measured median ns/op, the speedup, the
+//! achieved GFLOP/s, and (for GEMM-backed kernels) the schedule variant the
+//! shape-keyed selector resolved, so runs can be diffed mechanically and
+//! the selected schedules audited.
 //!
-//! Run: `cargo run --release -p nb-bench --bin bench_kernels [out.json]`
-//! (default output path: `BENCH_kernels.json` in the current directory).
+//! After timing, the harness gates the result: the kernels this repo's
+//! perf PRs committed to (`conv2d_fwd/3`, `conv2d_fwd/5`,
+//! `depthwise_bwd_3x3`) must hold their speedup floors against the seed
+//! baseline, and no kernel may regress more than `REGRESSION_SLACK`
+//! against the previous PR's recorded numbers (the slack absorbs
+//! host-to-host drift, which measures up to ~17% on the memory-bound
+//! kernels even for unchanged code). Any violation exits non-zero;
+//! `--no-gate` skips the check for exploratory runs.
+//!
+//! Run: `cargo run --release -p nb-bench --bin bench_kernels
+//! [--no-gate] [out.json]` (default output path: `BENCH_kernels.json` in
+//! the current directory).
 
+use nb_tensor::selector::{describe, Op};
 use nb_tensor::{
     available_threads, conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward,
     global_avg_pool, im2col, ConvGeometry, Tensor,
@@ -24,6 +37,32 @@ const WARMUP: Duration = Duration::from_millis(150);
 const BUDGET: Duration = Duration::from_millis(600);
 const MAX_SAMPLES: usize = 2000;
 const MIN_SAMPLES: usize = 20;
+
+/// Max tolerated slowdown vs the previous PR's recorded numbers before the
+/// gate fails: `after_ns <= prev_ns * (1 + REGRESSION_SLACK)`.
+const REGRESSION_SLACK: f64 = 0.20;
+
+/// Per-kernel baseline: seed-repo ns/op, previous PR's ns/op, and the
+/// minimum speedup floor vs the seed (0.0 = no floor, regression check
+/// only). The ns values are medians recorded on the reference 1-vCPU AVX2
+/// host; see BENCH_kernels.json history.
+const BASELINE: &[(&str, u128, u128, f64)] = &[
+    ("matmul/32", 4668, 2076, 0.0),
+    ("matmul/64", 31228, 11745, 0.0),
+    ("matmul/128", 267590, 79968, 0.0),
+    ("matmul_nt/128", 953189, 82112, 0.0),
+    ("matmul_tn/128", 246820, 74975, 0.0),
+    ("conv2d_fwd/1", 79574, 37596, 0.0),
+    ("conv2d_bwd/1", 267879, 82789, 0.0),
+    ("conv2d_fwd/3", 471556, 279670, 2.5),
+    ("conv2d_bwd/3", 2064479, 617036, 0.0),
+    ("conv2d_fwd/5", 1309871, 802433, 2.2),
+    ("conv2d_bwd/5", 5766134, 1690003, 0.0),
+    ("depthwise_fwd_3x3", 434413, 359374, 0.0),
+    ("depthwise_bwd_3x3", 277773, 290473, 1.0),
+    ("im2col_16x24x24_k3", 68177, 71508, 0.0),
+    ("global_avg_pool", 4513, 4375, 0.0),
+];
 
 /// Times `f` call-by-call and returns the median duration in nanoseconds.
 fn median_ns(f: &mut dyn FnMut()) -> u128 {
@@ -44,35 +83,132 @@ fn median_ns(f: &mut dyn FnMut()) -> u128 {
     samples[samples.len() / 2]
 }
 
+struct Row {
+    name: String,
+    ns: u128,
+    /// Useful FLOPs per op (0 for pure data-movement kernels).
+    flops: u64,
+    /// Selector variant for GEMM-backed kernels, e.g. `blocked:mc64:nc256`.
+    variant: Option<String>,
+}
+
 struct Report {
-    rows: Vec<(String, u128)>,
+    rows: Vec<Row>,
 }
 
 impl Report {
-    fn time(&mut self, name: &str, mut f: impl FnMut()) {
+    fn time(&mut self, name: &str, flops: u64, variant: Option<String>, mut f: impl FnMut()) {
         let ns = median_ns(&mut f);
-        eprintln!("{name:<28} {ns:>12} ns/op");
-        self.rows.push((name.to_string(), ns));
+        let gflops = gflops_str(flops, ns);
+        let var = variant.as_deref().unwrap_or("-");
+        eprintln!("{name:<22} {ns:>12} ns/op {gflops:>9} GF/s  {var}");
+        self.rows.push(Row {
+            name: name.to_string(),
+            ns,
+            flops,
+            variant,
+        });
     }
 
     fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(
+            "  \"note\": \"median ns/op per kernel, seed kernels vs this tree; \
+             before_ns = seed repo, reference 1-vCPU AVX2 host. Regenerate the \
+             after columns with scripts/bench_kernels.\",\n",
+        );
         out.push_str(&format!("  \"threads\": {},\n", available_threads()));
+        out.push_str(&format!(
+            "  \"autotune\": \"{}\",\n",
+            std::env::var("NB_AUTOTUNE").unwrap_or_else(|_| "default".to_string())
+        ));
         out.push_str("  \"unit\": \"median_ns_per_op\",\n");
         out.push_str("  \"kernels\": {\n");
-        for (i, (name, ns)) in self.rows.iter().enumerate() {
+        for (i, row) in self.rows.iter().enumerate() {
             let comma = if i + 1 == self.rows.len() { "" } else { "," };
-            out.push_str(&format!("    \"{name}\": {ns}{comma}\n"));
+            let before = baseline_for(&row.name).map(|(b, ..)| b);
+            out.push_str(&format!("    \"{}\": {{\n", row.name));
+            if let Some(before) = before {
+                out.push_str(&format!("      \"before_ns\": {before},\n"));
+            }
+            out.push_str(&format!("      \"after_ns\": {},\n", row.ns));
+            if let Some(before) = before {
+                out.push_str(&format!(
+                    "      \"speedup\": {:.2},\n",
+                    before as f64 / row.ns as f64
+                ));
+            }
+            if row.flops > 0 {
+                out.push_str(&format!(
+                    "      \"gflops\": {},\n",
+                    gflops_str(row.flops, row.ns)
+                ));
+            }
+            match &row.variant {
+                Some(v) => out.push_str(&format!("      \"variant\": \"{v}\"\n")),
+                None => out.push_str("      \"variant\": null\n"),
+            }
+            out.push_str(&format!("    }}{comma}\n"));
         }
         out.push_str("  }\n}\n");
         out
     }
+
+    /// Applies the speedup floors and the no-regression check; returns the
+    /// list of violations (empty = gate passes).
+    fn gate(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for row in &self.rows {
+            let Some((before, prev, floor)) = baseline_for(&row.name) else {
+                continue;
+            };
+            let speedup = before as f64 / row.ns as f64;
+            if floor > 0.0 && speedup < floor {
+                bad.push(format!(
+                    "{}: {speedup:.2}x vs seed is below the {floor:.1}x floor \
+                     ({} ns, seed {before} ns)",
+                    row.name, row.ns
+                ));
+            }
+            let limit = prev as f64 * (1.0 + REGRESSION_SLACK);
+            if row.ns as f64 > limit {
+                bad.push(format!(
+                    "{}: {} ns regresses more than {:.0}% vs the previous \
+                     PR's {prev} ns",
+                    row.name,
+                    row.ns,
+                    REGRESSION_SLACK * 100.0
+                ));
+            }
+        }
+        bad
+    }
+}
+
+fn baseline_for(name: &str) -> Option<(u128, u128, f64)> {
+    BASELINE
+        .iter()
+        .find(|(n, ..)| *n == name)
+        .map(|&(_, b, p, f)| (b, p, f))
+}
+
+fn gflops_str(flops: u64, ns: u128) -> String {
+    if flops == 0 || ns == 0 {
+        return "-".to_string();
+    }
+    format!("{:.2}", flops as f64 / ns as f64)
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut run_gate = true;
+    for arg in std::env::args().skip(1) {
+        if arg == "--no-gate" {
+            run_gate = false;
+        } else {
+            out_path = arg;
+        }
+    }
     let mut report = Report { rows: Vec::new() };
     let mut rng = StdRng::seed_from_u64(0);
 
@@ -80,32 +216,43 @@ fn main() {
     for n in [32usize, 64, 128] {
         let a = Tensor::randn([n, n], &mut rng);
         let b = Tensor::randn([n, n], &mut rng);
-        report.time(&format!("matmul/{n}"), || {
+        let flops = 2 * (n as u64).pow(3);
+        let variant = describe(Op::Gemm, false, false, n, n, n);
+        report.time(&format!("matmul/{n}"), flops, Some(variant), || {
             black_box(a.matmul(&b));
         });
     }
     let a = Tensor::randn([128, 128], &mut rng);
     let b = Tensor::randn([128, 128], &mut rng);
-    report.time("matmul_nt/128", || {
+    let flops = 2u64 * 128 * 128 * 128;
+    let variant = describe(Op::Gemm, false, true, 128, 128, 128);
+    report.time("matmul_nt/128", flops, Some(variant), || {
         black_box(a.matmul_nt(&b));
     });
-    report.time("matmul_tn/128", || {
+    let variant = describe(Op::Gemm, true, false, 128, 128, 128);
+    report.time("matmul_tn/128", flops, Some(variant), || {
         black_box(a.matmul_tn(&b));
     });
 
     // Dense convolution on the training-shaped batch used by the criterion
-    // benches: [4, 16, 16, 16], same-padded, stride 1.
+    // benches: [4, 16, 16, 16], same-padded, stride 1. The forward is one
+    // implicit GEMM per sample: m = c_out, k = c_in*kh*kw, n = ho*wo.
+    let (ns_b, c, hw) = (4u64, 16u64, 16u64);
     let x = Tensor::randn([4, 16, 16, 16], &mut rng);
     for k in [1usize, 3, 5] {
         let w = Tensor::randn([16, 16, k, k], &mut rng);
         let bias = Tensor::randn([16], &mut rng);
         let geom = ConvGeometry::same(k, 1);
-        report.time(&format!("conv2d_fwd/{k}"), || {
+        let gemm_k = (c as usize) * k * k;
+        let flops = 2 * ns_b * c * c * (k as u64).pow(2) * hw * hw;
+        let variant = describe(Op::Conv, false, false, 16, gemm_k, (hw * hw) as usize);
+        report.time(&format!("conv2d_fwd/{k}"), flops, Some(variant), || {
             black_box(conv2d(&x, &w, Some(&bias), geom));
         });
         let y = conv2d(&x, &w, None, geom);
         let dy = Tensor::randn(y.shape().clone(), &mut rng);
-        report.time(&format!("conv2d_bwd/{k}"), || {
+        // dx + dw + db: roughly three forward-sized contractions.
+        report.time(&format!("conv2d_bwd/{k}"), 3 * flops, None, || {
             black_box(conv2d_backward(&x, &w, &dy, geom, true));
         });
     }
@@ -113,19 +260,20 @@ fn main() {
     // Depthwise convolution, forward and backward.
     let wd = Tensor::randn([16, 3, 3], &mut rng);
     let geom = ConvGeometry::same(3, 1);
-    report.time("depthwise_fwd_3x3", || {
+    let dw_flops = 2 * ns_b * c * hw * hw * 9;
+    report.time("depthwise_fwd_3x3", dw_flops, None, || {
         black_box(depthwise_conv2d(&x, &wd, None, geom));
     });
     let y = depthwise_conv2d(&x, &wd, None, geom);
     let dy = Tensor::randn(y.shape().clone(), &mut rng);
-    report.time("depthwise_bwd_3x3", || {
+    report.time("depthwise_bwd_3x3", 3 * dw_flops, None, || {
         black_box(depthwise_conv2d_backward(&x, &wd, &dy, geom, true));
     });
 
-    // Lowering and pooling.
+    // Lowering and pooling (data movement; no GFLOP/s column).
     let xs = Tensor::randn([16 * 24 * 24], &mut rng);
     let mut cols = vec![0.0f32; 16 * 9 * 24 * 24];
-    report.time("im2col_16x24x24_k3", || {
+    report.time("im2col_16x24x24_k3", 0, None, || {
         im2col(
             xs.as_slice(),
             16,
@@ -137,7 +285,7 @@ fn main() {
         black_box(&cols);
     });
     let fm = Tensor::randn([8, 32, 8, 8], &mut rng);
-    report.time("global_avg_pool", || {
+    report.time("global_avg_pool", 8 * 32 * 8 * 8, None, || {
         black_box(global_avg_pool(&fm));
     });
 
@@ -145,4 +293,16 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark report");
     eprintln!("\nwrote {out_path}");
     print!("{json}");
+
+    if run_gate {
+        let violations = report.gate();
+        if !violations.is_empty() {
+            eprintln!("\nbench_kernels gate FAILED:");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("bench_kernels gate: OK (floors held, no kernel regressed)");
+    }
 }

@@ -11,7 +11,10 @@
 //!
 //! Numerics are bitwise-identical to an eval-mode `Session` forward at the
 //! same thread-pool width: both paths run the same convolution/GEMM kernels
-//! and the same [`nb_tensor::eltwise`] pointwise kernels.
+//! and the same [`nb_tensor::eltwise`] pointwise kernels. Convolutions
+//! execute as implicit GEMMs (the input is read through a virtual im2col
+//! view, never materialized), with each GEMM's schedule chosen by the
+//! shape-keyed selector in `nb_tensor::selector`.
 
 use crate::forward::Forward;
 use crate::layers::BatchNorm2d;

@@ -17,7 +17,11 @@
 //!    ([`nb_tensor::Epilogue`]).
 //! 3. **Prepack** — every GEMM-backed weight is packed once into panel
 //!    format ([`nb_tensor::PackedA`]/[`nb_tensor::PackedB`]) and reused
-//!    across calls.
+//!    across calls. Conv replay then runs as a fully implicit GEMM: the
+//!    prepacked weight multiplies the input through a virtual im2col view,
+//!    so neither GEMM operand touches a scratch matrix at serve time. The
+//!    shape-keyed selector (`nb_tensor::selector`) picks each GEMM's
+//!    schedule, honoring the `NB_AUTOTUNE` cache when enabled.
 //! 4. **Arena** — activation buffers are assigned at compile time by a
 //!    best-fit liveness pass over per-sample sizes, so steady-state runs
 //!    perform no activation allocation and [`peak_bytes`] is a deterministic

@@ -7,17 +7,27 @@
 //! - depthwise conv weights: `[c, kh, kw]` (one filter per channel)
 //! - biases: `[c_out]`
 //!
-//! Dense convolution is lowered to matrix multiplication via
-//! [`im2col`]; gradients re-lower with [`col2im`]. Depthwise convolution is
-//! computed directly. All four kernels (dense/depthwise, forward/backward)
-//! parallelize over the batch dimension on the persistent worker pool, and
-//! the im2col / column-gradient matrices live in thread-local scratch
-//! buffers, so a steady-state training step performs no kernel-side heap
-//! allocation beyond the output tensors themselves. The conv bias is fused
-//! into the GEMM epilogue rather than added in a second pass.
+//! Dense convolution *forward* is an implicit GEMM: the weight matrix
+//! multiplies the input viewed through a virtual im2col layout
+//! ([`crate::gemm::Im2colRef`]), so the GEMM packing loop gathers panel
+//! slivers straight out of the image and the `[c_in*kh*kw, ho*wo]` column
+//! matrix is never written to memory. The materialized twin
+//! ([`conv2d_into_explicit`]) is retained for the differential verification
+//! suites, and the *gradients* still lower explicitly through [`im2col`] /
+//! [`col2im`] (the backward GEMMs read the column matrix twice, so
+//! materializing it once pays for itself). Depthwise convolution is computed
+//! directly. All kernels parallelize over the batch dimension on the
+//! persistent worker pool, and the backward-path column matrices live in
+//! thread-local scratch buffers, so a steady-state training step performs no
+//! kernel-side heap allocation beyond the output tensors themselves. The
+//! conv bias is fused into the GEMM epilogue rather than added in a second
+//! pass.
 
 use crate::eltwise::Epilogue;
-use crate::gemm::{gemm, gemm_a_packed, PackedA};
+use crate::gemm::{
+    gemm, gemm_conv_batch, gemm_conv_explicit, gemm_conv_packed, gemm_conv_packed_mat, Im2colRef,
+    PackedA,
+};
 use crate::threadpool::{self, with_scratch, SharedMut, CONV_COLS, CONV_DCOLS};
 use crate::{ConvGeometry, Tensor};
 use std::sync::Mutex;
@@ -156,6 +166,12 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) ->
 /// this is what lets inference contexts recycle activation buffers without a
 /// zeroing pass.
 ///
+/// The forward lowering is *implicit*: each sample is handed to the GEMM as
+/// a virtual im2col view, so the packing loop reads the image directly and
+/// no column matrix is materialized. Bits match [`conv2d_into_explicit`]
+/// exactly — the packed panel bytes and the direct-path accumulation order
+/// are both identical by construction.
+///
 /// # Panics
 ///
 /// Panics on shape inconsistencies or a wrong `out` length.
@@ -172,6 +188,53 @@ pub fn conv2d_into(
     }
     assert_eq!(out.len(), n * c_out * ho * wo, "conv2d_into output length");
     let in_sz = c_in * h * wd;
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let bias = b.map(Tensor::as_slice);
+    if n == 0 {
+        return;
+    }
+    let im = Im2colRef {
+        x: &xs[..in_sz],
+        c_in,
+        h,
+        w: wd,
+        geom,
+        ho,
+        wo,
+    };
+    // One weight pack for the whole batch; samples run in parallel on wide
+    // pools. Bias rides along as the GEMM row initializer (one value per
+    // output channel), so no second pass over the output is needed.
+    gemm_conv_batch(ws, &im, xs, out, c_out, bias);
+}
+
+/// [`conv2d_into`] through the legacy explicit lowering: materialize each
+/// sample's column matrix with [`im2col`], then run the same conv-keyed GEMM
+/// on it. Kept as the differential twin of the implicit path — nb-verify's
+/// `+implicit` suite checks the two agree bitwise across the conv geometry
+/// grid and thread widths.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies or a wrong `out` length.
+pub fn conv2d_into_explicit(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    geom: ConvGeometry,
+    out: &mut [f32],
+) {
+    let (n, c_in, h, wd, c_out, ho, wo) = conv_shapes(x, w, geom);
+    if let Some(b) = b {
+        assert_eq!(b.dims(), &[c_out], "conv bias shape");
+    }
+    assert_eq!(
+        out.len(),
+        n * c_out * ho * wo,
+        "conv2d_into_explicit output length"
+    );
+    let in_sz = c_in * h * wd;
     let out_sz = c_out * ho * wo;
     let col_rows = c_in * geom.kh * geom.kw;
     let xs = x.as_slice();
@@ -183,20 +246,7 @@ pub fn conv2d_into(
         let o_sample = unsafe { shared_out.slice(ni * out_sz, out_sz) };
         with_scratch(&CONV_COLS, col_rows * ho * wo, |cols| {
             im2col(&xs[ni * in_sz..(ni + 1) * in_sz], c_in, h, wd, geom, cols);
-            // Bias rides along as the GEMM row initializer (one value per
-            // output channel), so no second pass over the output is needed.
-            gemm(
-                ws,
-                false,
-                cols,
-                false,
-                o_sample,
-                c_out,
-                col_rows,
-                ho * wo,
-                bias,
-                false,
-            );
+            gemm_conv_explicit(ws, cols, o_sample, c_out, col_rows, ho * wo, bias);
         });
     });
 }
@@ -206,12 +256,14 @@ pub fn conv2d_into(
 /// kernel behind `CompiledPlan`.
 ///
 /// `wp` packs the `[c_out, c_in*kh*kw]` weight matrix as the GEMM left
-/// operand. Output bits match [`conv2d_into`] followed by a separate
+/// operand; the input rides through the same virtual im2col view as
+/// [`conv2d_into`], so neither operand of the serving-path GEMM touches a
+/// scratch matrix. Output bits match [`conv2d_into`] followed by a separate
 /// elementwise activation pass for every thread count (see
-/// [`gemm_a_packed`]). 1x1 stride-1 unpadded convolutions skip im2col
-/// entirely: the column matrix of a pointwise conv is the input sample
-/// itself, so the sample slice feeds the GEMM directly — same bytes, no
-/// copy.
+/// [`crate::gemm::gemm_a_packed`]). 1x1 stride-1 unpadded convolutions skip
+/// the virtual view's coordinate math entirely: the column matrix of a
+/// pointwise conv is the input sample itself, so the sample slice feeds the
+/// GEMM directly — same bytes, no copy.
 ///
 /// # Panics
 ///
@@ -249,12 +301,18 @@ pub fn conv2d_packed_into(
         let o_sample = unsafe { shared_out.slice(ni * out_sz, out_sz) };
         let x_s = &xs[ni * in_sz..(ni + 1) * in_sz];
         if pointwise {
-            gemm_a_packed(wp, x_s, false, o_sample, ho * wo, bias, act);
+            gemm_conv_packed_mat(wp, x_s, o_sample, ho * wo, bias, act);
         } else {
-            with_scratch(&CONV_COLS, col_rows * ho * wo, |cols| {
-                im2col(x_s, c_in, h, wd, geom, cols);
-                gemm_a_packed(wp, cols, false, o_sample, ho * wo, bias, act);
-            });
+            let im = Im2colRef {
+                x: x_s,
+                c_in,
+                h,
+                w: wd,
+                geom,
+                ho,
+                wo,
+            };
+            gemm_conv_packed(wp, &im, o_sample, bias, act);
         }
     });
 }
@@ -483,64 +541,199 @@ pub fn depthwise_conv2d_fused_into(
     depthwise_dispatch(x, w, b, geom, act, out);
 }
 
-/// Serial depthwise backward over one contiguous range of samples. Kept as a
+/// Serial depthwise backward for one channel across every sample. Kept as a
 /// plain function (outside the worker closure) so the hot loops compile
-/// against ordinary slice parameters. `dims` is `(c, h, w, ho, wo)`.
+/// against ordinary slice parameters. `dims` is `(c, h, w, ho, wo)` and
+/// `kj_ranges[oj]` holds the in-bounds kernel-column range for output column
+/// `oj` (precomputed once: it depends only on the geometry).
 #[allow(clippy::too_many_arguments)]
-fn dw_backward_chunk(
-    x_chunk: &[f32],
-    dy_chunk: &[f32],
-    dx_chunk: &mut [f32],
-    ws: &[f32],
-    dw_part: &mut [f32],
-    db_part: &mut [f32],
+fn dw_backward_channel(
+    ci: usize,
+    xs: &[f32],
+    dys: &[f32],
+    shared_dx: &SharedMut<f32>,
+    ker: &[f32],
+    dker: &mut [f32],
     dims: (usize, usize, usize, usize, usize),
     geom: ConvGeometry,
-) {
+    kj_ranges: &[(usize, usize)],
+) -> f32 {
+    if geom.kh == 3 && geom.kw == 3 && geom.sh == 1 && geom.sw == 1 {
+        return dw_backward_channel_3x3(ci, xs, dys, shared_dx, ker, dker, dims, geom, kj_ranges);
+    }
     let (c, h, wd, ho, wo) = dims;
-    let in_sz = c * h * wd;
-    let out_sz = c * ho * wo;
-    let ker_sz = geom.kh * geom.kw;
-    for ((x_s, dy_s), dx_sample) in x_chunk
-        .chunks_exact(in_sz)
-        .zip(dy_chunk.chunks_exact(out_sz))
-        .zip(dx_chunk.chunks_exact_mut(in_sz))
-    {
-        for ci in 0..c {
-            let plane = &x_s[ci * h * wd..(ci + 1) * h * wd];
-            let dplane = &mut dx_sample[ci * h * wd..(ci + 1) * h * wd];
-            let ker = &ws[ci * ker_sz..(ci + 1) * ker_sz];
-            let dker = &mut dw_part[ci * ker_sz..(ci + 1) * ker_sz];
-            let dy_plane = &dy_s[ci * ho * wo..(ci + 1) * ho * wo];
-            for oi in 0..ho {
-                for oj in 0..wo {
-                    let g = dy_plane[oi * wo + oj];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    db_part[ci] += g;
-                    for ki in 0..geom.kh {
-                        let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
-                        if ii < 0 || ii >= h as isize {
-                            continue;
-                        }
-                        for kj in 0..geom.kw {
-                            let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
-                            if jj < 0 || jj >= wd as isize {
-                                continue;
-                            }
-                            let xi = ii as usize * wd + jj as usize;
-                            dker[ki * geom.kw + kj] += g * plane[xi];
-                            dplane[xi] += g * ker[ki * geom.kw + kj];
-                        }
+    let n = xs.len() / (c * h * wd);
+    let mut db_acc = 0.0f32;
+    for ni in 0..n {
+        let plane = &xs[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+        let dy_plane = &dys[(ni * c + ci) * ho * wo..(ni * c + ci + 1) * ho * wo];
+        // Safety: plane (ni, ci) is written only by channel ci's task.
+        let dplane = unsafe { shared_dx.slice((ni * c + ci) * h * wd, h * wd) };
+        for oi in 0..ho {
+            // In-bounds kernel-row range for this output row, hoisted out of
+            // the tap loops: ki must satisfy 0 <= oi*sh + ki - ph < h.
+            let ki_lo = geom.ph.saturating_sub(oi * geom.sh);
+            let ki_hi = (h + geom.ph).saturating_sub(oi * geom.sh).min(geom.kh);
+            let dy_row = &dy_plane[oi * wo..(oi + 1) * wo];
+            for (oj, &g) in dy_row.iter().enumerate() {
+                // Zero upstream gradients (common after ReLU) contribute
+                // nothing to any of the three outputs.
+                if g == 0.0 {
+                    continue;
+                }
+                db_acc += g;
+                let (kj_lo, kj_hi) = kj_ranges[oj];
+                for ki in ki_lo..ki_hi {
+                    let ii = oi * geom.sh + ki - geom.ph;
+                    let x_row = &plane[ii * wd..(ii + 1) * wd];
+                    let dx_row = &mut dplane[ii * wd..(ii + 1) * wd];
+                    let kr = &ker[ki * geom.kw..(ki + 1) * geom.kw];
+                    let dkr = &mut dker[ki * geom.kw..(ki + 1) * geom.kw];
+                    for kj in kj_lo..kj_hi {
+                        let jj = oj * geom.sw + kj - geom.pw;
+                        dkr[kj] += g * x_row[jj];
+                        dx_row[jj] += g * kr[kj];
                     }
                 }
             }
         }
     }
+    db_acc
+}
+
+/// [`dw_backward_channel`] specialized for the ubiquitous 3x3 / stride-1
+/// case. The nine taps are fully unrolled with the weights and the weight
+/// gradient held in scalar locals, so `dw` accumulation stays in registers
+/// instead of read-modify-writing `dker` through memory nine times per
+/// output pixel — the dominant cost of the general loop on one thread.
+/// Boundary pixels run the same unrolled taps behind per-tap range guards.
+///
+/// Accumulation order per output element is identical to the general path
+/// (taps visited in `(ki, kj)` order for each `(ni, oi, oj)`, zero upstream
+/// gradients skipped), and the scalar accumulators start from the same zero
+/// `dker` would, so the results are bitwise the same.
+#[allow(clippy::too_many_arguments)]
+fn dw_backward_channel_3x3(
+    ci: usize,
+    xs: &[f32],
+    dys: &[f32],
+    shared_dx: &SharedMut<f32>,
+    ker: &[f32],
+    dker: &mut [f32],
+    dims: (usize, usize, usize, usize, usize),
+    geom: ConvGeometry,
+    kj_ranges: &[(usize, usize)],
+) -> f32 {
+    let (c, h, wd, ho, wo) = dims;
+    let (ph, pw) = (geom.ph, geom.pw);
+    let n = xs.len() / (c * h * wd);
+    let &[k0, k1, k2, k3, k4, k5, k6, k7, k8] = ker else {
+        unreachable!("3x3 kernel slice")
+    };
+    let (mut d0, mut d1, mut d2, mut d3, mut d4) = (0.0f32, 0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (mut d5, mut d6, mut d7, mut d8) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut db_acc = 0.0f32;
+    // Output columns whose full 3-tap window is interior: oj >= pw and
+    // oj - pw + 2 < wd.
+    let int_lo = pw.min(wo);
+    let int_hi = (wd + pw).saturating_sub(2).min(wo).max(int_lo);
+    for ni in 0..n {
+        let plane = &xs[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+        let dy_plane = &dys[(ni * c + ci) * ho * wo..(ni * c + ci + 1) * ho * wo];
+        // Safety: plane (ni, ci) is written only by channel ci's task.
+        let dplane = unsafe { shared_dx.slice((ni * c + ci) * h * wd, h * wd) };
+        for oi in 0..ho {
+            let ki_lo = ph.saturating_sub(oi);
+            let ki_hi = (h + ph).saturating_sub(oi).min(3);
+            let dy_row = &dy_plane[oi * wo..(oi + 1) * wo];
+            // All nine taps, each behind its in-bounds guard; used for every
+            // pixel outside the fully interior fast path below.
+            macro_rules! guarded_taps {
+                ($oj:expr) => {{
+                    let oj = $oj;
+                    let g = dy_row[oj];
+                    if g != 0.0 {
+                        db_acc += g;
+                        let (kj_lo, kj_hi) = kj_ranges[oj];
+                        macro_rules! tap {
+                            ($ki:expr, $kj:expr, $dk:ident, $kw:ident) => {
+                                if ki_lo <= $ki && $ki < ki_hi && kj_lo <= $kj && $kj < kj_hi {
+                                    let idx = (oi + $ki - ph) * wd + (oj + $kj - pw);
+                                    $dk += g * plane[idx];
+                                    dplane[idx] += g * $kw;
+                                }
+                            };
+                        }
+                        tap!(0, 0, d0, k0);
+                        tap!(0, 1, d1, k1);
+                        tap!(0, 2, d2, k2);
+                        tap!(1, 0, d3, k3);
+                        tap!(1, 1, d4, k4);
+                        tap!(1, 2, d5, k5);
+                        tap!(2, 0, d6, k6);
+                        tap!(2, 1, d7, k7);
+                        tap!(2, 2, d8, k8);
+                    }
+                }};
+            }
+            if ki_lo == 0 && ki_hi == 3 {
+                let i0 = oi - ph;
+                for oj in 0..int_lo {
+                    guarded_taps!(oj);
+                }
+                for (oj, &g) in dy_row.iter().enumerate().take(int_hi).skip(int_lo) {
+                    if g == 0.0 {
+                        continue;
+                    }
+                    db_acc += g;
+                    let j0 = oj - pw;
+                    let x0 = &plane[i0 * wd + j0..i0 * wd + j0 + 3];
+                    let x1 = &plane[(i0 + 1) * wd + j0..(i0 + 1) * wd + j0 + 3];
+                    let x2 = &plane[(i0 + 2) * wd + j0..(i0 + 2) * wd + j0 + 3];
+                    d0 += g * x0[0];
+                    d1 += g * x0[1];
+                    d2 += g * x0[2];
+                    d3 += g * x1[0];
+                    d4 += g * x1[1];
+                    d5 += g * x1[2];
+                    d6 += g * x2[0];
+                    d7 += g * x2[1];
+                    d8 += g * x2[2];
+                    let r0 = &mut dplane[i0 * wd + j0..i0 * wd + j0 + 3];
+                    r0[0] += g * k0;
+                    r0[1] += g * k1;
+                    r0[2] += g * k2;
+                    let r1 = &mut dplane[(i0 + 1) * wd + j0..(i0 + 1) * wd + j0 + 3];
+                    r1[0] += g * k3;
+                    r1[1] += g * k4;
+                    r1[2] += g * k5;
+                    let r2 = &mut dplane[(i0 + 2) * wd + j0..(i0 + 2) * wd + j0 + 3];
+                    r2[0] += g * k6;
+                    r2[1] += g * k7;
+                    r2[2] += g * k8;
+                }
+                for oj in int_hi..wo {
+                    guarded_taps!(oj);
+                }
+            } else {
+                for oj in 0..wo {
+                    guarded_taps!(oj);
+                }
+            }
+        }
+    }
+    dker.copy_from_slice(&[d0, d1, d2, d3, d4, d5, d6, d7, d8]);
+    db_acc
 }
 
 /// Gradients of [`depthwise_conv2d`]; returns `(dx, dw, db)`.
+///
+/// Parallelizes over *channels*: depthwise gradients never mix channels, so
+/// each task owns one channel's `dx` planes (across all samples) and its
+/// `dw`/`db` rows outright — no mutex, no partial buffers, no reduction
+/// pass. A channel's accumulation runs serially over samples in a fixed
+/// order, which also makes `dw`/`db` thread-count-invariant (the sample-
+/// chunked dense path is only width-stable).
 ///
 /// # Panics
 ///
@@ -557,47 +750,38 @@ pub fn depthwise_conv2d_backward(
     let xs = x.as_slice();
     let ws = w.as_slice();
     let dys = dy.as_slice();
-    let in_sz = c * h * wd;
-    let out_sz = c * ho * wo;
     let ker_sz = geom.kh * geom.kw;
     let mut dx = Tensor::zeros(x.shape().clone());
-    // Parallel over contiguous sample chunks with per-task dw/db partials,
-    // reduced in chunk order (same scheme as conv2d_backward).
-    let tasks = threadpool::num_threads().min(n);
-    let per = n.div_ceil(tasks.max(1));
-    let shared_dx = SharedMut::new(dx.as_mut_slice());
-    let partials: GradPartials = Mutex::new(Vec::with_capacity(tasks));
-    threadpool::parallel_for(tasks, &|t| {
-        let n0 = t * per;
-        let n1 = n.min(n0 + per);
-        let mut dw_part = vec![0.0f32; c * ker_sz];
-        let mut db_part = vec![0.0f32; c];
-        // Safety: sample ranges [n0, n1) are disjoint across tasks.
-        let dx_chunk = unsafe { shared_dx.slice(n0 * in_sz, (n1 - n0) * in_sz) };
-        dw_backward_chunk(
-            &xs[n0 * in_sz..n1 * in_sz],
-            &dys[n0 * out_sz..n1 * out_sz],
-            dx_chunk,
-            ws,
-            &mut dw_part,
-            &mut db_part,
-            (c, h, wd, ho, wo),
-            geom,
-        );
-        partials.lock().unwrap().push((t, dw_part, db_part));
-    });
-    let mut partials = partials.into_inner().unwrap();
-    partials.sort_unstable_by_key(|(t, ..)| *t);
     let mut dw = Tensor::zeros(w.shape().clone());
     let mut db = Tensor::zeros([c]);
-    for (_, dw_p, db_p) in &partials {
-        for (d, s) in dw.as_mut_slice().iter_mut().zip(dw_p) {
-            *d += s;
-        }
-        for (d, s) in db.as_mut_slice().iter_mut().zip(db_p) {
-            *d += s;
-        }
-    }
+    // In-bounds kernel-column range per output column, shared by every
+    // channel: kj must satisfy 0 <= oj*sw + kj - pw < w.
+    let kj_ranges: Vec<(usize, usize)> = (0..wo)
+        .map(|oj| {
+            let lo = geom.pw.saturating_sub(oj * geom.sw);
+            let hi = (wd + geom.pw).saturating_sub(oj * geom.sw).min(geom.kw);
+            (lo, hi.max(lo))
+        })
+        .collect();
+    let shared_dx = SharedMut::new(dx.as_mut_slice());
+    let shared_dw = SharedMut::new(dw.as_mut_slice());
+    let shared_db = SharedMut::new(db.as_mut_slice());
+    threadpool::parallel_for(c, &|ci| {
+        // Safety: channel ci's dw row and db element belong to this task only.
+        let dker = unsafe { shared_dw.slice(ci * ker_sz, ker_sz) };
+        let db_c = unsafe { shared_db.slice(ci, 1) };
+        db_c[0] = dw_backward_channel(
+            ci,
+            xs,
+            dys,
+            &shared_dx,
+            &ws[ci * ker_sz..(ci + 1) * ker_sz],
+            dker,
+            (c, h, wd, ho, wo),
+            geom,
+            &kj_ranges,
+        );
+    });
     (dx, dw, if has_bias { Some(db) } else { None })
 }
 
@@ -841,6 +1025,49 @@ mod tests {
             wm.as_mut_slice()[i] -= eps;
             let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
             assert!((num - dw.as_slice()[i]).abs() < 2e-2 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn implicit_forward_matches_explicit_bitwise() {
+        use crate::selector::with_autotune_off;
+        use crate::threadpool::with_thread_cap;
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(k, s, p) in &[
+            (1usize, 1usize, 0usize),
+            (3, 1, 1),
+            (3, 2, 1),
+            (5, 1, 2),
+            (5, 2, 2),
+        ] {
+            let geom = ConvGeometry::square(k, s, p);
+            let x = Tensor::randn([2, 3, 11, 9], &mut rng);
+            let w = Tensor::randn([6, 3, k, k], &mut rng);
+            let b = Tensor::randn([6], &mut rng);
+            let (ho, wo) = geom.output_hw(11, 9);
+            with_autotune_off(|| {
+                let mut implicit = vec![0.0f32; 2 * 6 * ho * wo];
+                conv2d_into(&x, &w, Some(&b), geom, &mut implicit);
+                let mut explicit = vec![0.0f32; 2 * 6 * ho * wo];
+                conv2d_into_explicit(&x, &w, Some(&b), geom, &mut explicit);
+                assert!(
+                    implicit
+                        .iter()
+                        .zip(&explicit)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "k={k} s={s} p={p}: implicit != explicit"
+                );
+                // And the implicit path is thread-width invariant.
+                let mut serial = vec![0.0f32; 2 * 6 * ho * wo];
+                with_thread_cap(1, || conv2d_into(&x, &w, Some(&b), geom, &mut serial));
+                assert!(
+                    implicit
+                        .iter()
+                        .zip(&serial)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "k={k} s={s} p={p}: implicit not width-invariant"
+                );
+            });
         }
     }
 

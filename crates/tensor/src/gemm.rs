@@ -1,5 +1,5 @@
 //! Cache-blocked, packed GEMM — the single kernel behind every matmul
-//! variant and the im2col convolution path.
+//! variant and the convolution forward path.
 //!
 //! The kernel follows the classic BLIS/GotoBLAS decomposition: the `n`
 //! dimension is split into `NC` strips, the `k` dimension into `KC` panels,
@@ -9,6 +9,19 @@
 //! with a fully unrolled inner loop then walks the packed panels. Packing
 //! happens in thread-local scratch buffers (see [`crate::threadpool`]) so
 //! steady-state GEMMs allocate nothing.
+//!
+//! Which schedule runs — the no-pack direct loops, or the blocked kernel
+//! with a concrete `(MC, NC)` pair, serial or row-split — is decided per
+//! shape by [`crate::selector`]. `KC` is fixed: it pins the per-element
+//! accumulation order, which is what keeps all blocked schedules of a shape
+//! bitwise-identical and lets the autotuner swap them freely.
+//!
+//! The right operand does not have to be a materialized matrix: the conv
+//! forward path hands the packing loop an [`Im2colRef`], a *virtual* im2col
+//! layout that gathers panel slivers straight out of the input image. The
+//! packed bytes are identical to packing a materialized column matrix, so
+//! the implicit path is bitwise-equal to the explicit one while never
+//! writing the `[c_in*kh*kw, ho*wo]` buffer at all.
 //!
 //! Builds target baseline `x86-64`, so on x86-64 hosts the tile loop
 //! dispatches at runtime (via `is_x86_feature_detected!`) to an AVX2+FMA
@@ -23,23 +36,27 @@
 //! results are bitwise identical regardless of thread count.
 
 use crate::eltwise::Epilogue;
+use crate::selector::{self, Layout, Op, Schedule, Variant};
 use crate::threadpool::{self, with_scratch, SharedMut, GEMM_PACK_A, GEMM_PACK_B};
+use crate::ConvGeometry;
 
 /// Microkernel tile height (rows of C held in registers).
 pub const MR: usize = 4;
 /// Microkernel tile width (columns of C held in registers).
 pub const NR: usize = 8;
-/// Rows of A packed per L2-resident block (multiple of `MR`).
-const MC: usize = 64;
-/// Depth of a packed panel (inner dimension per pass).
+/// Standard-schedule rows of A packed per L2-resident block (multiple of
+/// `MR`). The autotuner may select other MC values; this is the default.
+pub(crate) const MC_STD: usize = 64;
+/// Depth of a packed panel (inner dimension per pass). Not tunable: the
+/// k-split order fixes the accumulation order and therefore the output bits.
 const KC: usize = 256;
-/// Columns of B packed per strip (multiple of `NR`).
-const NC: usize = 256;
+/// Standard-schedule columns of B packed per strip (multiple of `NR`).
+pub(crate) const NC_STD: usize = 256;
 
 /// Below this many multiply-adds the naive loops beat packing overhead.
-const SMALL_MNK: usize = 16 * 16 * 16;
+pub(crate) const SMALL_MNK: usize = 16 * 16 * 16;
 /// Below this many multiply-adds a single thread beats pool dispatch.
-const PARALLEL_MNK: usize = 1 << 17;
+pub(crate) const PARALLEL_MNK: usize = 1 << 17;
 
 /// General matrix multiply: `C = A' * B'` (or `C += A' * B'`).
 ///
@@ -92,15 +109,65 @@ pub fn gemm(
         }
         return;
     }
-    let mnk = m * n * k;
-    if mnk < SMALL_MNK {
-        gemm_naive(a, a_trans, b, b_trans, c, m, k, n, row_init, accumulate);
-        return;
-    }
+    let variant = selector::select(Op::Gemm, Layout::from_trans(a_trans, b_trans), m, k, n);
+    run_gemm_variant(
+        variant, a, a_trans, b, b_trans, c, m, k, n, row_init, accumulate,
+    );
+}
+
+/// Executes one already-selected variant on matrix operands. This is the
+/// entry the autotuner times candidates through; it must never re-enter the
+/// selector.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_gemm_variant(
+    variant: Variant,
+    a: &[f32],
+    a_trans: bool,
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row_init: Option<&[f32]>,
+    accumulate: bool,
+) {
+    let bop = BOperand::Mat { b, trans: b_trans };
+    run_variant(variant, a, a_trans, &bop, c, m, k, n, row_init, accumulate);
+}
+
+/// Shared executor behind [`gemm`] and the implicit-conv entry points.
+#[allow(clippy::too_many_arguments)]
+fn run_variant(
+    variant: Variant,
+    a: &[f32],
+    a_trans: bool,
+    bop: &BOperand,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row_init: Option<&[f32]>,
+    accumulate: bool,
+) {
+    let (mc_blk, nc_blk) = match variant.schedule {
+        Schedule::Direct => {
+            match bop {
+                BOperand::Mat { b, trans } => {
+                    gemm_naive(a, a_trans, b, *trans, c, m, k, n, row_init, accumulate);
+                }
+                BOperand::Im2col(im) => {
+                    gemm_naive_im2col(a, a_trans, im, c, m, k, n, row_init, accumulate);
+                }
+            }
+            return;
+        }
+        Schedule::Blocked { mc, nc } => (mc, nc),
+    };
     let threads = threadpool::num_threads();
-    if mnk < PARALLEL_MNK || threads <= 1 || m < 2 * MR {
+    if !variant.parallel || threads <= 1 || m < 2 * MR {
         gemm_blocked(
-            a, a_trans, b, b_trans, c, 0, m, m, k, n, row_init, accumulate,
+            a, a_trans, bop, c, 0, m, m, k, n, row_init, accumulate, mc_blk, nc_blk,
         );
         return;
     }
@@ -116,7 +183,7 @@ pub fn gemm(
         // Safety: row ranges [i0, i0 + rows) are disjoint across tasks.
         let c_rows = unsafe { shared_c.slice(i0 * n, rows * n) };
         gemm_blocked(
-            a, a_trans, b, b_trans, c_rows, i0, rows, m, k, n, row_init, accumulate,
+            a, a_trans, bop, c_rows, i0, rows, m, k, n, row_init, accumulate, mc_blk, nc_blk,
         );
     });
 }
@@ -209,6 +276,218 @@ pub(crate) fn gemm_naive(
     }
 }
 
+/// [`gemm_naive`] with the right operand read through a virtual im2col
+/// layout. Loop structure and accumulation order replicate the `(NN)` arm of
+/// [`gemm_naive`] exactly — including the multiply-by-zero terms for padded
+/// taps — so the output bits match running `gemm_naive` on a materialized
+/// column matrix. Only the untransposed-A layout exists: conv weights are
+/// always stored `[c_out, c_in*kh*kw]` row-major.
+#[allow(clippy::too_many_arguments)]
+fn gemm_naive_im2col(
+    a: &[f32],
+    a_trans: bool,
+    im: &Im2colRef,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row_init: Option<&[f32]>,
+    accumulate: bool,
+) {
+    assert!(!a_trans, "implicit conv GEMM requires row-major weights");
+    if !accumulate {
+        for i in 0..m {
+            let base = row_init.map_or(0.0, |r| r[i]);
+            c[i * n..(i + 1) * n].iter_mut().for_each(|v| *v = base);
+        }
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            for (j, c_ij) in c_row.iter_mut().enumerate() {
+                *c_ij += a_ip * im.at(p, j);
+            }
+        }
+    }
+}
+
+/// A convolution input viewed as its im2col column matrix without
+/// materializing it: row `p = (ci*kh + ki)*kw + kj`, column `j = oi*wo + oj`
+/// maps to input element `(ci, oi*sh + ki - ph, oj*sw + kj - pw)`, with
+/// zeros outside the image. [`Im2colRef::pack`] gathers `KC x NR` panel
+/// slivers in exactly the layout [`pack_b`] would produce from the
+/// materialized matrix, which is what makes the implicit conv path
+/// bitwise-equal to the explicit one.
+#[derive(Clone, Copy)]
+pub(crate) struct Im2colRef<'a> {
+    /// One sample, `[c_in, h, w]` flat.
+    pub x: &'a [f32],
+    pub c_in: usize,
+    pub h: usize,
+    pub w: usize,
+    pub geom: ConvGeometry,
+    pub ho: usize,
+    pub wo: usize,
+}
+
+impl Im2colRef<'_> {
+    /// Virtual row count: `c_in * kh * kw`.
+    pub(crate) fn rows(&self) -> usize {
+        self.c_in * self.geom.kh * self.geom.kw
+    }
+
+    /// Virtual column count: `ho * wo`.
+    pub(crate) fn cols(&self) -> usize {
+        self.ho * self.wo
+    }
+
+    /// Element `(p, j)` of the virtual column matrix.
+    #[inline]
+    fn at(&self, p: usize, j: usize) -> f32 {
+        let ker = self.geom.kh * self.geom.kw;
+        let ci = p / ker;
+        let r = p % ker;
+        let (ki, kj) = (r / self.geom.kw, r % self.geom.kw);
+        let (oi, oj) = (j / self.wo, j % self.wo);
+        let ii = (oi * self.geom.sh + ki) as isize - self.geom.ph as isize;
+        let jj = (oj * self.geom.sw + kj) as isize - self.geom.pw as isize;
+        if ii < 0 || ii >= self.h as isize || jj < 0 || jj >= self.w as isize {
+            0.0
+        } else {
+            self.x[(ci * self.h + ii as usize) * self.w + jj as usize]
+        }
+    }
+
+    /// Packs the `kc x nc` virtual panel at `(p0, j0)` into `NR`-wide
+    /// slivers, byte-identical to [`pack_b`] over the materialized matrix.
+    ///
+    /// The inner loop walks virtual rows with an incrementally maintained
+    /// `(ci, ki, kj)` decomposition; sliver columns that stay inside one
+    /// output row of a stride-1 conv and land fully interior reduce to a
+    /// `copy_from_slice` from the input row — the common case for the
+    /// `NR`-aligned strips of TinyNet feature maps.
+    fn pack(&self, bp: &mut [f32], p0: usize, kc: usize, j0: usize, nc: usize) {
+        let (kh, kw) = (self.geom.kh, self.geom.kw);
+        let (sh, sw) = (self.geom.sh, self.geom.sw);
+        let (ph, pw) = (self.geom.ph, self.geom.pw);
+        let (h, w, wo) = (self.h, self.w, self.wo);
+        let panels = nc.div_ceil(NR);
+        for jr in 0..panels {
+            let j_base = j0 + jr * NR;
+            let width = NR.min(j0 + nc - j_base);
+            let dst = &mut bp[jr * kc * NR..(jr * kc + kc) * NR];
+            let (oi0, oj0) = (j_base / wo, j_base % wo);
+            // All `width` columns share one output row iff they don't wrap.
+            let single_row = oj0 + width <= wo;
+            let mut ci = p0 / (kh * kw);
+            let rem = p0 % (kh * kw);
+            let (mut ki, mut kj) = (rem / kw, rem % kw);
+            for (p, chunk) in dst.chunks_exact_mut(NR).take(kc).enumerate() {
+                // `chunks_exact_mut` guarantees the sliver length; the
+                // fixed-size view turns the 8-float copies and zero fills
+                // below into single vector moves instead of memcpy/memset
+                // calls — the per-sliver call overhead dominates the pack
+                // otherwise.
+                let fixed: &mut [f32; NR] = chunk.try_into().expect("NR-wide sliver");
+                if single_row {
+                    let ii = (oi0 * sh + ki) as isize - ph as isize;
+                    if ii < 0 || ii >= h as isize {
+                        *fixed = [0.0; NR];
+                    } else {
+                        let src_row =
+                            &self.x[(ci * h + ii as usize) * w..(ci * h + ii as usize + 1) * w];
+                        let jj0 = (oj0 * sw + kj) as isize - pw as isize;
+                        if sw == 1 && jj0 >= 0 && jj0 as usize + width <= w {
+                            if width == NR {
+                                let src: &[f32; NR] = (&src_row[jj0 as usize..jj0 as usize + NR])
+                                    .try_into()
+                                    .expect("NR-wide source");
+                                *fixed = *src;
+                            } else {
+                                fixed[..width]
+                                    .copy_from_slice(&src_row[jj0 as usize..jj0 as usize + width]);
+                                fixed[width..].fill(0.0);
+                            }
+                        } else if sw == 1 {
+                            // Partially out-of-bounds row: zero prefix and
+                            // suffix around one contiguous in-bounds copy.
+                            let lo = (-jj0).clamp(0, width as isize) as usize;
+                            let hi = (w as isize - jj0).clamp(0, width as isize) as usize;
+                            let hi = hi.max(lo);
+                            *fixed = [0.0; NR];
+                            if hi > lo {
+                                fixed[lo..hi].copy_from_slice(
+                                    &src_row[(jj0 + lo as isize) as usize..][..hi - lo],
+                                );
+                            }
+                        } else {
+                            for (j, v) in fixed.iter_mut().enumerate() {
+                                *v = if j < width {
+                                    let jj = jj0 + (j * sw) as isize;
+                                    if jj < 0 || jj >= w as isize {
+                                        0.0
+                                    } else {
+                                        src_row[jj as usize]
+                                    }
+                                } else {
+                                    0.0
+                                };
+                            }
+                        }
+                    }
+                } else {
+                    // Sliver wraps across output rows: general gather.
+                    for (j, v) in fixed.iter_mut().enumerate() {
+                        *v = if j < width {
+                            self.at(p0 + p, j_base + j)
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                kj += 1;
+                if kj == kw {
+                    kj = 0;
+                    ki += 1;
+                    if ki == kh {
+                        ki = 0;
+                        ci += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The right operand of the blocked kernel: either a materialized matrix
+/// (possibly stored transposed) or a virtual im2col view of a conv input.
+pub(crate) enum BOperand<'a> {
+    Mat { b: &'a [f32], trans: bool },
+    Im2col(&'a Im2colRef<'a>),
+}
+
+impl BOperand<'_> {
+    /// Packs the `kc x nc` panel at `(p0, j0)`; identical output layout for
+    /// both sources.
+    #[allow(clippy::too_many_arguments)]
+    fn pack_panel(
+        &self,
+        bp: &mut [f32],
+        k: usize,
+        n: usize,
+        p0: usize,
+        kc: usize,
+        j0: usize,
+        nc: usize,
+    ) {
+        match self {
+            BOperand::Mat { b, trans } => pack_b(bp, b, *trans, k, n, p0, kc, j0, nc),
+            BOperand::Im2col(im) => im.pack(bp, p0, kc, j0, nc),
+        }
+    }
+}
+
 /// Packs the `kc x nc` panel of B starting at `(p0, j0)` into `NR`-wide
 /// slivers: `bp[(jr * kc + p) * NR + j]` holds `B[p0 + p, j0 + jr * NR + j]`,
 /// zero-padded past `n`.
@@ -285,6 +564,19 @@ fn pack_a(
                 }
             }
         }
+    }
+}
+
+/// Packs the whole `m x k` left operand into the [`PackedA`] panel layout:
+/// for each `KC`-deep k-panel starting at `pc`, all `m.div_ceil(MR)` row
+/// slivers stored contiguously at `pc * m.div_ceil(MR) * MR`. Byte-identical
+/// to what [`gemm_blocked`] packs on demand, panel by panel.
+fn pack_a_full(panels: &mut [f32], a: &[f32], a_trans: bool, m: usize, k: usize) {
+    let mb = m.div_ceil(MR);
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        let slab = &mut panels[pc * mb * MR..(pc + kc) * mb * MR];
+        pack_a(slab, a, a_trans, m, k, 0, m, pc, kc);
     }
 }
 
@@ -399,14 +691,14 @@ mod x86 {
     }
 }
 
-/// Blocked GEMM over the row range `[i0, i0 + mc)` of the full problem.
-/// `c` holds exactly those rows (`mc x n`, row-major).
+/// Blocked GEMM over the row range `[i0, i0 + mc_total)` of the full problem
+/// with the given `(MC, NC)` schedule. `c` holds exactly those rows
+/// (`mc_total x n`, row-major).
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     a: &[f32],
     a_trans: bool,
-    b: &[f32],
-    b_trans: bool,
+    bop: &BOperand,
     c: &mut [f32],
     i0: usize,
     mc_total: usize,
@@ -415,18 +707,20 @@ fn gemm_blocked(
     n: usize,
     row_init: Option<&[f32]>,
     accumulate: bool,
+    mc_blk: usize,
+    nc_blk: usize,
 ) {
     let fma = use_fma_kernel();
-    with_scratch(&GEMM_PACK_B, KC * NC.div_ceil(NR) * NR, |bp| {
-        with_scratch(&GEMM_PACK_A, KC * MC.div_ceil(MR) * MR, |ap| {
-            for jc in (0..n).step_by(NC) {
-                let nc = NC.min(n - jc);
+    with_scratch(&GEMM_PACK_B, KC * nc_blk.div_ceil(NR) * NR, |bp| {
+        with_scratch(&GEMM_PACK_A, KC * mc_blk.div_ceil(MR) * MR, |ap| {
+            for jc in (0..n).step_by(nc_blk) {
+                let nc = nc_blk.min(n - jc);
                 for pc in (0..k).step_by(KC) {
                     let kc = KC.min(k - pc);
-                    pack_b(bp, b, b_trans, k, n, pc, kc, jc, nc);
+                    bop.pack_panel(bp, k, n, pc, kc, jc, nc);
                     let first = pc == 0;
-                    for ic in (0..mc_total).step_by(MC) {
-                        let mc = MC.min(mc_total - ic);
+                    for ic in (0..mc_total).step_by(mc_blk) {
+                        let mc = mc_blk.min(mc_total - ic);
                         pack_a(ap, a, a_trans, m, k, i0 + ic, mc, pc, kc);
                         macro_kernel(
                             ap, bp, c, ic, mc, jc, nc, n, kc, i0, row_init, accumulate, first, fma,
@@ -492,8 +786,10 @@ fn macro_kernel(
 /// are stored contiguously at `pc * m.div_ceil(MR) * MR`, each sliver being
 /// `kc x MR` (zero-padded past `m`). The blocked kernel then slices straight
 /// into the prepacked buffer instead of repacking, so results stay bitwise
-/// identical to the pack-on-demand path. The raw operand is retained so the
-/// small-problem dispatch can run the same naive loops [`gemm`] would.
+/// identical to the pack-on-demand path — for any `(MC, NC)` schedule the
+/// selector picks, since the layout depends only on `KC` and `MR`. The raw
+/// operand is retained so the small-problem dispatch can run the same naive
+/// loops [`gemm`] would.
 pub struct PackedA {
     panels: Vec<f32>,
     raw: Vec<f32>,
@@ -512,11 +808,7 @@ impl PackedA {
         assert_eq!(a.len(), m * k, "PackedA operand length");
         let mb = m.div_ceil(MR);
         let mut panels = vec![0.0f32; k * mb * MR];
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            let slab = &mut panels[pc * mb * MR..(pc + kc) * mb * MR];
-            pack_a(slab, a, a_trans, m, k, 0, m, pc, kc);
-        }
+        pack_a_full(&mut panels, a, a_trans, m, k);
         PackedA {
             panels,
             raw: a.to_vec(),
@@ -598,12 +890,12 @@ impl PackedB {
 /// [`gemm`] with a prepacked left operand and a fused activation epilogue:
 /// `C = act(A' * B' + row_init)`.
 ///
-/// Dispatch mirrors [`gemm`] exactly (naive below the small-problem cutoff,
-/// serial or row-split blocked otherwise), and the prepacked panels are
-/// byte-identical to what the blocked path would pack, so the output bits
-/// match `gemm` followed by a separate elementwise activation pass for every
-/// thread count. The epilogue is applied per row-chunk on the parallel path,
-/// which is equivalent because it is pointwise.
+/// Dispatch mirrors [`gemm`] exactly (same selector keys, so the same
+/// variant runs), and the prepacked panels are byte-identical to what the
+/// blocked path would pack, so the output bits match `gemm` followed by a
+/// separate elementwise activation pass for every thread count. The epilogue
+/// is applied per row-chunk on the parallel path, which is equivalent
+/// because it is pointwise.
 ///
 /// # Panics
 ///
@@ -617,8 +909,189 @@ pub fn gemm_a_packed(
     row_init: Option<&[f32]>,
     act: Epilogue,
 ) {
+    assert_eq!(b.len(), pa.k * n, "gemm_a_packed rhs buffer length");
+    let bop = BOperand::Mat { b, trans: b_trans };
+    gemm_a_packed_driver(Op::Gemm, pa, &bop, b_trans, c, n, row_init, act);
+}
+
+/// The conv forward GEMM against a prepacked weight and a *virtual* im2col
+/// right operand — the serving-path kernel behind `CompiledPlan`. See
+/// [`Im2colRef`] for the bitwise contract with the explicit path.
+pub(crate) fn gemm_conv_packed(
+    pa: &PackedA,
+    im: &Im2colRef,
+    c: &mut [f32],
+    row_init: Option<&[f32]>,
+    act: Epilogue,
+) {
+    assert_eq!(im.rows(), pa.k, "implicit conv operand inner dimension");
+    let n = im.cols();
+    let bop = BOperand::Im2col(im);
+    gemm_a_packed_driver(Op::Conv, pa, &bop, false, c, n, row_init, act);
+}
+
+/// The conv forward GEMM against a prepacked weight and a *materialized*
+/// right operand, still under the conv key namespace. The 1x1 stride-1
+/// unpadded fast path uses this: a pointwise conv's column matrix is the
+/// input sample itself, so packing the sample directly produces the same
+/// panel bytes as the virtual view with none of the coordinate math.
+pub(crate) fn gemm_conv_packed_mat(
+    pa: &PackedA,
+    b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    row_init: Option<&[f32]>,
+    act: Epilogue,
+) {
+    assert_eq!(b.len(), pa.k * n, "pointwise conv operand length");
+    let bop = BOperand::Mat { b, trans: false };
+    gemm_a_packed_driver(Op::Conv, pa, &bop, false, c, n, row_init, act);
+}
+
+/// The conv forward GEMM over an explicitly materialized im2col matrix —
+/// the differential twin of [`gemm_conv_batch`], kept for the verification
+/// suites. It shares the conv key namespace, so both executors always run
+/// the same variant and stay bitwise-comparable under any autotune mode.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_conv_explicit(
+    ws: &[f32],
+    cols: &[f32],
+    c: &mut [f32],
+    c_out: usize,
+    k: usize,
+    n: usize,
+    row_init: Option<&[f32]>,
+) {
+    assert_eq!(ws.len(), c_out * k, "explicit conv weight length");
+    assert_eq!(cols.len(), k * n, "explicit conv column matrix length");
+    assert_eq!(c.len(), c_out * n, "explicit conv output length");
+    if c_out == 0 || n == 0 {
+        return;
+    }
+    let variant = selector::select(Op::Conv, Layout::NN, c_out, k, n);
+    run_gemm_variant(
+        variant, ws, false, cols, false, c, c_out, k, n, row_init, false,
+    );
+}
+
+/// The conv forward GEMM with an unpacked weight matrix and virtual im2col
+/// right operands — the training/infer-path kernel behind `conv2d_into`.
+///
+/// Batched: the weight matrix is packed into panel form **once**, in
+/// thread-local scratch, and reused by every sample's GEMM instead of being
+/// repacked per sample. `im` is the virtual im2col view of sample 0;
+/// sample `i` applies the same geometry to `batch[i * in_sz..]`. Samples
+/// run in parallel when the pool is wider than one thread (each worker
+/// packs its B panels into its own scratch).
+///
+/// Bitwise identical to running each sample's GEMM through [`gemm`] on the
+/// materialized column matrix: the prepacked panel bytes match the
+/// pack-on-demand path and the per-sample GEMMs are independent.
+pub(crate) fn gemm_conv_batch(
+    ws: &[f32],
+    im: &Im2colRef,
+    batch: &[f32],
+    out: &mut [f32],
+    c_out: usize,
+    row_init: Option<&[f32]>,
+) {
+    let (k, n) = (im.rows(), im.cols());
+    assert_eq!(ws.len(), c_out * k, "implicit conv weight length");
+    let in_sz = im.c_in * im.h * im.w;
+    if in_sz == 0 || k == 0 || batch.is_empty() {
+        // Degenerate operand: every output row is just its initializer.
+        for (row, o) in out.chunks_exact_mut(n.max(1)).enumerate() {
+            let base = row_init.map_or(0.0, |r| r[row % c_out.max(1)]);
+            o.iter_mut().for_each(|v| *v = base);
+        }
+        return;
+    }
+    assert_eq!(batch.len() % in_sz, 0, "implicit conv batch length");
+    let ns = batch.len() / in_sz;
+    let out_sz = c_out * n;
+    assert_eq!(out.len(), ns * out_sz, "implicit conv output length");
+    if c_out == 0 || n == 0 {
+        return;
+    }
+    let sample = |ni: usize| Im2colRef {
+        x: &batch[ni * in_sz..(ni + 1) * in_sz],
+        ..*im
+    };
+    let variant = selector::select(Op::Conv, Layout::NN, c_out, k, n);
+    let threads = threadpool::num_threads();
+    if let Schedule::Blocked { .. } = variant.schedule {
+        let mb = c_out.div_ceil(MR);
+        with_scratch(&GEMM_PACK_A, k * mb * MR, |ap| {
+            pack_a_full(ap, ws, false, c_out, k);
+            let panels: &[f32] = ap;
+            if threads > 1 && ns > 1 {
+                let shared_out = SharedMut::new(out);
+                threadpool::parallel_for(ns, &|ni| {
+                    // Safety: each task writes only its own sample's window.
+                    let o = unsafe { shared_out.slice(ni * out_sz, out_sz) };
+                    let sm = sample(ni);
+                    let bop = BOperand::Im2col(&sm);
+                    gemm_blocked_pa(
+                        panels,
+                        c_out,
+                        k,
+                        &bop,
+                        o,
+                        0,
+                        c_out,
+                        n,
+                        row_init,
+                        variant.schedule,
+                    );
+                });
+            } else {
+                for (ni, o) in out.chunks_exact_mut(out_sz).enumerate() {
+                    let sm = sample(ni);
+                    let bop = BOperand::Im2col(&sm);
+                    gemm_blocked_pa(
+                        panels,
+                        c_out,
+                        k,
+                        &bop,
+                        o,
+                        0,
+                        c_out,
+                        n,
+                        row_init,
+                        variant.schedule,
+                    );
+                }
+            }
+        });
+    } else if threads > 1 && ns > 1 {
+        let shared_out = SharedMut::new(out);
+        threadpool::parallel_for(ns, &|ni| {
+            // Safety: each task writes only its own sample's window.
+            let o = unsafe { shared_out.slice(ni * out_sz, out_sz) };
+            let sm = sample(ni);
+            gemm_naive_im2col(ws, false, &sm, o, c_out, k, n, row_init, false);
+        });
+    } else {
+        for (ni, o) in out.chunks_exact_mut(out_sz).enumerate() {
+            let sm = sample(ni);
+            gemm_naive_im2col(ws, false, &sm, o, c_out, k, n, row_init, false);
+        }
+    }
+}
+
+/// Shared driver for the prepacked-A entry points.
+#[allow(clippy::too_many_arguments)]
+fn gemm_a_packed_driver(
+    op: Op,
+    pa: &PackedA,
+    bop: &BOperand,
+    b_trans: bool,
+    c: &mut [f32],
+    n: usize,
+    row_init: Option<&[f32]>,
+    act: Epilogue,
+) {
     let (m, k) = (pa.m, pa.k);
-    assert_eq!(b.len(), k * n, "gemm_a_packed rhs buffer length");
     assert_eq!(c.len(), m * n, "gemm_a_packed out buffer length");
     if let Some(init) = row_init {
         assert_eq!(init.len(), m, "gemm_a_packed row_init length");
@@ -634,15 +1107,36 @@ pub fn gemm_a_packed(
         act.apply(c);
         return;
     }
-    let mnk = m * n * k;
-    if mnk < SMALL_MNK {
-        gemm_naive(&pa.raw, pa.trans, b, b_trans, c, m, k, n, row_init, false);
-        act.apply(c);
-        return;
+    let variant = selector::select(op, Layout::from_trans(pa.trans, b_trans), m, k, n);
+    match variant.schedule {
+        Schedule::Direct => {
+            match bop {
+                BOperand::Mat { b, trans } => {
+                    gemm_naive(&pa.raw, pa.trans, b, *trans, c, m, k, n, row_init, false);
+                }
+                BOperand::Im2col(im) => {
+                    gemm_naive_im2col(&pa.raw, pa.trans, im, c, m, k, n, row_init, false);
+                }
+            }
+            act.apply(c);
+            return;
+        }
+        Schedule::Blocked { .. } => {}
     }
     let threads = threadpool::num_threads();
-    if mnk < PARALLEL_MNK || threads <= 1 || m < 2 * MR {
-        gemm_blocked_pa(pa, b, b_trans, c, 0, m, n, row_init);
+    if !variant.parallel || threads <= 1 || m < 2 * MR {
+        gemm_blocked_pa(
+            &pa.panels,
+            m,
+            k,
+            bop,
+            c,
+            0,
+            m,
+            n,
+            row_init,
+            variant.schedule,
+        );
         act.apply(c);
         return;
     }
@@ -654,7 +1148,18 @@ pub fn gemm_a_packed(
         let rows = chunk.min(m - i0);
         // Safety: row ranges [i0, i0 + rows) are disjoint across tasks.
         let c_rows = unsafe { shared_c.slice(i0 * n, rows * n) };
-        gemm_blocked_pa(pa, b, b_trans, c_rows, i0, rows, n, row_init);
+        gemm_blocked_pa(
+            &pa.panels,
+            m,
+            k,
+            bop,
+            c_rows,
+            i0,
+            rows,
+            n,
+            row_init,
+            variant.schedule,
+        );
         act.apply(c_rows);
     });
 }
@@ -693,15 +1198,18 @@ pub fn gemm_b_packed(
         act.apply(c);
         return;
     }
-    let mnk = m * n * k;
-    if mnk < SMALL_MNK {
-        gemm_naive(a, a_trans, &pb.raw, pb.trans, c, m, k, n, row_init, false);
-        act.apply(c);
-        return;
+    let variant = selector::select(Op::Gemm, Layout::from_trans(a_trans, pb.trans), m, k, n);
+    match variant.schedule {
+        Schedule::Direct => {
+            gemm_naive(a, a_trans, &pb.raw, pb.trans, c, m, k, n, row_init, false);
+            act.apply(c);
+            return;
+        }
+        Schedule::Blocked { .. } => {}
     }
     let threads = threadpool::num_threads();
-    if mnk < PARALLEL_MNK || threads <= 1 || m < 2 * MR {
-        gemm_blocked_pb(a, a_trans, pb, c, 0, m, m, row_init);
+    if !variant.parallel || threads <= 1 || m < 2 * MR {
+        gemm_blocked_pb(a, a_trans, pb, c, 0, m, m, row_init, variant.schedule);
         act.apply(c);
         return;
     }
@@ -713,39 +1221,57 @@ pub fn gemm_b_packed(
         let rows = chunk.min(m - i0);
         // Safety: row ranges [i0, i0 + rows) are disjoint across tasks.
         let c_rows = unsafe { shared_c.slice(i0 * n, rows * n) };
-        gemm_blocked_pb(a, a_trans, pb, c_rows, i0, rows, m, row_init);
+        gemm_blocked_pb(
+            a,
+            a_trans,
+            pb,
+            c_rows,
+            i0,
+            rows,
+            m,
+            row_init,
+            variant.schedule,
+        );
         act.apply(c_rows);
     });
 }
 
 /// [`gemm_blocked`] with A read from prepacked panels instead of repacking.
-/// `MC` is a multiple of `MR` and the parallel row split is `MR`-aligned, so
-/// `(i0 + ic) / MR` lands exactly on a sliver boundary and the existing
-/// [`macro_kernel`] indexing works unchanged on the slab tail.
+/// Every selectable `MC` is a multiple of `MR` and the parallel row split is
+/// `MR`-aligned, so `(i0 + ic) / MR` lands exactly on a sliver boundary and
+/// the existing [`macro_kernel`] indexing works unchanged on the slab tail.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked_pa(
-    pa: &PackedA,
-    b: &[f32],
-    b_trans: bool,
+    panels: &[f32],
+    m: usize,
+    k: usize,
+    bop: &BOperand,
     c: &mut [f32],
     i0: usize,
     mc_total: usize,
     n: usize,
     row_init: Option<&[f32]>,
+    schedule: Schedule,
 ) {
-    let (m, k) = (pa.m, pa.k);
+    let Schedule::Blocked {
+        mc: mc_blk,
+        nc: nc_blk,
+    } = schedule
+    else {
+        unreachable!("gemm_blocked_pa requires a blocked schedule")
+    };
     let mb = m.div_ceil(MR);
     let fma = use_fma_kernel();
-    with_scratch(&GEMM_PACK_B, KC * NC.div_ceil(NR) * NR, |bp| {
-        for jc in (0..n).step_by(NC) {
-            let nc = NC.min(n - jc);
+    with_scratch(&GEMM_PACK_B, KC * nc_blk.div_ceil(NR) * NR, |bp| {
+        for jc in (0..n).step_by(nc_blk) {
+            let nc = nc_blk.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
-                pack_b(bp, b, b_trans, k, n, pc, kc, jc, nc);
+                bop.pack_panel(bp, k, n, pc, kc, jc, nc);
                 let first = pc == 0;
-                let slab = &pa.panels[pc * mb * MR..];
-                for ic in (0..mc_total).step_by(MC) {
-                    let mc = MC.min(mc_total - ic);
+                let slab = &panels[pc * mb * MR..];
+                for ic in (0..mc_total).step_by(mc_blk) {
+                    let mc = mc_blk.min(mc_total - ic);
                     let ap = &slab[(i0 + ic) / MR * kc * MR..];
                     macro_kernel(
                         ap, bp, c, ic, mc, jc, nc, n, kc, i0, row_init, false, first, fma,
@@ -757,8 +1283,8 @@ fn gemm_blocked_pa(
 }
 
 /// [`gemm_blocked`] with B read from prepacked panels instead of repacking.
-/// `NC` is a multiple of `NR`, so `jc / NR` lands exactly on a sliver
-/// boundary within the k-panel's slab.
+/// Every selectable `NC` is a multiple of `NR`, so `jc / NR` lands exactly
+/// on a sliver boundary within the k-panel's slab.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked_pb(
     a: &[f32],
@@ -769,19 +1295,27 @@ fn gemm_blocked_pb(
     mc_total: usize,
     m: usize,
     row_init: Option<&[f32]>,
+    schedule: Schedule,
 ) {
+    let Schedule::Blocked {
+        mc: mc_blk,
+        nc: nc_blk,
+    } = schedule
+    else {
+        unreachable!("gemm_blocked_pb requires a blocked schedule")
+    };
     let (k, n) = (pb.k, pb.n);
     let nb = n.div_ceil(NR);
     let fma = use_fma_kernel();
-    with_scratch(&GEMM_PACK_A, KC * MC.div_ceil(MR) * MR, |ap| {
-        for jc in (0..n).step_by(NC) {
-            let nc = NC.min(n - jc);
+    with_scratch(&GEMM_PACK_A, KC * mc_blk.div_ceil(MR) * MR, |ap| {
+        for jc in (0..n).step_by(nc_blk) {
+            let nc = nc_blk.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
                 let bp = &pb.panels[pc * nb * NR + jc / NR * kc * NR..];
                 let first = pc == 0;
-                for ic in (0..mc_total).step_by(MC) {
-                    let mc = MC.min(mc_total - ic);
+                for ic in (0..mc_total).step_by(mc_blk) {
+                    let mc = mc_blk.min(mc_total - ic);
                     pack_a(ap, a, a_trans, m, k, i0 + ic, mc, pc, kc);
                     macro_kernel(
                         ap, bp, c, ic, mc, jc, nc, n, kc, i0, row_init, false, first, fma,
@@ -795,6 +1329,7 @@ fn gemm_blocked_pb(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::selector::with_autotune_off;
     use crate::threadpool::with_thread_cap;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -862,6 +1397,66 @@ mod tests {
     #[test]
     fn blocked_matches_naive_tt() {
         check_variant(true, true);
+    }
+
+    #[test]
+    fn all_blocked_schedules_are_bitwise_equal() {
+        // The autotuner's freedom rests on this: (MC, NC) and the parallel
+        // hint reorder tile traversal but never the per-element k-order, so
+        // every blocked schedule of a shape must produce identical bits.
+        let mut rng = StdRng::seed_from_u64(77);
+        for &(m, k, n) in &[(33usize, 65usize, 17usize), (65, 255, 63), (128, 128, 128)] {
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            let mut reference = vec![0.0f32; m * n];
+            run_gemm_variant(
+                Variant {
+                    schedule: Schedule::Blocked {
+                        mc: MC_STD,
+                        nc: NC_STD,
+                    },
+                    parallel: false,
+                },
+                &a,
+                false,
+                &b,
+                false,
+                &mut reference,
+                m,
+                k,
+                n,
+                None,
+                false,
+            );
+            for schedule in [
+                Schedule::Blocked { mc: 32, nc: 64 },
+                Schedule::Blocked { mc: 128, nc: 256 },
+                Schedule::Blocked { mc: 4, nc: 8 },
+            ] {
+                for parallel in [false, true] {
+                    let mut got = vec![0.0f32; m * n];
+                    run_gemm_variant(
+                        Variant { schedule, parallel },
+                        &a,
+                        false,
+                        &b,
+                        false,
+                        &mut got,
+                        m,
+                        k,
+                        n,
+                        None,
+                        false,
+                    );
+                    assert!(
+                        got.iter()
+                            .zip(&reference)
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "({m},{k},{n}) {schedule:?} par={parallel} diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -1078,6 +1673,139 @@ mod tests {
                     .all(|(x, y)| x.to_bits() == y.to_bits()),
                 "({m},{k},{n}) not bitwise equal across thread counts"
             );
+        }
+    }
+
+    /// Materializes the full im2col matrix through the virtual view, for
+    /// comparison against [`crate::conv::im2col`].
+    fn materialize(im: &Im2colRef) -> Vec<f32> {
+        let (k, n) = (im.rows(), im.cols());
+        let mut cols = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                cols[p * n + j] = im.at(p, j);
+            }
+        }
+        cols
+    }
+
+    #[test]
+    fn virtual_pack_matches_explicit_pack_bytes() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &(c_in, h, w, ks, stride, pad) in &[
+            (3usize, 9usize, 9usize, 3usize, 1usize, 1usize),
+            (2, 7, 6, 3, 2, 1),
+            (4, 8, 8, 5, 1, 2),
+            (1, 5, 5, 1, 1, 0),
+            (2, 6, 11, 3, 1, 0),
+            (3, 16, 16, 5, 2, 2),
+        ] {
+            let geom = ConvGeometry::square(ks, stride, pad);
+            let (ho, wo) = geom.output_hw(h, w);
+            let x = fill(c_in * h * w, &mut rng);
+            let im = Im2colRef {
+                x: &x,
+                c_in,
+                h,
+                w,
+                geom,
+                ho,
+                wo,
+            };
+            let (k, n) = (im.rows(), im.cols());
+            let cols = materialize(&im);
+            // Panel grid crossing KC and NR boundaries plus ragged tails.
+            for &(p0, kc) in &[(0usize, k.min(5)), (k / 2, k - k / 2), (0, k)] {
+                for &(j0, nc) in &[
+                    (0usize, n),
+                    (0, n.min(13)),
+                    (8.min(n - 1), n - 8.min(n - 1)),
+                ] {
+                    let len = kc * nc.div_ceil(NR) * NR;
+                    let mut virt = vec![7.0f32; len];
+                    let mut expl = vec![7.0f32; len];
+                    im.pack(&mut virt, p0, kc, j0, nc);
+                    pack_b(&mut expl, &cols, false, k, n, p0, kc, j0, nc);
+                    assert!(
+                        virt.iter()
+                            .zip(&expl)
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "c={c_in} h={h} w={w} k={ks} s={stride} p={pad} \
+                         panel p0={p0} kc={kc} j0={j0} nc={nc}: pack bytes diverge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_gemm_matches_explicit_bitwise() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for &(c_out, c_in, h, w, ks, stride, pad) in &[
+            (4usize, 3usize, 9usize, 9usize, 3usize, 1usize, 1usize),
+            (16, 16, 16, 16, 3, 1, 1),
+            (8, 4, 10, 10, 5, 2, 2),
+            (5, 2, 6, 6, 1, 1, 0),
+        ] {
+            let geom = ConvGeometry::square(ks, stride, pad);
+            let (ho, wo) = geom.output_hw(h, w);
+            let x = fill(c_in * h * w, &mut rng);
+            let ws = fill(c_out * c_in * ks * ks, &mut rng);
+            let bias = fill(c_out, &mut rng);
+            let im = Im2colRef {
+                x: &x,
+                c_in,
+                h,
+                w,
+                geom,
+                ho,
+                wo,
+            };
+            let (k, n) = (im.rows(), im.cols());
+            let cols = materialize(&im);
+            with_autotune_off(|| {
+                let mut implicit = vec![0.0f32; c_out * n];
+                gemm_conv_batch(&ws, &im, &x, &mut implicit, c_out, Some(&bias));
+                let mut explicit = vec![0.0f32; c_out * n];
+                gemm(
+                    &ws,
+                    false,
+                    &cols,
+                    false,
+                    &mut explicit,
+                    c_out,
+                    k,
+                    n,
+                    Some(&bias),
+                    false,
+                );
+                assert!(
+                    implicit
+                        .iter()
+                        .zip(&explicit)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "co={c_out} ci={c_in} k={ks} s={stride} p={pad}: implicit != explicit"
+                );
+                // Prepacked-weight implicit path, with a fused epilogue.
+                let pa = PackedA::pack(&ws, false, c_out, k);
+                let mut packed = vec![0.0f32; c_out * n];
+                gemm_conv_packed(
+                    &pa,
+                    &im,
+                    &mut packed,
+                    Some(&bias),
+                    Epilogue::Relu { alpha: 0.0 },
+                );
+                let mut reference = explicit.clone();
+                crate::eltwise::relu_decay_slice(&mut reference, 0.0);
+                assert!(
+                    packed
+                        .iter()
+                        .zip(&reference)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "co={c_out} ci={c_in} k={ks}: packed implicit != explicit + act"
+                );
+            });
         }
     }
 }

@@ -20,13 +20,20 @@
 //! Matrix multiplication uses a cache-blocked, packed GEMM ([`gemm`]): a
 //! 4x8 register-tile microkernel over `MC x KC` packed A blocks and
 //! `KC x NC` packed B strips, with transposed operands handled at pack time
-//! so `matmul`, `matmul_nt`, and `matmul_tn` share one kernel. Packing
-//! panels and the im2col / column-gradient matrices used by the convolution
-//! kernels live in **thread-local scratch buffers** that grow to a
-//! high-water mark and are reused, so steady-state training steps perform no
-//! kernel-side heap allocation beyond output tensors. The convolution bias
-//! is fused into the GEMM epilogue (outputs are initialized from the bias
-//! rather than zero).
+//! so `matmul`, `matmul_nt`, and `matmul_tn` share one kernel. Which
+//! schedule runs for a given shape — direct loops or the blocked kernel
+//! with a concrete `(MC, NC)` pair, serial or parallel — is chosen by the
+//! shape-keyed [`selector`], which can micro-benchmark candidates once and
+//! persist winners to a JSON cache (`NB_AUTOTUNE=on`; `NB_AUTOTUNE=off`
+//! pins the deterministic default). The convolution *forward* is an
+//! **implicit GEMM**: the packing loop reads the input image through a
+//! virtual im2col layout, so the `[c_in*kh*kw, ho*wo]` column matrix is
+//! never materialized — only the backward pass still lowers explicitly.
+//! Packing panels and the backward-path column matrices live in
+//! **thread-local scratch buffers** that grow to a high-water mark and are
+//! reused, so steady-state training steps perform no kernel-side heap
+//! allocation beyond output tensors. The convolution bias is fused into the
+//! GEMM epilogue (outputs are initialized from the bias rather than zero).
 //!
 //! Tensor storage is `Arc`-backed copy-on-write: `Tensor::clone` and
 //! `reshape` are O(1) buffer shares, and a shared buffer is copied only at
@@ -37,10 +44,13 @@
 //!
 //! **Determinism:** every GEMM output element is produced by exactly one
 //! thread with a fixed k-accumulation order, so matmul results are bitwise
-//! identical for any thread count. Convolution input gradients are
-//! per-sample and equally thread-count-invariant; the `dw`/`db` reductions
-//! sum per-chunk partials in a fixed chunk order, which is deterministic for
-//! a given pool width (run-to-run) but may round differently across widths.
+//! identical for any thread count — and for any blocked schedule the
+//! selector picks, since the k-panel depth `KC` is never tuned. Convolution
+//! input gradients are per-sample and equally thread-count-invariant, and
+//! depthwise `dw`/`db` are channel-owned (fully width-invariant); the dense
+//! conv `dw`/`db` reductions sum per-chunk partials in a fixed chunk order,
+//! which is deterministic for a given pool width (run-to-run) but may round
+//! differently across widths.
 //!
 //! ## Example
 //!
@@ -63,13 +73,15 @@ mod error;
 pub mod gemm;
 mod matmul;
 mod pool;
+pub mod selector;
 mod shape;
 mod tensor;
 pub mod threadpool;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_into, conv2d_packed_into, depthwise_conv2d,
-    depthwise_conv2d_backward, depthwise_conv2d_fused_into, depthwise_conv2d_into, im2col,
+    col2im, conv2d, conv2d_backward, conv2d_into, conv2d_into_explicit, conv2d_packed_into,
+    depthwise_conv2d, depthwise_conv2d_backward, depthwise_conv2d_fused_into,
+    depthwise_conv2d_into, im2col,
 };
 pub use eltwise::Epilogue;
 pub use error::TensorError;
@@ -79,6 +91,7 @@ pub use pool::{
     avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d,
     maxpool2d_backward,
 };
+pub use selector::{with_autotune_off, Schedule, Variant};
 pub use shape::{ConvGeometry, Shape};
 pub use tensor::Tensor;
 pub use threadpool::{num_threads, parallel_for, with_thread_cap};

@@ -1,0 +1,589 @@
+//! Shape-keyed GEMM variant selection with a persisted autotune cache.
+//!
+//! Every GEMM-shaped problem in the crate (matmul, the conv forward's
+//! implicit-im2col GEMM, the prepacked serving paths) asks this module which
+//! kernel variant to run, keyed on `(op, layout, m, k, n, threads)`. A
+//! variant is a *schedule*: either the no-pack direct loops, or the blocked
+//! packed kernel with a concrete `(MC, NC)` cache-block pair, plus a
+//! parallelize-or-not hint. `KC` is never part of the variant space — the
+//! k-panel depth fixes the floating-point accumulation order, and holding it
+//! constant is what keeps every schedule in a family bitwise-comparable (see
+//! "Determinism" below).
+//!
+//! ## Modes (`NB_AUTOTUNE`)
+//!
+//! - `off` — always return [`default_variant`], a pure function of the shape
+//!   that reproduces the crate's pre-autotune dispatch exactly. CI and
+//!   nb-verify pin this mode so reference runs are reproducible anywhere.
+//! - `on` — on a cache miss, micro-benchmark the candidate variants for that
+//!   key, remember the winner, and persist it to the JSON cache file.
+//! - unset — read-only: use the cache file if it has an entry for the key,
+//!   otherwise fall back to the deterministic default. Never benchmarks,
+//!   never writes.
+//!
+//! The cache lives at `$NB_AUTOTUNE_CACHE`, else `~/.cache/nb-autotune.json`
+//! (else the temp dir). Malformed files or entries are ignored, not errors:
+//! autotuning is a performance feature and must never change correctness.
+//!
+//! ## Determinism
+//!
+//! Selection is memoized per process, so a key resolves to one variant for
+//! the whole run even if the cache file changes underneath. The `threads`
+//! key component is the *pool width* ([`crate::threadpool`]), not the capped
+//! width, so `with_thread_cap` re-runs (the width-invariance tests) resolve
+//! identically. Within the blocked family, `(MC, NC)` and the parallel hint
+//! only reorder *which* output tiles are computed when — per-element
+//! accumulation order is fixed by `KC` — so every blocked variant of a shape
+//! produces identical bits; only `Direct` differs, exactly as the naive
+//! small-problem path always has.
+
+use crate::threadpool;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// Which kernel family a GEMM-shaped problem comes from. Conv keeps its own
+/// key namespace so tuning can specialize for the implicit-im2col operand
+/// (whose packing cost differs from a plain matrix), while both conv
+/// executors (direct and `CompiledPlan`) share one namespace and therefore
+/// always agree on a variant — a prerequisite for the plan/infer and
+/// implicit/explicit bitwise parity suites.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Plain matrix multiply (matmul variants, linear layers, conv backward).
+    Gemm,
+    /// The conv forward GEMM: `[c_out, c_in*kh*kw] x [c_in*kh*kw, ho*wo]`.
+    Conv,
+}
+
+impl Op {
+    fn tag(self) -> &'static str {
+        match self {
+            Op::Gemm => "gemm",
+            Op::Conv => "conv",
+        }
+    }
+}
+
+/// Operand storage layout: which of the two operands is read transposed.
+/// The pack routines specialize on this, so it is part of the key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Layout {
+    /// Both operands row-major.
+    NN,
+    /// Right operand stored transposed (`matmul_nt`, conv `dW`).
+    NT,
+    /// Left operand stored transposed (`matmul_tn`, conv `dX`).
+    TN,
+    /// Both operands stored transposed.
+    TT,
+}
+
+impl Layout {
+    pub(crate) fn from_trans(a_trans: bool, b_trans: bool) -> Self {
+        match (a_trans, b_trans) {
+            (false, false) => Layout::NN,
+            (false, true) => Layout::NT,
+            (true, false) => Layout::TN,
+            (true, true) => Layout::TT,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Layout::NN => "nn",
+            Layout::NT => "nt",
+            Layout::TN => "tn",
+            Layout::TT => "tt",
+        }
+    }
+}
+
+/// Cache-block schedule. `Direct` is the no-pack naive path (tiny problems
+/// and tiny-`k` shapes where packing traffic outweighs the blocked kernel);
+/// `Blocked` is the packed BLIS-style kernel with the given `(MC, NC)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Schedule {
+    /// No-pack naive loops.
+    Direct,
+    /// Packed BLIS-style kernel with the given cache-block geometry.
+    Blocked {
+        /// Rows of A per L2-resident block (multiple of `MR`).
+        mc: usize,
+        /// Columns of B per packed strip (multiple of `NR`).
+        nc: usize,
+    },
+}
+
+/// A fully resolved kernel choice for one shape key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Variant {
+    /// Which kernel schedule to run.
+    pub schedule: Schedule,
+    /// Row-split across the worker pool. A hint, not a bit contract: the
+    /// parallel split is `MR`-aligned and each chunk runs the full blocked
+    /// algorithm, so bits never depend on this flag.
+    pub parallel: bool,
+}
+
+impl Variant {
+    /// Canonical string form, used in the JSON cache and in bench metadata.
+    pub fn name(&self) -> String {
+        let mut s = match self.schedule {
+            Schedule::Direct => "direct".to_string(),
+            Schedule::Blocked { mc, nc } => format!("blocked:mc{mc}:nc{nc}"),
+        };
+        if self.parallel {
+            s.push_str(":par");
+        }
+        s
+    }
+
+    fn parse(s: &str) -> Option<Variant> {
+        let (body, parallel) = match s.strip_suffix(":par") {
+            Some(b) => (b, true),
+            None => (s, false),
+        };
+        if body == "direct" {
+            return Some(Variant {
+                schedule: Schedule::Direct,
+                parallel,
+            });
+        }
+        let rest = body.strip_prefix("blocked:mc")?;
+        let (mc_s, nc_s) = rest.split_once(":nc")?;
+        let (mc, nc) = (mc_s.parse().ok()?, nc_s.parse().ok()?);
+        // Reject geometry the packed kernel cannot run: MC must stay
+        // MR-aligned (prepacked A slabs are indexed by MR sliver) and NC
+        // NR-aligned (prepacked B slabs by NR sliver); the caps bound the
+        // pack scratch.
+        let ok = mc % crate::gemm::MR == 0
+            && nc % crate::gemm::NR == 0
+            && (crate::gemm::MR..=512).contains(&mc)
+            && (crate::gemm::NR..=512).contains(&nc);
+        ok.then_some(Variant {
+            schedule: Schedule::Blocked { mc, nc },
+            parallel,
+        })
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Full selector key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Key {
+    op: Op,
+    layout: Layout,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+}
+
+impl Key {
+    fn render(&self) -> String {
+        format!(
+            "{}:{}:{}x{}x{}:t{}",
+            self.op.tag(),
+            self.layout.tag(),
+            self.m,
+            self.k,
+            self.n,
+            self.threads
+        )
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Off,
+    ReadCache,
+    Tune,
+}
+
+fn mode() -> Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("NB_AUTOTUNE").as_deref() {
+        Ok("off") | Ok("0") => Mode::Off,
+        Ok("on") | Ok("1") => Mode::Tune,
+        _ => Mode::ReadCache,
+    })
+}
+
+thread_local! {
+    /// Depth of nested [`with_autotune_off`] scopes on this thread.
+    static FORCE_OFF: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Runs `f` with autotuning disabled on this thread: every selection inside
+/// resolves to [`default_variant`] regardless of `NB_AUTOTUNE` or cache
+/// contents. This is how nb-verify pins its reference executions.
+pub fn with_autotune_off<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_OFF.with(|c| c.set(c.get() + 1));
+    let result = f();
+    FORCE_OFF.with(|c| c.set(c.get() - 1));
+    result
+}
+
+/// The deterministic fallback: a pure function of the shape reproducing the
+/// crate's fixed pre-autotune dispatch (naive under the small-problem cutoff,
+/// the standard `MC=64 / NC=256` blocked schedule above it, parallel once the
+/// problem clears the pool-dispatch threshold).
+pub fn default_variant(m: usize, k: usize, n: usize) -> Variant {
+    let mnk = m * n * k;
+    if mnk < crate::gemm::SMALL_MNK {
+        Variant {
+            schedule: Schedule::Direct,
+            parallel: false,
+        }
+    } else {
+        Variant {
+            schedule: Schedule::Blocked {
+                mc: crate::gemm::MC_STD,
+                nc: crate::gemm::NC_STD,
+            },
+            parallel: mnk >= crate::gemm::PARALLEL_MNK,
+        }
+    }
+}
+
+/// Picks the kernel variant for one GEMM-shaped problem. Degenerate shapes
+/// (`m`, `n`, or `k` of zero) never reach selection — callers handle them
+/// before dispatch.
+pub fn select(op: Op, layout: Layout, m: usize, k: usize, n: usize) -> Variant {
+    if FORCE_OFF.with(|c| c.get()) > 0 || mode() == Mode::Off {
+        return default_variant(m, k, n);
+    }
+    let key = Key {
+        op,
+        layout,
+        m,
+        k,
+        n,
+        threads: threadpool::pool_width(),
+    };
+    let memo = memo().lock().unwrap_or_else(|e| e.into_inner());
+    let mut memo = memo;
+    if let Some(v) = memo.get(&key) {
+        return *v;
+    }
+    let v = match mode() {
+        Mode::Off => unreachable!("handled above"),
+        Mode::ReadCache => cache_lookup(&key).unwrap_or_else(|| default_variant(m, k, n)),
+        Mode::Tune => cache_lookup(&key).unwrap_or_else(|| {
+            let winner = tune(&key);
+            persist(&key, winner, &memo);
+            winner
+        }),
+    };
+    memo.insert(key, v);
+    v
+}
+
+/// Variant name the selector would use for this problem right now — what
+/// `bench_kernels` records as per-shape metadata.
+pub fn describe(op: Op, a_trans: bool, b_trans: bool, m: usize, k: usize, n: usize) -> String {
+    select(op, Layout::from_trans(a_trans, b_trans), m, k, n).name()
+}
+
+fn memo() -> &'static Mutex<HashMap<Key, Variant>> {
+    static MEMO: OnceLock<Mutex<HashMap<Key, Variant>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+// ---------------------------------------------------------------------------
+// Persisted cache
+// ---------------------------------------------------------------------------
+
+/// Resolved cache file path: `$NB_AUTOTUNE_CACHE`, `~/.cache/nb-autotune.json`,
+/// or `<tmp>/nb-autotune.json`.
+pub fn cache_path() -> PathBuf {
+    if let Ok(p) = std::env::var("NB_AUTOTUNE_CACHE") {
+        if !p.is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    match std::env::var("HOME") {
+        Ok(home) if !home.is_empty() => PathBuf::from(home).join(".cache/nb-autotune.json"),
+        _ => std::env::temp_dir().join("nb-autotune.json"),
+    }
+}
+
+fn cache_file() -> &'static HashMap<String, Variant> {
+    static CACHE: OnceLock<HashMap<String, Variant>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        std::fs::read_to_string(cache_path())
+            .ok()
+            .map(|text| parse_cache(&text))
+            .unwrap_or_default()
+    })
+}
+
+fn cache_lookup(key: &Key) -> Option<Variant> {
+    cache_file().get(&key.render()).copied()
+}
+
+/// Extracts `"key": "variant"` string pairs from the cache JSON. Scanning
+/// instead of full JSON parsing: keys and variant names never contain escapes
+/// or nested quotes, and any pair that fails [`Variant::parse`] is dropped.
+fn parse_cache(text: &str) -> HashMap<String, Variant> {
+    let mut out = HashMap::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else { break };
+        let first = &after[..end];
+        let mut tail = after[end + 1..].trim_start();
+        if let Some(t) = tail.strip_prefix(':') {
+            tail = t.trim_start();
+            if let Some(t) = tail.strip_prefix('"') {
+                if let Some(vend) = t.find('"') {
+                    if let Some(v) = Variant::parse(&t[..vend]) {
+                        out.insert(first.to_string(), v);
+                    }
+                    rest = &t[vend + 1..];
+                    continue;
+                }
+            }
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Writes the merged cache (file contents + this process's tuned winners +
+/// the new entry) back to the cache file. Failures are swallowed: the winner
+/// is already memoized for this process.
+fn persist(key: &Key, winner: Variant, memo: &HashMap<Key, Variant>) {
+    let mut entries: Vec<(String, Variant)> =
+        cache_file().iter().map(|(k, v)| (k.clone(), *v)).collect();
+    for (k, v) in memo {
+        entries.push((k.render(), *v));
+    }
+    entries.push((key.render(), winner));
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries.dedup_by(|a, b| a.0 == b.0);
+    let mut json = String::from("{\n  \"version\": 1,\n  \"entries\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{}\": \"{}\"{}\n", k, v.name(), sep));
+    }
+    json.push_str("  }\n}\n");
+    let path = cache_path();
+    let _ = (|| -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    })();
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmark autotuner
+// ---------------------------------------------------------------------------
+
+/// Candidate variants for a key: the deterministic default, the no-pack
+/// direct path where packing could plausibly lose (tiny `k` or a small
+/// problem), the small-shape blocked schedule for the ≤64 dimensions tiny
+/// models live in, and a wide-`MC` schedule for larger problems — each with
+/// a parallel twin when the pool is wider than one thread.
+fn candidates(key: &Key) -> Vec<Variant> {
+    let (m, k, n) = (key.m, key.k, key.n);
+    let mnk = m * n * k;
+    let mut scheds = vec![Schedule::Blocked {
+        mc: crate::gemm::MC_STD,
+        nc: crate::gemm::NC_STD,
+    }];
+    // Small-shape schedule: both blocks resident in L1 for the ≤64 sizes.
+    scheds.push(Schedule::Blocked { mc: 32, nc: 64 });
+    if m > crate::gemm::MC_STD {
+        scheds.push(Schedule::Blocked { mc: 128, nc: 256 });
+    }
+    if k <= 8 || mnk <= 2 * crate::gemm::SMALL_MNK {
+        scheds.push(Schedule::Direct);
+    }
+    let mut out = Vec::with_capacity(scheds.len() * 2);
+    for sched in scheds {
+        out.push(Variant {
+            schedule: sched,
+            parallel: false,
+        });
+        if key.threads > 1 && m >= 2 * crate::gemm::MR && mnk >= 1 << 15 {
+            out.push(Variant {
+                schedule: sched,
+                parallel: true,
+            });
+        }
+    }
+    out
+}
+
+/// Times each candidate on synthetic operands of the key's shape and returns
+/// the fastest (deterministic tie-break: first winner in candidate order).
+fn tune(key: &Key) -> Variant {
+    let (m, k, n) = (key.m, key.k, key.n);
+    let (a_trans, b_trans) = match key.layout {
+        Layout::NN => (false, false),
+        Layout::NT => (false, true),
+        Layout::TN => (true, false),
+        Layout::TT => (true, true),
+    };
+    // Deterministic pseudo-random fill; the values only need to defeat
+    // trivial constant-folding, not model real data.
+    let fill = |len: usize, salt: u64| -> Vec<f32> {
+        let mut state = salt | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    };
+    let a = fill(m * k, 0x9e3779b9);
+    let b = fill(k * n, 0x7f4a7c15);
+    let mut c = vec![0.0f32; m * n];
+    let cands = candidates(key);
+    // Budget: enough repetitions to get past timer noise on small shapes,
+    // bounded so a cold cache warms in well under a second per key.
+    let flops = (2 * m * n * k).max(1) as u64;
+    let reps = (2_000_000 / flops).clamp(2, 64) as usize;
+    let mut best = (u128::MAX, cands[0]);
+    for &cand in &cands {
+        // Warm the instruction path and scratch buffers once, untimed.
+        crate::gemm::run_gemm_variant(cand, &a, a_trans, &b, b_trans, &mut c, m, k, n, None, false);
+        let mut elapsed = u128::MAX;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                crate::gemm::run_gemm_variant(
+                    cand, &a, a_trans, &b, b_trans, &mut c, m, k, n, None, false,
+                );
+            }
+            elapsed = elapsed.min(t0.elapsed().as_nanos());
+        }
+        if elapsed < best.0 {
+            best = (elapsed, cand);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_variant_mirrors_legacy_dispatch() {
+        // Below the small cutoff: direct.
+        let v = default_variant(8, 8, 8);
+        assert_eq!(v.schedule, Schedule::Direct);
+        assert!(!v.parallel);
+        // Mid-size: standard blocked, serial.
+        let v = default_variant(64, 64, 16);
+        assert_eq!(
+            v.schedule,
+            Schedule::Blocked {
+                mc: crate::gemm::MC_STD,
+                nc: crate::gemm::NC_STD
+            }
+        );
+        assert!(!v.parallel);
+        // Large: standard blocked, parallel.
+        let v = default_variant(128, 128, 128);
+        assert!(v.parallel);
+    }
+
+    #[test]
+    fn variant_name_roundtrips() {
+        for v in [
+            Variant {
+                schedule: Schedule::Direct,
+                parallel: false,
+            },
+            Variant {
+                schedule: Schedule::Direct,
+                parallel: true,
+            },
+            Variant {
+                schedule: Schedule::Blocked { mc: 64, nc: 256 },
+                parallel: false,
+            },
+            Variant {
+                schedule: Schedule::Blocked { mc: 32, nc: 64 },
+                parallel: true,
+            },
+        ] {
+            assert_eq!(Variant::parse(&v.name()), Some(v), "{}", v.name());
+        }
+        // Invalid geometry is rejected, not trusted.
+        assert_eq!(Variant::parse("blocked:mc3:nc256"), None);
+        assert_eq!(Variant::parse("blocked:mc64:nc12"), None);
+        assert_eq!(Variant::parse("blocked:mc4096:nc256"), None);
+        assert_eq!(Variant::parse("banana"), None);
+    }
+
+    #[test]
+    fn cache_parser_extracts_valid_pairs() {
+        let text = r#"{
+  "version": 1,
+  "entries": {
+    "gemm:nn:64x64x64:t2": "blocked:mc32:nc64",
+    "conv:nn:16x144x576:t2": "blocked:mc64:nc256:par",
+    "gemm:nn:8x8x8:t2": "direct",
+    "gemm:nn:1x1x1:t2": "blocked:mc5:nc7"
+  }
+}"#;
+        let map = parse_cache(text);
+        assert_eq!(map.len(), 3, "invalid geometry entry must be dropped");
+        assert_eq!(
+            map["gemm:nn:64x64x64:t2"],
+            Variant {
+                schedule: Schedule::Blocked { mc: 32, nc: 64 },
+                parallel: false
+            }
+        );
+        assert_eq!(
+            map["conv:nn:16x144x576:t2"],
+            Variant {
+                schedule: Schedule::Blocked { mc: 64, nc: 256 },
+                parallel: true
+            }
+        );
+        assert_eq!(
+            map["gemm:nn:8x8x8:t2"],
+            Variant {
+                schedule: Schedule::Direct,
+                parallel: false
+            }
+        );
+    }
+
+    #[test]
+    fn forced_off_overrides_everything() {
+        with_autotune_off(|| {
+            let v = select(Op::Gemm, Layout::NN, 128, 128, 128);
+            assert_eq!(v, default_variant(128, 128, 128));
+        });
+    }
+
+    #[test]
+    fn selection_is_memoized_and_stable() {
+        let a = select(Op::Conv, Layout::NN, 16, 144, 576);
+        for _ in 0..4 {
+            assert_eq!(a, select(Op::Conv, Layout::NN, 16, 144, 576));
+        }
+    }
+}

@@ -154,6 +154,18 @@ fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
     }
 }
 
+/// Full pool width (workers plus the participating caller), ignoring any
+/// active [`with_thread_cap`].
+///
+/// This is the `threads` component of autotune selector keys: it is constant
+/// for the life of the process, so a capped re-run (how the test suite checks
+/// width invariance) still resolves to the same kernel variant and therefore
+/// the same bits. Use [`num_threads`] for deciding how much parallelism to
+/// actually spend.
+pub(crate) fn pool_width() -> usize {
+    pool().workers + 1
+}
+
 /// The number of threads data-parallel kernels may use, including the caller.
 ///
 /// Honors the `NB_NUM_THREADS` override and any active [`with_thread_cap`].
@@ -285,7 +297,11 @@ thread_local! {
     pub(crate) static GEMM_PACK_A: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
     /// Packed B panels for the blocked GEMM.
     pub(crate) static GEMM_PACK_B: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
-    /// im2col column matrix for conv kernels.
+    /// Materialized im2col column matrix. The conv *forward* path no longer
+    /// uses this — it reads the input through a virtual im2col view inside
+    /// GEMM packing — so it only backs the backward pass (which reads the
+    /// column matrix twice) and the explicit forward twin kept for the
+    /// differential verification suites.
     pub(crate) static CONV_COLS: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
     /// Column-gradient matrix for conv backward.
     pub(crate) static CONV_DCOLS: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };

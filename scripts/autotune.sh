@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Warms the shape-keyed autotune cache, then re-times the kernels with the
+# tuned schedules.
+#
+# Pass 1 runs bench_kernels with NB_AUTOTUNE=on: every GEMM shape the
+# kernels hit micro-benchmarks its candidate schedules once and persists
+# the winners to the JSON cache ($NB_AUTOTUNE_CACHE, falling back to
+# ~/.cache/nb-autotune.json). Pass 2 re-runs with the cache in read-only
+# mode, so the recorded numbers reflect tuned steady-state rather than
+# tuning overhead. The report lands next to the default one so the two can
+# be diffed against BENCH_kernels.json.
+#
+# Every blocked schedule of a shape produces bitwise-identical results (the
+# k-panel depth is never tuned), so tuning only ever changes speed — CI
+# still runs with NB_AUTOTUNE=off (see scripts/ci.sh).
+#
+# Usage: scripts/autotune.sh [output.json]   (default BENCH_kernels_tuned.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_kernels_tuned.json}"
+cache="${NB_AUTOTUNE_CACHE:-$HOME/.cache/nb-autotune.json}"
+
+echo "== pass 1: tuning (NB_AUTOTUNE=on, cache: $cache) =="
+NB_AUTOTUNE=on NB_AUTOTUNE_CACHE="$cache" \
+    cargo run --release -q -p nb-bench --bin bench_kernels -- --no-gate "$out" >/dev/null
+
+echo "== pass 2: timing with the warmed cache =="
+NB_AUTOTUNE_CACHE="$cache" \
+    cargo run --release -q -p nb-bench --bin bench_kernels -- --no-gate "$out"
+
+echo "tuned report: $out (cache: $cache)"

@@ -163,7 +163,7 @@ fn decay_endpoints_all_kinds() {
         let alpha = step as f32 / 10.0;
         let v = g.relu_decay(x, alpha);
         let y = g.value(v).as_slice()[0]; // x = -5
-        assert!(y <= 0.0 && y >= -5.0);
+        assert!((-5.0..=0.0).contains(&y));
         assert!(y <= prev + 1e-6 || prev == f32::NEG_INFINITY);
         prev = y;
     }

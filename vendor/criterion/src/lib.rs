@@ -1,0 +1,212 @@
+//! Offline in-tree stand-in for the subset of the `criterion` 0.5 API
+//! this workspace uses: `Criterion`, `benchmark_group`, chainable group
+//! configuration, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros (benches are built with `harness = false`).
+//!
+//! Measurement is a deliberately simple warm-up + median-of-samples
+//! wall-clock harness: good enough for the `cargo bench` entry points,
+//! while the checked-in numbers come from the dedicated `bench_kernels`
+//! binary with its own harness.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker for wall-clock measurement (the only one supported).
+    pub struct WallTime;
+}
+
+#[derive(Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, warm-up first, then `samples` timed runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        // Calibrate iterations-per-sample so one sample is >= ~50us.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement / self.samples.max(1) as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as usize;
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.recorded.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` value per invocation. Setup
+    /// time is included in the measurement (the real criterion excludes
+    /// it; this stub keeps the harness simple — setups in this repo are
+    /// cheap clones).
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter(|| routine(setup()));
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.recorded.is_empty() {
+            return None;
+        }
+        let mut v = self.recorded.clone();
+        v.sort_unstable();
+        Some(v[v.len() / 2])
+    }
+}
+
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.render(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            recorded: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut line = format!("{}/{}", self.name, id);
+        match bencher.median() {
+            Some(median) => {
+                let _ = write!(line, "  time: {:>12} ns", median.as_nanos());
+            }
+            None => line.push_str("  (no samples recorded)"),
+        }
+        println!("{line}");
+        self.criterion.completed += 1;
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {
+        println!("benchmarks complete: {} benchmark(s) run", self.completed);
+    }
+}
+
+/// Re-export so call sites may use `criterion::black_box` interchangeably
+/// with `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,76 @@
+//! Offline in-tree stand-in for the subset of the `crossbeam` API this
+//! workspace uses: `crossbeam::thread::scope` with crossbeam's calling
+//! convention (spawn closures receive a `&Scope` argument; the scope
+//! call returns `Result` instead of panicking on worker panic).
+//!
+//! Backed by `std::thread::scope`.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Mirror of `crossbeam::thread::Scope`; wraps the std scope so
+    /// spawned threads may borrow from the caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned on it are
+    /// joined before this returns. Returns `Err` with the panic payload
+    /// if any unjoined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1usize, 2, 3, 4];
+        let sums = std::sync::Mutex::new(0usize);
+        crate::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let sums = &sums;
+                scope.spawn(move |_| {
+                    *sums.lock().unwrap() += chunk.iter().sum::<usize>();
+                });
+            }
+        })
+        .expect("worker panicked");
+        assert_eq!(*sums.lock().unwrap(), 10);
+    }
+
+    #[test]
+    fn scope_reports_worker_panic() {
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
