@@ -36,10 +36,21 @@
 //! folded plan is exact in infinite precision and ULP-bounded in f32 (the
 //! parity suite in `nb-verify` checks both regimes).
 //!
+//! A compiled plan is **immutable after compile** (`Send + Sync`): every
+//! replay borrows the plan shared (`&self`) and keeps its mutable state —
+//! activation values, arena buffers, batch size, replay cursor — in a
+//! caller-owned [`PlanArena`]. That is what lets a multi-tenant server wrap
+//! one plan in an `Arc` and replay it concurrently from many worker
+//! threads, each with its own arena. [`CompiledPlan::run`] is the one-shot
+//! entry point (fresh arena per call); steady-state loops should hold a
+//! [`PlanArena`] from [`CompiledPlan::new_arena`] and call
+//! [`CompiledPlan::run_in`] so no activation allocation happens per batch.
+//!
 //! A plan replays only the module it was compiled from: the [`Forward`]
-//! implementation walks the recorded op sequence with a cursor and
-//! debug-asserts each call against the recorded kind. Use [`CompiledPlan::run`]
-//! for the common whole-model case.
+//! implementation ([`PlanReplay`], from [`CompiledPlan::replayer`]) walks
+//! the recorded op sequence with a cursor and debug-asserts each call
+//! against the recorded kind. Use [`CompiledPlan::run`] for the common
+//! whole-model case.
 //!
 //! [`peak_bytes`]: CompiledPlan::peak_bytes
 
@@ -548,8 +559,14 @@ struct Action {
 ///
 /// Build with [`CompiledPlan::compile`] (folding on) or
 /// [`CompiledPlan::compile_with`], then call [`CompiledPlan::run`] per
-/// batch. The batch size may differ from the probe batch (arena buffers
-/// scale linearly); per-sample dims must match.
+/// batch — or hold a [`PlanArena`] and call [`CompiledPlan::run_in`] to
+/// keep steady-state replay allocation-free. The batch size may differ
+/// from the probe batch (arena buffers scale linearly); per-sample dims
+/// must match.
+///
+/// The plan itself is immutable after compile and `Send + Sync`: share it
+/// behind an `Arc` and replay it concurrently, one arena per thread or
+/// request.
 pub struct CompiledPlan {
     actions: Vec<Action>,
     /// Per recorded op: expected kind, action to execute (None when the op
@@ -557,8 +574,8 @@ pub struct CompiledPlan {
     rec_meta: Vec<(RecKind, Option<usize>, usize)>,
     in_dims: Vec<usize>,
     final_out: usize,
-    values: Vec<Option<Tensor>>,
-    homes: Vec<Vec<f32>>,
+    /// Number of canonical value slots an arena must provide.
+    nvals: usize,
     val_home: Vec<Option<usize>>,
     /// Per-sample f32 counts of every arena home, fixed at compile time.
     home_units: Vec<usize>,
@@ -566,8 +583,37 @@ pub struct CompiledPlan {
     /// (same accounting as `InferCtx::peak_bytes`).
     peak_units: usize,
     packed_bytes: usize,
+}
+
+/// Per-request replay state for a [`CompiledPlan`]: the live activation
+/// values, the recycled arena buffers, the bound batch size, and the
+/// replay cursor.
+///
+/// Arenas are cheap to create ([`CompiledPlan::new_arena`]) and grow their
+/// buffers lazily on first replay; reusing one across runs keeps
+/// steady-state inference allocation-free. An arena is tied to the plan
+/// (or an identically compiled plan) that created it — [`CompiledPlan::run_in`]
+/// panics on a structural mismatch.
+pub struct PlanArena {
+    values: Vec<Option<Tensor>>,
+    homes: Vec<Vec<f32>>,
     last_batch: usize,
     cursor: usize,
+}
+
+impl PlanArena {
+    /// Bytes currently resident in the arena's recycled buffers and live
+    /// values (what reusing this arena keeps allocated between runs).
+    pub fn resident_bytes(&self) -> usize {
+        let homes: usize = self.homes.iter().map(|h| h.len()).sum();
+        let vals: usize = self
+            .values
+            .iter()
+            .flatten()
+            .map(|t| t.as_slice().len())
+            .sum();
+        (homes + vals) * std::mem::size_of::<f32>()
+    }
 }
 
 impl CompiledPlan {
@@ -600,31 +646,78 @@ impl CompiledPlan {
         build(rec, y.index(), dims.to_vec(), opts)
     }
 
-    /// Runs the compiled graph over one batch, returning the final value.
+    /// Creates a replay arena sized for this plan. Buffers grow lazily on
+    /// first use; reuse one arena across runs ([`CompiledPlan::run_in`]) to
+    /// keep steady-state replay allocation-free.
+    pub fn new_arena(&self) -> PlanArena {
+        PlanArena {
+            values: vec![None; self.nvals],
+            homes: self.home_units.iter().map(|_| Vec::new()).collect(),
+            last_batch: self.in_dims[0],
+            cursor: 0,
+        }
+    }
+
+    /// Runs the compiled graph over one batch with a one-shot arena,
+    /// returning the final value.
     ///
     /// # Panics
     ///
     /// Panics if `x`'s per-sample dims differ from the compiled shape.
-    pub fn run(&mut self, x: &Tensor) -> Tensor {
-        let v = Forward::input(self, x.clone());
+    pub fn run(&self, x: &Tensor) -> Tensor {
+        let mut arena = self.new_arena();
+        self.run_in(&mut arena, x)
+    }
+
+    /// Runs the compiled graph over one batch, recycling `arena`'s buffers
+    /// (the steady-state serving path: no activation allocation once the
+    /// arena is warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s per-sample dims differ from the compiled shape, or
+    /// if `arena` was created by a structurally different plan.
+    pub fn run_in(&self, arena: &mut PlanArena, x: &Tensor) -> Tensor {
+        let v = self.bind(arena, x.clone());
         debug_assert_eq!(v.index(), 0);
         for ai in 0..self.actions.len() {
-            self.exec(ai);
+            self.exec(arena, ai);
         }
-        Forward::take(self, Value::from_index(self.final_out))
+        self.take_value(arena, Value::from_index(self.final_out))
     }
 
-    /// Deterministic peak of live activation bytes for the most recent (or
-    /// probe) batch — the compile-time liveness high-water mark, directly
-    /// comparable to [`crate::InferCtx::peak_bytes`].
+    /// Wraps this plan and a fresh arena into a [`Forward`] executor that
+    /// replays the recorded op sequence call-by-call (for callers that walk
+    /// `Module::forward` themselves instead of using [`CompiledPlan::run`]).
+    pub fn replayer(&self) -> PlanReplay<'_> {
+        PlanReplay {
+            plan: self,
+            arena: self.new_arena(),
+        }
+    }
+
+    /// Deterministic peak of live activation bytes at the probe batch — the
+    /// compile-time liveness high-water mark, directly comparable to
+    /// [`crate::InferCtx::peak_bytes`] at the same batch.
     pub fn peak_bytes(&self) -> usize {
-        self.peak_units * self.last_batch * std::mem::size_of::<f32>()
+        self.peak_bytes_at(self.in_dims[0])
     }
 
-    /// Total arena footprint in bytes for the most recent (or probe) batch:
-    /// what the plan actually keeps resident between runs.
+    /// [`CompiledPlan::peak_bytes`] scaled to an arbitrary run batch (the
+    /// liveness peak is linear in the batch).
+    pub fn peak_bytes_at(&self, batch: usize) -> usize {
+        self.peak_units * batch * std::mem::size_of::<f32>()
+    }
+
+    /// Total arena footprint in bytes at the probe batch: what a warm
+    /// [`PlanArena`] for this plan keeps resident between runs.
     pub fn arena_bytes(&self) -> usize {
-        self.home_units.iter().sum::<usize>() * self.last_batch * std::mem::size_of::<f32>()
+        self.arena_bytes_at(self.in_dims[0])
+    }
+
+    /// [`CompiledPlan::arena_bytes`] scaled to an arbitrary run batch.
+    pub fn arena_bytes_at(&self, batch: usize) -> usize {
+        self.home_units.iter().sum::<usize>() * batch * std::mem::size_of::<f32>()
     }
 
     /// Bytes held by prepacked weight panels (including retained raw
@@ -638,16 +731,66 @@ impl CompiledPlan {
         self.actions.len()
     }
 
-    /// Executes action `ai` against the current values/arena state.
-    fn exec(&mut self, ai: usize) {
+    /// Binds the run input into `arena`, reclaiming the previous run's
+    /// buffers first.
+    fn bind(&self, arena: &mut PlanArena, t: Tensor) -> Value {
+        assert_eq!(
+            t.dims().len(),
+            self.in_dims.len(),
+            "CompiledPlan input rank"
+        );
+        assert_eq!(
+            &t.dims()[1..],
+            &self.in_dims[1..],
+            "CompiledPlan input per-sample shape"
+        );
+        assert_eq!(
+            arena.values.len(),
+            self.nvals,
+            "PlanArena belongs to a structurally different plan"
+        );
+        assert_eq!(
+            arena.homes.len(),
+            self.home_units.len(),
+            "PlanArena belongs to a structurally different plan"
+        );
+        arena.last_batch = t.dims()[0];
+        arena.cursor = 0;
+        // Reclaim last run's buffers into the arena before rebinding.
+        let PlanArena { values, homes, .. } = arena;
+        for (id, slot) in values.iter_mut().enumerate() {
+            if let Some(t) = slot.take() {
+                if let Some(h) = self.val_home[id] {
+                    if !t.is_shared() {
+                        homes[h] = t.into_vec();
+                    }
+                }
+            }
+        }
+        arena.values[0] = Some(t);
+        Value::from_index(0)
+    }
+
+    /// Deep-copies a live value out of `arena` (the arena keeps its buffer;
+    /// final outputs are small relative to the activations saved).
+    fn take_value(&self, arena: &PlanArena, v: Value) -> Tensor {
+        let t = arena.values[v.index()]
+            .as_ref()
+            .expect("value not live in compiled plan");
+        Tensor::from_vec(t.as_slice().to_vec(), t.dims().to_vec()).expect("take copy")
+    }
+
+    /// Executes action `ai` against `arena`'s values/buffer state.
+    fn exec(&self, arena: &mut PlanArena, ai: usize) {
         let Self {
-            actions,
+            actions, val_home, ..
+        } = self;
+        let PlanArena {
             values,
             homes,
-            val_home,
             last_batch,
             ..
-        } = self;
+        } = arena;
         let a = &actions[ai];
         let mut dims = a.out_dims.clone();
         dims[0] = *last_batch;
@@ -753,16 +896,16 @@ impl CompiledPlan {
 
     /// Replays one recorded op: executes its action (if any) and returns
     /// the canonical output handle.
-    fn replay(&mut self, kind: RecKind) -> Value {
-        let i = self.cursor;
-        self.cursor += 1;
+    fn replay(&self, arena: &mut PlanArena, kind: RecKind) -> Value {
+        let i = arena.cursor;
+        arena.cursor += 1;
         let (rec_kind, action, out) = self.rec_meta[i];
         debug_assert_eq!(
             rec_kind, kind,
             "CompiledPlan replayed against a different forward than it was compiled from"
         );
         if let Some(ai) = action {
-            self.exec(ai);
+            self.exec(arena, ai);
         }
         Value::from_index(out)
     }
@@ -784,46 +927,28 @@ fn apply_inplace(kernel: &Kernel, t: &mut Tensor, values: &[Option<Tensor>]) {
     }
 }
 
-impl Forward for CompiledPlan {
+/// [`Forward`] adapter over a shared [`CompiledPlan`] and an owned
+/// [`PlanArena`]: replays the recorded op sequence call-by-call.
+///
+/// Built by [`CompiledPlan::replayer`]. Multiple replayers over one plan
+/// may run concurrently — the plan is borrowed shared; all mutation lands
+/// in this replayer's arena.
+pub struct PlanReplay<'p> {
+    plan: &'p CompiledPlan,
+    arena: PlanArena,
+}
+
+impl Forward for PlanReplay<'_> {
     fn training(&self) -> bool {
         false
     }
 
     fn input(&mut self, t: Tensor) -> Value {
-        assert_eq!(
-            t.dims().len(),
-            self.in_dims.len(),
-            "CompiledPlan input rank"
-        );
-        assert_eq!(
-            &t.dims()[1..],
-            &self.in_dims[1..],
-            "CompiledPlan input per-sample shape"
-        );
-        self.last_batch = t.dims()[0];
-        self.cursor = 0;
-        // Reclaim last run's buffers into the arena before rebinding.
-        let Self {
-            values,
-            homes,
-            val_home,
-            ..
-        } = self;
-        for (id, slot) in values.iter_mut().enumerate() {
-            if let Some(t) = slot.take() {
-                if let Some(h) = val_home[id] {
-                    if !t.is_shared() {
-                        homes[h] = t.into_vec();
-                    }
-                }
-            }
-        }
-        self.values[0] = Some(t);
-        Value::from_index(0)
+        self.plan.bind(&mut self.arena, t)
     }
 
     fn value(&self, v: Value) -> &Tensor {
-        self.values[v.index()]
+        self.arena.values[v.index()]
             .as_ref()
             .expect("value not live in compiled plan")
     }
@@ -831,10 +956,7 @@ impl Forward for CompiledPlan {
     fn take(&mut self, v: Value) -> Tensor {
         // Deep copy so the arena keeps its buffer; final outputs are small
         // (logits / detection grids) relative to the activations saved.
-        let t = self.values[v.index()]
-            .as_ref()
-            .expect("value not live in compiled plan");
-        Tensor::from_vec(t.as_slice().to_vec(), t.dims().to_vec()).expect("take copy")
+        self.plan.take_value(&self.arena, v)
     }
 
     fn retain(&mut self, _v: Value) {}
@@ -846,7 +968,7 @@ impl Forward for CompiledPlan {
         _b: Option<&Parameter>,
         _geom: ConvGeometry,
     ) -> Value {
-        self.replay(RecKind::Conv)
+        self.plan.replay(&mut self.arena, RecKind::Conv)
     }
 
     fn conv2d_sliced(
@@ -857,7 +979,7 @@ impl Forward for CompiledPlan {
         _in_c: usize,
         _geom: ConvGeometry,
     ) -> Value {
-        self.replay(RecKind::Conv)
+        self.plan.replay(&mut self.arena, RecKind::Conv)
     }
 
     fn depthwise_conv2d(
@@ -867,7 +989,7 @@ impl Forward for CompiledPlan {
         _b: Option<&Parameter>,
         _geom: ConvGeometry,
     ) -> Value {
-        self.replay(RecKind::Depthwise)
+        self.plan.replay(&mut self.arena, RecKind::Depthwise)
     }
 
     fn depthwise_conv2d_sliced(
@@ -877,11 +999,11 @@ impl Forward for CompiledPlan {
         _channels: usize,
         _geom: ConvGeometry,
     ) -> Value {
-        self.replay(RecKind::Depthwise)
+        self.plan.replay(&mut self.arena, RecKind::Depthwise)
     }
 
     fn linear(&mut self, _x: Value, _w: &Parameter, _b: Option<&Parameter>) -> Value {
-        self.replay(RecKind::Linear)
+        self.plan.replay(&mut self.arena, RecKind::Linear)
     }
 
     fn linear_sliced(
@@ -891,39 +1013,39 @@ impl Forward for CompiledPlan {
         _b: Option<&Parameter>,
         _in_features: usize,
     ) -> Value {
-        self.replay(RecKind::Linear)
+        self.plan.replay(&mut self.arena, RecKind::Linear)
     }
 
     fn batch_norm(&mut self, _x: Value, _bn: &BatchNorm2d) -> Value {
-        self.replay(RecKind::BatchNorm)
+        self.plan.replay(&mut self.arena, RecKind::BatchNorm)
     }
 
     fn batch_norm_sliced(&mut self, _x: Value, _bn: &BatchNorm2d, _channels: usize) -> Value {
-        self.replay(RecKind::BatchNorm)
+        self.plan.replay(&mut self.arena, RecKind::BatchNorm)
     }
 
     fn relu_decay(&mut self, _x: Value, _alpha: f32) -> Value {
-        self.replay(RecKind::Relu)
+        self.plan.replay(&mut self.arena, RecKind::Relu)
     }
 
     fn relu6_decay(&mut self, _x: Value, _alpha: f32) -> Value {
-        self.replay(RecKind::Relu6)
+        self.plan.replay(&mut self.arena, RecKind::Relu6)
     }
 
     fn max_pool(&mut self, _x: Value, _geom: ConvGeometry) -> Value {
-        self.replay(RecKind::MaxPool)
+        self.plan.replay(&mut self.arena, RecKind::MaxPool)
     }
 
     fn avg_pool(&mut self, _x: Value, _geom: ConvGeometry) -> Value {
-        self.replay(RecKind::AvgPool)
+        self.plan.replay(&mut self.arena, RecKind::AvgPool)
     }
 
     fn global_avg_pool(&mut self, _x: Value) -> Value {
-        self.replay(RecKind::Gap)
+        self.plan.replay(&mut self.arena, RecKind::Gap)
     }
 
     fn add(&mut self, _a: Value, _b: Value) -> Value {
-        self.replay(RecKind::Add)
+        self.plan.replay(&mut self.arena, RecKind::Add)
     }
 }
 
@@ -1341,23 +1463,27 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
         ..
     } = st;
 
-    let probe_batch = in_dims[0];
-    let homes = home_units.iter().map(|_| Vec::new()).collect();
     CompiledPlan {
         actions,
         rec_meta,
         in_dims,
         final_out,
-        values: vec![None; nvals],
-        homes,
+        nvals,
         val_home,
         home_units,
         peak_units,
         packed_bytes,
-        last_batch: probe_batch,
-        cursor: 0,
     }
 }
+
+/// Compile-time proof that plans may be shared across threads: every field
+/// is plain data or `Arc`-backed tensors, so `Send + Sync` must hold (the
+/// serving layer relies on `Arc<CompiledPlan>` replayed concurrently).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledPlan>();
+    assert_send_sync::<PlanArena>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -1415,10 +1541,9 @@ mod tests {
         let (want, _) = infer_forward(&model, &x);
 
         let before = nodes_allocated();
-        let mut plan =
-            CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
-                model.forward(f, v)
-            });
+        let plan = CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
+            model.forward(f, v)
+        });
         let got = plan.run(&x);
         assert_eq!(nodes_allocated(), before, "plan allocated tape nodes");
         assert_eq!(got.dims(), want.dims());
@@ -1432,8 +1557,8 @@ mod tests {
         let x = Tensor::randn([2, 3, 8, 8], &mut rng);
         let (want, _) = infer_forward(&model, &x);
 
-        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
-        let mut unfolded =
+        let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let unfolded =
             CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
                 model.forward(f, v)
             });
@@ -1453,17 +1578,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let model = conv_model(&mut rng);
         let x = Tensor::randn([2, 3, 8, 8], &mut rng);
-        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
-        let first = plan.run(&x);
-        let second = plan.run(&x);
+        let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let mut arena = plan.new_arena();
+        let first = plan.run_in(&mut arena, &x);
+        let second = plan.run_in(&mut arena, &x);
         assert_eq!(
             first.as_slice(),
             second.as_slice(),
             "runs must be identical"
         );
-        // A different batch reuses the same plan.
+        // A one-shot run (fresh arena) agrees with the recycled arena.
+        assert_eq!(plan.run(&x).as_slice(), first.as_slice());
+        // A different batch reuses the same plan and arena.
         let x8 = Tensor::randn([8, 3, 8, 8], &mut rng);
-        let big = plan.run(&x8);
+        let big = plan.run_in(&mut arena, &x8);
         assert_eq!(big.dims(), &[8, 4]);
         let (want, _) = infer_forward(&model, &x8);
         assert!(big.allclose(&want, 1e-4));
@@ -1475,7 +1603,7 @@ mod tests {
         let model = conv_model(&mut rng);
         let x = Tensor::randn([2, 3, 8, 8], &mut rng);
         let (_, infer_peak) = infer_forward(&model, &x);
-        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
         let _ = plan.run(&x);
         assert!(
             plan.peak_bytes() <= infer_peak,
@@ -1496,7 +1624,7 @@ mod tests {
         let model = Sequential::new().push(conv).push(act);
         let x = Tensor::randn([1, 3, 6, 6], &mut rng);
         let (want, _) = infer_forward(&model, &x);
-        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
         assert_eq!(plan.action_count(), 1, "identity activation not elided");
         let got = plan.run(&x);
         assert_eq!(got.as_slice(), want.as_slice());
@@ -1520,7 +1648,7 @@ mod tests {
         let yv = fwd(&mut ctx, xv);
         let want = ctx.take(yv);
 
-        let mut plan = CompiledPlan::compile(x.dims(), fwd);
+        let plan = CompiledPlan::compile(x.dims(), fwd);
         let got = plan.run(&x);
         assert_eq!(got.as_slice(), want.as_slice(), "residual path bitwise");
     }
@@ -1530,12 +1658,58 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(16);
         let model = conv_model(&mut rng);
         let x = Tensor::randn([2, 3, 8, 8], &mut rng);
-        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
         let via_run = plan.run(&x);
-        let xv = Forward::input(&mut plan, x.clone());
-        let yv = model.forward(&mut plan, xv);
-        let via_replay = Forward::take(&mut plan, yv);
+        let mut replay = plan.replayer();
+        let xv = replay.input(x.clone());
+        let yv = model.forward(&mut replay, xv);
+        let via_replay = replay.take(yv);
         assert_eq!(via_run.as_slice(), via_replay.as_slice());
+    }
+
+    #[test]
+    fn arc_shared_plan_replays_concurrently_bitwise() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let plan = std::sync::Arc::new(CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v)));
+        let want = plan.run(&x);
+        let outputs: Vec<Tensor> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let plan = std::sync::Arc::clone(&plan);
+                    let x = x.clone();
+                    s.spawn(move || {
+                        let mut arena = plan.new_arena();
+                        let a = plan.run_in(&mut arena, &x);
+                        let b = plan.run_in(&mut arena, &x);
+                        assert_eq!(a.as_slice(), b.as_slice());
+                        a
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("replay thread"))
+                .collect()
+        });
+        for got in outputs {
+            assert_eq!(got.as_slice(), want.as_slice(), "concurrent replay bitwise");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "structurally different plan")]
+    fn foreign_arena_panics() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([1, 3, 8, 8], &mut rng);
+        let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let other = CompiledPlan::compile(&[1, 6], |f, v| {
+            let l = Linear::new(6, 2, true, &mut StdRng::seed_from_u64(0));
+            l.forward(f, v)
+        });
+        let mut arena = other.new_arena();
+        let _ = plan.run_in(&mut arena, &x);
     }
 
     #[test]
@@ -1543,7 +1717,7 @@ mod tests {
     fn wrong_input_shape_panics() {
         let mut rng = StdRng::seed_from_u64(17);
         let model = conv_model(&mut rng);
-        let mut plan = CompiledPlan::compile(&[1, 3, 8, 8], |f, v| model.forward(f, v));
+        let plan = CompiledPlan::compile(&[1, 3, 8, 8], |f, v| model.forward(f, v));
         let _ = plan.run(&Tensor::zeros([1, 3, 9, 9]));
     }
 
@@ -1572,7 +1746,7 @@ mod tests {
             let model = Sequential::new().push(conv).push(bn);
             let x = Tensor::randn([2, 3, 6, 6], &mut rng);
             let (want, _) = infer_forward(&model, &x);
-            let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+            let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
             let got = plan.run(&x);
             assert!(
                 got.allclose(&want, 1e-3),

@@ -62,7 +62,7 @@ proptest! {
             .push(random_bn(out_c, eps, affine, seed ^ 0x9e37));
         let x = Tensor::randn([2, in_c, 7, 7], &mut rng);
         let want = infer_forward(&model, &x);
-        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
         let got = plan.run(&x);
         let k = in_c * kernel * kernel;
         prop_assert!(
@@ -87,7 +87,7 @@ proptest! {
             .push(random_bn(channels, eps, affine, seed ^ 0x7f4a));
         let x = Tensor::randn([2, channels, 7, 7], &mut rng);
         let want = infer_forward(&model, &x);
-        let mut plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
         let got = plan.run(&x);
         prop_assert!(
             got.allclose(&want, tol(9)),

@@ -1,0 +1,283 @@
+//! Serving benchmark: open-loop traffic against the multi-tenant server.
+//!
+//! Three tenant models (the tiny student, the expanded giant, and the
+//! detector grid head) share one [`Server`]. A seeded Poisson-with-bursts
+//! arrival schedule is generated up front ([`arrival_schedule`]) and
+//! replayed open-loop: the producer submits at the scheduled instants
+//! regardless of how the server is doing, which is the only regime where
+//! tail latency is honest. Per-request latency runs from the actual submit
+//! instant to the worker finishing the request's batch.
+//!
+//! The arrival rate is calibrated from a warmup request per model so the
+//! trace lands at moderate utilization on any machine; the schedule shape
+//! (gaps, bursts) is fixed by the seed.
+//!
+//! Run: `cargo run --release -p nb-serve --bin bench_serve [--smoke] [out.json]`
+//! (default output: `BENCH_serve.json`). `--smoke` shrinks the trace for CI.
+//!
+//! The binary exits non-zero if any accepted request went unanswered, or
+//! if any model's p99 latency blows past `max(50 x p50, 10ms)` — the
+//! tail-latency gate: queueing collapse shows up as a p99 orders of
+//! magnitude above the median long before the median itself moves.
+
+use nb_models::{mobilenet_v2_tiny, DetectorNet, TinyNet};
+use nb_nn::{CompiledPlan, Module};
+use nb_serve::{arrival_schedule, ModelSpec, ServeConfig, Server, Ticket, TrafficConfig};
+use nb_tensor::{num_threads, Tensor};
+use netbooster_core::{expand, ExpansionPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const MODELS: [&str; 3] = ["tinynet", "expanded-giant", "detector-grid"];
+/// Plans are compiled at the server's max batch; replay accepts any batch.
+const PROBE: [usize; 4] = [8, 3, 32, 32];
+
+// Model parameters are `Rc`-backed, so a factory cannot capture a model
+// built on the main thread; instead each factory rebuilds its model from a
+// fixed seed on the calling worker — deterministic, so recompiling after a
+// cache eviction reproduces the same plan.
+
+fn tiny_plan() -> CompiledPlan {
+    let mut rng = StdRng::seed_from_u64(3);
+    let tiny = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+    CompiledPlan::compile(&PROBE, |f, v| tiny.forward(f, v))
+}
+
+fn giant_plan() -> CompiledPlan {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut giant = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+    let _handle = expand(&mut giant, &ExpansionPlan::paper_default(), &mut rng);
+    CompiledPlan::compile(&PROBE, |f, v| giant.forward(f, v))
+}
+
+fn detector_plan() -> CompiledPlan {
+    let mut rng = StdRng::seed_from_u64(5);
+    let backbone = TinyNet::new(mobilenet_v2_tiny(4), &mut rng);
+    let det = DetectorNet::new(backbone, 4, &mut rng);
+    CompiledPlan::compile(&PROBE, |f, v| det.forward_grid(f, v))
+}
+
+fn sleep_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        std::thread::sleep(target - now);
+    }
+}
+
+/// `q`-quantile of an unsorted latency set, by sorting a copy.
+fn percentile(lat: &[Duration], q: f64) -> Duration {
+    assert!(!lat.is_empty());
+    let mut v = lat.to_vec();
+    v.sort_unstable();
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+struct ModelRow {
+    name: &'static str,
+    requests: usize,
+    p50: Duration,
+    p99: Duration,
+    mean: Duration,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| *a != "--smoke")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let requests = if smoke { 120 } else { 1200 };
+    let seed = 2024u64;
+
+    let cfg = ServeConfig {
+        workers: 2,
+        max_batch: PROBE[0],
+        queue_cap: 1 << 16,
+        cache_bytes: usize::MAX,
+    };
+    let sample = [3usize, 32, 32];
+    let server = Server::start(
+        cfg,
+        vec![
+            ModelSpec::new(MODELS[0], sample, tiny_plan),
+            ModelSpec::new(MODELS[1], sample, giant_plan),
+            ModelSpec::new(MODELS[2], sample, detector_plan),
+        ],
+    );
+
+    // Warm every tenant (compiles its plan, warms worker arenas) and
+    // calibrate the arrival rate off the slowest single-request service
+    // time so the trace runs at moderate utilization on any machine.
+    let mut input_rng = StdRng::seed_from_u64(17);
+    let mut worst = Duration::ZERO;
+    for name in MODELS {
+        let x = Tensor::randn(sample, &mut input_rng);
+        let t = Instant::now();
+        server.submit(name, x).expect("warmup submit").wait();
+        worst = worst.max(t.elapsed());
+    }
+    let rate_hz = (cfg.workers as f64 * 0.5 / worst.as_secs_f64()).clamp(20.0, 1000.0);
+
+    let traffic = TrafficConfig::poisson_bursty(requests, rate_hz, seed);
+    let schedule = arrival_schedule(&traffic);
+    let inputs: Vec<Tensor> = (0..requests)
+        .map(|_| Tensor::randn(sample, &mut input_rng))
+        .collect();
+
+    eprintln!(
+        "bench_serve: {requests} requests over {} models at {rate_hz:.1} req/s \
+         (calibrated; slowest warmup {:.2} ms), {} workers, max batch {}",
+        MODELS.len(),
+        worst.as_secs_f64() * 1e3,
+        cfg.workers,
+        cfg.max_batch
+    );
+
+    // Open-loop replay: submit at the scheduled instants, collect tickets,
+    // settle latencies afterwards.
+    let mut pending: Vec<(usize, Instant, Ticket)> = Vec::with_capacity(requests);
+    let start = Instant::now();
+    for (i, (off, x)) in schedule.iter().zip(inputs).enumerate() {
+        sleep_until(start + *off);
+        let model = i % MODELS.len();
+        let submitted = Instant::now();
+        let ticket = server
+            .submit(MODELS[model], x)
+            .expect("open-loop submit rejected");
+        pending.push((model, submitted, ticket));
+    }
+
+    let mut per_model: Vec<Vec<Duration>> = vec![Vec::new(); MODELS.len()];
+    let mut answered = 0usize;
+    let mut last_finish = start;
+    for (model, submitted, ticket) in pending {
+        let resp = ticket.wait();
+        per_model[model].push(resp.finished.duration_since(submitted));
+        last_finish = last_finish.max(resp.finished);
+        answered += 1;
+    }
+    let span = last_finish.duration_since(start);
+    let stats = server.stats();
+    server.join();
+
+    let rows: Vec<ModelRow> = MODELS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let lat = &per_model[i];
+            let mean = lat.iter().sum::<Duration>() / lat.len().max(1) as u32;
+            ModelRow {
+                name,
+                requests: lat.len(),
+                p50: percentile(lat, 0.50),
+                p99: percentile(lat, 0.99),
+                mean,
+            }
+        })
+        .collect();
+    let all: Vec<Duration> = per_model.iter().flatten().copied().collect();
+    let (agg_p50, agg_p99) = (percentile(&all, 0.50), percentile(&all, 0.99));
+    let throughput = answered as f64 / span.as_secs_f64().max(1e-9);
+
+    for r in &rows {
+        eprintln!(
+            "{:<16} {:>5} reqs: p50 {:>9.2} us, p99 {:>9.2} us, mean {:>9.2} us",
+            r.name,
+            r.requests,
+            r.p50.as_secs_f64() * 1e6,
+            r.p99.as_secs_f64() * 1e6,
+            r.mean.as_secs_f64() * 1e6,
+        );
+    }
+    eprintln!(
+        "aggregate: p50 {:.2} us, p99 {:.2} us, {throughput:.1} req/s, \
+         batch occupancy {:.2}, cache {} hits / {} misses / {} evictions",
+        agg_p50.as_secs_f64() * 1e6,
+        agg_p99.as_secs_f64() * 1e6,
+        stats.batch_occupancy(),
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+    );
+
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {},\n", num_threads()));
+    json.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    json.push_str(&format!("  \"workers\": {},\n", cfg.workers));
+    json.push_str(&format!("  \"max_batch\": {},\n", cfg.max_batch));
+    json.push_str(&format!(
+        "  \"traffic\": {{ \"requests\": {requests}, \"rate_hz\": {rate_hz:.1}, \
+         \"burst_prob\": {}, \"burst_len\": {}, \"seed\": {seed} }},\n",
+        traffic.burst_prob, traffic.burst_len
+    ));
+    json.push_str(&format!("  \"throughput_rps\": {throughput:.1},\n"));
+    json.push_str(&format!(
+        "  \"batch_occupancy\": {:.2},\n",
+        stats.batch_occupancy()
+    ));
+    json.push_str(&format!(
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }},\n",
+        stats.cache.hits, stats.cache.misses, stats.cache.evictions
+    ));
+    json.push_str("  \"models\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"requests\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+             \"mean_us\": {:.2} }}{comma}\n",
+            r.name,
+            r.requests,
+            r.p50.as_secs_f64() * 1e6,
+            r.p99.as_secs_f64() * 1e6,
+            r.mean.as_secs_f64() * 1e6,
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"aggregate\": {{ \"p50_us\": {:.2}, \"p99_us\": {:.2} }}\n",
+        agg_p50.as_secs_f64() * 1e6,
+        agg_p99.as_secs_f64() * 1e6,
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    let mut failed = false;
+    // +MODELS.len() accounts for the warmup request per tenant.
+    if answered + MODELS.len() != stats.completed as usize || stats.accepted != stats.completed {
+        eprintln!(
+            "bench_serve: FAILED (accepted {} vs completed {}, answered {answered})",
+            stats.accepted, stats.completed
+        );
+        failed = true;
+    }
+    for r in &rows {
+        let bound = Duration::from_millis(10).max(r.p50 * 50);
+        if r.p99 > bound {
+            eprintln!(
+                "bench_serve: FAILED (tail latency: {} p99 {:.2} ms exceeds {:.2} ms \
+                 = max(50 x p50, 10 ms))",
+                r.name,
+                r.p99.as_secs_f64() * 1e3,
+                bound.as_secs_f64() * 1e3,
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,352 @@
+//! nb-serve concurrency suite: batcher bitwise-invariance properties,
+//! LRU plan-cache behavior, end-to-end server parity, and the
+//! shutdown/drain stress test.
+//!
+//! Everything here is deterministic given the vendored-RNG seeds; the
+//! stress test additionally arms a watchdog so a drain deadlock aborts
+//! the run loudly instead of hanging CI.
+
+use nb_nn::layers::{ActKind, Activation, Conv2d, DepthwiseConv2d, GlobalAvgPool, Linear};
+use nb_nn::{CompiledPlan, Module, Sequential};
+use nb_serve::{
+    coalesce, plan_cost, split_batch, ModelSpec, PlanCache, ServeConfig, Server, SubmitError,
+};
+use nb_tensor::{ConvGeometry, Tensor};
+use proptest::{proptest, ProptestConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Per-request sample shape used throughout the suite.
+const SAMPLE: [usize; 3] = [3, 8, 8];
+/// Probe batch the test plans compile at (replay accepts any batch).
+const PROBE: [usize; 4] = [4, 3, 8, 8];
+
+/// conv -> relu -> depthwise -> relu6 -> gap -> linear: small enough to
+/// compile per test case, deep enough to exercise fused epilogues, the
+/// packed GEMM, and the arena recycling path.
+fn small_model(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new()
+        .push(Conv2d::new(3, 6, ConvGeometry::same(3, 1), true, &mut rng))
+        .push(Activation::new(ActKind::Relu))
+        .push(DepthwiseConv2d::new(
+            6,
+            ConvGeometry::same(3, 1),
+            false,
+            &mut rng,
+        ))
+        .push(Activation::new(ActKind::Relu6))
+        .push(GlobalAvgPool::new())
+        .push(Linear::new(6, 5, true, &mut rng))
+}
+
+fn plan_for(seed: u64) -> CompiledPlan {
+    let model = small_model(seed);
+    CompiledPlan::compile(&PROBE, |f, v| model.forward(f, v))
+}
+
+fn solo_run(plan: &CompiledPlan, sample: &Tensor) -> Tensor {
+    plan.run(&coalesce(std::slice::from_ref(sample)))
+}
+
+/// Aborts the process if `disarm` is not called within `secs` — turns a
+/// drain deadlock into a loud failure instead of a hung test binary.
+fn watchdog(secs: u64, what: &'static str) -> impl FnOnce() {
+    let (tx, rx) = mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        if let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(Duration::from_secs(secs)) {
+            eprintln!("watchdog: {what} exceeded {secs}s — likely deadlock");
+            std::process::abort();
+        }
+    });
+    move || drop(tx)
+}
+
+// --- batcher properties -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A request's slice of a coalesced batch is bitwise identical to
+    /// running that request alone at batch 1 — the contract that makes
+    /// dynamic batching invisible to clients.
+    #[test]
+    fn coalesced_replay_is_bitwise_equal_to_solo(n in 1usize..9, seed in 0u64..1_000_000) {
+        let plan = plan_for(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<Tensor> = (0..n).map(|_| Tensor::randn(SAMPLE, &mut rng)).collect();
+        let outs = split_batch(&plan.run(&coalesce(&samples)), n);
+        for (s, got) in samples.iter().zip(&outs) {
+            let solo = solo_run(&plan, s);
+            proptest::prop_assert_eq!(solo.dims(), got.dims());
+            proptest::prop_assert_eq!(solo.as_slice(), got.as_slice());
+        }
+    }
+
+    /// Coalesce/split round-trips every sample exactly once, in order —
+    /// nothing dropped, nothing duplicated, nothing reordered.
+    #[test]
+    fn coalesce_split_preserves_every_sample(n in 1usize..12, seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<Tensor> = (0..n).map(|_| Tensor::randn(SAMPLE, &mut rng)).collect();
+        let back = split_batch(&coalesce(&samples), n);
+        proptest::prop_assert_eq!(back.len(), n);
+        for (s, got) in samples.iter().zip(&back) {
+            proptest::prop_assert_eq!(s.as_slice(), got.as_slice());
+        }
+    }
+}
+
+// --- LRU plan cache -----------------------------------------------------
+
+#[test]
+fn cache_evicts_in_lru_order_and_touch_refreshes() {
+    let unit = plan_cost(&plan_for(1));
+    assert!(unit > 0);
+    let cache = PlanCache::new(2 * unit);
+    cache.get_or_compile("a", || plan_for(1));
+    cache.get_or_compile("b", || plan_for(2));
+    assert_eq!(cache.resident_keys(), ["a", "b"]);
+
+    // Touch "a" so "b" becomes the coldest, then admit "c": "b" goes.
+    cache.get_or_compile("a", || unreachable!("a is resident"));
+    cache.get_or_compile("c", || plan_for(3));
+    assert_eq!(cache.resident_keys(), ["a", "c"]);
+    assert!(!cache.contains("b"));
+
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.evictions, 1);
+}
+
+#[test]
+fn cache_accounting_stays_within_capacity() {
+    let unit = plan_cost(&plan_for(1));
+    let cache = PlanCache::new(2 * unit);
+    for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+        cache.get_or_compile(key, || plan_for(i as u64 + 1));
+        assert!(
+            cache.resident_bytes() <= cache.capacity_bytes(),
+            "resident {} over capacity {}",
+            cache.resident_bytes(),
+            cache.capacity_bytes()
+        );
+        // The accounting must equal the sum of the resident plans' costs.
+        assert_eq!(cache.resident_bytes(), cache.resident_keys().len() * unit);
+    }
+    assert_eq!(cache.stats().evictions, 2);
+}
+
+#[test]
+fn oversized_plan_is_still_admitted_alone() {
+    // A single plan larger than the capacity must still be served (the
+    // bound degrades to max(capacity, largest plan)), but it cannot share
+    // residency with anything else.
+    let cache = PlanCache::new(1);
+    cache.get_or_compile("big", || plan_for(1));
+    assert!(cache.contains("big"));
+    cache.get_or_compile("other", || plan_for(2));
+    assert_eq!(cache.resident_keys(), ["other"]);
+}
+
+#[test]
+fn recompilation_after_eviction_reproduces_logits_bitwise() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let x = coalesce(&[Tensor::randn(SAMPLE, &mut rng)]);
+    let unit = plan_cost(&plan_for(1));
+    let cache = PlanCache::new(unit);
+
+    let first = cache.get_or_compile("a", || plan_for(1)).run(&x);
+    // Push "a" out, then pull it back in through the factory.
+    cache.get_or_compile("b", || plan_for(2));
+    assert!(!cache.contains("a"), "a should have been evicted");
+    let again = cache.get_or_compile("a", || plan_for(1)).run(&x);
+    assert_eq!(first.as_slice(), again.as_slice(), "recompile parity");
+    assert_eq!(cache.stats().misses, 3, "second 'a' lookup recompiles");
+}
+
+#[test]
+fn evicted_plan_survives_for_in_flight_holders() {
+    let unit = plan_cost(&plan_for(1));
+    let cache = PlanCache::new(unit);
+    let held = cache.get_or_compile("a", || plan_for(1));
+    cache.get_or_compile("b", || plan_for(2));
+    assert!(!cache.contains("a"));
+    // The Arc handed out earlier still replays after eviction.
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = coalesce(&[Tensor::randn(SAMPLE, &mut rng)]);
+    assert_eq!(held.run(&x).dims(), &[1, 5]);
+}
+
+// --- server end-to-end --------------------------------------------------
+
+#[test]
+fn server_answers_every_request_bitwise_across_tenants() {
+    let server = Server::start(
+        ServeConfig {
+            workers: 3,
+            max_batch: 4,
+            ..ServeConfig::default()
+        },
+        vec![
+            ModelSpec::new("alpha", SAMPLE, || plan_for(1)),
+            ModelSpec::new("beta", SAMPLE, || plan_for(2)),
+        ],
+    );
+    let reference = [plan_for(1), plan_for(2)];
+    let mut rng = StdRng::seed_from_u64(7);
+    let inputs: Vec<(usize, Tensor)> = (0..60)
+        .map(|i| (i % 2, Tensor::randn(SAMPLE, &mut rng)))
+        .collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|(m, x)| {
+            let name = if *m == 0 { "alpha" } else { "beta" };
+            server.submit(name, x.clone()).expect("submit")
+        })
+        .collect();
+    // Each response must carry exactly its own request's logits — a
+    // dropped, duplicated, or cross-tenant-mixed request cannot pass.
+    for ((m, x), ticket) in inputs.iter().zip(tickets) {
+        let resp = ticket.wait();
+        let want = solo_run(&reference[*m], x);
+        assert_eq!(resp.output.dims(), want.dims());
+        assert_eq!(resp.output.as_slice(), want.as_slice());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 60);
+    assert_eq!(stats.completed, 60);
+    assert_eq!(stats.cache.misses, 2, "one compile per tenant");
+    server.join();
+}
+
+#[test]
+fn submit_rejects_unknown_model_and_bad_shape() {
+    let server = Server::start(
+        ServeConfig::default(),
+        vec![ModelSpec::new("m", SAMPLE, || plan_for(1))],
+    );
+    assert_eq!(
+        server.submit("nope", Tensor::zeros(SAMPLE)).err(),
+        Some(SubmitError::UnknownModel)
+    );
+    assert_eq!(
+        server.submit("m", Tensor::zeros([3, 8, 9])).err(),
+        Some(SubmitError::BadShape)
+    );
+    server.join();
+}
+
+#[test]
+fn queue_cap_rejects_overload_without_dropping_accepted() {
+    // One worker, tiny queue: saturate it faster than it drains and check
+    // that rejections are loud while accepted requests all complete.
+    let server = Server::start(
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            queue_cap: 4,
+            ..ServeConfig::default()
+        },
+        vec![ModelSpec::new("m", SAMPLE, || plan_for(1))],
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    for _ in 0..200 {
+        match server.submit("m", Tensor::randn(SAMPLE, &mut rng)) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    let accepted = tickets.len();
+    for t in tickets {
+        t.wait();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.accepted as usize, accepted);
+    assert_eq!(stats.completed as usize, accepted);
+    assert_eq!(accepted + rejected, 200);
+    server.join();
+}
+
+// --- shutdown/drain stress ----------------------------------------------
+
+#[test]
+fn shutdown_mid_burst_answers_every_accepted_request() {
+    let disarm = watchdog(120, "shutdown/drain stress");
+    let server = Server::start(
+        ServeConfig {
+            workers: 3,
+            max_batch: 4,
+            queue_cap: 1 << 14,
+            ..ServeConfig::default()
+        },
+        vec![
+            ModelSpec::new("alpha", SAMPLE, || plan_for(1)),
+            ModelSpec::new("beta", SAMPLE, || plan_for(2)),
+        ],
+    );
+    let accepted_total = AtomicUsize::new(0);
+    let server_ref = &server;
+    let accepted_ref = &accepted_total;
+    crossbeam::thread::scope(|s| {
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                s.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(100 + p as u64);
+                    let name = if p % 2 == 0 { "alpha" } else { "beta" };
+                    let mut tickets = Vec::new();
+                    loop {
+                        match server_ref.submit(name, Tensor::randn(SAMPLE, &mut rng)) {
+                            Ok(t) => tickets.push(t),
+                            Err(SubmitError::Shutdown) => break,
+                            Err(e) => panic!("unexpected rejection: {e}"),
+                        }
+                        if tickets.len() >= 2000 {
+                            break; // safety valve if shutdown flips late
+                        }
+                    }
+                    accepted_ref.fetch_add(tickets.len(), Ordering::SeqCst);
+                    // Drain guarantee: every accepted ticket is answered,
+                    // within the watchdog budget.
+                    for t in tickets {
+                        let resp = t
+                            .wait_timeout(Duration::from_secs(60))
+                            .expect("accepted request never answered");
+                        assert_eq!(resp.output.dims(), &[1, 5]);
+                    }
+                })
+            })
+            .collect();
+        // Let the burst build real queue depth, then flip mid-stream.
+        std::thread::sleep(Duration::from_millis(20));
+        server_ref.begin_shutdown();
+        for h in producers {
+            h.join().expect("producer panicked");
+        }
+    })
+    .expect("crossbeam scope");
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.accepted as usize,
+        accepted_total.load(Ordering::SeqCst)
+    );
+    assert_eq!(
+        stats.completed, stats.accepted,
+        "drain must answer exactly the accepted set"
+    );
+    assert!(
+        server.submit("alpha", Tensor::zeros(SAMPLE)).err() == Some(SubmitError::Shutdown),
+        "post-shutdown submits must be rejected"
+    );
+    // Join must return (workers exit once drained) — watchdog aborts if not.
+    server.join();
+    disarm();
+}

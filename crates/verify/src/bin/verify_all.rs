@@ -1,10 +1,12 @@
 //! Runs the full correctness gauntlet: kernel differential suites,
-//! contraction exactness audits, and the training seed sweep.
+//! contraction exactness audits, executor parity (including concurrent
+//! Arc-shared plan replay), and the training seed sweep.
 //!
 //! Usage: `verify_all [--fast]`. Exits non-zero on any divergence and
 //! prints the offending per-case / per-layer tables.
 
 use nb_verify::audit::run_audit_suite;
+use nb_verify::concurrent::run_concurrent_suite;
 use nb_verify::diff::{run_conv_suite, run_depthwise_suite, run_gemm_suite, run_pool_suite};
 use nb_verify::parity::run_parity_suite;
 use netbooster_core::vanilla_easy_task_sweep;
@@ -48,7 +50,15 @@ fn main() {
         print!("{}", parity.render_failures());
     }
 
-    // 4. training seed sweep (statistical pass criterion)
+    // 4. concurrent replay parity: Arc-shared plans vs serial, bitwise
+    let concurrent = run_concurrent_suite();
+    println!("[concurrent] {}", concurrent.summary_line());
+    if !concurrent.pass() {
+        failed = true;
+        print!("{}", concurrent.render_failures());
+    }
+
+    // 5. training seed sweep (statistical pass criterion)
     let seeds: Vec<u64> = if fast {
         (0..5).collect()
     } else {

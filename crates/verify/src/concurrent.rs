@@ -1,0 +1,156 @@
+//! Concurrent-replay parity: one `Arc<CompiledPlan>` shared across
+//! threads must replay bitwise identically to serial replay.
+//!
+//! The `&self` replay split makes a [`CompiledPlan`] immutable after
+//! compilation — all mutable state lives in per-caller
+//! [`PlanArena`](nb_nn::PlanArena)s — and the shared worker pool hands
+//! out deterministically-indexed tasks, so concurrency must not be able
+//! to change a single output bit. This suite pins that down: for every
+//! eval model family, N caller threads share one plan on the *same*
+//! input and every replay (including repeated replays through a reused
+//! arena) is compared bitwise against the serial reference. Any
+//! divergence would mean hidden shared mutable state on the replay path
+//! — exactly the class of bug that turns a multi-tenant server's answers
+//! load-dependent.
+
+use nb_autograd::Value;
+use nb_models::{mobilenet_v2_tiny, DetectorNet, TinyNet};
+use nb_nn::Module;
+use nb_nn::{CompiledPlan, Forward};
+use nb_tensor::{self as nt, Tensor};
+use netbooster_core::{expand, ExpansionPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Replays each concurrent caller performs through its reused arena.
+const REPLAYS_PER_THREAD: usize = 3;
+
+/// One concurrent-parity comparison: a model family at one caller-thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct ConcurrentCase {
+    /// Model family the shared plan was compiled from.
+    pub case: String,
+    /// Caller threads sharing the plan.
+    pub threads: usize,
+    /// Replays compared (threads x replays per thread).
+    pub replays: usize,
+    /// Whether every concurrent replay was bitwise equal to serial.
+    pub bitwise: bool,
+    /// Whether the case passed (same as `bitwise`).
+    pub pass: bool,
+}
+
+/// Outcome of the concurrent-replay suite.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrentReport {
+    /// Every comparison run.
+    pub cases: Vec<ConcurrentCase>,
+}
+
+impl ConcurrentReport {
+    /// True when every case passed.
+    pub fn pass(&self) -> bool {
+        !self.cases.is_empty() && self.cases.iter().all(|c| c.pass)
+    }
+
+    /// One line: `<n> cases, <f> failures`.
+    pub fn summary_line(&self) -> String {
+        let fails = self.cases.iter().filter(|c| !c.pass).count();
+        format!("{} cases, {} failures", self.cases.len(), fails)
+    }
+
+    /// A table of the failing cases (empty string when everything passed).
+    pub fn render_failures(&self) -> String {
+        let mut out = String::new();
+        for c in self.cases.iter().filter(|c| !c.pass) {
+            out.push_str(&format!(
+                "  FAIL [concurrent] {} threads={} replays={} : diverged from serial replay\n",
+                c.case, c.threads, c.replays
+            ));
+        }
+        out
+    }
+}
+
+/// Shares one compiled plan across `threads` callers replaying the same
+/// input and records whether every replay matched the serial reference.
+fn run_case(
+    report: &mut ConcurrentReport,
+    name: &str,
+    x: &Tensor,
+    fwd: &dyn Fn(&mut dyn Forward, Value) -> Value,
+) {
+    let plan = Arc::new(CompiledPlan::compile(x.dims(), |f, v| fwd(f, v)));
+    let want = plan.run(x);
+
+    let mut widths = vec![2usize, nt::num_threads().max(2)];
+    widths.dedup();
+    for &threads in &widths {
+        let bitwise = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let plan = Arc::clone(&plan);
+                    let want = &want;
+                    s.spawn(move || {
+                        let mut arena = plan.new_arena();
+                        (0..REPLAYS_PER_THREAD).all(|_| {
+                            let got = plan.run_in(&mut arena, x);
+                            got.dims() == want.dims() && got.as_slice() == want.as_slice()
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .all(|h| h.join().expect("concurrent replay thread panicked"))
+        });
+        report.cases.push(ConcurrentCase {
+            case: name.to_string(),
+            threads,
+            replays: threads * REPLAYS_PER_THREAD,
+            bitwise,
+            pass: bitwise,
+        });
+    }
+}
+
+/// Bitwise concurrent-vs-serial replay parity for every eval model
+/// family, at caller widths 2 and the machine's pool width.
+pub fn run_concurrent_suite() -> ConcurrentReport {
+    let mut report = ConcurrentReport::default();
+    let mut rng = StdRng::seed_from_u64(19);
+    let x = Tensor::randn([2, 3, 32, 32], &mut rng);
+
+    let tiny = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+    run_case(&mut report, "tinynet", &x, &|f, v| tiny.forward(f, v));
+
+    let mut giant = TinyNet::new(mobilenet_v2_tiny(10), &mut rng);
+    let _handle = expand(&mut giant, &ExpansionPlan::paper_default(), &mut rng);
+    run_case(&mut report, "expanded-giant", &x, &|f, v| {
+        giant.forward(f, v)
+    });
+
+    let backbone = TinyNet::new(mobilenet_v2_tiny(4), &mut rng);
+    let det = DetectorNet::new(backbone, 4, &mut rng);
+    run_case(&mut report, "detector-grid", &x, &|f, v| {
+        det.forward_grid(f, v)
+    });
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_suite_passes() {
+        let report = run_concurrent_suite();
+        // 3 families x up to 2 caller widths (collapsing when the pool
+        // width is 2)
+        assert!(report.cases.len() >= 3, "{}", report.cases.len());
+        assert!(report.pass(), "{}", report.render_failures());
+    }
+}

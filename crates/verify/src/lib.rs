@@ -20,20 +20,26 @@
 //!    grad-free [`InferCtx`](nb_nn::InferCtx) must produce *bitwise*
 //!    identical logits for every model family at every worker-pool width,
 //!    with zero graph nodes allocated on the grad-free side.
-//! 4. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
+//! 4. **Concurrent-replay parity** ([`concurrent`]) — one shared
+//!    `Arc<CompiledPlan>` replayed from many caller threads must match
+//!    serial replay bitwise; any divergence means hidden shared mutable
+//!    state on the serving hot path.
+//! 5. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
 //!    statistical pass criteria for learning tests: a test passes when
 //!    enough seeds clear the bar, not when one lucky seed does.
 //!
-//! The `verify_all` binary runs all four (`--fast` for the CI-sized grid)
+//! The `verify_all` binary runs all five (`--fast` for the CI-sized grid)
 //! and exits non-zero on any divergence, printing the per-layer tables.
 
 pub mod audit;
+pub mod concurrent;
 pub mod diff;
 pub mod oracle;
 pub mod parity;
 pub mod tolerance;
 
 pub use audit::{audit_contraction, default_plans, run_audit_suite, ContractionAudit};
+pub use concurrent::{run_concurrent_suite, ConcurrentCase, ConcurrentReport};
 pub use diff::{run_all_suites, DiffReport};
 pub use netbooster_core::{seed_sweep, SeedRun, SweepCriterion, SweepReport};
 pub use parity::{run_parity_suite, ParityCase, ParityReport};

@@ -130,7 +130,7 @@ fn run_case(
             // candidate 2: the compiled plan with folding off — prepacking
             // and epilogue fusion alone must preserve bits vs InferCtx
             let before = nodes_allocated();
-            let mut plan =
+            let plan =
                 CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
                     fwd(f, v)
                 });
@@ -154,7 +154,7 @@ fn run_case(
             // candidate 3: the folded plan — batch-norm folding
             // reassociates, so the comparison is ULP-bounded
             let before = nodes_allocated();
-            let mut folded = CompiledPlan::compile(x.dims(), |f, v| fwd(f, v));
+            let folded = CompiledPlan::compile(x.dims(), |f, v| fwd(f, v));
             let folded_got = folded.run(x);
             let folded_nodes = nodes_allocated() - before;
             let tol = UlpTolerance::for_reduction(FOLD_REDUCTION_K);

@@ -16,11 +16,12 @@ cargo test --workspace -q
 echo "== verify_all (fast mode, NB_AUTOTUNE=off) =="
 # differential kernel oracles, contraction exactness audits, three-executor
 # parity (taped vs grad-free vs compiled plan: bitwise with folding off,
-# ULP-bounded with folding on), seed sweep; exits non-zero and prints
-# per-case / per-layer tables on any divergence. NB_AUTOTUNE=off pins the
-# deterministic default schedules so CI never depends on a host's tuning
-# cache (the +implicit suite separately proves every schedule agrees
-# bitwise; scripts/autotune.sh is the opt-in tuning entry point).
+# ULP-bounded with folding on), concurrent Arc-shared plan replay parity,
+# seed sweep; exits non-zero and prints per-case / per-layer tables on any
+# divergence. NB_AUTOTUNE=off pins the deterministic default schedules so
+# CI never depends on a host's tuning cache (the +implicit suite separately
+# proves every schedule agrees bitwise; scripts/autotune.sh is the opt-in
+# tuning entry point).
 NB_AUTOTUNE=off cargo run --release -q -p nb-verify --bin verify_all -- --fast
 
 echo "== bench_infer (smoke) =="
@@ -29,5 +30,13 @@ echo "== bench_infer (smoke) =="
 # than InferCtx with no higher peak bytes (exits non-zero otherwise)
 mkdir -p target
 cargo run --release -q -p nb-bench --bin bench_infer -- --smoke target/BENCH_infer_smoke.json >/dev/null
+
+echo "== bench_serve (smoke, NB_AUTOTUNE=off) =="
+# drives the multi-tenant server with a fixed-seed open-loop trace and
+# gates on the drain contract (accepted == completed) and on tail latency
+# (per-model p99 <= max(50 x p50, 10 ms)); NB_AUTOTUNE=off for the same
+# schedule determinism as verify_all, the traffic seed is baked into the
+# binary
+NB_AUTOTUNE=off cargo run --release -q -p nb-serve --bin bench_serve -- --smoke target/BENCH_serve_smoke.json >/dev/null
 
 echo "CI OK"

@@ -60,6 +60,9 @@ pub use nb_metrics as metrics;
 /// exactness audits, and the seed-sweep harness.
 pub use nb_verify as verify;
 
+/// Multi-tenant batched inference server over shared compiled plans.
+pub use nb_serve as serve;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use nb_data::{
