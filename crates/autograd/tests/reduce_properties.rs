@@ -1,0 +1,105 @@
+//! Property tests for the deterministic gradient tree-reduce.
+//!
+//! Two invariants back the data-parallel trainer's bitwise contract:
+//! the reduction is invariant to the *arrival order* of shard results
+//! (the scheduler may deliver slices in any interleaving), and it is
+//! bitwise-equal to sequential summation in the fixed slice order (the
+//! reference the nb-verify `[dp]` suite pins against).
+
+use nb_autograd::{tree_reduce, GradSet};
+use nb_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sequential reference: `((g0*w0 + g1*w1) + g2*w2) + ...` element by
+/// element in ascending slice order, independently implemented.
+fn sequential_reference(sets: &[GradSet], weights: &[f32]) -> GradSet {
+    let n_params = sets[0].len();
+    (0..n_params)
+        .map(|p| {
+            let mut acc: Vec<f32> = sets[0][p]
+                .as_slice()
+                .iter()
+                .map(|&v| if weights[0] == 1.0 { v } else { v * weights[0] })
+                .collect();
+            for (s, set) in sets.iter().enumerate().skip(1) {
+                let w = weights[s];
+                for (a, &g) in acc.iter_mut().zip(set[p].as_slice()) {
+                    *a += if w == 1.0 { g } else { g * w };
+                }
+            }
+            let mut t = Tensor::zeros(sets[0][p].shape().clone());
+            t.as_mut_slice().copy_from_slice(&acc);
+            t
+        })
+        .collect()
+}
+
+fn bitwise_eq(a: &GradSet, b: &GradSet) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.dims() == y.dims()
+                && x.as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .all(|(u, v)| u.to_bits() == v.to_bits())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reduce_is_arrival_order_invariant_and_matches_sequential(
+        seed in 0u64..1000,
+        shards in 1usize..7,
+        n_params in 1usize..4,
+        dim0 in 1usize..9,
+        dim1 in 1usize..9,
+        perm_seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sets: Vec<GradSet> = (0..shards)
+            .map(|_| {
+                (0..n_params)
+                    .map(|p| Tensor::randn([dim0 + p, dim1], &mut rng))
+                    .collect()
+            })
+            .collect();
+        // Row weights like the trainer's: rows_s / total, summing to ~1;
+        // the single-shard case uses exactly 1.0 (the bit-exact path).
+        let weights: Vec<f32> = if shards == 1 {
+            vec![1.0]
+        } else {
+            let rows: Vec<f32> = (0..shards).map(|s| (s % 3 + 1) as f32).collect();
+            let total: f32 = rows.iter().sum();
+            rows.iter().map(|r| r / total).collect()
+        };
+
+        let want = sequential_reference(&sets, &weights);
+
+        // Fixed-order arrival must equal the sequential reference bitwise.
+        let in_order: Vec<(usize, GradSet)> =
+            sets.iter().cloned().enumerate().collect();
+        let got = tree_reduce(in_order, &weights);
+        prop_assert!(bitwise_eq(&got, &want), "in-order != sequential reference");
+
+        // A shuffled arrival order must produce the same bits.
+        let mut order: Vec<usize> = (0..shards).collect();
+        let mut prng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..order.len()).rev() {
+            let j = rand::Rng::gen_range(&mut prng, 0..(i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let shuffled: Vec<(usize, GradSet)> = order
+            .iter()
+            .map(|&s| (s, sets[s].clone()))
+            .collect();
+        let got_shuffled = tree_reduce(shuffled, &weights);
+        prop_assert!(
+            bitwise_eq(&got_shuffled, &want),
+            "shuffled arrival diverged from fixed order"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Training-throughput benchmark for the data-parallel trainer.
+//!
+//! For each model family the binary times one full `fit_parallel` epoch
+//! (model build, streaming data pipeline, per-shard forward/backward,
+//! deterministic tree-reduce, optimizer step) at worker counts 1, 2, and
+//! the machine's pool width, all at the *same* fixed gradient grain — so
+//! every configuration performs bit-identical numeric work and the only
+//! variable is scheduling. Throughput is reported as training samples per
+//! second. One JSON object (thread count, grain, batch size, build
+//! profile) is written so before/after runs can be diffed mechanically.
+//!
+//! Run: `cargo run --release -p nb-bench --bin bench_train [--smoke] [out.json]`
+//! (default output path: `BENCH_train.json` in the current directory).
+//! `--smoke` shrinks the dataset and timing budget to a CI-friendly
+//! sanity pass and only exercises worker counts {1, 2}.
+//!
+//! In full mode the binary exits non-zero if dp(max workers) falls below
+//! `MIN_RELATIVE_THROUGHPUT` x dp(1): the parallel trainer must never
+//! make training slower than its own single-shard configuration. The
+//! margin absorbs scheduling noise on small machines — on a single-core
+//! host the shards serialize on the worker pool, so parity (not speedup)
+//! is the invariant being gated. Smoke mode checks only that every
+//! configuration completes and produces finite throughput.
+
+use nb_data::recipe::{Family, Nuisance};
+use nb_data::{Augment, Dataset, Split, SyntheticVision};
+use nb_models::{mobilenet_v2_tiny, TinyNet, TnnConfig};
+use nb_nn::Module;
+use nb_tensor::num_threads;
+use netbooster_core::{
+    expand, fit_parallel, ExpansionPlan, NoHooks, ParallelConfig, ShardModel, TrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Full-mode gate: dp(max) must reach this fraction of dp(1) throughput.
+/// Below 1.0 to absorb timing noise — on a one-core machine the shards
+/// time-slice a single pool thread, so the honest expectation is parity
+/// plus small scheduling overhead, not speedup.
+const MIN_RELATIVE_THROUGHPUT: f64 = 0.90;
+
+/// Times `f` call-by-call and returns the median duration in nanoseconds.
+fn median_ns(budget: Duration, f: &mut dyn FnMut()) -> u128 {
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < budget / 4 {
+        f();
+    }
+    let mut samples = Vec::new();
+    let run_start = Instant::now();
+    while (run_start.elapsed() < budget || samples.len() < 3) && samples.len() < 200 {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    model: &'static str,
+    workers: usize,
+    epoch_ns: u128,
+    samples: usize,
+}
+
+impl Row {
+    fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 * 1e9 / self.epoch_ns.max(1) as f64
+    }
+}
+
+/// Times one `fit_parallel` epoch (fresh model each run) at `workers`.
+#[allow(clippy::too_many_arguments)]
+fn bench_case(
+    name: &'static str,
+    cfg_model: &TnnConfig,
+    plan: Option<&ExpansionPlan>,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    workers: usize,
+    grain: usize,
+    budget: Duration,
+) -> Row {
+    let pcfg = ParallelConfig { workers, grain };
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut model = TinyNet::new(cfg_model.clone(), &mut rng);
+        if let Some(plan) = plan {
+            expand(&mut model, plan, &mut rng);
+        }
+        model
+    };
+    let epoch_ns = median_ns(budget, &mut || {
+        let model = build();
+        let history = fit_parallel(
+            model.parameters(),
+            || ShardModel::classifier(build(), cfg.label_smoothing),
+            train,
+            val,
+            cfg,
+            &pcfg,
+            &|imgs| model.logits_eval(imgs),
+            &mut NoHooks,
+        );
+        black_box(history.epoch_loss);
+    });
+    let row = Row {
+        model: name,
+        workers,
+        epoch_ns,
+        samples: train.len() * cfg.epochs,
+    };
+    eprintln!(
+        "{name:<16} workers {workers:>2} grain {grain}: epoch {epoch_ns:>12} ns, {:>9.1} samples/s",
+        row.samples_per_sec()
+    );
+    row
+}
+
+fn to_json(rows: &[Row], batch: usize, grain: usize) -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {},\n", num_threads()));
+    out.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    out.push_str(&format!("  \"batch_size\": {batch},\n"));
+    out.push_str(&format!("  \"grain\": {grain},\n"));
+    out.push_str("  \"unit\": \"median_ns_per_training_epoch; samples/sec\",\n");
+    out.push_str("  \"train\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}/w{}\": {{\n      \"workers\": {},\n      \"epoch_ns\": {},\n      \
+             \"samples\": {},\n      \"samples_per_sec\": {:.1}\n    }}{}\n",
+            r.model,
+            r.workers,
+            r.workers,
+            r.epoch_ns,
+            r.samples,
+            r.samples_per_sec(),
+            comma,
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| *a != "--smoke")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_train.json".to_string());
+    let budget = if smoke {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(2000)
+    };
+
+    let n_train = if smoke { 16 } else { 48 };
+    let train = SyntheticVision::new(
+        "bt",
+        Family::Objects,
+        2,
+        16,
+        n_train,
+        Nuisance::easy(),
+        5,
+        Split::Train,
+    );
+    let val = SyntheticVision::new(
+        "bt",
+        Family::Objects,
+        2,
+        16,
+        4,
+        Nuisance::easy(),
+        5,
+        Split::Val,
+    );
+    let batch = 8;
+    let grain = 4; // two slices per batch: fixed, so worker counts do identical numeric work
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: batch,
+        lr: 0.05,
+        augment: Augment::none(),
+        eval_every: 100, // only the mandatory final-epoch eval, tiny val set
+        ..TrainConfig::default()
+    };
+
+    let mut small = mobilenet_v2_tiny(2);
+    small.blocks.truncate(3);
+    small.head_c = 16;
+    let plan = ExpansionPlan::paper_default();
+
+    let mut widths = vec![1usize, 2];
+    if !smoke {
+        widths.push(num_threads().max(2));
+    }
+    widths.dedup();
+
+    let mut rows = Vec::new();
+    for &(name, expanded) in &[("tinynet", false), ("expanded-giant", true)] {
+        for &w in &widths {
+            rows.push(bench_case(
+                name,
+                &small,
+                expanded.then_some(&plan),
+                &train,
+                &val,
+                &cfg,
+                w,
+                grain,
+                budget,
+            ));
+        }
+    }
+
+    let json = to_json(&rows, batch, grain);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    let finite_ok = rows.iter().all(|r| r.samples_per_sec().is_finite());
+    let mut failed = false;
+    if !finite_ok {
+        eprintln!("bench_train: FAILED (non-finite throughput)");
+        failed = true;
+    }
+    if !smoke {
+        // gate: scaling out must never cost throughput vs the trainer's own
+        // single-shard configuration
+        for &(name, _) in &[("tinynet", false), ("expanded-giant", true)] {
+            let of = |w: usize| {
+                rows.iter()
+                    .find(|r| r.model == name && r.workers == w)
+                    .map(|r| r.samples_per_sec())
+            };
+            let (base, max) = (of(1), of(*widths.last().unwrap()));
+            if let (Some(base), Some(max)) = (base, max) {
+                if max < MIN_RELATIVE_THROUGHPUT * base {
+                    eprintln!(
+                        "bench_train: FAILED ({name}: dp(max) {max:.1} samples/s < \
+                         {MIN_RELATIVE_THROUGHPUT} x dp(1) {base:.1} samples/s)"
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -60,15 +60,18 @@ pub use methods::kd::{
 };
 pub use methods::netaug::{train_netaug, NetAugConfig};
 pub use methods::netbooster::{
-    netbooster_train, plt_and_contract, plt_and_contract_with, train_giant, NetBoosterConfig,
-    NetBoosterOutcome,
+    netbooster_train, plt_and_contract, plt_and_contract_with, train_giant, train_giant_parallel,
+    NetBoosterConfig, NetBoosterOutcome,
 };
 pub use methods::regularize::{train_with_feature_drop, FeatureDropConfig};
 pub use methods::vanilla::{train_vanilla, vanilla_easy_task_metric, vanilla_easy_task_sweep};
 pub use plt::{DecayCurve, PltDriver};
-pub use sweep::{seed_sweep, SeedRun, SweepCriterion, SweepReport};
+pub use sweep::{
+    parallel_classifier_sweep, seed_sweep, ClassifierRun, SeedRun, SweepCriterion, SweepReport,
+};
 pub use trainer::{
-    ce_loss_fn, evaluate, evaluate_confusion, fit, History, NoHooks, TrainConfig, TrainHooks,
+    ce_loss_fn, evaluate, evaluate_confusion, fit, fit_parallel, shard_thread_caps, History,
+    NoHooks, ParallelConfig, ShardModel, TrainConfig, TrainHooks,
 };
 pub use transfer::{
     linear_probe_transfer, netbooster_transfer, netbooster_transfer_kd, split_tuning_epochs,

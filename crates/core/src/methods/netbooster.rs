@@ -96,6 +96,50 @@ pub fn train_giant(
     (model, handle, history)
 }
 
+/// Phase 1 on the data-parallel trainer: builds the same expanded deep
+/// giant as [`train_giant`] — all init randomness drawn from a fresh
+/// `StdRng` seeded with `init_seed`, so shard replicas can rebuild it
+/// bitwise — and trains it with [`fit_parallel`](crate::fit_parallel).
+/// With `pcfg.grain == 0` (one slice per batch) the result is
+/// bitwise-identical to `train_giant` called with
+/// `StdRng::seed_from_u64(init_seed)`.
+#[allow(clippy::too_many_arguments)]
+pub fn train_giant_parallel(
+    cfg_model: &TnnConfig,
+    plan: &ExpansionPlan,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    epochs: usize,
+    init_seed: u64,
+    pcfg: &crate::ParallelConfig,
+) -> (TinyNet, ExpansionHandle, History) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(init_seed);
+        let mut model = TinyNet::new(cfg_model.clone(), &mut rng);
+        let handle = expand(&mut model, plan, &mut rng);
+        (model, handle)
+    };
+    let (model, handle) = build();
+    let phase_cfg = TrainConfig { epochs, ..*cfg };
+    let history = crate::fit_parallel(
+        model.parameters(),
+        || {
+            let (replica, _handle) = build();
+            crate::ShardModel::classifier(replica, cfg.label_smoothing)
+        },
+        train,
+        val,
+        &phase_cfg,
+        pcfg,
+        &|imgs| model.logits_eval(imgs),
+        &mut NoHooks,
+    );
+    (model, handle, history)
+}
+
 /// Phase 2+3 with a custom per-batch loss: runs PLT on a (pre-trained)
 /// deep giant — decaying the inserted non-linearities over `plt_epochs`
 /// while tuning — then contracts the model and finetunes for
@@ -294,6 +338,49 @@ mod tests {
         assert!(out.expanded_acc > 0.0);
         assert!(out.history.epoch_loss.len() == 3);
         assert!(out.history.epoch_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn parallel_giant_training_matches_sequential_bitwise() {
+        // one slice per batch on two workers must reproduce the legacy
+        // train_giant run exactly — params and loss curve
+        let (train, val) = data();
+        let mut cfg_model = mobilenet_v2_tiny(2);
+        cfg_model.blocks.truncate(2);
+        cfg_model.head_c = 12;
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.05,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        };
+        let plan = ExpansionPlan::paper_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (seq_model, _, seq_hist) =
+            train_giant(&cfg_model, &plan, &train, &val, &cfg, 1, &mut rng);
+        let pcfg = crate::ParallelConfig {
+            workers: 2,
+            grain: 0,
+        };
+        let (par_model, _, par_hist) =
+            train_giant_parallel(&cfg_model, &plan, &train, &val, &cfg, 1, 5, &pcfg);
+        let (sp, pp) = (seq_model.parameters(), par_model.parameters());
+        assert_eq!(sp.len(), pp.len());
+        for (a, b) in sp.iter().zip(&pp) {
+            let (av, bv) = (a.value(), b.value());
+            assert!(
+                av.as_slice()
+                    .iter()
+                    .zip(bv.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "giant params diverged between sequential and parallel training"
+            );
+        }
+        assert_eq!(seq_hist.epoch_loss.len(), par_hist.epoch_loss.len());
+        for (a, b) in seq_hist.epoch_loss.iter().zip(&par_hist.epoch_loss) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

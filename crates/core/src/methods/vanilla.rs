@@ -5,7 +5,8 @@ use nb_data::SyntheticVision;
 use nb_models::TinyNet;
 use nb_nn::Module;
 
-use crate::sweep::{seed_sweep, SweepCriterion, SweepReport};
+use crate::sweep::{parallel_classifier_sweep, ClassifierRun, SweepCriterion, SweepReport};
+use crate::trainer::ParallelConfig;
 use nb_data::recipe::{Family, Nuisance};
 use nb_data::Split;
 use nb_models::mobilenet_v2_tiny;
@@ -31,11 +32,10 @@ pub fn train_vanilla(
     )
 }
 
-/// One vanilla run on the 2-class easy task: returns the best validation
-/// accuracy for `seed`, which drives both the model init and the shuffle
-/// order. The shared single-run closure behind
-/// [`vanilla_easy_task_sweep`].
-pub fn vanilla_easy_task_metric(seed: u64) -> f32 {
+/// Builds the 2-class easy-task training problem for `seed` — a pure
+/// function of the seed, so the data-parallel sweep can rebuild identical
+/// shard replicas from it.
+fn easy_task_run(seed: u64) -> ClassifierRun {
     let mut rng = StdRng::seed_from_u64(seed);
     let mk =
         |split| SyntheticVision::new("e", Family::Objects, 2, 12, 32, Nuisance::easy(), 9, split);
@@ -52,24 +52,52 @@ pub fn vanilla_easy_task_metric(seed: u64) -> f32 {
         augment: nb_data::Augment::none(),
         ..TrainConfig::default()
     };
-    train_vanilla(&model, &train, &val, &cfg).best_val_acc()
+    ClassifierRun {
+        model,
+        train,
+        val,
+        cfg,
+    }
+}
+
+/// One vanilla run on the 2-class easy task: returns the best validation
+/// accuracy for `seed`, which drives both the model init and the shuffle
+/// order. The shared single-run closure behind
+/// [`vanilla_easy_task_sweep`].
+pub fn vanilla_easy_task_metric(seed: u64) -> f32 {
+    let run = easy_task_run(seed);
+    train_vanilla(&run.model, &run.train, &run.val, &run.cfg).best_val_acc()
 }
 
 /// The deflaked form of the old single-seed `vanilla_learns_an_easy_task`
-/// check: sweeps [`vanilla_easy_task_metric`] over `seeds` and judges the
-/// 75% accuracy bar statistically (≥ 80% of seeds must clear it). Used by
-/// both the unit test and `nb-verify`'s `verify_all`.
+/// check: sweeps the easy task over `seeds` on the data-parallel sweep
+/// harness and judges the 75% accuracy bar statistically (≥ 80% of seeds
+/// must clear it). Used by both the unit test and `nb-verify`'s
+/// `verify_all`. The default [`ParallelConfig`] keeps one slice per batch,
+/// which is bitwise-identical to the legacy [`fit`]-based metric
+/// ([`vanilla_easy_task_metric`]), so the criterion is unchanged by the
+/// migration.
 pub fn vanilla_easy_task_sweep(seeds: &[u64]) -> SweepReport {
-    seed_sweep(
+    parallel_classifier_sweep(
         seeds,
         SweepCriterion::majority(75.0),
-        vanilla_easy_task_metric,
+        &ParallelConfig::default(),
+        easy_task_run,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_sweep_metric_matches_legacy_fit_bitwise() {
+        // one slice per batch: the migrated harness must reproduce the
+        // legacy single-trainer metric exactly
+        let legacy = vanilla_easy_task_metric(3);
+        let swept = vanilla_easy_task_sweep(&[3]).runs[0].metric;
+        assert_eq!(legacy.to_bits(), swept.to_bits());
+    }
 
     #[test]
     fn vanilla_learns_an_easy_task() {

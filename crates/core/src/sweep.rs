@@ -126,6 +126,56 @@ pub fn seed_sweep(
     SweepReport { criterion, runs }
 }
 
+/// One seed's classifier training problem for [`parallel_classifier_sweep`]:
+/// everything [`fit_parallel`](crate::fit_parallel) needs, rebuilt
+/// deterministically from the seed.
+pub struct ClassifierRun {
+    /// The freshly initialized model (seed-determined weights).
+    pub model: nb_models::TinyNet,
+    /// Training split.
+    pub train: nb_data::SyntheticVision,
+    /// Validation split.
+    pub val: nb_data::SyntheticVision,
+    /// Phase hyperparameters (typically with `seed` folded in).
+    pub cfg: crate::TrainConfig,
+}
+
+/// Seed-sweeps a classifier on the data-parallel trainer: one
+/// [`fit_parallel`](crate::fit_parallel) run per seed, judged like
+/// [`seed_sweep`]. The metric is the run's best validation accuracy.
+///
+/// `setup` must be a *pure function of the seed* — it is called once on
+/// the sweep thread for the master and once per shard thread for the
+/// replicas, and every call must produce identical weights and data. With
+/// the default [`ParallelConfig`](crate::ParallelConfig) (one slice per
+/// batch) each run is bitwise-identical to the legacy [`fit`](crate::fit)
+/// path, so migrating a sweep here cannot move its statistical criterion.
+pub fn parallel_classifier_sweep(
+    seeds: &[u64],
+    criterion: SweepCriterion,
+    pcfg: &crate::ParallelConfig,
+    setup: impl Fn(u64) -> ClassifierRun + Sync,
+) -> SweepReport {
+    use nb_nn::Module;
+    seed_sweep(seeds, criterion, |seed| {
+        let run = setup(seed);
+        let history = crate::fit_parallel(
+            run.model.parameters(),
+            || {
+                let replica = setup(seed);
+                crate::ShardModel::classifier(replica.model, replica.cfg.label_smoothing)
+            },
+            &run.train,
+            &run.val,
+            &run.cfg,
+            pcfg,
+            &|imgs| run.model.logits_eval(imgs),
+            &mut crate::NoHooks,
+        );
+        history.best_val_acc()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

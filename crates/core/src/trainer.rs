@@ -1,13 +1,33 @@
 //! The shared training engine: epoch/step loop, cosine learning-rate
-//! schedule, evaluation, and the hook points that NetBooster's PLT and the
-//! baselines plug into.
+//! schedule, evaluation, the hook points that NetBooster's PLT and the
+//! baselines plug into, and the data-parallel trainer.
+//!
+//! # The data-parallel bit contract
+//!
+//! [`fit_parallel`] replicates the model onto `workers` shard threads,
+//! slices every batch into fixed `grain`-row slices, runs per-slice
+//! forward/backward on taped sessions, and combines the slice gradients
+//! with [`nb_autograd::tree_reduce`] before one optimizer step on the
+//! master parameters. The gradient (and therefore the whole run) is a
+//! pure function of `(batch, grain)` — **never** of the worker count:
+//! slicing is by `grain`, the reduction order is fixed by slice index,
+//! and batch-norm running statistics are replayed onto the master in
+//! slice order through the same [`BnUpdate::apply`] the single trainer
+//! uses. Consequences the nb-verify `[dp]` suite pins bitwise:
+//!
+//! - `dp(N) == dp(1)` for every `N` at a fixed grain, and
+//! - `dp(anything)` with `grain == batch_size` (one slice per batch)
+//!   `== fit()` exactly.
 
-use nb_autograd::Value;
+use nb_autograd::{tree_reduce, GradSet, Value};
 use nb_data::{Augment, Batch, DataLoader, SyntheticVision};
 use nb_metrics::Accuracy;
+use nb_nn::layers::BnUpdate;
 use nb_nn::{Module, Parameter, Session};
 use nb_optim::{CosineAnneal, LrSchedule, Sgd, SgdConfig};
 use nb_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
 
 /// Hyperparameters of one training phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,7 +162,7 @@ pub fn fit(
         hooks.on_epoch_start(epoch);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
-        for batch in loader.epoch(epoch) {
+        for batch in loader.stream(epoch) {
             let mut s = Session::new(true);
             let loss = loss_fn(&mut s, &batch);
             loss_sum += s.value(loss).item() as f64;
@@ -167,6 +187,315 @@ pub fn fit(
         }
     }
     history
+}
+
+/// One shard's model replica: its parameters in canonical (visit) order
+/// plus the loss closure that owns the replica's module tree.
+///
+/// Built *on* the shard thread by the factory passed to [`fit_parallel`]
+/// (parameters are `Rc`-based and cannot cross threads); the replica's
+/// initial weights are irrelevant because every step begins with a sync
+/// from the master.
+pub struct ShardModel {
+    /// The replica's parameters, in the same canonical order as the
+    /// master's (index `i` here corresponds to master index `i`).
+    pub params: Vec<Parameter>,
+    /// Records the forward pass for one batch slice and returns the
+    /// scalar mean loss over that slice.
+    pub loss_fn: SliceLossFn,
+}
+
+/// A boxed per-slice loss: records one batch slice's forward pass on the
+/// shard's taped session and returns the scalar mean loss.
+pub type SliceLossFn = Box<dyn FnMut(&mut Session, &Batch) -> Value>;
+
+impl ShardModel {
+    /// The standard classifier replica: cross-entropy over the module's
+    /// logits, parameters in visit order.
+    pub fn classifier<M: Module + 'static>(model: M, smoothing: f32) -> ShardModel {
+        let params = model.parameters();
+        ShardModel {
+            params,
+            loss_fn: Box::new(move |s, batch| {
+                let x = s.input(batch.images.clone());
+                let logits = model.forward(s, x);
+                s.graph
+                    .softmax_cross_entropy(logits, &batch.labels, smoothing)
+            }),
+        }
+    }
+}
+
+/// Sharding configuration for [`fit_parallel`]. The default (all zeros)
+/// is pool-width workers with one slice per batch — the configuration
+/// that is bitwise-identical to the sequential [`fit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Shard threads (0 = the worker pool's width). The shards partition
+    /// the pool via [`nb_tensor::with_thread_cap`], so kernel parallelism
+    /// never oversubscribes it.
+    pub workers: usize,
+    /// Rows per batch slice (0 = the whole batch as one slice). The grain
+    /// — not the worker count — determines the gradient bits; keep it
+    /// fixed while varying `workers` and the run is bitwise reproducible.
+    pub grain: usize,
+}
+
+impl ParallelConfig {
+    /// Workers at the pool width, batch split into one slice per worker
+    /// (rounded up). Note that tying the grain to the pool width makes the
+    /// gradient bits machine-dependent; pass an explicit grain when runs
+    /// must reproduce across machines.
+    pub fn auto(batch_size: usize) -> Self {
+        let workers = nb_tensor::num_threads().max(1);
+        ParallelConfig {
+            workers,
+            grain: batch_size.div_ceil(workers),
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            nb_tensor::num_threads().max(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Partitions a worker pool of `width` threads among `workers` shards:
+/// shard `s` gets `width / workers`, plus one of the `width % workers`
+/// leftovers, never less than 1. When `workers <= width` the caps sum to
+/// exactly `width`, so concurrent shard kernels cannot oversubscribe the
+/// pool; extra shards beyond `width` all run their kernels inline (cap 1).
+pub fn shard_thread_caps(width: usize, workers: usize) -> Vec<usize> {
+    assert!(workers > 0, "at least one shard");
+    let width = width.max(1);
+    (0..workers)
+        .map(|s| (width / workers + usize::from(s < width % workers)).max(1))
+        .collect()
+}
+
+/// A shard's work queue: sync replica weights, or run one batch slice.
+enum ShardCmd {
+    /// Master parameter values (canonical order) to load into the replica.
+    Sync(Arc<Vec<Tensor>>),
+    /// Forward/backward one slice and report gradients.
+    Run { slice_idx: usize, batch: Batch },
+}
+
+/// One slice's contribution, sent back to the reducer.
+struct SliceResult {
+    slice_idx: usize,
+    /// Mean loss over the slice's rows.
+    loss: f32,
+    /// Per-parameter gradients, canonical order.
+    grads: GradSet,
+    /// Deferred batch-norm updates as `(mean_idx, var_idx, update)` into
+    /// the canonical parameter list, in forward-encounter order.
+    bn: Vec<(usize, usize, BnUpdate)>,
+}
+
+/// Runs a training phase data-parallel across shard threads.
+///
+/// `master` holds the authoritative parameters (canonical order);
+/// `factory` builds one replica per shard *on the shard's thread* —
+/// replica parameter order must match the master's. Each step
+/// broadcasts the master weights, slices the batch into `grain`-row
+/// slices, fans the slices out round-robin, tree-reduces the slice
+/// gradients in fixed order, replays batch-norm statistics in slice
+/// order, and takes one optimizer step. See the module docs for the
+/// bitwise contract; schedule, hooks, history, and evaluation cadence
+/// are identical to [`fit`].
+#[allow(clippy::too_many_arguments)]
+pub fn fit_parallel<F>(
+    master: Vec<Parameter>,
+    factory: F,
+    train: &SyntheticVision,
+    val: &SyntheticVision,
+    cfg: &TrainConfig,
+    pcfg: &ParallelConfig,
+    eval_logits: &dyn Fn(&Tensor) -> Tensor,
+    hooks: &mut dyn TrainHooks,
+) -> History
+where
+    F: Fn() -> ShardModel + Sync,
+{
+    let workers = pcfg.effective_workers();
+    let caps = shard_thread_caps(nb_tensor::num_threads(), workers);
+    let loader = DataLoader::shared(Arc::new(train.clone()), cfg.batch_size)
+        .shuffled(cfg.seed)
+        .with_augment(cfg.augment);
+    let steps_per_epoch = loader.batches_per_epoch();
+    let total_steps = (cfg.epochs * steps_per_epoch).max(1);
+    let sched = CosineAnneal {
+        base_lr: cfg.lr,
+        min_lr: 0.0,
+        total_steps,
+        warmup_steps: (total_steps / 20).min(steps_per_epoch),
+    };
+    let mut opt = Sgd::new(
+        master.clone(),
+        SgdConfig {
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            nesterov: false,
+        },
+    );
+
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = mpsc::channel::<SliceResult>();
+        let mut cmd_txs = Vec::with_capacity(workers);
+        for &cap in caps.iter().take(workers) {
+            let (tx, rx) = mpsc::channel::<ShardCmd>();
+            cmd_txs.push(tx);
+            let res_tx = res_tx.clone();
+            let factory = &factory;
+            scope.spawn(move || {
+                nb_tensor::with_thread_cap(cap, || {
+                    let mut shard = factory();
+                    let index_of: HashMap<usize, usize> = shard
+                        .params
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (p.key(), i))
+                        .collect();
+                    while let Ok(cmd) = rx.recv() {
+                        match cmd {
+                            ShardCmd::Sync(values) => {
+                                assert_eq!(
+                                    values.len(),
+                                    shard.params.len(),
+                                    "replica parameter count differs from master"
+                                );
+                                for (p, v) in shard.params.iter().zip(values.iter()) {
+                                    p.set_value(v.clone());
+                                }
+                            }
+                            ShardCmd::Run { slice_idx, batch } => {
+                                for p in &shard.params {
+                                    p.zero_grad();
+                                }
+                                let mut s = Session::new(true);
+                                s.record_bn_updates();
+                                let loss = (shard.loss_fn)(&mut s, &batch);
+                                let loss_val = s.value(loss).item();
+                                s.backward(loss);
+                                let bn = s
+                                    .take_bn_records()
+                                    .into_iter()
+                                    .map(|r| {
+                                        let mi = *index_of
+                                            .get(&r.mean.key())
+                                            .expect("BN running mean not among shard params");
+                                        let vi = *index_of
+                                            .get(&r.var.key())
+                                            .expect("BN running var not among shard params");
+                                        (mi, vi, r.update)
+                                    })
+                                    .collect();
+                                drop(s);
+                                let grads = shard.params.iter().map(|p| p.grad()).collect();
+                                if res_tx
+                                    .send(SliceResult {
+                                        slice_idx,
+                                        loss: loss_val,
+                                        grads,
+                                        bn,
+                                    })
+                                    .is_err()
+                                {
+                                    break; // trainer gone
+                                }
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        drop(res_tx);
+
+        let mut history = History::default();
+        let mut step = 0usize;
+        for epoch in 0..cfg.epochs {
+            hooks.on_epoch_start(epoch);
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for batch in loader.stream(epoch) {
+                let snapshot: Arc<Vec<Tensor>> =
+                    Arc::new(master.iter().map(|p| p.value()).collect());
+                for tx in &cmd_txs {
+                    tx.send(ShardCmd::Sync(Arc::clone(&snapshot)))
+                        .expect("shard thread died");
+                }
+                let n = batch.len();
+                let grain = if pcfg.grain == 0 {
+                    n
+                } else {
+                    pcfg.grain.min(n)
+                };
+                let num_slices = n.div_ceil(grain);
+                let mut weights = Vec::with_capacity(num_slices);
+                for s in 0..num_slices {
+                    let start = s * grain;
+                    let len = (n - start).min(grain);
+                    weights.push(len as f32 / n as f32);
+                    cmd_txs[s % workers]
+                        .send(ShardCmd::Run {
+                            slice_idx: s,
+                            batch: batch.slice(start, len),
+                        })
+                        .expect("shard thread died");
+                }
+                let mut results: Vec<SliceResult> = (0..num_slices)
+                    .map(|_| res_rx.recv().expect("shard thread died mid-step"))
+                    .collect();
+                results.sort_unstable_by_key(|r| r.slice_idx);
+
+                // Replay batch-norm running statistics onto the master in
+                // slice order — the same EMA chain a sequential pass over
+                // the slices would have produced.
+                for r in &results {
+                    for (mi, vi, update) in &r.bn {
+                        update.apply(&master[*mi], &master[*vi]);
+                    }
+                }
+                // Batch mean loss: exact pass-through for a single slice,
+                // row-weighted sum otherwise.
+                if num_slices == 1 {
+                    loss_sum += results[0].loss as f64;
+                } else {
+                    for (r, &w) in results.iter().zip(&weights) {
+                        loss_sum += w as f64 * r.loss as f64;
+                    }
+                }
+                batches += 1;
+
+                let parts: Vec<(usize, GradSet)> = results
+                    .into_iter()
+                    .map(|r| (r.slice_idx, r.grads))
+                    .collect();
+                let reduced = tree_reduce(parts, &weights);
+                opt.assign_grads(&reduced);
+                opt.clip_grad_norm(cfg.grad_clip);
+                opt.step(sched.lr(step));
+                step += 1;
+                hooks.on_step(step);
+            }
+            history
+                .epoch_loss
+                .push((loss_sum / batches.max(1) as f64) as f32);
+            let last = epoch + 1 == cfg.epochs;
+            if last || (epoch + 1) % cfg.eval_every.max(1) == 0 {
+                history
+                    .val_acc
+                    .push(evaluate(eval_logits, val, cfg.eval_batch));
+            }
+        }
+        drop(cmd_txs); // shard queues close; threads exit at scope join
+        history
+    })
 }
 
 /// Top-1 accuracy of `eval_logits` over a dataset.
@@ -309,6 +638,141 @@ mod tests {
         );
         assert_eq!(hooks.epochs, 2);
         assert_eq!(hooks.steps, 2 * 2); // 24 samples / 12 per batch * 2 epochs
+    }
+
+    #[test]
+    fn shard_caps_partition_pool_without_oversubscription() {
+        for width in 1..9 {
+            for workers in 1..12 {
+                let caps = shard_thread_caps(width, workers);
+                assert_eq!(caps.len(), workers);
+                assert!(caps.iter().all(|&c| c >= 1), "every shard can run");
+                if workers <= width {
+                    assert_eq!(
+                        caps.iter().sum::<usize>(),
+                        width,
+                        "caps must partition the pool exactly (width {width}, workers {workers})"
+                    );
+                } else {
+                    assert!(
+                        caps.iter().all(|&c| c == 1),
+                        "oversubscribed shards run inline"
+                    );
+                }
+            }
+        }
+        // dp(max): workers = pool width never exceeds the pool
+        let w = nb_tensor::num_threads();
+        let caps = shard_thread_caps(w, w.max(1));
+        assert!(caps.iter().sum::<usize>() <= w.max(1));
+    }
+
+    /// Builds the tiny truncated model deterministically from a fixed seed
+    /// — the factory both the master and every shard replica use.
+    fn dp_model() -> TinyNet {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut cfg_model = mobilenet_v2_tiny(3);
+        cfg_model.blocks.truncate(3);
+        cfg_model.head_c = 16;
+        TinyNet::new(cfg_model, &mut rng)
+    }
+
+    fn dp_final_params(pcfg: &ParallelConfig) -> (Vec<Tensor>, History) {
+        let (train, val) = tiny_pair();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            lr: 0.05,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        };
+        let model = dp_model();
+        let master = model.parameters();
+        let history = fit_parallel(
+            master.clone(),
+            || ShardModel::classifier(dp_model(), cfg.label_smoothing),
+            &train,
+            &val,
+            &cfg,
+            pcfg,
+            &|imgs| model.logits_eval(imgs),
+            &mut NoHooks,
+        );
+        (master.iter().map(|p| p.value()).collect(), history)
+    }
+
+    fn assert_bitwise(a: &[Tensor], b: &[Tensor], what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .all(|(u, v)| u.to_bits() == v.to_bits()),
+                "{what}: parameter {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_single_slice_matches_legacy_fit_bitwise() {
+        let (train, val) = tiny_pair();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            lr: 0.05,
+            augment: Augment::none(),
+            ..TrainConfig::default()
+        };
+        let legacy_model = dp_model();
+        let legacy_params = legacy_model.parameters();
+        let mut loss_fn = ce_loss_fn(&legacy_model, cfg.label_smoothing);
+        let legacy_hist = fit(
+            legacy_params.clone(),
+            &train,
+            &val,
+            &cfg,
+            &mut loss_fn,
+            &|imgs| legacy_model.logits_eval(imgs),
+            &mut NoHooks,
+        );
+        let legacy: Vec<Tensor> = legacy_params.iter().map(|p| p.value()).collect();
+
+        // grain 0 = whole batch in one slice: must reproduce fit() exactly
+        let (dp, dp_hist) = dp_final_params(&ParallelConfig {
+            workers: 2,
+            grain: 0,
+        });
+        assert_bitwise(&legacy, &dp, "dp(grain=batch) vs fit()");
+        assert_eq!(
+            legacy_hist
+                .epoch_loss
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            dp_hist
+                .epoch_loss
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            "epoch losses diverged"
+        );
+    }
+
+    #[test]
+    fn dp_bits_do_not_depend_on_worker_count() {
+        let grain = 3; // deliberately misaligned with the batch size of 8
+        let (one, h1) = dp_final_params(&ParallelConfig { workers: 1, grain });
+        let (two, h2) = dp_final_params(&ParallelConfig { workers: 2, grain });
+        let max = nb_tensor::num_threads().max(3);
+        let (many, hm) = dp_final_params(&ParallelConfig {
+            workers: max,
+            grain,
+        });
+        assert_bitwise(&one, &two, "dp(1) vs dp(2)");
+        assert_bitwise(&one, &many, "dp(1) vs dp(max)");
+        assert_eq!(h1.epoch_loss[0].to_bits(), h2.epoch_loss[0].to_bits());
+        assert_eq!(h1.epoch_loss[0].to_bits(), hm.epoch_loss[0].to_bits());
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub use catalog::{
 };
 pub use dataset::{Dataset, Split, SyntheticVision};
 pub use detection::{BoxAnnotation, SyntheticVoc};
-pub use loader::{random_probe_batch, Batch, DataLoader};
+pub use loader::{random_probe_batch, Batch, BatchStream, DataLoader, EpochIter};

@@ -16,7 +16,7 @@
 //!
 //! [`Graph`]: nb_autograd::Graph
 
-use crate::layers::BatchNorm2d;
+use crate::layers::{BatchNorm2d, BnUpdate};
 use crate::{Parameter, Session};
 use nb_autograd::Value;
 use nb_tensor::{ConvGeometry, Tensor};
@@ -248,12 +248,13 @@ impl Forward for Session {
         if self.training {
             let (y, stats) = self.graph.batch_norm_train(x, gamma, beta, bn.eps());
             if self.update_bn_stats {
-                let m = bn.momentum();
-                let mut rm = bn.running_mean().scale(1.0 - m);
-                rm.add_scaled_assign(&stats.mean, m);
-                let mut rv = bn.running_var().scale(1.0 - m);
-                rv.add_scaled_assign(&stats.var, m);
-                bn.set_running_stats(rm, rv);
+                let update = BnUpdate {
+                    momentum: bn.momentum(),
+                    channels: bn.channels(),
+                    mean: stats.mean,
+                    var: stats.var,
+                };
+                self.apply_or_record_bn(bn.running_mean_param(), bn.running_var_param(), update);
             }
             y
         } else {
@@ -275,14 +276,13 @@ impl Forward for Session {
             if !self.update_bn_stats {
                 return y;
             }
-            let m = bn.momentum();
-            let mut rm = bn.running_mean();
-            let mut rv = bn.running_var();
-            for i in 0..k {
-                rm.as_mut_slice()[i] = (1.0 - m) * rm.as_slice()[i] + m * stats.mean.as_slice()[i];
-                rv.as_mut_slice()[i] = (1.0 - m) * rv.as_slice()[i] + m * stats.var.as_slice()[i];
-            }
-            bn.set_running_stats(rm, rv);
+            let update = BnUpdate {
+                momentum: bn.momentum(),
+                channels: k,
+                mean: stats.mean,
+                var: stats.var,
+            };
+            self.apply_or_record_bn(bn.running_mean_param(), bn.running_var_param(), update);
             y
         } else {
             let rm = bn.running_mean().narrow0(0, k);

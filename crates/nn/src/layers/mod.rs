@@ -9,5 +9,5 @@ mod pool;
 pub use act::{ActKind, Activation, Slope};
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use linear::Linear;
-pub use norm::BatchNorm2d;
+pub use norm::{BatchNorm2d, BnUpdate};
 pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

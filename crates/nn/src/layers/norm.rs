@@ -81,6 +81,17 @@ impl BatchNorm2d {
         self.running_var.value()
     }
 
+    /// The running-mean parameter itself (for the data-parallel trainer's
+    /// deferred statistics replay).
+    pub fn running_mean_param(&self) -> &Parameter {
+        &self.running_mean
+    }
+
+    /// The running-variance parameter itself.
+    pub fn running_var_param(&self) -> &Parameter {
+        &self.running_var
+    }
+
     /// Overwrites the running statistics (used by state-dict loading and by
     /// tests).
     ///
@@ -109,6 +120,62 @@ impl BatchNorm2d {
             beta.as_slice()[c] - mean.as_slice()[c] * scale.as_slice()[c]
         });
         (scale, shift)
+    }
+}
+
+/// One training-mode batch-norm statistics update: the batch mean/var of a
+/// forward pass plus the EMA momentum to fold them in with.
+///
+/// [`Session`](crate::Session) either applies an update immediately (the
+/// single-trainer path) or records it for deferred replay (the
+/// data-parallel path, where shard replicas observe the batch statistics
+/// but the *master* parameters must receive the EMA chain in slice order).
+/// Both paths go through [`BnUpdate::apply`], so the running-statistics
+/// bits cannot depend on which path ran.
+///
+/// `channels` is the number of *affected* leading channels: equal to the
+/// parameter length for a full-width forward, smaller for NetAug's sliced
+/// sub-network forward (which updates only the slice's channels).
+#[derive(Debug, Clone)]
+pub struct BnUpdate {
+    /// EMA momentum at the time of the forward pass.
+    pub momentum: f32,
+    /// Number of leading channels the batch statistics cover.
+    pub channels: usize,
+    /// Per-channel batch mean (`channels` long).
+    pub mean: Tensor,
+    /// Per-channel batch variance (`channels` long).
+    pub var: Tensor,
+}
+
+impl BnUpdate {
+    /// Folds the batch statistics into the running-statistics parameters:
+    /// `r = (1 - momentum) * r + momentum * batch_stat`, touching only the
+    /// first `channels` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` exceeds the parameter length or the mean/var
+    /// tensors are shorter than `channels`.
+    pub fn apply(&self, running_mean: &Parameter, running_var: &Parameter) {
+        let m = self.momentum;
+        let k = self.channels;
+        let mut rm = running_mean.value();
+        let mut rv = running_var.value();
+        assert!(k <= rm.numel(), "BnUpdate channels exceed running mean");
+        if k == rm.numel() {
+            rm.scale_assign(1.0 - m);
+            rm.add_scaled_assign(&self.mean, m);
+            rv.scale_assign(1.0 - m);
+            rv.add_scaled_assign(&self.var, m);
+        } else {
+            for i in 0..k {
+                rm.as_mut_slice()[i] = (1.0 - m) * rm.as_slice()[i] + m * self.mean.as_slice()[i];
+                rv.as_mut_slice()[i] = (1.0 - m) * rv.as_slice()[i] + m * self.var.as_slice()[i];
+            }
+        }
+        running_mean.set_value(rm);
+        running_var.set_value(rv);
     }
 }
 

@@ -51,7 +51,7 @@ mod state;
 pub use fold::{fold_bn, fold_bn_depthwise};
 pub use forward::Forward;
 pub use infer::InferCtx;
-pub use module::{join_name, Module, Session};
+pub use module::{join_name, BnRecord, Module, Session};
 pub use param::Parameter;
 pub use plan::{CompiledPlan, PlanArena, PlanOptions, PlanReplay};
 pub use sequential::Sequential;

@@ -1,10 +1,26 @@
 //! The [`Module`] trait and the per-step [`Session`] that bridges parameters
 //! and the autograd tape.
 
+use crate::layers::BnUpdate;
 use crate::Parameter;
 use nb_autograd::{Graph, Value};
 use nb_tensor::Tensor;
 use std::collections::HashMap;
+
+/// One deferred batch-norm statistics update, captured while a session
+/// runs with [`Session::record_bn_updates`] enabled: the layer's
+/// running-stat parameters (as seen by *this* session's model replica)
+/// plus the update itself. The data-parallel trainer maps the parameters
+/// to canonical indices and replays the updates onto the master model in
+/// slice order.
+pub struct BnRecord {
+    /// The replica's running-mean parameter.
+    pub mean: Parameter,
+    /// The replica's running-variance parameter.
+    pub var: Parameter,
+    /// The captured batch statistics and momentum.
+    pub update: BnUpdate,
+}
 
 /// One training (or evaluation) step's worth of state: an autograd tape plus
 /// the set of parameters bound into it.
@@ -23,6 +39,9 @@ pub struct Session {
     pub update_bn_stats: bool,
     bound: HashMap<usize, Value>,
     bindings: Vec<(Parameter, Value)>,
+    /// `Some` while batch-norm statistics updates are being recorded for
+    /// deferred replay instead of applied inline.
+    bn_records: Option<Vec<BnRecord>>,
 }
 
 impl Session {
@@ -34,6 +53,41 @@ impl Session {
             update_bn_stats: true,
             bound: HashMap::new(),
             bindings: Vec::new(),
+            bn_records: None,
+        }
+    }
+
+    /// Switches the session to *recording* batch-norm statistics updates:
+    /// training-mode batch norms capture their `(batch mean, batch var,
+    /// momentum)` instead of folding them into the running statistics
+    /// inline. The data-parallel trainer enables this on shard sessions so
+    /// the EMA chain can be replayed onto the master model in slice order.
+    pub fn record_bn_updates(&mut self) {
+        self.bn_records = Some(Vec::new());
+    }
+
+    /// Drains the recorded batch-norm updates, in forward-encounter order.
+    pub fn take_bn_records(&mut self) -> Vec<BnRecord> {
+        self.bn_records.take().unwrap_or_default()
+    }
+
+    /// Applies an update inline, or records it when recording is enabled.
+    /// Called by the training-mode batch-norm forward (both full-width and
+    /// sliced); routing both modes through [`BnUpdate::apply`] keeps the
+    /// running-statistics bits identical across trainers.
+    pub(crate) fn apply_or_record_bn(
+        &mut self,
+        mean: &Parameter,
+        var: &Parameter,
+        update: BnUpdate,
+    ) {
+        match &mut self.bn_records {
+            Some(records) => records.push(BnRecord {
+                mean: mean.clone(),
+                var: var.clone(),
+                update,
+            }),
+            None => update.apply(mean, var),
         }
     }
 

@@ -100,6 +100,28 @@ impl Sgd {
         }
     }
 
+    /// Overwrites every managed parameter's gradient with the matching
+    /// entry of `grads` — the data-parallel trainer's hand-off from the
+    /// reduced gradient set to the optimizer. Implemented as clear +
+    /// accumulate so the stored bits go through the same `0.0 + g` path the
+    /// backward pass uses (normalizing `-0.0` identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` disagrees with the parameter list in length or any
+    /// shape.
+    pub fn assign_grads(&self, grads: &[Tensor]) {
+        assert_eq!(
+            grads.len(),
+            self.params.len(),
+            "assign_grads: one gradient per parameter"
+        );
+        for (p, g) in self.params.iter().zip(grads) {
+            p.zero_grad();
+            p.add_grad(g);
+        }
+    }
+
     /// Clears all gradients without updating.
     pub fn zero_grad(&self) {
         for p in &self.params {
@@ -187,6 +209,19 @@ mod tests {
         p.add_grad(&Tensor::ones([2]));
         opt.step(0.1);
         assert_eq!(p.grad().abs_sum(), 0.0);
+    }
+
+    #[test]
+    fn assign_grads_overwrites_accumulated() {
+        let p = Parameter::new(Tensor::zeros([2]));
+        let opt = Sgd::new(vec![p.clone()], cfg(0.1, 0.0, 0.0));
+        p.add_grad(&Tensor::full([2], 7.0));
+        opt.assign_grads(&[Tensor::from_vec(vec![1.0, -0.0], [2]).unwrap()]);
+        let g = p.grad();
+        assert_eq!(g.as_slice()[0], 1.0);
+        // -0.0 normalizes to +0.0 through the 0.0 + g accumulate path,
+        // matching what Session::backward would have stored.
+        assert_eq!(g.as_slice()[1].to_bits(), 0.0f32.to_bits());
     }
 
     #[test]

@@ -28,13 +28,8 @@ use crate::gemm::{
     gemm, gemm_conv_batch, gemm_conv_explicit, gemm_conv_packed, gemm_conv_packed_mat, Im2colRef,
     PackedA,
 };
-use crate::threadpool::{self, with_scratch, SharedMut, CONV_COLS, CONV_DCOLS};
+use crate::threadpool::{self, with_scratch, SharedMut, CONV_COLS, CONV_DCOLS, CONV_DW_PARTS};
 use crate::{ConvGeometry, Tensor};
-use std::sync::Mutex;
-
-/// Per-task weight/bias gradient partials, tagged with the task's chunk
-/// index so the reduction can run in a fixed (deterministic) order.
-type GradPartials = Mutex<Vec<(usize, Vec<f32>, Vec<f32>)>>;
 
 /// Unfolds one image `[c, h, w]` into a `[c*kh*kw, ho*wo]` column matrix.
 ///
@@ -343,42 +338,39 @@ pub fn conv2d_backward(
     let ws = w.as_slice();
 
     let mut dx = Tensor::zeros(x.shape().clone());
-    // Contiguous sample chunks, one task each, so every task owns one dw/db
-    // partial; partials are reduced in chunk order below.
-    let tasks = threadpool::num_threads().min(n);
-    let per = n.div_ceil(tasks.max(1));
+    // Per-sample dW/db partials, written into disjoint windows of one caller
+    // scratch buffer and reduced in ascending sample order below. The
+    // partitioning is by *sample*, never by worker count, so the gradient
+    // bits are a function of the batch alone — invariant under pool width,
+    // `with_thread_cap`, and task scheduling. The data-parallel trainer's
+    // bitwise dp(N) == dp(1) contract rests on this.
+    let part_sz = c_out * col_rows + c_out;
     let shared_dx = SharedMut::new(dx.as_mut_slice());
-    let partials: GradPartials = Mutex::new(Vec::with_capacity(tasks));
-    threadpool::parallel_for(tasks, &|t| {
-        let n0 = t * per;
-        let n1 = n.min(n0 + per);
-        let mut dw_part = vec![0.0f32; c_out * col_rows];
-        let mut db_part = vec![0.0f32; c_out];
-        // Safety: sample ranges [n0, n1) are disjoint across tasks.
-        let dx_chunk = unsafe { shared_dx.slice(n0 * in_sz, (n1 - n0) * in_sz) };
-        for (local, dx_sample) in dx_chunk.chunks_mut(in_sz).enumerate() {
-            let ni = n0 + local;
+    let mut dw = Tensor::zeros(w.shape().clone());
+    let mut db = Tensor::zeros([c_out]);
+    with_scratch(&CONV_DW_PARTS, n * part_sz, |parts| {
+        let shared_parts = SharedMut::new(parts);
+        threadpool::parallel_for(n, &|ni| {
+            // Safety: sample windows of dx and the partials buffer are
+            // disjoint across tasks.
+            let part = unsafe { shared_parts.slice(ni * part_sz, part_sz) };
+            let (dw_part, db_part) = part.split_at_mut(c_out * col_rows);
+            let dx_sample = unsafe { shared_dx.slice(ni * in_sz, in_sz) };
             let dy_s = &dys[ni * out_sz..(ni + 1) * out_sz];
             with_scratch(&CONV_COLS, col_rows * out_hw, |cols| {
                 im2col(&xs[ni * in_sz..(ni + 1) * in_sz], c_in, h, wd, geom, cols);
-                // dW += dY_s * cols^T, accumulated straight into the partial.
+                // dW_s = dY_s * cols^T, overwriting the sample's window
+                // (scratch is not pre-zeroed).
                 gemm(
-                    dy_s,
-                    false,
-                    cols,
-                    true,
-                    &mut dw_part,
-                    c_out,
-                    out_hw,
-                    col_rows,
-                    None,
-                    true,
+                    dy_s, false, cols, true, dw_part, c_out, out_hw, col_rows, None, false,
                 );
             });
-            if has_bias {
-                for (co, db_v) in db_part.iter_mut().enumerate() {
-                    *db_v += dy_s[co * out_hw..(co + 1) * out_hw].iter().sum::<f32>();
-                }
+            for (co, db_v) in db_part.iter_mut().enumerate() {
+                *db_v = if has_bias {
+                    dy_s[co * out_hw..(co + 1) * out_hw].iter().sum::<f32>()
+                } else {
+                    0.0
+                };
             }
             // dcols = W^T * dY_s (reading W transposed at pack time), folded
             // back onto this sample's dx — no per-sample tensor allocation.
@@ -388,22 +380,19 @@ pub fn conv2d_backward(
                 );
                 col2im(dcols, c_in, h, wd, geom, dx_sample);
             });
+        });
+        // Fixed reduction order: ascending sample index, left to right.
+        for ni in 0..n {
+            let part = &parts[ni * part_sz..(ni + 1) * part_sz];
+            let (dw_p, db_p) = part.split_at(c_out * col_rows);
+            for (d, s) in dw.as_mut_slice().iter_mut().zip(dw_p) {
+                *d += s;
+            }
+            for (d, s) in db.as_mut_slice().iter_mut().zip(db_p) {
+                *d += s;
+            }
         }
-        partials.lock().unwrap().push((t, dw_part, db_part));
     });
-    let mut partials = partials.into_inner().unwrap();
-    // Fixed reduction order: sum partials by chunk index, not arrival order.
-    partials.sort_unstable_by_key(|(t, ..)| *t);
-    let mut dw = Tensor::zeros(w.shape().clone());
-    let mut db = Tensor::zeros([c_out]);
-    for (_, dw_p, db_p) in &partials {
-        for (d, s) in dw.as_mut_slice().iter_mut().zip(dw_p) {
-            *d += s;
-        }
-        for (d, s) in db.as_mut_slice().iter_mut().zip(db_p) {
-            *d += s;
-        }
-    }
     (dx, dw, if has_bias { Some(db) } else { None })
 }
 
@@ -1069,6 +1058,34 @@ mod tests {
                 );
             });
         }
+    }
+
+    #[test]
+    fn backward_gradients_are_width_invariant() {
+        use crate::selector::with_autotune_off;
+        use crate::threadpool::with_thread_cap;
+        let mut rng = StdRng::seed_from_u64(21);
+        let geom = ConvGeometry::square(3, 1, 1);
+        let x = Tensor::randn([5, 3, 9, 9], &mut rng);
+        let w = Tensor::randn([4, 3, 3, 3], &mut rng);
+        let dy = Tensor::randn([5, 4, 9, 9], &mut rng);
+        with_autotune_off(|| {
+            let (dx, dw, db) = conv2d_backward(&x, &w, &dy, geom, true);
+            let (dx1, dw1, db1) = with_thread_cap(1, || conv2d_backward(&x, &w, &dy, geom, true));
+            for (name, a, b) in [
+                ("dx", &dx, &dx1),
+                ("dw", &dw, &dw1),
+                ("db", db.as_ref().unwrap(), db1.as_ref().unwrap()),
+            ] {
+                assert!(
+                    a.as_slice()
+                        .iter()
+                        .zip(b.as_slice())
+                        .all(|(u, v)| u.to_bits() == v.to_bits()),
+                    "{name} not width-invariant"
+                );
+            }
+        });
     }
 
     #[test]

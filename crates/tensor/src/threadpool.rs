@@ -305,6 +305,8 @@ thread_local! {
     pub(crate) static CONV_COLS: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
     /// Column-gradient matrix for conv backward.
     pub(crate) static CONV_DCOLS: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    /// Per-sample dW/db partials for conv backward, reduced on the caller.
+    pub(crate) static CONV_DW_PARTS: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 use nb_verify::audit::run_audit_suite;
 use nb_verify::concurrent::run_concurrent_suite;
 use nb_verify::diff::{run_conv_suite, run_depthwise_suite, run_gemm_suite, run_pool_suite};
+use nb_verify::dp::run_dp_suite;
 use nb_verify::parity::run_parity_suite;
 use netbooster_core::vanilla_easy_task_sweep;
 
@@ -58,7 +59,16 @@ fn main() {
         print!("{}", concurrent.render_failures());
     }
 
-    // 5. training seed sweep (statistical pass criterion)
+    // 5. data-parallel training parity: fit_parallel vs fit, bitwise, and
+    // worker-count invariance at fixed gradient grain
+    let dp = run_dp_suite(fast);
+    println!("[dp] {}", dp.summary_line());
+    if !dp.pass() {
+        failed = true;
+        print!("{}", dp.render_failures());
+    }
+
+    // 6. training seed sweep (statistical pass criterion)
     let seeds: Vec<u64> = if fast {
         (0..5).collect()
     } else {

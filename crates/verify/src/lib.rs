@@ -24,16 +24,22 @@
 //!    `Arc<CompiledPlan>` replayed from many caller threads must match
 //!    serial replay bitwise; any divergence means hidden shared mutable
 //!    state on the serving hot path.
-//! 5. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
+//! 5. **Data-parallel training parity** ([`dp`]) — `fit_parallel` must be
+//!    a bitwise drop-in for the sequential trainer: one slice per batch
+//!    reproduces `fit` exactly, and at a fixed gradient grain the worker
+//!    count (1, 2, or the machine's pool width) cannot change a single
+//!    parameter bit.
+//! 6. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
 //!    statistical pass criteria for learning tests: a test passes when
 //!    enough seeds clear the bar, not when one lucky seed does.
 //!
-//! The `verify_all` binary runs all five (`--fast` for the CI-sized grid)
+//! The `verify_all` binary runs all six (`--fast` for the CI-sized grid)
 //! and exits non-zero on any divergence, printing the per-layer tables.
 
 pub mod audit;
 pub mod concurrent;
 pub mod diff;
+pub mod dp;
 pub mod oracle;
 pub mod parity;
 pub mod tolerance;
@@ -41,6 +47,7 @@ pub mod tolerance;
 pub use audit::{audit_contraction, default_plans, run_audit_suite, ContractionAudit};
 pub use concurrent::{run_concurrent_suite, ConcurrentCase, ConcurrentReport};
 pub use diff::{run_all_suites, DiffReport};
+pub use dp::{run_dp_suite, DpCase, DpReport};
 pub use netbooster_core::{seed_sweep, SeedRun, SweepCriterion, SweepReport};
 pub use parity::{run_parity_suite, ParityCase, ParityReport};
 pub use tolerance::{ulp_distance, Divergence, UlpTolerance};

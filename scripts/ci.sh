@@ -17,7 +17,8 @@ echo "== verify_all (fast mode, NB_AUTOTUNE=off) =="
 # differential kernel oracles, contraction exactness audits, three-executor
 # parity (taped vs grad-free vs compiled plan: bitwise with folding off,
 # ULP-bounded with folding on), concurrent Arc-shared plan replay parity,
-# seed sweep; exits non-zero and prints per-case / per-layer tables on any
+# data-parallel trainer parity (fit_parallel vs fit, bitwise, worker-count
+# invariant), seed sweep; exits non-zero and prints per-case tables on any
 # divergence. NB_AUTOTUNE=off pins the deterministic default schedules so
 # CI never depends on a host's tuning cache (the +implicit suite separately
 # proves every schedule agrees bitwise; scripts/autotune.sh is the opt-in
@@ -30,6 +31,14 @@ echo "== bench_infer (smoke) =="
 # than InferCtx with no higher peak bytes (exits non-zero otherwise)
 mkdir -p target
 cargo run --release -q -p nb-bench --bin bench_infer -- --smoke target/BENCH_infer_smoke.json >/dev/null
+
+echo "== bench_train (smoke, NB_AUTOTUNE=off) =="
+# exercises the data-parallel trainer end to end (streaming loader, shard
+# dispatch, deterministic tree-reduce, BN replay) at 1 and 2 shards; smoke
+# mode checks completion and finite throughput only — the dp(max)-vs-dp(1)
+# throughput gate runs in the full-mode binary that produces the checked-in
+# BENCH_train.json
+NB_AUTOTUNE=off cargo run --release -q -p nb-bench --bin bench_train -- --smoke target/BENCH_train_smoke.json >/dev/null
 
 echo "== bench_serve (smoke, NB_AUTOTUNE=off) =="
 # drives the multi-tenant server with a fixed-seed open-loop trace and
