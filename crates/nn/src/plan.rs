@@ -60,9 +60,22 @@ use crate::layers::BatchNorm2d;
 use crate::Parameter;
 use nb_autograd::Value;
 use nb_tensor::{
-    avgpool2d, conv2d_packed_into, depthwise_conv2d_fused_into, eltwise, global_avg_pool,
-    maxpool2d, ConvGeometry, Epilogue, PackedA, PackedB, Tensor,
+    activation_scale, avgpool2d, conv2d_packed_into, depthwise_conv2d_fused_into, eltwise,
+    global_avg_pool, max_abs, maxpool2d, qgemm_conv, qgemm_conv_mat, qgemm_linear,
+    quantize_activations, ConvGeometry, Epilogue, PackedA, PackedB, QIm2colRef, QPackedW, Tensor,
 };
+
+/// Number of calibration batches [`CompiledPlan::compile_quantized`] callers
+/// should draw, from `NB_QUANT_CALIB` (default 4). The plan itself accepts
+/// whatever slice it is given; this helper just centralizes the knob so
+/// verify, bench, and ci read the same value.
+pub fn quant_calib_batches() -> usize {
+    std::env::var("NB_QUANT_CALIB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
 
 /// Compile-time switches for [`CompiledPlan::compile_with`].
 #[derive(Clone, Copy, Debug)]
@@ -492,6 +505,25 @@ enum Kernel {
         geom: ConvGeometry,
         act: Epilogue,
     },
+    /// Int8 dense conv: per-channel quantized prepacked weights multiplying
+    /// the per-tensor quantized input through a virtual u8 im2col view, with
+    /// dequant + bias + activation fused in the GEMM epilogue.
+    QConv {
+        qw: QPackedW,
+        /// Per-tensor input scale, calibrated at compile time.
+        x_scale: f32,
+        bias: Option<Tensor>,
+        geom: ConvGeometry,
+        act: Epilogue,
+    },
+    /// Int8 linear: quantized twin of `Linear` (bias and activation ride the
+    /// dequant epilogue; quantized plans owe no bitwise parity to `InferCtx`).
+    QLinear {
+        qw: QPackedW,
+        x_scale: f32,
+        bias: Option<Tensor>,
+        act: Epilogue,
+    },
     Depthwise {
         w: Tensor,
         b: Option<Tensor>,
@@ -553,6 +585,12 @@ struct Action {
     /// Canonical value ids whose last use is this action; their buffers
     /// return to the arena afterwards.
     free_after: Vec<usize>,
+    /// Quantized actions only: value ids released *before* the output home
+    /// is acquired. The f32 input is dead once it has been quantized into
+    /// the arena's u8 scratch, so a dying input's home is immediately
+    /// reusable for the output — this is what keeps a quantized plan's peak
+    /// at or below the f32 plan's on GEMM-bound graphs.
+    early_free: Vec<usize>,
 }
 
 /// An eval-only executor compiled once from a module's forward pass.
@@ -580,9 +618,13 @@ pub struct CompiledPlan {
     /// Per-sample f32 counts of every arena home, fixed at compile time.
     home_units: Vec<usize>,
     /// Deterministic per-sample high-water mark of live activation f32s
-    /// (same accounting as `InferCtx::peak_bytes`).
+    /// (same accounting as `InferCtx::peak_bytes`); quantized actions also
+    /// account their transient u8 scratch here, in f32-equivalent units.
     peak_units: usize,
     packed_bytes: usize,
+    /// Largest per-sample u8 count any quantized action needs for its input
+    /// scratch (0 for pure-f32 plans).
+    qscratch_units: usize,
 }
 
 /// Per-request replay state for a [`CompiledPlan`]: the live activation
@@ -597,6 +639,9 @@ pub struct CompiledPlan {
 pub struct PlanArena {
     values: Vec<Option<Tensor>>,
     homes: Vec<Vec<f32>>,
+    /// Quantized-input scratch, shared by every quantized action in the
+    /// plan (replay is sequential within an arena); high-water sized.
+    qscratch: Vec<u8>,
     last_batch: usize,
     cursor: usize,
 }
@@ -612,7 +657,7 @@ impl PlanArena {
             .flatten()
             .map(|t| t.as_slice().len())
             .sum();
-        (homes + vals) * std::mem::size_of::<f32>()
+        (homes + vals) * std::mem::size_of::<f32>() + self.qscratch.len()
     }
 }
 
@@ -643,7 +688,57 @@ impl CompiledPlan {
         let mut rec = Recorder::new();
         let x = rec.input(Tensor::zeros(dims.to_vec()));
         let y = fwd(&mut rec, x);
-        build(rec, y.index(), dims.to_vec(), opts)
+        build(&rec, y.index(), dims.to_vec(), opts, None)
+    }
+
+    /// Compiles an **int8 post-training-quantized** plan: batch norms fold
+    /// as in [`CompiledPlan::compile`], then every dense conv and linear is
+    /// rewritten to an i8 kernel with per-channel symmetric weights and a
+    /// per-tensor input scale calibrated from `calib` (a few representative
+    /// batches; see [`quant_calib_batches`] for the conventional count).
+    ///
+    /// Calibration records each GEMM input's max-abs by replaying the f32
+    /// plan over the calibration batches, so the quantized plan's scales
+    /// line up with its own fused graph (post-folding activations, not the
+    /// recorded pre-fusion ones). Depthwise convs, batch norms, pooling and
+    /// residual adds stay f32 — they are bandwidth-bound, and keeping them
+    /// exact confines all quantization error to the GEMM operands.
+    ///
+    /// The result replays through every existing entry point ([`run`],
+    /// [`run_in`], [`replayer`], nb-serve) unchanged, and its replay is
+    /// bitwise deterministic across thread widths: integer accumulation is
+    /// exact under any schedule, so the only approximation is quantization
+    /// itself, which the nb-verify `+plan-quant` accuracy budget bounds.
+    ///
+    /// [`run`]: CompiledPlan::run
+    /// [`run_in`]: CompiledPlan::run_in
+    /// [`replayer`]: CompiledPlan::replayer
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty, if a calibration batch's per-sample dims
+    /// differ from `dims`, or on any [`CompiledPlan::compile`] failure.
+    pub fn compile_quantized(
+        dims: &[usize],
+        calib: &[Tensor],
+        fwd: impl FnOnce(&mut dyn Forward, Value) -> Value,
+    ) -> Self {
+        assert!(
+            !calib.is_empty(),
+            "compile_quantized needs at least one calibration batch"
+        );
+        let mut rec = Recorder::new();
+        let x = rec.input(Tensor::zeros(dims.to_vec()));
+        let y = fwd(&mut rec, x);
+        let opts = PlanOptions::default();
+        let fplan = build(&rec, y.index(), dims.to_vec(), opts, None);
+        let mut maxima = vec![0.0f32; fplan.actions.len()];
+        let mut arena = fplan.new_arena();
+        for batch in calib {
+            fplan.run_calibrate(&mut arena, batch, &mut maxima);
+        }
+        let scales: Vec<f32> = maxima.iter().map(|&m| activation_scale(m)).collect();
+        build(&rec, y.index(), dims.to_vec(), opts, Some(&scales))
     }
 
     /// Creates a replay arena sized for this plan. Buffers grow lazily on
@@ -653,6 +748,7 @@ impl CompiledPlan {
         PlanArena {
             values: vec![None; self.nvals],
             homes: self.home_units.iter().map(|_| Vec::new()).collect(),
+            qscratch: Vec::new(),
             last_batch: self.in_dims[0],
             cursor: 0,
         }
@@ -718,6 +814,15 @@ impl CompiledPlan {
     /// [`CompiledPlan::arena_bytes`] scaled to an arbitrary run batch.
     pub fn arena_bytes_at(&self, batch: usize) -> usize {
         self.home_units.iter().sum::<usize>() * batch * std::mem::size_of::<f32>()
+            + self.qscratch_units * batch
+    }
+
+    /// Whether this plan carries int8 GEMM actions (built by
+    /// [`CompiledPlan::compile_quantized`]).
+    pub fn is_quantized(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|a| matches!(a.kernel, Kernel::QConv { .. } | Kernel::QLinear { .. }))
     }
 
     /// Bytes held by prepacked weight panels (including retained raw
@@ -788,6 +893,7 @@ impl CompiledPlan {
         let PlanArena {
             values,
             homes,
+            qscratch,
             last_batch,
             ..
         } = arena;
@@ -826,6 +932,92 @@ impl CompiledPlan {
                     &mut buf,
                 );
                 Tensor::from_vec(buf, dims).expect("conv output shape")
+            }
+            (
+                Kernel::QConv {
+                    qw,
+                    x_scale,
+                    bias,
+                    geom,
+                    act,
+                },
+                ExecMode::OutOfPlace { home },
+            ) => {
+                // Quantize the f32 input into the arena's u8 scratch, then
+                // release the (now dead) input *before* taking the output
+                // home — pass B may have aliased the two.
+                let (c_in, h, w_in) = {
+                    let xt = values[a.x].as_ref().expect("qconv input live");
+                    let d = xt.dims();
+                    let src = xt.as_slice();
+                    if qscratch.len() < src.len() {
+                        qscratch.resize(src.len(), Q_SCRATCH_FILL);
+                    }
+                    quantize_activations(src, *x_scale, &mut qscratch[..src.len()]);
+                    (d[1], d[2], d[3])
+                };
+                release_values(&a.early_free, values, val_home, homes);
+                let mut buf = take_home(homes, home);
+                let (ho, wo) = geom.output_hw(h, w_in);
+                let unit_in = c_in * h * w_in;
+                let unit_out = qw.m() * ho * wo;
+                let pointwise = geom.kh == 1
+                    && geom.kw == 1
+                    && geom.sh == 1
+                    && geom.sw == 1
+                    && geom.ph == 0
+                    && geom.pw == 0;
+                for s in 0..*last_batch {
+                    let qs = &qscratch[s * unit_in..(s + 1) * unit_in];
+                    let cs = &mut buf[s * unit_out..(s + 1) * unit_out];
+                    let bias = bias.as_ref().map(Tensor::as_slice);
+                    if pointwise {
+                        qgemm_conv_mat(qw, qs, cs, ho * wo, *x_scale, bias, *act);
+                    } else {
+                        let qim = QIm2colRef {
+                            x: qs,
+                            c_in,
+                            h,
+                            w: w_in,
+                            geom: *geom,
+                            ho,
+                            wo,
+                        };
+                        qgemm_conv(qw, &qim, cs, *x_scale, bias, *act);
+                    }
+                }
+                Tensor::from_vec(buf, dims).expect("qconv output shape")
+            }
+            (
+                Kernel::QLinear {
+                    qw,
+                    x_scale,
+                    bias,
+                    act,
+                },
+                ExecMode::OutOfPlace { home },
+            ) => {
+                let in_f = qw.k();
+                {
+                    let xt = values[a.x].as_ref().expect("qlinear input live");
+                    let src = xt.as_slice();
+                    if qscratch.len() < src.len() {
+                        qscratch.resize(src.len(), Q_SCRATCH_FILL);
+                    }
+                    quantize_activations(src, *x_scale, &mut qscratch[..src.len()]);
+                }
+                release_values(&a.early_free, values, val_home, homes);
+                let mut buf = take_home(homes, home);
+                qgemm_linear(
+                    qw,
+                    &qscratch[..*last_batch * in_f],
+                    *last_batch,
+                    &mut buf,
+                    *x_scale,
+                    bias.as_ref().map(Tensor::as_slice),
+                    *act,
+                );
+                Tensor::from_vec(buf, dims).expect("qlinear output shape")
             }
             (Kernel::Depthwise { w, b, geom, act }, ExecMode::OutOfPlace { home }) => {
                 let mut buf = take_home(homes, home);
@@ -882,15 +1074,25 @@ impl CompiledPlan {
             _ => unreachable!("kernel/mode combination not produced by compile"),
         };
         values[a.out] = Some(out_t);
+        release_values(&a.free_after, values, val_home, homes);
+    }
 
-        for &id in &a.free_after {
-            if let Some(t) = values[id].take() {
-                if let Some(h) = val_home[id] {
-                    if !t.is_shared() {
-                        homes[h] = t.into_vec();
-                    }
-                }
+    /// [`CompiledPlan::run_in`] with a max-abs probe: before each GEMM-backed
+    /// action executes, folds its live f32 input's max-abs into
+    /// `maxima[action]`. This is the calibration pass behind
+    /// [`CompiledPlan::compile_quantized`] — action indices line up between
+    /// the f32 and quantized builds because quantization changes kernels,
+    /// never the fusion decisions.
+    fn run_calibrate(&self, arena: &mut PlanArena, x: &Tensor, maxima: &mut [f32]) {
+        let v = self.bind(arena, x.clone());
+        debug_assert_eq!(v.index(), 0);
+        for (ai, mx) in maxima.iter_mut().enumerate().take(self.actions.len()) {
+            let a = &self.actions[ai];
+            if matches!(a.kernel, Kernel::Conv { .. } | Kernel::Linear { .. }) {
+                let xt = arena.values[a.x].as_ref().expect("calibration input live");
+                *mx = mx.max(max_abs(xt.as_slice()));
             }
+            self.exec(arena, ai);
         }
     }
 
@@ -908,6 +1110,30 @@ impl CompiledPlan {
             self.exec(arena, ai);
         }
         Value::from_index(out)
+    }
+}
+
+/// Fresh u8 scratch bytes start at the activation zero point; every byte the
+/// kernels read is overwritten by `quantize_activations` first, so the fill
+/// value is cosmetic.
+const Q_SCRATCH_FILL: u8 = nb_tensor::Q_ZERO;
+
+/// Returns dying values' buffers to their arena homes (shared-buffer tensors
+/// are dropped instead — their storage is borrowed, not arena-owned).
+fn release_values(
+    ids: &[usize],
+    values: &mut [Option<Tensor>],
+    val_home: &[Option<usize>],
+    homes: &mut [Vec<f32>],
+) {
+    for &id in ids {
+        if let Some(t) = values[id].take() {
+            if let Some(h) = val_home[id] {
+                if !t.is_shared() {
+                    homes[h] = t.into_vec();
+                }
+            }
+        }
     }
 }
 
@@ -1125,7 +1351,17 @@ impl Liveness<'_> {
 }
 
 /// The rewrite + arena-assignment pass: recorded ops in, compiled plan out.
-fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions) -> CompiledPlan {
+///
+/// `quant`, when present, holds per-action input scales (indexed by the
+/// action order this pass emits, which is identical with or without it) and
+/// switches every dense conv/linear to its int8 kernel.
+fn build(
+    rec: &Recorder,
+    final_val: usize,
+    in_dims: Vec<usize>,
+    opts: PlanOptions,
+    quant: Option<&[f32]>,
+) -> CompiledPlan {
     let Recorder { vals, ops } = rec;
     let nvals = vals.len();
     let val_dims: Vec<Vec<usize>> = vals.iter().map(|t| t.dims().to_vec()).collect();
@@ -1133,7 +1369,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
     // Rec-level use counts (for fold/fuse legality): one per op input, plus
     // the final output.
     let mut rec_uses = vec![0usize; nvals];
-    for op in &ops {
+    for op in ops {
         let (x, b) = op.inputs();
         rec_uses[x] += 1;
         if let Some(b) = b {
@@ -1207,10 +1443,22 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                         _ => {}
                     }
                 }
+                let ai = actions.len();
                 let kernel = if depthwise {
                     Kernel::Depthwise {
                         w,
                         b,
+                        geom: *geom,
+                        act,
+                    }
+                } else if let Some(scales) = quant {
+                    let d = w.dims().to_vec();
+                    let qw = QPackedW::pack(w.as_slice(), d[0], d[1] * d[2] * d[3]);
+                    packed_bytes += qw.bytes();
+                    Kernel::QConv {
+                        qw,
+                        x_scale: scales[ai],
+                        bias: b,
                         geom: *geom,
                         act,
                     }
@@ -1225,7 +1473,6 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                         act,
                     }
                 };
-                let ai = actions.len();
                 actions.push(Action {
                     x: canon[*x],
                     out: canon[*out],
@@ -1233,6 +1480,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                     kernel,
                     mode: ExecMode::Fresh, // assigned in pass B
                     free_after: Vec::new(),
+                    early_free: Vec::new(),
                 });
                 rec_meta.push((kind, Some(ai), canon[*out]));
                 for j in 1..=consumed {
@@ -1272,22 +1520,35 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                     }
                 }
                 let (out_f, in_f) = w.shape().rc();
-                // y = x W^T: the weight is the logical [in_f, out_f] right
-                // operand stored transposed, matching `matmul_nt`.
-                let wp = PackedB::pack(w.as_slice(), true, in_f, out_f);
-                packed_bytes += wp.bytes();
                 let ai = actions.len();
+                let kernel = if let Some(scales) = quant {
+                    let qw = QPackedW::pack(w.as_slice(), out_f, in_f);
+                    packed_bytes += qw.bytes();
+                    Kernel::QLinear {
+                        qw,
+                        x_scale: scales[ai],
+                        bias: b.clone(),
+                        act,
+                    }
+                } else {
+                    // y = x W^T: the weight is the logical [in_f, out_f]
+                    // right operand stored transposed, matching `matmul_nt`.
+                    let wp = PackedB::pack(w.as_slice(), true, in_f, out_f);
+                    packed_bytes += wp.bytes();
+                    Kernel::Linear {
+                        wp,
+                        bias: b.clone(),
+                        act,
+                    }
+                };
                 actions.push(Action {
                     x: canon[*x],
                     out: canon[*out],
                     out_dims: val_dims[*out].clone(),
-                    kernel: Kernel::Linear {
-                        wp,
-                        bias: b.clone(),
-                        act,
-                    },
+                    kernel,
                     mode: ExecMode::Fresh,
                     free_after: Vec::new(),
+                    early_free: Vec::new(),
                 });
                 rec_meta.push((kind, Some(ai), canon[*out]));
                 for j in 1..=consumed {
@@ -1310,6 +1571,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                     },
                     mode: ExecMode::Fresh,
                     free_after: Vec::new(),
+                    early_free: Vec::new(),
                 });
                 rec_meta.push((kind, Some(ai), canon[*out]));
                 i += 1;
@@ -1333,6 +1595,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                         kernel,
                         mode: ExecMode::Fresh,
                         free_after: Vec::new(),
+                        early_free: Vec::new(),
                     });
                     rec_meta.push((kind, Some(ai), canon[*out]));
                 }
@@ -1352,6 +1615,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                     kernel,
                     mode: ExecMode::Fresh,
                     free_after: Vec::new(),
+                    early_free: Vec::new(),
                 });
                 rec_meta.push((kind, Some(ai), canon[*out]));
                 i += 1;
@@ -1365,6 +1629,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                     kernel: Kernel::Gap,
                     mode: ExecMode::Fresh,
                     free_after: Vec::new(),
+                    early_free: Vec::new(),
                 });
                 rec_meta.push((kind, Some(ai), canon[*out]));
                 i += 1;
@@ -1378,6 +1643,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
                     kernel: Kernel::Add { rhs: canon[*b] },
                     mode: ExecMode::Fresh,
                     free_after: Vec::new(),
+                    early_free: Vec::new(),
                 });
                 rec_meta.push((kind, Some(ai), canon[*out]));
                 i += 1;
@@ -1407,6 +1673,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
     };
     st.peak_units = st.live_units;
 
+    let mut qscratch_units = 0usize;
     for a in actions.iter_mut() {
         let out = a.out;
         let x = a.x;
@@ -1422,9 +1689,29 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
             a.kernel,
             Kernel::MaxPool { .. } | Kernel::AvgPool { .. } | Kernel::Gap
         );
+        let quantized = matches!(a.kernel, Kernel::QConv { .. } | Kernel::QLinear { .. });
 
         let mut free_after: Vec<usize> = Vec::new();
-        if in_place {
+        if quantized {
+            // Quantize-then-free: the f32 input dies into the u8 scratch
+            // copy before the output home is acquired, so a dying input's
+            // home is immediately reusable for the output. The transient
+            // scratch is accounted in f32-equivalent units so `peak_units`
+            // stays an honest high-water mark.
+            let in_unit = st.unit_of(x);
+            qscratch_units = qscratch_units.max(in_unit);
+            let q_units = in_unit.div_ceil(4);
+            st.live_units += q_units;
+            st.peak_units = st.peak_units.max(st.live_units);
+            let mut early_free: Vec<usize> = Vec::new();
+            st.consume(x, &mut early_free, true);
+            let h = st.acquire(out_unit);
+            a.mode = ExecMode::OutOfPlace { home: h };
+            st.val_home[out] = Some(h);
+            st.store(out_unit);
+            st.live_units -= q_units;
+            a.early_free = early_free;
+        } else if in_place {
             // Mirror InferCtx's consume-then-store accounting: the input
             // leaves before the output lands, so same-size in-place ops
             // never bump the peak.
@@ -1473,6 +1760,7 @@ fn build(rec: Recorder, final_val: usize, in_dims: Vec<usize>, opts: PlanOptions
         home_units,
         peak_units,
         packed_bytes,
+        qscratch_units,
     }
 }
 
@@ -1719,6 +2007,125 @@ mod tests {
         let model = conv_model(&mut rng);
         let plan = CompiledPlan::compile(&[1, 3, 8, 8], |f, v| model.forward(f, v));
         let _ = plan.run(&Tensor::zeros([1, 3, 9, 9]));
+    }
+
+    /// Calibration batches for the quantized-plan tests: a few deterministic
+    /// randn batches matching the probe shape.
+    fn calib_batches(dims: &[usize], n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Tensor::randn(dims.to_vec(), &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn quantized_plan_tracks_f32_plan() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let fplan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let qplan = CompiledPlan::compile_quantized(
+            x.dims(),
+            &calib_batches(x.dims(), quant_calib_batches(), 31),
+            |f, v| model.forward(f, v),
+        );
+        assert!(qplan.is_quantized());
+        assert!(!fplan.is_quantized());
+        let want = fplan.run(&x);
+        let got = qplan.run(&x);
+        assert_eq!(got.dims(), want.dims());
+        // Int8 PTQ is approximate: bound the error relative to the f32
+        // output's dynamic range (the top-1 budget lives in nb-verify).
+        let range = max_abs(want.as_slice()).max(1e-6);
+        let worst = want
+            .as_slice()
+            .iter()
+            .zip(got.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            worst <= 0.1 * range,
+            "quantized output off by {worst} on range {range}"
+        );
+    }
+
+    #[test]
+    fn quantized_plan_is_smaller_and_replay_deterministic() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let model = conv_model(&mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let calib = calib_batches(x.dims(), 2, 33);
+        let fplan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let qplan = CompiledPlan::compile_quantized(x.dims(), &calib, |f, v| model.forward(f, v));
+        assert!(
+            qplan.packed_bytes() < fplan.packed_bytes(),
+            "i8 panels should undercut f32 panels ({} vs {})",
+            qplan.packed_bytes(),
+            fplan.packed_bytes()
+        );
+        assert!(
+            qplan.peak_bytes() <= fplan.peak_bytes(),
+            "quantize-then-free should not raise the peak ({} vs {})",
+            qplan.peak_bytes(),
+            fplan.peak_bytes()
+        );
+        // Warm-arena replay is bitwise repeatable, and a one-shot arena
+        // agrees (integer accumulation is exact under any schedule).
+        let mut arena = qplan.new_arena();
+        let first = qplan.run_in(&mut arena, &x);
+        let second = qplan.run_in(&mut arena, &x);
+        assert_eq!(first.as_slice(), second.as_slice());
+        assert_eq!(qplan.run(&x).as_slice(), first.as_slice());
+        assert!(arena.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn quantized_pointwise_and_linear_paths_run() {
+        // 1x1 stride-1 conv exercises the materialized-matrix fast path;
+        // the trailing linear exercises QLinear with bias.
+        let mut rng = StdRng::seed_from_u64(34);
+        let model = Sequential::new()
+            .push(Conv2d::new(
+                3,
+                16,
+                ConvGeometry::pointwise(),
+                true,
+                &mut rng,
+            ))
+            .push(Activation::new(ActKind::Relu))
+            .push(crate::layers::GlobalAvgPool::new())
+            .push(Linear::new(16, 5, true, &mut rng));
+        let x = Tensor::randn([3, 3, 6, 6], &mut rng);
+        let calib = calib_batches(x.dims(), 2, 35);
+        let fplan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let qplan = CompiledPlan::compile_quantized(x.dims(), &calib, |f, v| model.forward(f, v));
+        let want = fplan.run(&x);
+        let got = qplan.run(&x);
+        let range = max_abs(want.as_slice()).max(1e-6);
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() <= 0.1 * range, "pointwise quant diverged");
+        }
+        // Replayer path over a quantized plan.
+        let mut replay = qplan.replayer();
+        let xv = replay.input(x.clone());
+        let yv = model.forward(&mut replay, xv);
+        assert_eq!(replay.take(yv).as_slice(), got.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one calibration batch")]
+    fn compile_quantized_rejects_empty_calibration() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let model = conv_model(&mut rng);
+        let _ = CompiledPlan::compile_quantized(&[1, 3, 8, 8], &[], |f, v| model.forward(f, v));
+    }
+
+    #[test]
+    fn quant_calib_batches_default() {
+        // The knob is read per call; without the env var it is 4.
+        if std::env::var("NB_QUANT_CALIB").is_err() {
+            assert_eq!(quant_calib_batches(), 4);
+        }
     }
 
     /// Satellite coverage for random fold configurations without proptest:

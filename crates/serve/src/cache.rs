@@ -132,6 +132,14 @@ impl PlanCache {
 
 /// What one resident plan costs the cache: prepacked weight panels plus
 /// the probe-batch activation arena a warm replay keeps.
+///
+/// Both terms come from the plan itself, so the charge tracks what the
+/// plan actually holds rather than assuming f32 panels: an int8 plan
+/// ([`CompiledPlan::compile_quantized`]) reports its i8 panels plus scale
+/// tables (roughly a quarter of the f32 packing) and its u8 quantization
+/// scratch, so mixed f32/i8 residency evicts by true footprint — a
+/// quantized tenant is cheaper to keep warm, exactly as deployment
+/// intends.
 pub fn plan_cost(plan: &CompiledPlan) -> usize {
     plan.packed_bytes() + plan.arena_bytes()
 }

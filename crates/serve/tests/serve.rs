@@ -48,6 +48,15 @@ fn plan_for(seed: u64) -> CompiledPlan {
     CompiledPlan::compile(&PROBE, |f, v| model.forward(f, v))
 }
 
+/// Int8 twin of [`plan_for`]: deterministic calibration batches, so
+/// eviction round-trips recompile to an identical plan.
+fn quant_plan_for(seed: u64) -> CompiledPlan {
+    let model = small_model(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51c0_ffee);
+    let calib: Vec<Tensor> = (0..2).map(|_| Tensor::randn(PROBE, &mut rng)).collect();
+    CompiledPlan::compile_quantized(&PROBE, &calib, |f, v| model.forward(f, v))
+}
+
 fn solo_run(plan: &CompiledPlan, sample: &Tensor) -> Tensor {
     plan.run(&coalesce(std::slice::from_ref(sample)))
 }
@@ -182,7 +191,71 @@ fn evicted_plan_survives_for_in_flight_holders() {
     assert_eq!(held.run(&x).dims(), &[1, 5]);
 }
 
+#[test]
+fn cache_charges_actual_packed_bytes_for_mixed_f32_i8_residency() {
+    // The LRU must charge each plan what it actually holds: i8 panels plus
+    // scale tables for a quantized plan, not an assumed-f32 footprint.
+    let f = plan_for(1);
+    let q = quant_plan_for(1);
+    assert!(
+        q.packed_bytes() < f.packed_bytes(),
+        "i8 panels should undercut f32 ({} vs {})",
+        q.packed_bytes(),
+        f.packed_bytes()
+    );
+    assert!(plan_cost(&q) < plan_cost(&f));
+
+    let cache = PlanCache::new(plan_cost(&f) + plan_cost(&q));
+    cache.get_or_compile("f32", || plan_for(1));
+    cache.get_or_compile("int8", || quant_plan_for(1));
+    // Both fit exactly when the quant plan is charged its true (smaller)
+    // cost; an f32-assumed charge would already have evicted here.
+    assert_eq!(cache.resident_keys(), ["f32", "int8"]);
+    assert_eq!(cache.resident_bytes(), plan_cost(&f) + plan_cost(&q));
+    assert_eq!(cache.stats().evictions, 0);
+
+    // One more f32-sized tenant pushes the mixed set over: the coldest
+    // (the f32 plan) goes, the cheaper quantized tenant stays warm.
+    cache.get_or_compile("f32b", || plan_for(2));
+    assert!(!cache.contains("f32"));
+    assert!(cache.contains("int8"));
+    assert_eq!(cache.stats().evictions, 1);
+}
+
 // --- server end-to-end --------------------------------------------------
+
+#[test]
+fn quantized_plan_through_server_is_bitwise_identical_to_solo() {
+    // Integer accumulation is exact under any schedule, so server replay
+    // (coalesced batches, worker threads, recycled arenas) must reproduce
+    // solo quantized replay bit for bit — no tolerance.
+    let server = Server::start(
+        ServeConfig {
+            workers: 3,
+            max_batch: 4,
+            ..ServeConfig::default()
+        },
+        vec![ModelSpec::new("int8", SAMPLE, || quant_plan_for(1))],
+    );
+    let reference = quant_plan_for(1);
+    let mut rng = StdRng::seed_from_u64(23);
+    let inputs: Vec<Tensor> = (0..24).map(|_| Tensor::randn(SAMPLE, &mut rng)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| server.submit("int8", x.clone()).expect("submit"))
+        .collect();
+    for (x, ticket) in inputs.iter().zip(tickets) {
+        let resp = ticket.wait();
+        let want = solo_run(&reference, x);
+        assert_eq!(resp.output.dims(), want.dims());
+        assert_eq!(
+            resp.output.as_slice(),
+            want.as_slice(),
+            "quant serve parity"
+        );
+    }
+    server.join();
+}
 
 #[test]
 fn server_answers_every_request_bitwise_across_tenants() {

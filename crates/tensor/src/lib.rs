@@ -73,6 +73,7 @@ mod error;
 pub mod gemm;
 mod matmul;
 mod pool;
+pub mod qgemm;
 pub mod selector;
 mod shape;
 mod tensor;
@@ -90,6 +91,10 @@ pub use matmul::{available_threads, matmul_into};
 pub use pool::{
     avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d,
     maxpool2d_backward,
+};
+pub use qgemm::{
+    activation_scale, max_abs, qgemm_conv, qgemm_conv_mat, qgemm_linear, quantize_activations,
+    QIm2colRef, QPackedW, Q_ZERO,
 };
 pub use selector::{with_autotune_off, Schedule, Variant};
 pub use shape::{ConvGeometry, Shape};

@@ -55,6 +55,12 @@ pub enum Op {
     Gemm,
     /// The conv forward GEMM: `[c_out, c_in*kh*kw] x [c_in*kh*kw, ho*wo]`.
     Conv,
+    /// Int8 linear-layer GEMM ([`crate::qgemm`]). Exact integer accumulation
+    /// makes every variant bitwise identical, so tuning here is purely a
+    /// speed decision: scalar vs SIMD tile kernel, column-split or not.
+    QGemm,
+    /// Int8 conv forward GEMM over the virtual u8 im2col view.
+    QConv,
 }
 
 impl Op {
@@ -62,7 +68,13 @@ impl Op {
         match self {
             Op::Gemm => "gemm",
             Op::Conv => "conv",
+            Op::QGemm => "qgemm",
+            Op::QConv => "qconv",
         }
+    }
+
+    fn quantized(self) -> bool {
+        matches!(self, Op::QGemm | Op::QConv)
     }
 }
 
@@ -429,9 +441,72 @@ fn candidates(key: &Key) -> Vec<Variant> {
     out
 }
 
+/// Times each quantized candidate on synthetic u8/i8 operands; the quant
+/// twin of [`tune`]. Results are bitwise identical across variants (exact
+/// integer accumulation), so only the clock distinguishes them.
+fn tune_quant(key: &Key) -> Variant {
+    let (m, k, n) = (key.m, key.k, key.n);
+    let fill = |len: usize, salt: u64| -> Vec<f32> {
+        let mut state = salt | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    };
+    let w = fill(m * k, 0x9e3779b9);
+    let x = fill(k * n, 0x7f4a7c15);
+    let wq = crate::qgemm::QPackedW::pack(&w, m, k);
+    let x_scale = crate::qgemm::activation_scale(crate::qgemm::max_abs(&x));
+    let mut qx = vec![0u8; k * n];
+    crate::qgemm::quantize_activations(&x, x_scale, &mut qx);
+    let mut c = vec![0.0f32; m * n];
+    let cands = candidates(key);
+    let flops = (2 * m * n * k).max(1) as u64;
+    let reps = (2_000_000 / flops).clamp(2, 64) as usize;
+    let mut best = (u128::MAX, cands[0]);
+    for &cand in &cands {
+        let bop = crate::qgemm::QBOperand::Mat {
+            b: &qx,
+            trans: false,
+        };
+        let run = |c: &mut [f32]| {
+            crate::qgemm::run_qgemm_variant(
+                cand,
+                &wq,
+                &bop,
+                c,
+                n,
+                x_scale,
+                None,
+                crate::eltwise::Epilogue::None,
+            )
+        };
+        run(&mut c);
+        let mut elapsed = u128::MAX;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                run(&mut c);
+            }
+            elapsed = elapsed.min(t0.elapsed().as_nanos());
+        }
+        if elapsed < best.0 {
+            best = (elapsed, cand);
+        }
+    }
+    best.1
+}
+
 /// Times each candidate on synthetic operands of the key's shape and returns
 /// the fastest (deterministic tie-break: first winner in candidate order).
 fn tune(key: &Key) -> Variant {
+    if key.op.quantized() {
+        return tune_quant(key);
+    }
     let (m, k, n) = (key.m, key.k, key.n);
     let (a_trans, b_trans) = match key.layout {
         Layout::NN => (false, false),

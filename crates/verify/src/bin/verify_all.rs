@@ -1,19 +1,38 @@
 //! Runs the full correctness gauntlet: kernel differential suites,
 //! contraction exactness audits, executor parity (including concurrent
-//! Arc-shared plan replay), and the training seed sweep.
+//! Arc-shared plan replay and the quantized-plan accuracy budget), and the
+//! training seed sweep.
 //!
-//! Usage: `verify_all [--fast]`. Exits non-zero on any divergence and
-//! prints the offending per-case / per-layer tables.
+//! Usage: `verify_all [--fast] [--quant-smoke]`. `--quant-smoke` runs only
+//! the quantized-plan column at worker width 1 (the ci.sh smoke stage).
+//! Exits non-zero on any divergence and prints the offending per-case /
+//! per-layer tables.
 
 use nb_verify::audit::run_audit_suite;
 use nb_verify::concurrent::run_concurrent_suite;
 use nb_verify::diff::{run_conv_suite, run_depthwise_suite, run_gemm_suite, run_pool_suite};
 use nb_verify::dp::run_dp_suite;
 use nb_verify::parity::run_parity_suite;
+use nb_verify::quant::run_quant_suite;
 use netbooster_core::vanilla_easy_task_sweep;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
+    let quant_smoke = std::env::args().any(|a| a == "--quant-smoke");
+    if quant_smoke {
+        // CI smoke stage: the quantized column alone, pinned to width 1 by
+        // capping the pool (ci.sh also pins NB_AUTOTUNE=off).
+        println!("== nb-verify (quant smoke) ==");
+        let quant = nb_tensor::with_thread_cap(1, || run_quant_suite(true));
+        println!("[quant] {}", quant.summary_line());
+        if !quant.pass() {
+            print!("{}", quant.render_failures());
+            println!("verify_all: FAILED");
+            std::process::exit(1);
+        }
+        println!("verify_all: OK");
+        return;
+    }
     let mode = if fast { "fast" } else { "full" };
     println!("== nb-verify ({mode} mode) ==");
     let mut failed = false;
@@ -59,7 +78,16 @@ fn main() {
         print!("{}", concurrent.render_failures());
     }
 
-    // 5. data-parallel training parity: fit_parallel vs fit, bitwise, and
+    // 5. quantized-plan parity: top-1 accuracy budget + bitwise width
+    // invariance for the int8 compiled plan
+    let quant = run_quant_suite(fast);
+    println!("[quant] {}", quant.summary_line());
+    if !quant.pass() {
+        failed = true;
+        print!("{}", quant.render_failures());
+    }
+
+    // 6. data-parallel training parity: fit_parallel vs fit, bitwise, and
     // worker-count invariance at fixed gradient grain
     let dp = run_dp_suite(fast);
     println!("[dp] {}", dp.summary_line());
@@ -68,7 +96,7 @@ fn main() {
         print!("{}", dp.render_failures());
     }
 
-    // 6. training seed sweep (statistical pass criterion)
+    // 7. training seed sweep (statistical pass criterion)
     let seeds: Vec<u64> = if fast {
         (0..5).collect()
     } else {

@@ -20,21 +20,27 @@
 //!    grad-free [`InferCtx`](nb_nn::InferCtx) must produce *bitwise*
 //!    identical logits for every model family at every worker-pool width,
 //!    with zero graph nodes allocated on the grad-free side.
-//! 4. **Concurrent-replay parity** ([`concurrent`]) — one shared
+//! 4. **Quantized-plan parity** ([`quant`]) — the int8 compiled plan
+//!    (`CompiledPlan::compile_quantized`) is lossy by design, so it is held
+//!    to a top-1 **accuracy-drop budget** ([`tolerance::AccuracyBudget`])
+//!    against the f32 plan instead of ULP bounds — plus bitwise
+//!    thread-width invariance, since integer accumulation is exact.
+//! 5. **Concurrent-replay parity** ([`concurrent`]) — one shared
 //!    `Arc<CompiledPlan>` replayed from many caller threads must match
 //!    serial replay bitwise; any divergence means hidden shared mutable
 //!    state on the serving hot path.
-//! 5. **Data-parallel training parity** ([`dp`]) — `fit_parallel` must be
+//! 6. **Data-parallel training parity** ([`dp`]) — `fit_parallel` must be
 //!    a bitwise drop-in for the sequential trainer: one slice per batch
 //!    reproduces `fit` exactly, and at a fixed gradient grain the worker
 //!    count (1, 2, or the machine's pool width) cannot change a single
 //!    parameter bit.
-//! 6. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
+//! 7. **Seed-sweep harness** (re-exported from `netbooster_core::sweep`) —
 //!    statistical pass criteria for learning tests: a test passes when
 //!    enough seeds clear the bar, not when one lucky seed does.
 //!
-//! The `verify_all` binary runs all six (`--fast` for the CI-sized grid)
-//! and exits non-zero on any divergence, printing the per-layer tables.
+//! The `verify_all` binary runs all seven (`--fast` for the CI-sized grid,
+//! `--quant-smoke` for just the quantized column at width 1) and exits
+//! non-zero on any divergence, printing the per-layer tables.
 
 pub mod audit;
 pub mod concurrent;
@@ -42,6 +48,7 @@ pub mod diff;
 pub mod dp;
 pub mod oracle;
 pub mod parity;
+pub mod quant;
 pub mod tolerance;
 
 pub use audit::{audit_contraction, default_plans, run_audit_suite, ContractionAudit};
@@ -50,4 +57,5 @@ pub use diff::{run_all_suites, DiffReport};
 pub use dp::{run_dp_suite, DpCase, DpReport};
 pub use netbooster_core::{seed_sweep, SeedRun, SweepCriterion, SweepReport};
 pub use parity::{run_parity_suite, ParityCase, ParityReport};
-pub use tolerance::{ulp_distance, Divergence, UlpTolerance};
+pub use quant::{run_quant_suite, QuantCase, QuantReport};
+pub use tolerance::{ulp_distance, AccuracyBudget, Divergence, UlpTolerance};

@@ -10,6 +10,13 @@
 //! tiny but the intermediate partial sums are not, relative error is
 //! unbounded for *any* correct implementation. The [`UlpTolerance`] pairs a
 //! ULP bound with a small absolute floor to cover exactly that case.
+//!
+//! Quantized executors sit outside this framework entirely: int8 PTQ is
+//! *designed* to move values by far more than reassociation noise, so no
+//! ULP bound distinguishes a healthy quantizer from a broken one. The
+//! [`AccuracyBudget`] mode replaces the per-element question with the
+//! end-task one — how much top-1 accuracy the lossy path gives up against
+//! the exact executor on the same eval set.
 
 /// Maps a float to an integer such that consecutive representable floats map
 /// to consecutive integers (a total order matching `<` on non-NaN values).
@@ -76,6 +83,38 @@ impl UlpTolerance {
             return true;
         }
         ulp_distance(a, b) <= self.max_ulps
+    }
+}
+
+/// Pass criterion for lossy executors (the quantized-plan parity column):
+/// the candidate may trail the exact reference by at most `max_drop` top-1
+/// accuracy on a shared eval set. Outperforming the reference always passes
+/// — quantization noise can flip borderline samples either way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyBudget {
+    /// Largest tolerated accuracy drop, in absolute fraction (0.05 = 5
+    /// points of top-1).
+    pub max_drop: f32,
+}
+
+impl AccuracyBudget {
+    /// The `+plan-quant` budget: int8 PTQ with per-channel weights and
+    /// calibrated per-tensor activations should cost a few points at most
+    /// on the synthetic eval sets; 10 points also absorbs the small-val-set
+    /// granularity (1/32 per sample at smoke scale) without masking a
+    /// genuinely broken quantizer, which collapses toward chance.
+    pub fn for_quantized() -> Self {
+        AccuracyBudget { max_drop: 0.10 }
+    }
+
+    /// Accuracy the candidate gave up (0 when it matched or outperformed).
+    pub fn drop(reference: f32, candidate: f32) -> f32 {
+        (reference - candidate).max(0.0)
+    }
+
+    /// True when the candidate's accuracy is within budget of the reference.
+    pub fn ok(&self, reference: f32, candidate: f32) -> bool {
+        Self::drop(reference, candidate) <= self.max_drop
     }
 }
 
@@ -186,6 +225,58 @@ mod tests {
         let big = UlpTolerance::for_reduction(1024);
         assert!(big.max_ulps > small.max_ulps);
         assert!(big.abs_floor > small.abs_floor);
+    }
+
+    #[test]
+    fn reduction_bound_edge_depths() {
+        // k = 0 (empty reduction): the constant term alone, with the floor
+        // clamped to its minimum rather than collapsing to 0.
+        let zero = UlpTolerance::for_reduction(0);
+        assert_eq!(zero.max_ulps, 32);
+        assert!((zero.abs_floor - 1e-6).abs() < 1e-12);
+        // k = 1: one extra ULP pair over the constant, same floor clamp
+        // (sqrt(1) hits the same max(.., 1.0) branch).
+        let one = UlpTolerance::for_reduction(1);
+        assert_eq!(one.max_ulps, 34);
+        assert!((one.abs_floor - 1e-6).abs() < 1e-12);
+        // Large k: linear ULP growth, sqrt floor growth, no overflow.
+        let k = 1usize << 20;
+        let big = UlpTolerance::for_reduction(k);
+        assert_eq!(big.max_ulps, 32 + 2 * k as u64);
+        assert!((big.abs_floor - 1e-6 * 1024.0).abs() < 1e-7);
+        // Monotone in between.
+        let mut last = zero;
+        for k in [1usize, 16, 256, 4096, 65536] {
+            let t = UlpTolerance::for_reduction(k);
+            assert!(t.max_ulps >= last.max_ulps && t.abs_floor >= last.abs_floor);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn accuracy_budget_bounds_the_drop() {
+        let b = AccuracyBudget { max_drop: 0.05 };
+        assert!(b.ok(0.90, 0.90)); // equal
+        assert!(b.ok(0.90, 0.85)); // exactly at budget
+        assert!(!b.ok(0.90, 0.84)); // over budget
+        assert!(b.ok(0.90, 0.95)); // improvement always passes
+        assert_eq!(AccuracyBudget::drop(0.9, 0.95), 0.0);
+        assert!((AccuracyBudget::drop(0.9, 0.8) - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn accuracy_budget_edge_budgets() {
+        // Zero budget is an exact-accuracy requirement...
+        let strict = AccuracyBudget { max_drop: 0.0 };
+        assert!(strict.ok(0.5, 0.5));
+        assert!(!strict.ok(0.5, 0.499));
+        // ...a full budget accepts collapse to chance...
+        let lax = AccuracyBudget { max_drop: 1.0 };
+        assert!(lax.ok(1.0, 0.0));
+        // ...and the quantized default sits strictly between.
+        let q = AccuracyBudget::for_quantized();
+        assert!(q.max_drop > 0.0 && q.max_drop < 1.0);
+        assert!(!q.ok(1.0, 0.0));
     }
 
     #[test]

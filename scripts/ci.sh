@@ -25,6 +25,14 @@ echo "== verify_all (fast mode, NB_AUTOTUNE=off) =="
 # tuning entry point).
 NB_AUTOTUNE=off cargo run --release -q -p nb-verify --bin verify_all -- --fast
 
+echo "== verify_all (quant smoke, NB_AUTOTUNE=off) =="
+# the int8 column alone, pinned to worker width 1: compiles the quantized
+# tinynet plan (compile_quantized) and holds it to the top-1 accuracy-drop
+# budget plus zero-graph-node replay — a fast standalone stage so a quant
+# regression is named directly instead of surfacing as a generic
+# verify_all failure
+NB_AUTOTUNE=off cargo run --release -q -p nb-verify --bin verify_all -- --quant-smoke
+
 echo "== bench_infer (smoke) =="
 # sanity-checks the eval executors: the grad-free path must retain less
 # activation memory than the tape, and the compiled plan must be no slower
