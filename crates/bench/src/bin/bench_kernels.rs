@@ -3,17 +3,18 @@
 //! Unlike the criterion benches (which need the full dev-dependency set),
 //! this binary uses only `std::time` and can run anywhere the workspace
 //! builds. It times the same kernels as `benches/kernels.rs` — matmul
-//! (nn/nt/tn), dense conv forward/backward, depthwise forward/backward,
-//! im2col, global average pooling — and writes one JSON object per kernel
-//! with the seed baseline, the measured median ns/op, the speedup, the
-//! achieved GFLOP/s, and (for GEMM-backed kernels) the schedule variant the
-//! shape-keyed selector resolved, so runs can be diffed mechanically and
-//! the selected schedules audited.
+//! (nn/nt/tn), dense conv forward/backward, depthwise forward (f32 and
+//! int8, 3x3 and 5x5) and backward, im2col, global average pooling — and
+//! writes one JSON object per kernel with the seed baseline, the measured
+//! median ns/op, the speedup, the achieved GFLOP/s, and (for
+//! selector-dispatched kernels) the schedule variant the shape-keyed
+//! selector resolved, so runs can be diffed mechanically and the selected
+//! schedules audited.
 //!
 //! After timing, the harness gates the result: the kernels this repo's
 //! perf PRs committed to (`conv2d_fwd/3`, `conv2d_fwd/5`,
-//! `depthwise_bwd_3x3`) must hold their speedup floors against the seed
-//! baseline, and no kernel may regress more than `REGRESSION_SLACK`
+//! `depthwise_fwd/3`, `depthwise_bwd_3x3`) must hold their speedup floors
+//! against the seed baseline, and no kernel may regress more than `REGRESSION_SLACK`
 //! against the previous PR's recorded numbers (the slack absorbs
 //! host-to-host drift, which measures up to ~17% on the memory-bound
 //! kernels even for unchanged code). Any violation exits non-zero;
@@ -25,8 +26,9 @@
 
 use nb_tensor::selector::{describe, Op};
 use nb_tensor::{
-    available_threads, conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward,
-    global_avg_pool, im2col, ConvGeometry, Tensor,
+    activation_scale, available_threads, conv2d, conv2d_backward, depthwise_conv2d,
+    depthwise_conv2d_backward, global_avg_pool, im2col, max_abs, qdepthwise_conv2d_into,
+    quantize_activations, ConvGeometry, Epilogue, QDepthwiseW, Tensor,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,7 +60,14 @@ const BASELINE: &[(&str, u128, u128, f64)] = &[
     ("conv2d_bwd/3", 2064479, 617036, 0.0),
     ("conv2d_fwd/5", 1309871, 802433, 2.2),
     ("conv2d_bwd/5", 5766134, 1690003, 0.0),
-    ("depthwise_fwd_3x3", 434413, 359374, 0.0),
+    // depthwise_fwd/3 is the renamed depthwise_fwd_3x3 row (same shape);
+    // its seed column predates the AVX2 stencil, hence the floor. The 5x5
+    // and quantized rows are new with the stencil kernels, so their
+    // baselines are this tree's first measurements (regression check only).
+    ("depthwise_fwd/3", 434413, 188383, 1.5),
+    ("depthwise_fwd/5", 379132, 379132, 0.0),
+    ("qdepthwise_fwd/3", 164779, 164779, 0.0),
+    ("qdepthwise_fwd/5", 333201, 333201, 0.0),
     ("depthwise_bwd_3x3", 277773, 290473, 1.0),
     ("im2col_16x24x24_k3", 68177, 71508, 0.0),
     ("global_avg_pool", 4513, 4375, 0.0),
@@ -257,13 +266,55 @@ fn main() {
         });
     }
 
-    // Depthwise convolution, forward and backward.
+    // Depthwise convolution: f32 forward at 3x3 and 5x5 (the two stencil
+    // widths the AVX2 microkernels specialize), the int8 forward twins on
+    // the same shapes, and the 3x3 backward. The quantized rows time the
+    // stencil itself (input already u8, per-channel weights prepacked) —
+    // the activation-quantize pass is charged to the plan actions that
+    // own it, and bench_infer gates that end-to-end cost.
+    for k in [3usize, 5] {
+        let wd = Tensor::randn([16, k, k], &mut rng);
+        let geom = ConvGeometry::same(k, 1);
+        let dw_flops = 2 * ns_b * c * hw * hw * (k as u64).pow(2);
+        let variant = describe(Op::Depthwise, false, false, 16, k * k, (hw * hw) as usize);
+        report.time(
+            &format!("depthwise_fwd/{k}"),
+            dw_flops,
+            Some(variant),
+            || {
+                black_box(depthwise_conv2d(&x, &wd, None, geom));
+            },
+        );
+        let qw = QDepthwiseW::pack(wd.as_slice(), 16, k, k);
+        let mut qx = vec![0u8; x.numel()];
+        let x_scale = activation_scale(max_abs(x.as_slice()));
+        quantize_activations(x.as_slice(), x_scale, &mut qx);
+        let mut qout = vec![0.0f32; x.numel()];
+        let variant = describe(Op::QDepthwise, false, false, 16, k * k, (hw * hw) as usize);
+        report.time(
+            &format!("qdepthwise_fwd/{k}"),
+            dw_flops,
+            Some(variant),
+            || {
+                qdepthwise_conv2d_into(
+                    &qx,
+                    4,
+                    &qw,
+                    None,
+                    geom,
+                    Epilogue::None,
+                    x_scale,
+                    16,
+                    16,
+                    &mut qout,
+                );
+                black_box(&qout);
+            },
+        );
+    }
     let wd = Tensor::randn([16, 3, 3], &mut rng);
     let geom = ConvGeometry::same(3, 1);
     let dw_flops = 2 * ns_b * c * hw * hw * 9;
-    report.time("depthwise_fwd_3x3", dw_flops, None, || {
-        black_box(depthwise_conv2d(&x, &wd, None, geom));
-    });
     let y = depthwise_conv2d(&x, &wd, None, geom);
     let dy = Tensor::randn(y.shape().clone(), &mut rng);
     report.time("depthwise_bwd_3x3", 3 * dw_flops, None, || {

@@ -53,6 +53,8 @@ pub use forward::Forward;
 pub use infer::InferCtx;
 pub use module::{join_name, BnRecord, Module, Session};
 pub use param::Parameter;
-pub use plan::{quant_calib_batches, CompiledPlan, PlanArena, PlanOptions, PlanReplay};
+pub use plan::{
+    quant_calib_batches, CompiledPlan, PlanArena, PlanOptions, PlanReplay, QuantPolicy,
+};
 pub use sequential::Sequential;
 pub use state::{copy_params, named_parameters, StateDict};

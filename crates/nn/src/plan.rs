@@ -60,9 +60,11 @@ use crate::layers::BatchNorm2d;
 use crate::Parameter;
 use nb_autograd::Value;
 use nb_tensor::{
-    activation_scale, avgpool2d, conv2d_packed_into, depthwise_conv2d_fused_into, eltwise,
-    global_avg_pool, max_abs, maxpool2d, qgemm_conv, qgemm_conv_mat, qgemm_linear,
-    quantize_activations, ConvGeometry, Epilogue, PackedA, PackedB, QIm2colRef, QPackedW, Tensor,
+    activation_scale, avgpool2d, conv2d_packed_into, conv2d_pointwise_mat_into,
+    depthwise_conv2d_fused_into, dw_channel_rows, eltwise, global_avg_pool, max_abs, maxpool2d,
+    qdepthwise_conv2d_into, qdw_channel_rows_requant, qgemm_conv, qgemm_conv_mat,
+    qgemm_conv_mat_requant, qgemm_linear, quantize_activations, ConvGeometry, Epilogue, PackedA,
+    PackedB, QDepthwiseW, QIm2colRef, QPackedW, Tensor,
 };
 
 /// Number of calibration batches [`CompiledPlan::compile_quantized`] callers
@@ -77,6 +79,25 @@ pub fn quant_calib_batches() -> usize {
         .unwrap_or(4)
 }
 
+/// Which eligible layers [`CompiledPlan::compile_quantized`] lowers to int8.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QuantPolicy {
+    /// Mixed precision by shape (the default): a layer quantizes only when
+    /// the int8 kernel is expected to beat f32 *including* the activation
+    /// quantize pass it requires. Depthwise always quantizes; dense convs
+    /// and linears need enough rows and reduction depth to amortize the
+    /// quantize; inverted-residual chains decide as one unit (so the
+    /// fusion pass never splits a chain over precision) keyed on their
+    /// input depth and output plane. See `quant_policy` for the exact
+    /// thresholds and DESIGN.md §5j for the measurements behind them.
+    #[default]
+    Auto,
+    /// Quantize every eligible layer regardless of shape — what the
+    /// verify suites use so the int8 kernels are exercised on small probe
+    /// models whose layers would all stay f32 under `Auto`.
+    All,
+}
+
 /// Compile-time switches for [`CompiledPlan::compile_with`].
 #[derive(Clone, Copy, Debug)]
 pub struct PlanOptions {
@@ -84,11 +105,30 @@ pub struct PlanOptions {
     /// weights. On (the default), the plan is fastest but ULP-bounded
     /// rather than bitwise against `InferCtx`; off, it is bitwise.
     pub fold_bn: bool,
+    /// Fuse pointwise-expand → depthwise → pointwise-project chains into
+    /// one strip-tiled action whose intermediates live in thread-local
+    /// scratch instead of the arena. On by default; `NB_FUSE=off` (or `0`)
+    /// flips the default off. Quantized fused blocks are bitwise identical
+    /// to their unfused twins; f32 fused blocks are ULP-bounded (the strip
+    /// GEMMs may pick a different schedule than the full-plane GEMMs).
+    pub fuse: bool,
+    /// Which layers quantized compilation lowers to int8 (ignored by f32
+    /// compilation). [`QuantPolicy::Auto`] picks per-layer mixed precision
+    /// by shape; [`QuantPolicy::All`] forces every eligible layer.
+    pub quant_policy: QuantPolicy,
 }
 
 impl Default for PlanOptions {
     fn default() -> Self {
-        PlanOptions { fold_bn: true }
+        let fuse = !matches!(
+            std::env::var("NB_FUSE").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        );
+        PlanOptions {
+            fold_bn: true,
+            fuse,
+            quant_policy: QuantPolicy::default(),
+        }
     }
 }
 
@@ -530,6 +570,30 @@ enum Kernel {
         geom: ConvGeometry,
         act: Epilogue,
     },
+    /// Int8 depthwise: per-channel quantized taps over the per-tensor
+    /// quantized input, exact zero-point correction, dequant + bias +
+    /// activation in the epilogue. Bitwise thread-width invariant like
+    /// `QConv`.
+    QDepthwise {
+        qw: QDepthwiseW,
+        x_scale: f32,
+        bias: Option<Tensor>,
+        geom: ConvGeometry,
+        act: Epilogue,
+    },
+    /// A fused pointwise-expand → depthwise → pointwise-project chain
+    /// (the inverted-residual body), executed strip-by-strip over the
+    /// depthwise output rows so the two intermediate `[E, H, W]` tensors
+    /// live in thread-local scratch instead of the arena. The boxed
+    /// sub-kernels are exactly the three actions the fusion pass swallowed
+    /// (`Conv`/`Depthwise`/`Conv`, or their quantized twins — never
+    /// mixed), so per-stage scales, biases, and epilogues ride along
+    /// unchanged.
+    Fused {
+        expand: Box<Kernel>,
+        dw: Box<Kernel>,
+        project: Box<Kernel>,
+    },
     Linear {
         wp: PackedB,
         bias: Option<Tensor>,
@@ -557,6 +621,56 @@ enum Kernel {
     Add {
         rhs: usize,
     },
+}
+
+impl Kernel {
+    /// Short display tag for the `NB_PLAN_PROFILE=1` breakdown.
+    fn tag(&self) -> &'static str {
+        match self {
+            Kernel::Conv { .. } => "conv",
+            Kernel::QConv { .. } => "qconv",
+            Kernel::QLinear { .. } => "qlinear",
+            Kernel::Depthwise { .. } => "depthwise",
+            Kernel::QDepthwise { .. } => "qdepthwise",
+            Kernel::Fused { expand, .. } => {
+                if expand.is_quant() {
+                    "qfused"
+                } else {
+                    "fused"
+                }
+            }
+            Kernel::Linear { .. } => "linear",
+            Kernel::BatchNorm { .. } => "bn",
+            Kernel::Relu { .. } => "relu",
+            Kernel::Relu6 { .. } => "relu6",
+            Kernel::MaxPool { .. } => "maxpool",
+            Kernel::AvgPool { .. } => "avgpool",
+            Kernel::Gap => "gap",
+            Kernel::Add { .. } => "add",
+        }
+    }
+
+    /// Whether this kernel consumes int8-quantized operands (fused blocks
+    /// delegate to their expand stage — the three stages always quantize
+    /// together).
+    fn is_quant(&self) -> bool {
+        match self {
+            Kernel::QConv { .. } | Kernel::QLinear { .. } | Kernel::QDepthwise { .. } => true,
+            Kernel::Fused { expand, .. } => expand.is_quant(),
+            _ => false,
+        }
+    }
+}
+
+/// Cached `NB_PLAN_PROFILE=1` check for [`CompiledPlan::run_in`].
+fn plan_profile_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        matches!(
+            std::env::var("NB_PLAN_PROFILE").as_deref(),
+            Ok("1") | Ok("on")
+        )
+    })
 }
 
 /// How an action obtains its output buffer.
@@ -697,12 +811,14 @@ impl CompiledPlan {
     /// per-tensor input scale calibrated from `calib` (a few representative
     /// batches; see [`quant_calib_batches`] for the conventional count).
     ///
-    /// Calibration records each GEMM input's max-abs by replaying the f32
+    /// Calibration records each kernel input's max-abs by replaying the f32
     /// plan over the calibration batches, so the quantized plan's scales
     /// line up with its own fused graph (post-folding activations, not the
-    /// recorded pre-fusion ones). Depthwise convs, batch norms, pooling and
-    /// residual adds stay f32 — they are bandwidth-bound, and keeping them
-    /// exact confines all quantization error to the GEMM operands.
+    /// recorded pre-fusion ones). Depthwise convs quantize too — the int8
+    /// stencil with per-channel weights and exact zero-point correction
+    /// keeps inverted-residual chains entirely in u8. Batch norms, pooling
+    /// and residual adds stay f32, confining quantization error to the
+    /// conv/linear operands.
     ///
     /// The result replays through every existing entry point ([`run`],
     /// [`run_in`], [`replayer`], nb-serve) unchanged, and its replay is
@@ -723,6 +839,22 @@ impl CompiledPlan {
         calib: &[Tensor],
         fwd: impl FnOnce(&mut dyn Forward, Value) -> Value,
     ) -> Self {
+        Self::compile_quantized_with(dims, PlanOptions::default(), calib, fwd)
+    }
+
+    /// [`CompiledPlan::compile_quantized`] with explicit [`PlanOptions`] —
+    /// how the verify suites build a fused and an unfused quantized twin in
+    /// one process without racing on the `NB_FUSE` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// As [`CompiledPlan::compile_quantized`].
+    pub fn compile_quantized_with(
+        dims: &[usize],
+        opts: PlanOptions,
+        calib: &[Tensor],
+        fwd: impl FnOnce(&mut dyn Forward, Value) -> Value,
+    ) -> Self {
         assert!(
             !calib.is_empty(),
             "compile_quantized needs at least one calibration batch"
@@ -730,8 +862,16 @@ impl CompiledPlan {
         let mut rec = Recorder::new();
         let x = rec.input(Tensor::zeros(dims.to_vec()));
         let y = fwd(&mut rec, x);
-        let opts = PlanOptions::default();
-        let fplan = build(&rec, y.index(), dims.to_vec(), opts, None);
+        // Calibration runs on the *unfused* f32 plan so that maxima (and
+        // the scales derived from them) are indexed by pre-fusion action
+        // order — the order in which the quantized build's Pass A consumes
+        // them. The fusion pass runs after scales are assigned, so the
+        // final (possibly fused) plan sees identical per-stage scales.
+        let calib_opts = PlanOptions {
+            fuse: false,
+            ..opts
+        };
+        let fplan = build(&rec, y.index(), dims.to_vec(), calib_opts, None);
         let mut maxima = vec![0.0f32; fplan.actions.len()];
         let mut arena = fplan.new_arena();
         for batch in calib {
@@ -776,10 +916,39 @@ impl CompiledPlan {
     pub fn run_in(&self, arena: &mut PlanArena, x: &Tensor) -> Tensor {
         let v = self.bind(arena, x.clone());
         debug_assert_eq!(v.index(), 0);
-        for ai in 0..self.actions.len() {
-            self.exec(arena, ai);
+        if plan_profile_enabled() {
+            let mut rows = Vec::with_capacity(self.actions.len());
+            let t_all = std::time::Instant::now();
+            for ai in 0..self.actions.len() {
+                let t0 = std::time::Instant::now();
+                self.exec(arena, ai);
+                rows.push(t0.elapsed().as_nanos());
+            }
+            self.print_profile(arena.last_batch, &rows, t_all.elapsed().as_nanos());
+        } else {
+            for ai in 0..self.actions.len() {
+                self.exec(arena, ai);
+            }
         }
         self.take_value(arena, Value::from_index(self.final_out))
+    }
+
+    /// `NB_PLAN_PROFILE=1` breakdown table: one row per action with the
+    /// kernel tag, output dims, wall ns, and share of the run.
+    fn print_profile(&self, batch: usize, rows: &[u128], total: u128) {
+        eprintln!(
+            "[plan-profile] batch={batch} actions={} total={total} ns",
+            rows.len()
+        );
+        for (ai, (a, ns)) in self.actions.iter().zip(rows).enumerate() {
+            let dims: Vec<String> = a.out_dims[1..].iter().map(|d| d.to_string()).collect();
+            let pct = *ns as f64 * 100.0 / total.max(1) as f64;
+            eprintln!(
+                "  #{ai:<3} {:<11} [{}] {ns:>10} ns  {pct:>5.1}%",
+                a.kernel.tag(),
+                dims.join("x"),
+            );
+        }
     }
 
     /// Wraps this plan and a fresh arena into a [`Forward`] executor that
@@ -820,9 +989,7 @@ impl CompiledPlan {
     /// Whether this plan carries int8 GEMM actions (built by
     /// [`CompiledPlan::compile_quantized`]).
     pub fn is_quantized(&self) -> bool {
-        self.actions
-            .iter()
-            .any(|a| matches!(a.kernel, Kernel::QConv { .. } | Kernel::QLinear { .. }))
+        self.actions.iter().any(|a| a.kernel.is_quant())
     }
 
     /// Bytes held by prepacked weight panels (including retained raw
@@ -1025,6 +1192,57 @@ impl CompiledPlan {
                 depthwise_conv2d_fused_into(xt, w, b.as_ref(), *geom, *act, &mut buf);
                 Tensor::from_vec(buf, dims).expect("depthwise output shape")
             }
+            (
+                Kernel::QDepthwise {
+                    qw,
+                    x_scale,
+                    bias,
+                    geom,
+                    act,
+                },
+                ExecMode::OutOfPlace { home },
+            ) => {
+                // Mirror of the QConv arm: quantize into the u8 scratch,
+                // release the dead f32 input, then take the output home.
+                let (c, h, w_in) = {
+                    let xt = values[a.x].as_ref().expect("qdepthwise input live");
+                    let d = xt.dims();
+                    let src = xt.as_slice();
+                    if qscratch.len() < src.len() {
+                        qscratch.resize(src.len(), Q_SCRATCH_FILL);
+                    }
+                    quantize_activations(src, *x_scale, &mut qscratch[..src.len()]);
+                    (d[1], d[2], d[3])
+                };
+                release_values(&a.early_free, values, val_home, homes);
+                let mut buf = take_home(homes, home);
+                qdepthwise_conv2d_into(
+                    &qscratch[..*last_batch * c * h * w_in],
+                    *last_batch,
+                    qw,
+                    bias.as_ref().map(Tensor::as_slice),
+                    *geom,
+                    *act,
+                    *x_scale,
+                    h,
+                    w_in,
+                    &mut buf,
+                );
+                Tensor::from_vec(buf, dims).expect("qdepthwise output shape")
+            }
+            (
+                Kernel::Fused {
+                    expand,
+                    dw,
+                    project,
+                },
+                ExecMode::OutOfPlace { home },
+            ) => {
+                let mut buf = take_home(homes, home);
+                let xt = values[a.x].as_ref().expect("fused input live");
+                run_fused(expand, dw, project, xt, &mut buf);
+                Tensor::from_vec(buf, dims).expect("fused output shape")
+            }
             (Kernel::Linear { wp, bias, act }, ExecMode::OutOfPlace { home }) => {
                 let mut buf = take_home(homes, home);
                 let xt = values[a.x].as_ref().expect("linear input live");
@@ -1077,18 +1295,23 @@ impl CompiledPlan {
         release_values(&a.free_after, values, val_home, homes);
     }
 
-    /// [`CompiledPlan::run_in`] with a max-abs probe: before each GEMM-backed
-    /// action executes, folds its live f32 input's max-abs into
-    /// `maxima[action]`. This is the calibration pass behind
-    /// [`CompiledPlan::compile_quantized`] — action indices line up between
-    /// the f32 and quantized builds because quantization changes kernels,
-    /// never the fusion decisions.
+    /// [`CompiledPlan::run_in`] with a max-abs probe: before each
+    /// quantizable action (conv / linear / depthwise) executes, folds its
+    /// live f32 input's max-abs into `maxima[action]`. This is the
+    /// calibration pass behind [`CompiledPlan::compile_quantized`] — it
+    /// runs on an *unfused* f32 plan, and action indices line up with the
+    /// quantized build because quantization changes kernels (never the
+    /// emission order) and chain fusion runs only after scales are
+    /// assigned.
     fn run_calibrate(&self, arena: &mut PlanArena, x: &Tensor, maxima: &mut [f32]) {
         let v = self.bind(arena, x.clone());
         debug_assert_eq!(v.index(), 0);
         for (ai, mx) in maxima.iter_mut().enumerate().take(self.actions.len()) {
             let a = &self.actions[ai];
-            if matches!(a.kernel, Kernel::Conv { .. } | Kernel::Linear { .. }) {
+            if matches!(
+                a.kernel,
+                Kernel::Conv { .. } | Kernel::Linear { .. } | Kernel::Depthwise { .. }
+            ) {
                 let xt = arena.values[a.x].as_ref().expect("calibration input live");
                 *mx = mx.max(max_abs(xt.as_slice()));
             }
@@ -1150,6 +1373,338 @@ fn apply_inplace(kernel: &Kernel, t: &mut Tensor, values: &[Option<Tensor>]) {
         Kernel::Relu6 { alpha } => eltwise::relu6_decay_inplace(t, *alpha),
         Kernel::Add { rhs } => t.add_assign(values[*rhs].as_ref().expect("add rhs live")),
         _ => unreachable!("not an in-place kernel"),
+    }
+}
+
+// Thread-local scratch for the fused inverted-residual executor: one f32
+// buffer partitioned into [gathered input | expand out | depthwise out |
+// project out] strip regions, plus one u8 buffer the quantized path
+// reuses across its three quantize steps. Grown to a high-water mark and
+// reused, like nb-tensor's packing scratch, and excluded from
+// `CompiledPlan::peak_bytes` the same way — it is bounded by the strip
+// budget, not the activation footprint.
+thread_local! {
+    static FUSE_F32: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+    static FUSE_U8: std::cell::Cell<Vec<u8>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
+fn with_fuse_scratch<R>(
+    f32_len: usize,
+    u8_len: usize,
+    f: impl FnOnce(&mut [f32], &mut [u8]) -> R,
+) -> R {
+    FUSE_F32.with(|cf| {
+        FUSE_U8.with(|cq| {
+            let mut fb = cf.take();
+            let mut qb = cq.take();
+            if fb.len() < f32_len {
+                fb.resize(f32_len, 0.0);
+            }
+            if qb.len() < u8_len {
+                qb.resize(u8_len, Q_SCRATCH_FILL);
+            }
+            let r = f(&mut fb[..], &mut qb[..]);
+            cf.set(fb);
+            cq.set(qb);
+            r
+        })
+    })
+}
+
+/// Depthwise-output rows per fused strip: the largest strip whose f32
+/// scratch stays roughly L2-resident, clamped to `[1, ho]`. A pure
+/// function of the shapes, so fused replay is deterministic.
+fn fused_strip_rows(
+    c_in: usize,
+    e: usize,
+    c_out: usize,
+    w: usize,
+    wo: usize,
+    sh: usize,
+    ho: usize,
+) -> usize {
+    // f32 units per depthwise output row: gathered input and expand output
+    // cover `sh` input rows each (the kh-1 halo is amortized), plus the
+    // depthwise and project output rows.
+    let per_row = (c_in + e) * sh * w + (e + c_out) * wo;
+    const TARGET_UNITS: usize = 48 * 1024; // ~192 KiB of f32 strip scratch
+    (TARGET_UNITS / per_row.max(1)).clamp(1, ho.max(1))
+}
+
+/// Executes a fused expand → depthwise → project block sample by sample:
+/// strips of depthwise output rows flow through thread-local scratch, so
+/// the two `[E, H, W]` intermediates never round-trip through the arena.
+///
+/// The quantized variant is **bitwise identical** to its unfused twin:
+/// `quantize_activations` is elementwise (strip-wise quantization produces
+/// the same bytes), the integer GEMM/stencil stages are exact under any
+/// schedule, and the dequant epilogues evaluate the same expression per
+/// element. The f32 variant is ULP-bounded only — the strip-shaped
+/// pointwise GEMMs may select a different schedule than the full-plane
+/// ones. Both are bitwise thread-width invariant.
+fn run_fused(expand: &Kernel, dw: &Kernel, project: &Kernel, xt: &Tensor, out: &mut [f32]) {
+    use nb_tensor::selector;
+    let d = xt.dims();
+    let (n, c_in, h, w) = (d[0], d[1], d[2], d[3]);
+    let x = xt.as_slice();
+    match (expand, dw, project) {
+        (
+            Kernel::Conv {
+                wp: ewp,
+                bias: ebias,
+                act: eact,
+                ..
+            },
+            Kernel::Depthwise {
+                w: dww,
+                b: dwb,
+                geom,
+                act: dact,
+            },
+            Kernel::Conv {
+                wp: pwp,
+                bias: pbias,
+                act: pact,
+                ..
+            },
+        ) => {
+            let g = *geom;
+            let (ho, wo) = g.output_hw(h, w);
+            let (e, c_out) = (ewp.m(), pwp.m());
+            debug_assert_eq!(out.len(), n * c_out * ho * wo, "fused output length");
+            let strip = fused_strip_rows(c_in, e, c_out, w, wo, g.sh, ho);
+            let rows_in_max = ((strip - 1) * g.sh + g.kh).min(h);
+            let (xg_cap, e_cap) = (c_in * rows_in_max * w, e * rows_in_max * w);
+            let (d_cap, p_cap) = (e * strip * wo, c_out * strip * wo);
+            // One depthwise schedule decision per run, keyed exactly like
+            // the standalone action, so strips run the same kernel.
+            let dvar = selector::select(
+                selector::Op::Depthwise,
+                selector::Layout::NN,
+                e,
+                g.kh * g.kw,
+                ho * wo,
+            );
+            let simd = dvar.schedule != nb_tensor::Schedule::Direct;
+            let ws = dww.as_slice();
+            let ebias = ebias.as_ref().map(Tensor::as_slice);
+            let dbias = dwb.as_ref().map(Tensor::as_slice);
+            let pbias = pbias.as_ref().map(Tensor::as_slice);
+            with_fuse_scratch(xg_cap + e_cap + d_cap + p_cap, 0, |fb, _| {
+                let (xg, rest) = fb.split_at_mut(xg_cap);
+                let (eb, rest) = rest.split_at_mut(e_cap);
+                let (db, pb) = rest.split_at_mut(d_cap);
+                for s in 0..n {
+                    let x_s = &x[s * c_in * h * w..(s + 1) * c_in * h * w];
+                    let o_s = &mut out[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
+                    let mut o0 = 0;
+                    while o0 < ho {
+                        let o1 = (o0 + strip).min(ho);
+                        let r0 = (o0 * g.sh).saturating_sub(g.ph);
+                        let r1 = ((o1 - 1) * g.sh + g.kh).saturating_sub(g.ph).min(h).max(r0);
+                        let ri = r1 - r0;
+                        let (ni, no) = (ri * w, (o1 - o0) * wo);
+                        if ni > 0 {
+                            // A strip that spans the whole input plane needs
+                            // no gather: the sample is already the k x n
+                            // matrix the pointwise GEMM expects.
+                            let xin: &[f32] = if ri == h {
+                                &x_s[..c_in * ni]
+                            } else {
+                                for ci in 0..c_in {
+                                    xg[ci * ni..(ci + 1) * ni].copy_from_slice(
+                                        &x_s[ci * h * w + r0 * w..ci * h * w + r1 * w],
+                                    );
+                                }
+                                &xg[..c_in * ni]
+                            };
+                            conv2d_pointwise_mat_into(
+                                ewp,
+                                xin,
+                                &mut eb[..e * ni],
+                                ni,
+                                ebias,
+                                *eact,
+                            );
+                        }
+                        for ci in 0..e {
+                            let bv = dbias.map(|b| b[ci]).unwrap_or(0.0);
+                            dw_channel_rows(
+                                &eb[ci * ni..(ci + 1) * ni],
+                                r0,
+                                h,
+                                w,
+                                &ws[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw],
+                                bv,
+                                g,
+                                wo,
+                                o0,
+                                o1,
+                                &mut db[ci * no..(ci + 1) * no],
+                                simd,
+                            );
+                        }
+                        dact.apply(&mut db[..e * no]);
+                        // Mirror of the gather skip: a full-plane strip can
+                        // project straight into the output sample.
+                        if no == ho * wo {
+                            conv2d_pointwise_mat_into(pwp, &db[..e * no], o_s, no, pbias, *pact);
+                        } else {
+                            conv2d_pointwise_mat_into(
+                                pwp,
+                                &db[..e * no],
+                                &mut pb[..c_out * no],
+                                no,
+                                pbias,
+                                *pact,
+                            );
+                            for co in 0..c_out {
+                                o_s[co * ho * wo + o0 * wo..co * ho * wo + o0 * wo + no]
+                                    .copy_from_slice(&pb[co * no..(co + 1) * no]);
+                            }
+                        }
+                        o0 = o1;
+                    }
+                }
+            });
+        }
+        (
+            Kernel::QConv {
+                qw: eqw,
+                x_scale: exs,
+                bias: ebias,
+                act: eact,
+                ..
+            },
+            Kernel::QDepthwise {
+                qw: dqw,
+                x_scale: dxs,
+                bias: dwb,
+                geom,
+                act: dact,
+            },
+            Kernel::QConv {
+                qw: pqw,
+                x_scale: pxs,
+                bias: pbias,
+                act: pact,
+                ..
+            },
+        ) => {
+            let g = *geom;
+            let (ho, wo) = g.output_hw(h, w);
+            let (e, c_out) = (eqw.m(), pqw.m());
+            debug_assert_eq!(out.len(), n * c_out * ho * wo, "qfused output length");
+            let strip = fused_strip_rows(c_in, e, c_out, w, wo, g.sh, ho);
+            let rows_in_max = ((strip - 1) * g.sh + g.kh).min(h);
+            let (xg_cap, e_cap) = (c_in * rows_in_max * w, e * rows_in_max * w);
+            let (d_cap, p_cap) = (e * strip * wo, c_out * strip * wo);
+            // u8 scratch: one region shared by the quantized input and the
+            // requantized depthwise output (their lifetimes don't overlap),
+            // one for the requantized expand output the stencil reads from.
+            // Both producers requantize in their epilogues, so no f32
+            // intermediate exists between the three stages.
+            let qa_cap = xg_cap.max(d_cap);
+            let dvar = selector::select(
+                selector::Op::QDepthwise,
+                selector::Layout::NN,
+                e,
+                g.kh * g.kw,
+                ho * wo,
+            );
+            let simd = dvar.schedule != nb_tensor::Schedule::Direct;
+            let scales = dqw.scales();
+            let ebias = ebias.as_ref().map(Tensor::as_slice);
+            let dbias = dwb.as_ref().map(Tensor::as_slice);
+            let pbias = pbias.as_ref().map(Tensor::as_slice);
+            with_fuse_scratch(xg_cap + p_cap, qa_cap + e_cap, |fb, qb| {
+                let (xg, pb) = fb.split_at_mut(xg_cap);
+                let (qa, qe) = qb.split_at_mut(qa_cap);
+                for s in 0..n {
+                    let x_s = &x[s * c_in * h * w..(s + 1) * c_in * h * w];
+                    let o_s = &mut out[s * c_out * ho * wo..(s + 1) * c_out * ho * wo];
+                    let mut o0 = 0;
+                    while o0 < ho {
+                        let o1 = (o0 + strip).min(ho);
+                        let r0 = (o0 * g.sh).saturating_sub(g.ph);
+                        let r1 = ((o1 - 1) * g.sh + g.kh).saturating_sub(g.ph).min(h).max(r0);
+                        let ri = r1 - r0;
+                        let (ni, no) = (ri * w, (o1 - o0) * wo);
+                        if ni > 0 {
+                            // Full-plane strips quantize straight from the
+                            // sample; the f32 gather is only a staging copy.
+                            let src: &[f32] = if ri == h {
+                                &x_s[..c_in * ni]
+                            } else {
+                                for ci in 0..c_in {
+                                    xg[ci * ni..(ci + 1) * ni].copy_from_slice(
+                                        &x_s[ci * h * w + r0 * w..ci * h * w + r1 * w],
+                                    );
+                                }
+                                &xg[..c_in * ni]
+                            };
+                            quantize_activations(src, *exs, &mut qa[..c_in * ni]);
+                            // The expand stage requantizes in its epilogue:
+                            // its only consumer is the int8 stencil, so the
+                            // f32 intermediate never exists.
+                            qgemm_conv_mat_requant(
+                                eqw,
+                                &qa[..c_in * ni],
+                                &mut qe[..e * ni],
+                                ni,
+                                *exs,
+                                ebias,
+                                *eact,
+                                *dxs,
+                            );
+                        }
+                        // The stencil requantizes per channel row: dequant,
+                        // activation, and the project stage's input quantize
+                        // collapse into its epilogue.
+                        for ci in 0..e {
+                            let base = dbias.map(|b| b[ci]).unwrap_or(0.0);
+                            qdw_channel_rows_requant(
+                                &qe[ci * ni..(ci + 1) * ni],
+                                r0,
+                                h,
+                                w,
+                                dqw.filter(ci),
+                                dqw.kersum(ci),
+                                scales[ci] * *dxs,
+                                base,
+                                *dact,
+                                *pxs,
+                                g,
+                                wo,
+                                o0,
+                                o1,
+                                &mut qa[ci * no..(ci + 1) * no],
+                                simd,
+                            );
+                        }
+                        if no == ho * wo {
+                            qgemm_conv_mat(pqw, &qa[..e * no], o_s, no, *pxs, pbias, *pact);
+                        } else {
+                            qgemm_conv_mat(
+                                pqw,
+                                &qa[..e * no],
+                                &mut pb[..c_out * no],
+                                no,
+                                *pxs,
+                                pbias,
+                                *pact,
+                            );
+                            for co in 0..c_out {
+                                o_s[co * ho * wo + o0 * wo..co * ho * wo + o0 * wo + no]
+                                    .copy_from_slice(&pb[co * no..(co + 1) * no]);
+                            }
+                        }
+                        o0 = o1;
+                    }
+                }
+            });
+        }
+        _ => unreachable!("fused stages are Conv/Depthwise/Conv or their quantized twins"),
     }
 }
 
@@ -1350,11 +1905,142 @@ impl Liveness<'_> {
     }
 }
 
+/// Per-op int8 lowering decisions for [`QuantPolicy::Auto`]: `true` means
+/// Pass A emits the quantized kernel for the op at that index.
+///
+/// Int8 pays only when the GEMM saving outruns the activation-quantize pass
+/// it forces in front of the kernel, so shallow or tiny layers stay f32.
+/// The thresholds come from per-action profiles of the benchmark families
+/// on the int8 target machine (DESIGN.md §5j):
+///
+/// - **Depthwise** always quantizes — the u8/i8 stencil beats the f32 rows
+///   even counting its own input quantize.
+/// - **Inverted-residual chains** (the pointwise-expand → depthwise →
+///   pointwise-project triples Pass F fuses) decide as one unit, so fusion
+///   never has to split a chain over precision: quantized iff the expand
+///   input depth reaches `MIN_CHAIN_C` (the expand GEMM's reduction depth —
+///   at `k = 4` the i8 microkernel runs one maddubs quad and saves nothing)
+///   and the depthwise output plane reaches `MIN_SPATIAL` pixels (below
+///   that, per-call fixed costs dominate both GEMMs).
+/// - **Standalone convs** need `m, k >= MIN_DENSE` and an output plane of
+///   `MIN_SPATIAL` — a 3x3 stem from 3 channels (`k = 27`) loses to the
+///   f32 implicit GEMM once the quantized im2col pack is charged.
+/// - **Linears** need `m, k >= MIN_DENSE` (their `n` is the batch size;
+///   the win scales with `m` alone).
+fn quant_policy(ops: &[RecOp], val_dims: &[Vec<usize>], rec_uses: &[usize]) -> Vec<bool> {
+    const MIN_DENSE: usize = 32;
+    const MIN_CHAIN_C: usize = 8;
+    const MIN_SPATIAL: usize = 64;
+    let pointwise = |g: &ConvGeometry| {
+        g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
+    };
+    // Follows op `i`'s output through the directly-following foldable tail
+    // (one single-use batch norm, then one single-use activation — exactly
+    // what Pass A's peephole consumes) and returns the index past the tail
+    // plus the value the next consumer reads.
+    let fold_tail = |i: usize, out: usize| -> (usize, usize) {
+        let mut j = i + 1;
+        let mut tail = out;
+        if rec_uses[tail] == 1 {
+            if let Some(RecOp::BatchNorm { x, out, .. }) = ops.get(j) {
+                if *x == tail {
+                    tail = *out;
+                    j += 1;
+                }
+            }
+        }
+        if rec_uses[tail] == 1 {
+            match ops.get(j) {
+                Some(RecOp::Relu { x, out, .. }) | Some(RecOp::Relu6 { x, out, .. })
+                    if *x == tail =>
+                {
+                    tail = *out;
+                    j += 1;
+                }
+                _ => {}
+            }
+        }
+        (j, tail)
+    };
+    let mut policy: Vec<bool> = ops
+        .iter()
+        .map(|op| match op {
+            RecOp::Depthwise { .. } => true,
+            RecOp::Conv { w, out, .. } => {
+                let d = w.dims();
+                let od = &val_dims[*out];
+                d[0] >= MIN_DENSE && d[1] * d[2] * d[3] >= MIN_DENSE && od[2] * od[3] >= MIN_SPATIAL
+            }
+            RecOp::Linear { w, .. } => {
+                let (m, k) = w.shape().rc();
+                m >= MIN_DENSE && k >= MIN_DENSE
+            }
+            _ => true,
+        })
+        .collect();
+    // Chain pass: override all three members of each expand → depthwise →
+    // project triple with the chain-level decision.
+    let mut i = 0;
+    while i < ops.len() {
+        let chain = (|| {
+            let RecOp::Conv {
+                w: ew,
+                out: e_out,
+                geom: eg,
+                ..
+            } = &ops[i]
+            else {
+                return None;
+            };
+            if !pointwise(eg) {
+                return None;
+            }
+            let (j, tail) = fold_tail(i, *e_out);
+            let Some(RecOp::Depthwise {
+                x: dx, out: d_out, ..
+            }) = ops.get(j)
+            else {
+                return None;
+            };
+            if *dx != tail || rec_uses[tail] != 1 {
+                return None;
+            }
+            let (j2, tail2) = fold_tail(j, *d_out);
+            let Some(RecOp::Conv {
+                x: px, geom: pg, ..
+            }) = ops.get(j2)
+            else {
+                return None;
+            };
+            if *px != tail2 || rec_uses[tail2] != 1 || !pointwise(pg) {
+                return None;
+            }
+            let od = &val_dims[*d_out];
+            Some((
+                j,
+                j2,
+                ew.dims()[1] >= MIN_CHAIN_C && od[2] * od[3] >= MIN_SPATIAL,
+            ))
+        })();
+        if let Some((j, j2, q)) = chain {
+            policy[i] = q;
+            policy[j] = q;
+            policy[j2] = q;
+            i = j2 + 1;
+        } else {
+            i += 1;
+        }
+    }
+    policy
+}
+
 /// The rewrite + arena-assignment pass: recorded ops in, compiled plan out.
 ///
 /// `quant`, when present, holds per-action input scales (indexed by the
 /// action order this pass emits, which is identical with or without it) and
-/// switches every dense conv/linear to its int8 kernel.
+/// switches eligible dense conv/linear/depthwise ops to their int8 kernels
+/// — every eligible op under [`QuantPolicy::All`], the shape-filtered
+/// subset computed by [`quant_policy`] under [`QuantPolicy::Auto`].
 fn build(
     rec: &Recorder,
     final_val: usize,
@@ -1377,6 +2063,13 @@ fn build(
         }
     }
     rec_uses[final_val] += 1;
+
+    // Which ops lower to int8 this build (all-true unless a quantized build
+    // asked for the shape-driven mixed-precision policy).
+    let qpol: Vec<bool> = match (quant, opts.quant_policy) {
+        (Some(_), QuantPolicy::Auto) => quant_policy(ops, &val_dims, &rec_uses),
+        _ => vec![true; ops.len()],
+    };
 
     // --- Pass A: peephole rewrite into actions over canonical value ids ---
     let mut canon: Vec<usize> = (0..nvals).collect();
@@ -1445,13 +2138,26 @@ fn build(
                 }
                 let ai = actions.len();
                 let kernel = if depthwise {
-                    Kernel::Depthwise {
-                        w,
-                        b,
-                        geom: *geom,
-                        act,
+                    if let Some(scales) = quant.filter(|_| qpol[i]) {
+                        let d = w.dims().to_vec();
+                        let qw = QDepthwiseW::pack(w.as_slice(), d[0], d[1], d[2]);
+                        packed_bytes += qw.bytes();
+                        Kernel::QDepthwise {
+                            qw,
+                            x_scale: scales[ai],
+                            bias: b,
+                            geom: *geom,
+                            act,
+                        }
+                    } else {
+                        Kernel::Depthwise {
+                            w,
+                            b,
+                            geom: *geom,
+                            act,
+                        }
                     }
-                } else if let Some(scales) = quant {
+                } else if let Some(scales) = quant.filter(|_| qpol[i]) {
                     let d = w.dims().to_vec();
                     let qw = QPackedW::pack(w.as_slice(), d[0], d[1] * d[2] * d[3]);
                     packed_bytes += qw.bytes();
@@ -1521,7 +2227,7 @@ fn build(
                 }
                 let (out_f, in_f) = w.shape().rc();
                 let ai = actions.len();
-                let kernel = if let Some(scales) = quant {
+                let kernel = if let Some(scales) = quant.filter(|_| qpol[i]) {
                     let qw = QPackedW::pack(w.as_slice(), out_f, in_f);
                     packed_bytes += qw.bytes();
                     Kernel::QLinear {
@@ -1652,6 +2358,113 @@ fn build(
     }
     let final_out = canon[final_val];
 
+    // --- Pass F: fuse pointwise-expand → depthwise → pointwise-project ---
+    // Consecutive action triples forming an inverted-residual body collapse
+    // into one strip-tiled [`Kernel::Fused`] action when both intermediate
+    // values are single-use and neither is the plan output. Runs after
+    // Pass A so quantization scales (indexed by pre-fusion action order)
+    // are already bound into the sub-kernels, and before Pass B so the
+    // `[E, H, W]` intermediates never receive arena homes — fusion shrinks
+    // `arena_bytes`, never grows it.
+    if opts.fuse {
+        let mut uses = vec![0usize; nvals];
+        for a in &actions {
+            uses[a.x] += 1;
+            if let Kernel::Add { rhs } = a.kernel {
+                uses[rhs] += 1;
+            }
+        }
+        uses[final_out] += 1;
+        let pointwise = |g: &ConvGeometry| {
+            g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
+        };
+        let fusable = |acts: &[Action], i: usize| -> bool {
+            if i + 2 >= acts.len() {
+                return false;
+            }
+            let (a0, a1, a2) = (&acts[i], &acts[i + 1], &acts[i + 2]);
+            let e_pw = match &a0.kernel {
+                Kernel::Conv { geom, .. } | Kernel::QConv { geom, .. } => pointwise(geom),
+                _ => false,
+            };
+            let d_dw = matches!(
+                a1.kernel,
+                Kernel::Depthwise { .. } | Kernel::QDepthwise { .. }
+            );
+            let p_pw = match &a2.kernel {
+                Kernel::Conv { geom, .. } | Kernel::QConv { geom, .. } => pointwise(geom),
+                _ => false,
+            };
+            e_pw
+                && d_dw
+                && p_pw
+                // Precision-homogeneous only: the fused runner executes all
+                // three stages in one numeric domain. The Auto quant policy
+                // already decides chains as a unit, so this only rejects
+                // triples the policy never meant to be chains.
+                && a0.kernel.is_quant() == a1.kernel.is_quant()
+                && a1.kernel.is_quant() == a2.kernel.is_quant()
+                && a1.x == a0.out
+                && a2.x == a1.out
+                && uses[a0.out] == 1
+                && uses[a1.out] == 1
+                && a0.out != final_out
+                && a1.out != final_out
+        };
+        // Greedy non-overlapping left-to-right match.
+        let mut fuse_at = vec![false; actions.len()];
+        let mut i = 0;
+        while i < actions.len() {
+            if fusable(&actions, i) {
+                fuse_at[i] = true;
+                i += 3;
+            } else {
+                i += 1;
+            }
+        }
+        if fuse_at.iter().any(|&f| f) {
+            let mut old: Vec<Option<Action>> =
+                std::mem::take(&mut actions).into_iter().map(Some).collect();
+            let mut old2new: Vec<Option<usize>> = vec![None; old.len()];
+            // Swallowed intermediates alias to the block's final output so
+            // replay hands back a live value for the covered rec ops.
+            let mut val_alias: Vec<usize> = (0..nvals).collect();
+            let mut i = 0;
+            while i < old.len() {
+                if fuse_at[i] {
+                    let a0 = old[i].take().expect("pass F take");
+                    let a1 = old[i + 1].take().expect("pass F take");
+                    let a2 = old[i + 2].take().expect("pass F take");
+                    val_alias[a0.out] = a2.out;
+                    val_alias[a1.out] = a2.out;
+                    old2new[i] = Some(actions.len());
+                    actions.push(Action {
+                        x: a0.x,
+                        out: a2.out,
+                        out_dims: a2.out_dims,
+                        kernel: Kernel::Fused {
+                            expand: Box::new(a0.kernel),
+                            dw: Box::new(a1.kernel),
+                            project: Box::new(a2.kernel),
+                        },
+                        mode: ExecMode::Fresh, // assigned in pass B
+                        free_after: Vec::new(),
+                        early_free: Vec::new(),
+                    });
+                    i += 3;
+                } else {
+                    old2new[i] = Some(actions.len());
+                    actions.push(old[i].take().expect("pass F take"));
+                    i += 1;
+                }
+            }
+            for (_, act_opt, out) in rec_meta.iter_mut() {
+                *act_opt = act_opt.and_then(|ai| old2new[ai]);
+                *out = val_alias[*out];
+            }
+        }
+    }
+
     // --- Pass B: arena assignment + liveness over the emitted actions ---
     let mut remaining = vec![0usize; nvals];
     for a in &actions {
@@ -1689,7 +2502,13 @@ fn build(
             a.kernel,
             Kernel::MaxPool { .. } | Kernel::AvgPool { .. } | Kernel::Gap
         );
-        let quantized = matches!(a.kernel, Kernel::QConv { .. } | Kernel::QLinear { .. });
+        // Fused blocks quantize strip-wise into their own thread-local
+        // scratch (not the arena's), so they take the plain out-of-place
+        // path below even when quantized.
+        let quantized = matches!(
+            a.kernel,
+            Kernel::QConv { .. } | Kernel::QLinear { .. } | Kernel::QDepthwise { .. }
+        );
 
         let mut free_after: Vec<usize> = Vec::new();
         if quantized {
@@ -1829,9 +2648,15 @@ mod tests {
         let (want, _) = infer_forward(&model, &x);
 
         let before = nodes_allocated();
-        let plan = CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
-            model.forward(f, v)
-        });
+        let plan = CompiledPlan::compile_with(
+            x.dims(),
+            PlanOptions {
+                fold_bn: false,
+                fuse: false,
+                ..PlanOptions::default()
+            },
+            |f, v| model.forward(f, v),
+        );
         let got = plan.run(&x);
         assert_eq!(nodes_allocated(), before, "plan allocated tape nodes");
         assert_eq!(got.dims(), want.dims());
@@ -1846,10 +2671,15 @@ mod tests {
         let (want, _) = infer_forward(&model, &x);
 
         let plan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
-        let unfolded =
-            CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
-                model.forward(f, v)
-            });
+        let unfolded = CompiledPlan::compile_with(
+            x.dims(),
+            PlanOptions {
+                fold_bn: false,
+                fuse: false,
+                ..PlanOptions::default()
+            },
+            |f, v| model.forward(f, v),
+        );
         assert!(
             plan.action_count() < unfolded.action_count(),
             "folding should remove bn/activation actions ({} vs {})",
@@ -2018,13 +2848,32 @@ mod tests {
             .collect()
     }
 
+    /// `compile_quantized` with the Auto shape policy overridden to All —
+    /// the kernel-path tests here use deliberately tiny models that Auto
+    /// would (correctly) keep in f32.
+    fn compile_quantized_all(
+        dims: &[usize],
+        calib: &[Tensor],
+        fwd: impl FnOnce(&mut dyn Forward, Value) -> Value,
+    ) -> CompiledPlan {
+        CompiledPlan::compile_quantized_with(
+            dims,
+            PlanOptions {
+                quant_policy: QuantPolicy::All,
+                ..PlanOptions::default()
+            },
+            calib,
+            fwd,
+        )
+    }
+
     #[test]
     fn quantized_plan_tracks_f32_plan() {
         let mut rng = StdRng::seed_from_u64(30);
         let model = conv_model(&mut rng);
         let x = Tensor::randn([2, 3, 8, 8], &mut rng);
         let fplan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
-        let qplan = CompiledPlan::compile_quantized(
+        let qplan = compile_quantized_all(
             x.dims(),
             &calib_batches(x.dims(), quant_calib_batches(), 31),
             |f, v| model.forward(f, v),
@@ -2056,7 +2905,7 @@ mod tests {
         let x = Tensor::randn([2, 3, 8, 8], &mut rng);
         let calib = calib_batches(x.dims(), 2, 33);
         let fplan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
-        let qplan = CompiledPlan::compile_quantized(x.dims(), &calib, |f, v| model.forward(f, v));
+        let qplan = compile_quantized_all(x.dims(), &calib, |f, v| model.forward(f, v));
         assert!(
             qplan.packed_bytes() < fplan.packed_bytes(),
             "i8 panels should undercut f32 panels ({} vs {})",
@@ -2098,7 +2947,7 @@ mod tests {
         let x = Tensor::randn([3, 3, 6, 6], &mut rng);
         let calib = calib_batches(x.dims(), 2, 35);
         let fplan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
-        let qplan = CompiledPlan::compile_quantized(x.dims(), &calib, |f, v| model.forward(f, v));
+        let qplan = compile_quantized_all(x.dims(), &calib, |f, v| model.forward(f, v));
         let want = fplan.run(&x);
         let got = qplan.run(&x);
         let range = max_abs(want.as_slice()).max(1e-6);
@@ -2110,6 +2959,72 @@ mod tests {
         let xv = replay.input(x.clone());
         let yv = model.forward(&mut replay, xv);
         assert_eq!(replay.take(yv).as_slice(), got.as_slice());
+    }
+
+    #[test]
+    fn auto_policy_keeps_tiny_model_f32_bitwise() {
+        // A shallow stem conv (k = 27 < 32) into a tiny linear (m = 5):
+        // both sit under the Auto thresholds, so the "quantized" plan
+        // compiles to pure f32 kernels and owes bitwise parity to the
+        // plain plan. (Depthwise layers are excluded on purpose — Auto
+        // always lowers those.)
+        let mut rng = StdRng::seed_from_u64(40);
+        let model = Sequential::new()
+            .push(Conv2d::new(3, 16, ConvGeometry::same(3, 1), true, &mut rng))
+            .push(Activation::new(ActKind::Relu))
+            .push(crate::layers::GlobalAvgPool::new())
+            .push(Linear::new(16, 5, true, &mut rng));
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+        let fplan = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        let qplan =
+            CompiledPlan::compile_quantized(x.dims(), &calib_batches(x.dims(), 2, 41), |f, v| {
+                model.forward(f, v)
+            });
+        assert!(!qplan.is_quantized(), "Auto should reject every tiny layer");
+        assert_eq!(qplan.run(&x).as_slice(), fplan.run(&x).as_slice());
+    }
+
+    #[test]
+    fn auto_policy_quantizes_wide_chain_as_unit() {
+        // An inverted-residual chain over the Auto thresholds (c_in=8,
+        // 16x16 plane) quantizes whole — and still fuses, proving the
+        // chain decision and Pass F's homogeneity check line up.
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = Sequential::new()
+            .push(Conv2d::new(
+                8,
+                48,
+                ConvGeometry::pointwise(),
+                true,
+                &mut rng,
+            ))
+            .push(Activation::new(ActKind::Relu6))
+            .push(DepthwiseConv2d::new(
+                48,
+                ConvGeometry::same(3, 1),
+                true,
+                &mut rng,
+            ))
+            .push(Activation::new(ActKind::Relu6))
+            .push(Conv2d::new(
+                48,
+                8,
+                ConvGeometry::pointwise(),
+                true,
+                &mut rng,
+            ));
+        let x = Tensor::randn([1, 8, 16, 16], &mut rng);
+        let qplan =
+            CompiledPlan::compile_quantized(x.dims(), &calib_batches(x.dims(), 2, 43), |f, v| {
+                model.forward(f, v)
+            });
+        assert!(qplan.is_quantized(), "chain over thresholds should lower");
+        let fused = CompiledPlan::compile(x.dims(), |f, v| model.forward(f, v));
+        assert_eq!(
+            qplan.action_count(),
+            fused.action_count(),
+            "quantized chain should still fuse to one action"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the run loudly instead of hanging CI.
 
 use nb_nn::layers::{ActKind, Activation, Conv2d, DepthwiseConv2d, GlobalAvgPool, Linear};
-use nb_nn::{CompiledPlan, Module, Sequential};
+use nb_nn::{CompiledPlan, Module, PlanOptions, QuantPolicy, Sequential};
 use nb_serve::{
     coalesce, plan_cost, split_batch, ModelSpec, PlanCache, ServeConfig, Server, SubmitError,
 };
@@ -49,12 +49,22 @@ fn plan_for(seed: u64) -> CompiledPlan {
 }
 
 /// Int8 twin of [`plan_for`]: deterministic calibration batches, so
-/// eviction round-trips recompile to an identical plan.
+/// eviction round-trips recompile to an identical plan. Forces
+/// `QuantPolicy::All` — the Auto shape policy would keep this deliberately
+/// tiny model in f32, and the suite wants the quantized serving path.
 fn quant_plan_for(seed: u64) -> CompiledPlan {
     let model = small_model(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51c0_ffee);
     let calib: Vec<Tensor> = (0..2).map(|_| Tensor::randn(PROBE, &mut rng)).collect();
-    CompiledPlan::compile_quantized(&PROBE, &calib, |f, v| model.forward(f, v))
+    CompiledPlan::compile_quantized_with(
+        &PROBE,
+        PlanOptions {
+            quant_policy: QuantPolicy::All,
+            ..PlanOptions::default()
+        },
+        &calib,
+        |f, v| model.forward(f, v),
+    )
 }
 
 fn solo_run(plan: &CompiledPlan, sample: &Tensor) -> Tensor {

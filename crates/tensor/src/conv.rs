@@ -28,6 +28,7 @@ use crate::gemm::{
     gemm, gemm_conv_batch, gemm_conv_explicit, gemm_conv_packed, gemm_conv_packed_mat, Im2colRef,
     PackedA,
 };
+use crate::selector::{self, Schedule};
 use crate::threadpool::{self, with_scratch, SharedMut, CONV_COLS, CONV_DCOLS, CONV_DW_PARTS};
 use crate::{ConvGeometry, Tensor};
 
@@ -452,6 +453,10 @@ pub fn depthwise_conv2d_into(
 /// Shared forward driver behind [`depthwise_conv2d_into`] and
 /// [`depthwise_conv2d_fused_into`]: one task per sample, with the (possibly
 /// identity) epilogue applied to the finished sample inside the same task.
+/// The per-channel stencil runs through [`crate::depthwise::dw_channel_rows`]
+/// under the shape-keyed selector: `Direct` is the scalar reference, any
+/// `Blocked` schedule the AVX2 row-strip kernel — bitwise identical either
+/// way, so the choice (and `NB_AUTOTUNE`) is speed-only.
 fn depthwise_dispatch(
     x: &Tensor,
     w: &Tensor,
@@ -461,11 +466,23 @@ fn depthwise_dispatch(
     out: &mut [f32],
 ) {
     let (n, c, h, wd, ho, wo) = dw_shapes(x, w, geom);
+    if out.is_empty() {
+        return;
+    }
     let xs = x.as_slice();
     let ws = w.as_slice();
     let bias = b.map(Tensor::as_slice);
     let in_sz = c * h * wd;
     let out_sz = c * ho * wo;
+    // Select once, outside the sample loop: the selector takes a lock.
+    let variant = selector::select(
+        selector::Op::Depthwise,
+        selector::Layout::NN,
+        c,
+        geom.kh * geom.kw,
+        ho * wo,
+    );
+    let simd = variant.schedule != Schedule::Direct;
     let shared_out = SharedMut::new(out);
     threadpool::parallel_for(n, &|ni| {
         // Safety: each task writes only its own sample's output window.
@@ -476,25 +493,9 @@ fn depthwise_dispatch(
             let ker = &ws[ci * geom.kh * geom.kw..(ci + 1) * geom.kh * geom.kw];
             let o_plane = &mut o_sample[ci * ho * wo..(ci + 1) * ho * wo];
             let bv = bias.map(|b| b[ci]).unwrap_or(0.0);
-            for oi in 0..ho {
-                for oj in 0..wo {
-                    let mut acc = bv;
-                    for ki in 0..geom.kh {
-                        let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
-                        if ii < 0 || ii >= h as isize {
-                            continue;
-                        }
-                        for kj in 0..geom.kw {
-                            let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
-                            if jj < 0 || jj >= wd as isize {
-                                continue;
-                            }
-                            acc += plane[ii as usize * wd + jj as usize] * ker[ki * geom.kw + kj];
-                        }
-                    }
-                    o_plane[oi * wo + oj] = acc;
-                }
-            }
+            crate::depthwise::dw_channel_rows(
+                plane, 0, h, wd, ker, bv, geom, wo, 0, ho, o_plane, simd,
+            );
         }
         act.apply(o_sample);
     });
@@ -528,6 +529,32 @@ pub fn depthwise_conv2d_fused_into(
         assert_eq!(b.dims(), &[c], "depthwise bias shape");
     }
     depthwise_dispatch(x, w, b, geom, act, out);
+}
+
+/// The pointwise (1x1, stride-1, unpadded) conv forward over a materialized
+/// `[c_in, n]` activation matrix against a prepacked weight: a pointwise
+/// conv's im2col matrix *is* the input, so the GEMM runs on it directly.
+/// This is the stage kernel the fused inverted-residual executor in `nb-nn`
+/// drives over output-row strips; it shares the plan pointwise fast path's
+/// kernel and conv selector namespace, so fused and unfused execution pick
+/// the same schedule family for a given `n`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != pa.k() * n` or `out.len() != pa.m() * n`.
+pub fn conv2d_pointwise_mat_into(
+    pa: &PackedA,
+    x: &[f32],
+    out: &mut [f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Epilogue,
+) {
+    assert_eq!(out.len(), pa.m() * n, "pointwise conv output length");
+    if out.is_empty() {
+        return;
+    }
+    gemm_conv_packed_mat(pa, x, out, n, bias, act);
 }
 
 /// Serial depthwise backward for one channel across every sample. Kept as a

@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod conv;
+pub mod depthwise;
 pub mod eltwise;
 mod error;
 pub mod gemm;
@@ -81,8 +82,12 @@ pub mod threadpool;
 
 pub use conv::{
     col2im, conv2d, conv2d_backward, conv2d_into, conv2d_into_explicit, conv2d_packed_into,
-    depthwise_conv2d, depthwise_conv2d_backward, depthwise_conv2d_fused_into,
-    depthwise_conv2d_into, im2col,
+    conv2d_pointwise_mat_into, depthwise_conv2d, depthwise_conv2d_backward,
+    depthwise_conv2d_fused_into, depthwise_conv2d_into, im2col,
+};
+pub use depthwise::{
+    dw_channel_rows, qdepthwise_conv2d_into, qdw_channel_rows, qdw_channel_rows_requant,
+    QDepthwiseW,
 };
 pub use eltwise::Epilogue;
 pub use error::TensorError;
@@ -93,8 +98,8 @@ pub use pool::{
     maxpool2d_backward,
 };
 pub use qgemm::{
-    activation_scale, max_abs, qgemm_conv, qgemm_conv_mat, qgemm_linear, quantize_activations,
-    QIm2colRef, QPackedW, Q_ZERO,
+    activation_scale, max_abs, qgemm_conv, qgemm_conv_mat, qgemm_conv_mat_requant, qgemm_linear,
+    quantize_activations, QIm2colRef, QPackedW, Q_ZERO,
 };
 pub use selector::{with_autotune_off, Schedule, Variant};
 pub use shape::{ConvGeometry, Shape};

@@ -436,8 +436,8 @@ fn use_avx2_kernel() -> bool {
 }
 
 #[cfg(target_arch = "x86_64")]
-mod qx86 {
-    use super::{KQ, QMR, QNR};
+pub(crate) mod qx86 {
+    use super::{Epilogue, KQ, QMR, QNR};
     use core::arch::x86_64::*;
 
     /// AVX2 twin of [`super::qmicrokernel`]: per k-quad, one 32-byte strip
@@ -486,6 +486,104 @@ mod qx86 {
                 _mm256_add_epi32(prev, sum),
             );
         }
+    }
+
+    /// AVX2 dequant + epilogue for one full [`QNR`]-wide accumulator row:
+    /// `y = (acc - corr)·scale + base` then the activation, all as one
+    /// register pass. Every step mirrors the scalar write-out per element —
+    /// `vcvtdq2ps` is the same i32→f32 conversion, multiply and add stay
+    /// separate (no FMA contraction), and `vmaxps` agrees with `f32::max`
+    /// whenever neither operand is NaN (the decayed-ReLU operands share a
+    /// sign, so the ±0 ambiguity never produces different bits) — making the
+    /// SIMD and scalar paths bitwise identical on quantized inference data.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2` target feature at runtime and `out.len() == QNR`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dequant_act_avx2(
+        acc: &[i32; QNR],
+        corr: i32,
+        scale: f32,
+        base: f32,
+        act: Epilogue,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(out.len(), QNR);
+        let a = _mm256_loadu_si256(acc.as_ptr() as *const __m256i);
+        let a = _mm256_sub_epi32(a, _mm256_set1_epi32(corr));
+        let mut v = _mm256_add_ps(
+            _mm256_mul_ps(_mm256_cvtepi32_ps(a), _mm256_set1_ps(scale)),
+            _mm256_set1_ps(base),
+        );
+        match act {
+            Epilogue::None => {}
+            Epilogue::Relu { alpha } => {
+                v = _mm256_max_ps(_mm256_mul_ps(v, _mm256_set1_ps(alpha)), v);
+            }
+            Epilogue::Relu6 { alpha } => {
+                let m = _mm256_max_ps(_mm256_mul_ps(v, _mm256_set1_ps(alpha)), v);
+                let over =
+                    _mm256_max_ps(_mm256_sub_ps(v, _mm256_set1_ps(6.0)), _mm256_setzero_ps());
+                v = _mm256_sub_ps(m, _mm256_mul_ps(_mm256_set1_ps(1.0 - alpha), over));
+            }
+        }
+        _mm256_storeu_ps(out.as_mut_ptr(), v);
+    }
+
+    /// [`dequant_act_avx2`] followed by an in-register requantize with
+    /// `inv = 1/out_scale`: `vcvtps2dq` (ties-to-even, matching the scalar
+    /// `round_ties_even`), integer zero-point shift, explicit 0..255 clamp,
+    /// then the `packus` funnel down to 8 bytes — the same steps as
+    /// [`quantize_avx2`] applied to the dequantized row, so the bytes equal
+    /// a separate f32 write-out plus [`super::quantize_activations`].
+    ///
+    /// # Safety
+    ///
+    /// Requires the `avx2` target feature at runtime and `out.len() == QNR`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dequant_act_requant_avx2(
+        acc: &[i32; QNR],
+        corr: i32,
+        scale: f32,
+        base: f32,
+        act: Epilogue,
+        inv: f32,
+        out: &mut [u8],
+    ) {
+        debug_assert_eq!(out.len(), QNR);
+        let a = _mm256_loadu_si256(acc.as_ptr() as *const __m256i);
+        let a = _mm256_sub_epi32(a, _mm256_set1_epi32(corr));
+        let mut v = _mm256_add_ps(
+            _mm256_mul_ps(_mm256_cvtepi32_ps(a), _mm256_set1_ps(scale)),
+            _mm256_set1_ps(base),
+        );
+        match act {
+            Epilogue::None => {}
+            Epilogue::Relu { alpha } => {
+                v = _mm256_max_ps(_mm256_mul_ps(v, _mm256_set1_ps(alpha)), v);
+            }
+            Epilogue::Relu6 { alpha } => {
+                let m = _mm256_max_ps(_mm256_mul_ps(v, _mm256_set1_ps(alpha)), v);
+                let over =
+                    _mm256_max_ps(_mm256_sub_ps(v, _mm256_set1_ps(6.0)), _mm256_setzero_ps());
+                v = _mm256_sub_ps(m, _mm256_mul_ps(_mm256_set1_ps(1.0 - alpha), over));
+            }
+        }
+        let q = _mm256_cvtps_epi32(_mm256_mul_ps(v, _mm256_set1_ps(inv)));
+        let q = _mm256_add_epi32(q, _mm256_set1_epi32(super::Q_ZERO as i32));
+        let q = _mm256_min_epi32(
+            _mm256_max_epi32(q, _mm256_setzero_si256()),
+            _mm256_set1_epi32(255),
+        );
+        // Narrow 8 x i32 -> 8 x u8: pack to u16 per 128-bit lane, pull both
+        // low quads into the lower half, pack to u8 (saturation is a no-op
+        // after the clamp), store 8 bytes.
+        let p16 = _mm256_packus_epi32(q, q);
+        let p16 = _mm256_permute4x64_epi64(p16, 0b1101_1000);
+        let p8 = _mm_packus_epi16(_mm256_castsi256_si128(p16), _mm_setzero_si128());
+        _mm_storel_epi64(out.as_mut_ptr() as *mut __m128i, p8);
     }
 
     /// AVX2 activation quantize over a 32-multiple prefix: `vcvtps2dq`
@@ -548,9 +646,22 @@ fn with_u8_scratch<R>(len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
 /// and column-split parallel (`SharedMut` window) destinations.
 type StripWriter<'a> = &'a (dyn Fn(usize, usize, &mut dyn FnMut(&mut [f32])) + Sync);
 
+/// u8 twin of [`StripWriter`] for the requantizing sink.
+type StripWriterU8<'a> = &'a (dyn Fn(usize, usize, &mut dyn FnMut(&mut [u8])) + Sync);
+
+/// Where [`qgemm_strips`] puts each finished accumulator row.
+enum StripSink<'a> {
+    /// Dequantize + bias + activation into f32 output rows.
+    F32(StripWriter<'a>),
+    /// Dequantize + bias + activation, then requantize with `1/out_scale`
+    /// into u8 rows — byte-for-byte what [`quantize_activations`] over the
+    /// f32 sink's output would produce, with the f32 round-trip elided.
+    Requant(StripWriterU8<'a>, f32),
+}
+
 /// Computes one strip range `[s0, s1)` of the output: pack each strip, run
 /// the tile kernel down the row slivers, dequantize + bias + activate into
-/// the row segments of `c` through `write`.
+/// the row segments of the sink.
 #[allow(clippy::too_many_arguments)]
 fn qgemm_strips(
     wq: &QPackedW,
@@ -562,7 +673,7 @@ fn qgemm_strips(
     bias: Option<&[f32]>,
     act: Epilogue,
     simd: bool,
-    write: StripWriter<'_>,
+    sink: &StripSink<'_>,
 ) {
     let (m, k) = (wq.m, wq.k);
     let kq = k.div_ceil(KQ);
@@ -594,12 +705,49 @@ fn qgemm_strips(
                     let scale = wq.scales[row] * x_scale;
                     let corr = Q_ZERO as i32 * wq.rowsums[row];
                     let base = bias.map_or(0.0, |b| b[row]);
-                    write(row * n + j0, width, &mut |seg| {
-                        for (cv, &a) in seg.iter_mut().zip(acc_row) {
-                            *cv = (a - corr) as f32 * scale + base;
+                    match sink {
+                        StripSink::F32(write) => write(row * n + j0, width, &mut |seg| {
+                            #[cfg(target_arch = "x86_64")]
+                            if simd && width == QNR {
+                                // Safety: AVX2 detected (simd), and the
+                                // segment is one full QNR-wide register row.
+                                unsafe {
+                                    qx86::dequant_act_avx2(acc_row, corr, scale, base, act, seg)
+                                };
+                                return;
+                            }
+                            for (cv, &a) in seg.iter_mut().zip(acc_row) {
+                                *cv = (a - corr) as f32 * scale + base;
+                            }
+                            act.apply(seg);
+                        }),
+                        StripSink::Requant(write, out_scale) => {
+                            let inv = 1.0 / out_scale;
+                            write(row * n + j0, width, &mut |seg| {
+                                #[cfg(target_arch = "x86_64")]
+                                if simd && width == QNR {
+                                    // Safety: AVX2 detected (simd), and the
+                                    // segment is one full QNR-wide row.
+                                    unsafe {
+                                        qx86::dequant_act_requant_avx2(
+                                            acc_row, corr, scale, base, act, inv, seg,
+                                        )
+                                    };
+                                    return;
+                                }
+                                let mut tmp = [0.0f32; QNR];
+                                for (t, &a) in tmp.iter_mut().zip(acc_row).take(width) {
+                                    *t = (a - corr) as f32 * scale + base;
+                                }
+                                act.apply(&mut tmp[..width]);
+                                for (o, &v) in seg.iter_mut().zip(&tmp) {
+                                    *o = ((v * inv).round_ties_even() as i32 + Q_ZERO as i32)
+                                        .clamp(0, 255)
+                                        as u8;
+                                }
+                            });
                         }
-                        act.apply(seg);
-                    });
+                    }
                 }
             }
         }
@@ -640,6 +788,11 @@ pub(crate) fn run_qgemm_variant(
         threadpool::parallel_for(chunks, &|ci| {
             let s0 = strips * ci / chunks;
             let s1 = strips * (ci + 1) / chunks;
+            let write: StripWriter = &|off, len, fill| {
+                // Safety: each task owns disjoint column ranges, so the
+                // per-row windows never overlap across tasks.
+                fill(unsafe { shared.slice(off, len) })
+            };
             qgemm_strips(
                 wq,
                 bop,
@@ -650,15 +803,15 @@ pub(crate) fn run_qgemm_variant(
                 bias,
                 act,
                 simd,
-                &|off, len, fill| {
-                    // Safety: each task owns disjoint column ranges, so the
-                    // per-row windows never overlap across tasks.
-                    fill(unsafe { shared.slice(off, len) })
-                },
+                &StripSink::F32(write),
             );
         });
     } else {
         let shared = SharedMut::new(c);
+        let write: StripWriter = &|off, len, fill| {
+            // Safety: serial path; windows are used one at a time.
+            fill(unsafe { shared.slice(off, len) })
+        };
         qgemm_strips(
             wq,
             bop,
@@ -669,10 +822,80 @@ pub(crate) fn run_qgemm_variant(
             bias,
             act,
             simd,
-            &|off, len, fill| {
-                // Safety: serial path; windows are used one at a time.
+            &StripSink::F32(write),
+        );
+    }
+}
+
+/// [`run_qgemm_variant`] with the requantizing u8 sink: the dequantized,
+/// biased, activated value is quantized straight back to u8 with
+/// `out_scale` in the register epilogue. Produces byte-for-byte what
+/// [`quantize_activations`] over the f32 variant's output would, without
+/// materializing the f32 intermediate.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_qgemm_variant_requant(
+    variant: Variant,
+    wq: &QPackedW,
+    bop: &QBOperand,
+    c: &mut [u8],
+    n: usize,
+    x_scale: f32,
+    bias: Option<&[f32]>,
+    act: Epilogue,
+    out_scale: f32,
+) {
+    let m = wq.m;
+    assert_eq!(c.len(), m * n, "qgemm requant out buffer length");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), m, "qgemm bias length");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let simd = variant.schedule != Schedule::Direct && use_avx2_kernel();
+    let strips = n.div_ceil(QNR);
+    let threads = threadpool::num_threads();
+    if variant.parallel && threads > 1 && strips > 1 {
+        let shared = SharedMut::new(c);
+        let chunks = strips.min(threads * 4);
+        threadpool::parallel_for(chunks, &|ci| {
+            let s0 = strips * ci / chunks;
+            let s1 = strips * (ci + 1) / chunks;
+            let write: StripWriterU8 = &|off, len, fill| {
+                // Safety: each task owns disjoint column ranges, so the
+                // per-row windows never overlap across tasks.
                 fill(unsafe { shared.slice(off, len) })
-            },
+            };
+            qgemm_strips(
+                wq,
+                bop,
+                n,
+                s0,
+                s1,
+                x_scale,
+                bias,
+                act,
+                simd,
+                &StripSink::Requant(write, out_scale),
+            );
+        });
+    } else {
+        let shared = SharedMut::new(c);
+        let write: StripWriterU8 = &|off, len, fill| {
+            // Safety: serial path; windows are used one at a time.
+            fill(unsafe { shared.slice(off, len) })
+        };
+        qgemm_strips(
+            wq,
+            bop,
+            n,
+            0,
+            strips,
+            x_scale,
+            bias,
+            act,
+            simd,
+            &StripSink::Requant(write, out_scale),
         );
     }
 }
@@ -714,6 +937,32 @@ pub fn qgemm_conv_mat(
         trans: false,
     };
     run_qgemm_variant(variant, wq, &bop, c, n, x_scale, bias, act);
+}
+
+/// [`qgemm_conv_mat`] that emits its output already quantized with
+/// `out_scale` — for chains where the very next consumer is another int8
+/// kernel (the fused inverted-residual executor's expand stage). The bytes
+/// equal `qgemm_conv_mat` followed by [`quantize_activations`], with the
+/// f32 intermediate and its extra memory pass elided; the variant is
+/// selected under the same `(m, k, n)` key as the f32-out twin.
+#[allow(clippy::too_many_arguments)]
+pub fn qgemm_conv_mat_requant(
+    wq: &QPackedW,
+    qx: &[u8],
+    c: &mut [u8],
+    n: usize,
+    x_scale: f32,
+    bias: Option<&[f32]>,
+    act: Epilogue,
+    out_scale: f32,
+) {
+    assert_eq!(qx.len(), wq.k * n, "qgemm_conv_mat_requant operand length");
+    let variant = selector::select(Op::QConv, Layout::NN, wq.m, wq.k, n);
+    let bop = QBOperand::Mat {
+        b: qx,
+        trans: false,
+    };
+    run_qgemm_variant_requant(variant, wq, &bop, c, n, x_scale, bias, act, out_scale);
 }
 
 thread_local! {

@@ -61,6 +61,13 @@ pub enum Op {
     QGemm,
     /// Int8 conv forward GEMM over the virtual u8 im2col view.
     QConv,
+    /// f32 depthwise forward ([`crate::depthwise`]), keyed
+    /// `(c, kh*kw, ho*wo)`. Not a GEMM: `Direct` is the scalar stencil,
+    /// any `Blocked` schedule the AVX2 row-strip kernel (block geometry
+    /// ignored). Both produce identical bits, so tuning is speed-only.
+    Depthwise,
+    /// Int8 depthwise forward; same variant semantics as [`Op::Depthwise`].
+    QDepthwise,
 }
 
 impl Op {
@@ -70,11 +77,13 @@ impl Op {
             Op::Conv => "conv",
             Op::QGemm => "qgemm",
             Op::QConv => "qconv",
+            Op::Depthwise => "dw",
+            Op::QDepthwise => "qdw",
         }
     }
 
     fn quantized(self) -> bool {
-        matches!(self, Op::QGemm | Op::QConv)
+        matches!(self, Op::QGemm | Op::QConv | Op::QDepthwise)
     }
 }
 
@@ -504,6 +513,14 @@ fn tune_quant(key: &Key) -> Variant {
 /// Times each candidate on synthetic operands of the key's shape and returns
 /// the fastest (deterministic tie-break: first winner in candidate order).
 fn tune(key: &Key) -> Variant {
+    // Depthwise keys are not GEMM-shaped: their own tuner times the real
+    // stencil kernel. Must run before the quantized dispatch below, which
+    // would otherwise benchmark an m x k GEMM that never executes.
+    match key.op {
+        Op::Depthwise => return crate::depthwise::tune_depthwise(false, key.m, key.k, key.n),
+        Op::QDepthwise => return crate::depthwise::tune_depthwise(true, key.m, key.k, key.n),
+        _ => {}
+    }
     if key.op.quantized() {
         return tune_quant(key);
     }

@@ -1,14 +1,108 @@
 //! Property-based tests for the tensor kernels: algebraic laws of the
-//! elementwise ops, matmul identities, convolution linearity, and the
-//! im2col/col2im adjoint relationship over random geometries.
+//! elementwise ops, matmul identities, convolution linearity, the
+//! im2col/col2im adjoint relationship, and the depthwise kernels (f32 and
+//! int8) against independent scalar references — bitwise at every thread
+//! width — over random geometries.
 
-use nb_tensor::{col2im, conv2d, im2col, matmul_into, ConvGeometry, Tensor};
+use nb_tensor::{
+    activation_scale, available_threads, col2im, conv2d, depthwise_conv2d, im2col, matmul_into,
+    max_abs, qdepthwise_conv2d_into, quantize_activations, with_thread_cap, ConvGeometry, Epilogue,
+    QDepthwiseW, Tensor, Q_ZERO,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn tensor(shape: &[usize], seed: u64) -> Tensor {
     Tensor::randn(shape.to_vec(), &mut StdRng::seed_from_u64(seed))
+}
+
+fn bits(x: &[f32]) -> Vec<u32> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Independent scalar depthwise reference pinning the kernel contract:
+/// bias-seeded accumulator, taps in `ki`-major `kj`-minor order,
+/// out-of-bounds taps skipped (not added as zero).
+fn dw_ref(x: &Tensor, wt: &Tensor, b: Option<&Tensor>, geom: ConvGeometry) -> Vec<f32> {
+    let d = x.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (ho, wo) = geom.output_hw(h, w);
+    let (xs, ws) = (x.as_slice(), wt.as_slice());
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = &xs[(ni * c + ci) * h * w..];
+            let ker = &ws[ci * geom.kh * geom.kw..];
+            let o = &mut out[(ni * c + ci) * ho * wo..(ni * c + ci + 1) * ho * wo];
+            for oi in 0..ho {
+                for oj in 0..wo {
+                    let mut acc = b.map(|b| b.as_slice()[ci]).unwrap_or(0.0);
+                    for ki in 0..geom.kh {
+                        let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..geom.kw {
+                            let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            acc += plane[ii as usize * w + jj as usize] * ker[ki * geom.kw + kj];
+                        }
+                    }
+                    o[oi * wo + oj] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pure-integer quantized depthwise reference: out-of-bounds taps read
+/// `Q_ZERO`, one dequantize at the end — the contract the int8 kernels pin.
+#[allow(clippy::too_many_arguments)]
+fn qdw_ref(
+    qx: &[u8],
+    n: usize,
+    qw: &QDepthwiseW,
+    b: Option<&Tensor>,
+    geom: ConvGeometry,
+    x_scale: f32,
+    h: usize,
+    w: usize,
+) -> Vec<f32> {
+    let c = qw.c();
+    let (ho, wo) = geom.output_hw(h, w);
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = &qx[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+            let (qk, cs) = (qw.filter(ci), qw.scales()[ci] * x_scale);
+            let base = b.map(|b| b.as_slice()[ci]).unwrap_or(0.0);
+            let o = &mut out[(ni * c + ci) * ho * wo..(ni * c + ci + 1) * ho * wo];
+            for oi in 0..ho {
+                for oj in 0..wo {
+                    let mut acc = 0i64;
+                    for ki in 0..geom.kh {
+                        for kj in 0..geom.kw {
+                            let ii = (oi * geom.sh + ki) as isize - geom.ph as isize;
+                            let jj = (oj * geom.sw + kj) as isize - geom.pw as isize;
+                            let v = if ii < 0 || ii >= h as isize || jj < 0 || jj >= w as isize {
+                                Q_ZERO as i64
+                            } else {
+                                plane[ii as usize * w + jj as usize] as i64
+                            };
+                            acc += v * qk[ki * geom.kw + kj] as i64;
+                        }
+                    }
+                    let corrected = acc - Q_ZERO as i64 * qw.kersum(ci) as i64;
+                    o[oi * wo + oj] = corrected as i32 as f32 * cs + base;
+                }
+            }
+        }
+    }
+    out
 }
 
 proptest! {
@@ -109,6 +203,63 @@ proptest! {
         let r = t.reshape([m, n]).reshape([n * m]).reshape([n, m]);
         prop_assert_eq!(&r, &t);
         prop_assert!((r.sum() - t.sum()).abs() < 1e-6);
+    }
+
+    /// The f32 depthwise kernel (whatever variant the selector picks, AVX2
+    /// included) matches the independent scalar reference bitwise, at
+    /// thread widths 1, 2, and the machine maximum.
+    #[test]
+    fn depthwise_matches_reference_across_thread_widths(
+        n in 1usize..3, c in 1usize..6, h in 1usize..10, w in 1usize..10,
+        k in 1usize..6, stride in 1usize..3, pad in 0usize..3,
+        bias in any::<bool>(), seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geom = ConvGeometry::square(k, stride, pad);
+        let x = tensor(&[n, c, h, w], seed);
+        let wt = tensor(&[c, k, k], seed ^ 21);
+        let bt = if bias { Some(tensor(&[c], seed ^ 22)) } else { None };
+        let want = dw_ref(&x, &wt, bt.as_ref(), geom);
+        for cap in [1usize, 2, available_threads()] {
+            let got = with_thread_cap(cap, || depthwise_conv2d(&x, &wt, bt.as_ref(), geom));
+            prop_assert_eq!(
+                bits(got.as_slice()), bits(&want),
+                "f32 depthwise vs reference, cap {} geom {:?}", cap, geom
+            );
+        }
+    }
+
+    /// The int8 depthwise kernel matches the pure-integer reference bitwise
+    /// (after the one dequantize), at thread widths 1, 2, and the maximum.
+    #[test]
+    fn qdepthwise_matches_integer_reference_across_thread_widths(
+        n in 1usize..3, c in 1usize..6, h in 1usize..10, w in 1usize..10,
+        k in 1usize..6, stride in 1usize..3, pad in 0usize..3,
+        bias in any::<bool>(), seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geom = ConvGeometry::square(k, stride, pad);
+        let x = tensor(&[n, c, h, w], seed);
+        let wt = tensor(&[c, k, k], seed ^ 33);
+        let bt = if bias { Some(tensor(&[c], seed ^ 34)) } else { None };
+        let qw = QDepthwiseW::pack(wt.as_slice(), c, k, k);
+        let x_scale = activation_scale(max_abs(x.as_slice()));
+        let mut qx = vec![0u8; x.numel()];
+        quantize_activations(x.as_slice(), x_scale, &mut qx);
+        let want = qdw_ref(&qx, n, &qw, bt.as_ref(), geom, x_scale, h, w);
+        for cap in [1usize, 2, available_threads()] {
+            let mut got = vec![0.0f32; want.len()];
+            with_thread_cap(cap, || {
+                qdepthwise_conv2d_into(
+                    &qx, n, &qw, bt.as_ref().map(|t| t.as_slice()), geom,
+                    Epilogue::None, x_scale, h, w, &mut got,
+                );
+            });
+            prop_assert_eq!(
+                bits(&got), bits(&want),
+                "int8 depthwise vs reference, cap {} geom {:?}", cap, geom
+            );
+        }
     }
 
     /// narrow0 then stack0 reconstructs the tensor.

@@ -127,13 +127,19 @@ fn run_case(
                 pass: bitwise && graph_nodes == 0,
             });
 
-            // candidate 2: the compiled plan with folding off — prepacking
-            // and epilogue fusion alone must preserve bits vs InferCtx
+            // candidate 2: the compiled plan with folding and chain fusion
+            // off — prepacking and epilogue fusion alone must preserve bits
+            // vs InferCtx
             let before = nodes_allocated();
-            let plan =
-                CompiledPlan::compile_with(x.dims(), PlanOptions { fold_bn: false }, |f, v| {
-                    fwd(f, v)
-                });
+            let plan = CompiledPlan::compile_with(
+                x.dims(),
+                PlanOptions {
+                    fold_bn: false,
+                    fuse: false,
+                    ..PlanOptions::default()
+                },
+                |f, v| fwd(f, v),
+            );
             let plan_got = plan.run(x);
             let plan_nodes = nodes_allocated() - before;
             let plan_bitwise =

@@ -11,21 +11,34 @@
 //! weights, and holds the quantized plan to the accuracy budget at worker
 //! widths 1 and the full pool.
 //!
-//! Two properties ride along for free and are pinned here because they are
-//! load-bearing for serving:
+//! Three properties ride along for free and are pinned here because they
+//! are load-bearing for serving:
 //!
 //! - **Thread-width invariance is bitwise**, not budgeted: the i8 kernels
 //!   accumulate in exact integer arithmetic, so any width must produce
 //!   identical logits. A bitwise diff across widths means scheduling state
 //!   leaked into the quantized path.
+//! - **Fusion invariance is bitwise**: the fused inverted-residual
+//!   executor (expand → depthwise → project in one strip-tiled action) is
+//!   documented bitwise-identical to replaying the same three quantized
+//!   stages sequentially, so a fused and an unfused twin compiled from the
+//!   same weights and calibration set must agree on every logit bit.
 //! - **Grad-free execution**: quantized replay must allocate zero autograd
 //!   nodes, like every other plan column.
+//!
+//! The model under test is the inverted-residual TinyNet, so the quantized
+//! plan exercises the int8 *depthwise* kernels (standalone and inside the
+//! fused chain), not just the GEMM path. Compilation uses the default
+//! [`nb_nn::QuantPolicy::Auto`] mixed-precision policy — the suite also
+//! pins that the policy actually quantizes this model's depthwise stages
+//! rather than silently leaving the whole plan in f32 (which would make
+//! every budget below vacuous).
 
 use crate::tolerance::AccuracyBudget;
 use nb_autograd::nodes_allocated;
 use nb_data::{synthetic_imagenet, Augment, DataLoader, Dataset, Scale};
 use nb_models::{mobilenet_v2_tiny, TinyNet};
-use nb_nn::{quant_calib_batches, CompiledPlan, Module};
+use nb_nn::{quant_calib_batches, CompiledPlan, Module, PlanOptions};
 use nb_tensor::{self as nt, Tensor};
 use netbooster_core::{ce_loss_fn, evaluate, fit, NoHooks, TrainConfig};
 use rand::rngs::StdRng;
@@ -127,6 +140,30 @@ pub fn run_quant_suite(fast: bool) -> QuantReport {
     let before = nodes_allocated();
     let qplan = CompiledPlan::compile_quantized(probe.dims(), &calib, |f, v| model.forward(f, v));
     let compile_nodes = nodes_allocated() - before;
+    // Unfused twin for the fusion-invariance column: same weights, same
+    // calibration batches, fusion pass disabled.
+    let uplan = CompiledPlan::compile_quantized_with(
+        probe.dims(),
+        PlanOptions {
+            fuse: false,
+            ..PlanOptions::default()
+        },
+        &calib,
+        |f, v| model.forward(f, v),
+    );
+
+    // Depthwise coverage guard: under the Auto policy the inverted-residual
+    // TinyNet must come out with quantized (depthwise) actions — a fully-f32
+    // "quantized" plan would make the accuracy budgets below meaningless.
+    report.cases.push(QuantCase {
+        case: "tinynet+plan-quant-depthwise-active".to_string(),
+        threads: 0,
+        f32_top1: 0.0,
+        quant_top1: 0.0,
+        drop: 0.0,
+        graph_nodes: 0,
+        pass: qplan.is_quantized(),
+    });
 
     let budget = AccuracyBudget::for_quantized();
     let mut widths = vec![1usize, nt::num_threads()];
@@ -171,6 +208,30 @@ pub fn run_quant_suite(fast: bool) -> QuantReport {
         pass: invariant,
     });
 
+    // The fused chain executor must be a pure scheduling change: fused and
+    // unfused quantized twins agree bitwise on every logit.
+    let fused_bits: Vec<u32> = qplan
+        .run(&probe)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let unfused_bits: Vec<u32> = uplan
+        .run(&probe)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    report.cases.push(QuantCase {
+        case: "tinynet+plan-quant-fuse-bitwise".to_string(),
+        threads: nt::num_threads(),
+        f32_top1: 0.0,
+        quant_top1: 0.0,
+        drop: 0.0,
+        graph_nodes: 0,
+        pass: fused_bits == unfused_bits,
+    });
+
     report
 }
 
@@ -181,11 +242,12 @@ mod tests {
     #[test]
     fn quant_suite_passes() {
         let report = run_quant_suite(true);
-        assert!(report.cases.len() >= 2, "{}", report.cases.len());
+        assert!(report.cases.len() >= 4, "{}", report.cases.len());
         assert!(report.pass(), "{}", report.render_failures());
         // The budgeted cases must be judging real signal, not chance: the
-        // f32 reference should beat random guessing on the smoke set.
-        let chance = 1.0 / 8.0;
+        // f32 reference should beat random guessing on the smoke set
+        // (top-1 is in percent; smoke SyntheticImageNet has 8 classes).
+        let chance = 100.0 / 8.0;
         assert!(report
             .cases
             .iter()

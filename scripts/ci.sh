@@ -26,11 +26,13 @@ echo "== verify_all (fast mode, NB_AUTOTUNE=off) =="
 NB_AUTOTUNE=off cargo run --release -q -p nb-verify --bin verify_all -- --fast
 
 echo "== verify_all (quant smoke, NB_AUTOTUNE=off) =="
-# the int8 column alone, pinned to worker width 1: compiles the quantized
-# tinynet plan (compile_quantized) and holds it to the top-1 accuracy-drop
-# budget plus zero-graph-node replay — a fast standalone stage so a quant
-# regression is named directly instead of surfacing as a generic
-# verify_all failure
+# the int8 column alone: compiles the quantized inverted-residual tinynet
+# plan (compile_quantized, Auto mixed-precision policy — the suite pins
+# that the depthwise stages actually quantize) and holds it to the top-1
+# accuracy-drop budget plus zero-graph-node replay, thread-width bitwise
+# invariance, and fused-vs-unfused bitwise parity of the quantized chain
+# executor — a fast standalone stage so a quant regression is named
+# directly instead of surfacing as a generic verify_all failure
 NB_AUTOTUNE=off cargo run --release -q -p nb-verify --bin verify_all -- --quant-smoke
 
 echo "== bench_infer (smoke) =="
