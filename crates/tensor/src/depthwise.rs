@@ -217,7 +217,7 @@ mod x86 {
         // the last vector group additionally needs load headroom inside the
         // input row: last touched index `oj*2 + KW - 1 - pw + 15 <= w - 1`.
         let vec_ok =
-            |oj: usize| -> bool { oj + 8 <= int_hi && (SW == 1 || oj * 2 + KW + 14 <= w + pw) };
+            |oj: usize| -> bool { oj + 8 <= int_hi && (SW == 1 || oj * 2 + KW + 15 <= w + pw) };
         for oi in o0..o1 {
             let out_row = &mut out[(oi - o0) * wo..(oi - o0 + 1) * wo];
             dw_cols_scalar(plane, h0, h, w, ker, geom, bv, oi, 0, int_lo, out_row);
@@ -290,7 +290,7 @@ mod x86 {
         let int_lo = interior_lo(pw, SW, wo);
         let int_hi = interior_hi(w, pw, KW, SW, wo, int_lo);
         let vec_ok =
-            |oj: usize| -> bool { oj + 8 <= int_hi && (SW == 1 || oj * 2 + KW + 14 <= w + pw) };
+            |oj: usize| -> bool { oj + 8 <= int_hi && (SW == 1 || oj * 2 + KW + 15 <= w + pw) };
         for oi in o0..o1 {
             let out_row = &mut out[(oi - o0) * wo..(oi - o0 + 1) * wo];
             qdw_cols_scalar(
@@ -379,7 +379,7 @@ mod x86 {
         let int_lo = interior_lo(pw, SW, wo);
         let int_hi = interior_hi(w, pw, KW, SW, wo, int_lo);
         let vec_ok =
-            |oj: usize| -> bool { oj + 8 <= int_hi && (SW == 1 || oj * 2 + KW + 14 <= w + pw) };
+            |oj: usize| -> bool { oj + 8 <= int_hi && (SW == 1 || oj * 2 + KW + 15 <= w + pw) };
         for oi in o0..o1 {
             let out_row = &mut out[(oi - o0) * wo..(oi - o0 + 1) * wo];
             qdw_cols_scalar_requant(
@@ -516,7 +516,9 @@ pub fn qdw_channel_rows(
     assert_eq!(qplane.len() % w, 0, "qdw_channel_rows plane length");
     let corr = Q_ZERO as i32 * kersum;
     #[cfg(target_arch = "x86_64")]
-    if simd && have_avx2() {
+    // `geom.kh <= 8` bounds the rowsums fill below; larger kernels take the
+    // scalar path like the f32 twin (the dispatch only covers 3x3/5x5 anyway).
+    if simd && geom.kh <= 8 && have_avx2() {
         let mut rowsums = [0i32; 8];
         for ki in 0..geom.kh {
             rowsums[ki] = qk[ki * geom.kw..(ki + 1) * geom.kw]
@@ -665,9 +667,11 @@ pub fn qdw_channel_rows_requant(
     let int_lo = interior_lo(geom.pw, geom.sw, wo);
     let int_hi = interior_hi(w, geom.pw, geom.kw, geom.sw, wo, int_lo);
     let any_vec =
-        int_lo + 8 <= int_hi && (geom.sw == 1 || int_lo * 2 + geom.kw + 14 <= w + geom.pw);
+        int_lo + 8 <= int_hi && (geom.sw == 1 || int_lo * 2 + geom.kw + 15 <= w + geom.pw);
     #[cfg(target_arch = "x86_64")]
-    if simd && any_vec && have_avx2() {
+    // `geom.kh <= 8` bounds the rowsums fill below; larger kernels take the
+    // scalar path like the f32 twin (the dispatch only covers 3x3/5x5 anyway).
+    if simd && any_vec && geom.kh <= 8 && have_avx2() {
         let mut rowsums = [0i32; 8];
         for ki in 0..geom.kh {
             rowsums[ki] = qk[ki * geom.kw..(ki + 1) * geom.kw]
@@ -1182,7 +1186,17 @@ mod tests {
     #[test]
     fn f32_simd_matches_scalar_bitwise() {
         for geom in edge_geoms() {
-            for &(h, w) in &[(1usize, 1usize), (2, 9), (7, 8), (9, 16), (16, 7), (17, 33)] {
+            for &(h, w) in &[
+                (1usize, 1usize),
+                (2, 9),
+                (7, 8),
+                (9, 16),
+                // Exactly one f32 past the row for a 3x3 s2 p1 second load if
+                // the stride-2 guard is off by one (regression: OOB read).
+                (9, 18),
+                (16, 7),
+                (17, 33),
+            ] {
                 if h + 2 * geom.ph < geom.kh || w + 2 * geom.pw < geom.kw {
                     continue;
                 }
@@ -1315,7 +1329,7 @@ mod tests {
     #[test]
     fn quant_kernel_matches_integer_reference_and_simd_scalar_bitwise() {
         for geom in edge_geoms() {
-            for &(h, w) in &[(1usize, 1usize), (3, 7), (8, 8), (9, 17), (16, 5)] {
+            for &(h, w) in &[(1usize, 1usize), (3, 7), (8, 8), (9, 17), (9, 18), (16, 5)] {
                 if h + 2 * geom.ph < geom.kh || w + 2 * geom.pw < geom.kw {
                     continue;
                 }
@@ -1379,12 +1393,82 @@ mod tests {
     }
 
     #[test]
+    fn quant_large_kernel_falls_back_to_scalar() {
+        // kh > 8 exceeds the SIMD paths' fixed rowsums capacity; both
+        // quantized entries must take the scalar path (no panic) and match
+        // the simd=false results bitwise, like the f32 twin does.
+        for geom in [ConvGeometry::same(9, 1), ConvGeometry::same(9, 2)] {
+            let (h, w) = (12usize, 19usize);
+            let (ho, wo) = geom.output_hw(h, w);
+            let x = fill(h * w, 0x51);
+            let wf = fill(geom.kh * geom.kw, 0x62);
+            let qw = QDepthwiseW::pack(&wf, 1, geom.kh, geom.kw);
+            let x_scale = crate::qgemm::activation_scale(crate::qgemm::max_abs(&x));
+            let mut qx = vec![0u8; x.len()];
+            crate::qgemm::quantize_activations(&x, x_scale, &mut qx);
+            let cs = qw.scales()[0] * x_scale;
+            let mut scalar = vec![0.0f32; ho * wo];
+            let mut simd = vec![0.0f32; ho * wo];
+            for (buf, s) in [(&mut scalar, false), (&mut simd, true)] {
+                qdw_channel_rows(
+                    &qx,
+                    0,
+                    h,
+                    w,
+                    qw.filter(0),
+                    qw.kersum(0),
+                    cs,
+                    0.125,
+                    geom,
+                    wo,
+                    0,
+                    ho,
+                    buf,
+                    s,
+                );
+            }
+            assert_eq!(
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "large-kernel qdw simd flag changed bytes, geom {geom:?}"
+            );
+            let act = Epilogue::Relu { alpha: 0.0 };
+            let mut want = vec![0u8; ho * wo];
+            let mut got = vec![0u8; ho * wo];
+            for (buf, s) in [(&mut want, false), (&mut got, true)] {
+                qdw_channel_rows_requant(
+                    &qx,
+                    0,
+                    h,
+                    w,
+                    qw.filter(0),
+                    qw.kersum(0),
+                    cs,
+                    0.125,
+                    act,
+                    0.02,
+                    geom,
+                    wo,
+                    0,
+                    ho,
+                    buf,
+                    s,
+                );
+            }
+            assert_eq!(
+                want, got,
+                "large-kernel qdw requant simd flag changed bytes, geom {geom:?}"
+            );
+        }
+    }
+
+    #[test]
     fn requant_kernel_matches_separate_passes_bitwise() {
         // The fused-executor contract: the requantizing epilogue's bytes
         // must equal the f32 kernel + act.apply + quantize_activations,
         // scalar and SIMD alike, over the same edge-geometry grid.
         for geom in edge_geoms() {
-            for &(h, w) in &[(1usize, 1usize), (3, 7), (8, 8), (9, 17), (16, 5)] {
+            for &(h, w) in &[(1usize, 1usize), (3, 7), (8, 8), (9, 17), (9, 18), (16, 5)] {
                 if h + 2 * geom.ph < geom.kh || w + 2 * geom.pw < geom.kw {
                     continue;
                 }
